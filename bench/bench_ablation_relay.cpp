@@ -1,0 +1,39 @@
+// Ablation (the paper's two §2 delivery alternatives): direct client→client
+// forwarding vs fetch-and-forward through the proxy. Hit behaviour is
+// identical; the relay costs a second LAN hop per remote hit (double
+// transfer time and bus occupancy) in exchange for the stronger centralized
+// anonymity of §6.2.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace baps;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::Trace t = bench::load(trace::Preset::kNlanrUc, args);
+  const trace::TraceStats stats = trace::compute_stats(t);
+
+  Table table({"Delivery", "Hit Ratio", "Remote Hits", "Remote Bytes Moved",
+               "Comm Time", "Contention", "Comm/Total Service"});
+  for (const bool relay : {false, true}) {
+    core::RunSpec spec;
+    spec.relative_cache_size = 0.10;
+    spec.sizing = core::BrowserSizing::kMinimum;
+    spec.relay_via_proxy = relay;
+    const sim::Metrics m =
+        core::run_one(core::OrgKind::kBrowsersAware, t, stats, spec);
+    table.row()
+        .cell(relay ? "proxy relay (2 hops)" : "direct forward (1 hop)")
+        .cell_percent(m.hit_ratio())
+        .cell(m.remote_browser_hits)
+        .cell(format_bytes(m.remote_transfer_bytes))
+        .cell(format_seconds(m.remote_transfer_time_s))
+        .cell(format_seconds(m.remote_contention_time_s))
+        .cell_percent(m.remote_overhead_fraction(), 3);
+  }
+  std::cout << "Ablation: the two remote-delivery alternatives of Section 2, "
+               "NLANR-uc @ 10%\n";
+  bench::emit(table, args);
+  std::cout << "Hit ratios are identical by construction; the relay doubles "
+               "LAN cost per\nremote hit but keeps peers mutually hidden "
+               "without extra machinery.\n";
+  return 0;
+}

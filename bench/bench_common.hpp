@@ -1,0 +1,94 @@
+// Shared plumbing for the figure/table bench harnesses.
+//
+// Every harness accepts:
+//   --csv          emit CSV instead of an aligned table
+//   --scale <f>    shrink the preset traces by factor f in (0,1] (default 1:
+//                  the full paper-scale runs; use e.g. 0.1 for a quick look)
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/api.hpp"
+
+namespace baps::bench {
+
+struct BenchArgs {
+  bool csv = false;
+  double scale = 1.0;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--csv") {
+      args.csv = true;
+    } else if (a == "--scale" && i + 1 < argc) {
+      args.scale = std::atof(argv[++i]);
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: " << argv[0] << " [--csv] [--scale f]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      std::exit(2);
+    }
+  }
+  if (args.scale <= 0.0 || args.scale > 1.0) {
+    std::cerr << "--scale must be in (0,1]\n";
+    std::exit(2);
+  }
+  return args;
+}
+
+inline trace::Trace load(trace::Preset preset, const BenchArgs& args) {
+  return args.scale >= 1.0 ? trace::load_preset(preset)
+                           : trace::load_preset_scaled(preset, args.scale);
+}
+
+inline void emit(const Table& table, const BenchArgs& args) {
+  if (args.csv) {
+    std::cout << table.to_csv();
+  } else {
+    std::cout << table << '\n';
+  }
+}
+
+/// The relative cache sizes of Figures 2–7 (fractions of the infinite
+/// cache size): 0.5%, 1%, 5%, 10%, 20%.
+inline const std::vector<double> kRelativeSizes = {0.005, 0.01, 0.05, 0.10,
+                                                   0.20};
+
+/// Figures 4–7 all share one shape: browsers-aware-proxy-server vs
+/// proxy-and-local-browser across the relative cache sizes, with browser
+/// caches at the §3.2 AVERAGE sizing.
+inline void run_compare_figure(trace::Preset preset, const std::string& title,
+                               const BenchArgs& args) {
+  const trace::Trace t = load(preset, args);
+  core::RunSpec spec;
+  spec.sizing = core::BrowserSizing::kAverage;
+  ThreadPool pool;
+  const std::vector<core::OrgKind> orgs = {
+      core::OrgKind::kProxyAndLocalBrowser, core::OrgKind::kBrowsersAware};
+  const auto points =
+      core::sweep_cache_sizes(t, kRelativeSizes, orgs, spec, &pool);
+
+  for (const bool bytes : {false, true}) {
+    Table table({bytes ? "Byte Hit Ratio" : "Hit Ratio", "0.5%", "1%", "5%",
+                 "10%", "20%"});
+    for (const core::OrgKind org : orgs) {
+      auto& row = table.row().cell(sim::org_name(org));
+      for (const auto& p : points) {
+        const sim::Metrics& m = p.by_org.at(org);
+        row.cell_percent(bytes ? m.byte_hit_ratio() : m.hit_ratio());
+      }
+    }
+    std::cout << title << " (" << (bytes ? "byte hit" : "hit")
+              << " ratios), " << trace::preset_name(preset)
+              << ", average browser caches\n";
+    emit(table, args);
+  }
+}
+
+}  // namespace baps::bench

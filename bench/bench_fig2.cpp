@@ -1,0 +1,39 @@
+// Figure 2: hit ratios (left) and byte hit ratios (right) of the five
+// caching policies on the NLANR-uc trace, proxy cache scaled over
+// {0.5, 1, 5, 10, 20}% of the infinite cache size, browser caches at the
+// §3.2 MINIMUM (C_proxy / 10N).
+//
+// Expected shape (paper §4.1): browsers-aware-proxy-server highest at every
+// size; proxy-and-local-browser ≈ proxy-cache-only; local-browser-cache-only
+// lowest; global-browsers-cache-only in between.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace baps;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::Trace t = bench::load(trace::Preset::kNlanrUc, args);
+
+  core::RunSpec spec;
+  spec.sizing = core::BrowserSizing::kMinimum;
+  ThreadPool pool;
+  const std::vector<core::OrgKind> orgs(std::begin(sim::kAllOrganizations),
+                                        std::end(sim::kAllOrganizations));
+  const auto points =
+      core::sweep_cache_sizes(t, bench::kRelativeSizes, orgs, spec, &pool);
+
+  for (const bool bytes : {false, true}) {
+    Table table({bytes ? "Byte Hit Ratio" : "Hit Ratio", "0.5%", "1%", "5%",
+                 "10%", "20%"});
+    for (const core::OrgKind org : orgs) {
+      auto& row = table.row().cell(sim::org_name(org));
+      for (const auto& p : points) {
+        const sim::Metrics& m = p.by_org.at(org);
+        row.cell_percent(bytes ? m.byte_hit_ratio() : m.hit_ratio());
+      }
+    }
+    std::cout << "Figure 2 (" << (bytes ? "byte hit" : "hit")
+              << " ratios), NLANR-uc, minimum browser caches\n";
+    bench::emit(table, args);
+  }
+  return 0;
+}

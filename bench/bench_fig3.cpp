@@ -1,0 +1,53 @@
+// Figure 3: breakdowns of the browsers-aware proxy server's hit ratio and
+// byte hit ratio into local-browser / proxy / remote-browser components, on
+// NLANR-uc with minimum browser caches.
+//
+// Expected shape: the remote-browser share is non-negligible at every cache
+// size, even the smallest.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace baps;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const trace::Trace t = bench::load(trace::Preset::kNlanrUc, args);
+  const trace::TraceStats stats = trace::compute_stats(t);
+
+  core::RunSpec spec;
+  spec.sizing = core::BrowserSizing::kMinimum;
+
+  Table hits({"Relative Cache Size", "local-browser", "proxy",
+              "remote-browsers", "total"});
+  Table bytes({"Relative Cache Size", "local-browser", "proxy",
+               "remote-browsers", "total"});
+  for (const double size : bench::kRelativeSizes) {
+    core::RunSpec point = spec;
+    point.relative_cache_size = size;
+    const sim::Metrics m =
+        core::run_one(core::OrgKind::kBrowsersAware, t, stats, point);
+    const auto total_requests = static_cast<double>(m.hits.total());
+    const auto total_bytes = static_cast<double>(m.byte_hits.total());
+    const std::string label = std::to_string(size * 100.0) + "%";
+    hits.row()
+        .cell(label)
+        .cell_percent(static_cast<double>(m.local_browser_hits) /
+                      total_requests)
+        .cell_percent(static_cast<double>(m.proxy_hits) / total_requests)
+        .cell_percent(static_cast<double>(m.remote_browser_hits) /
+                      total_requests)
+        .cell_percent(m.hit_ratio());
+    bytes.row()
+        .cell(label)
+        .cell_percent(static_cast<double>(m.local_browser_hit_bytes) /
+                      total_bytes)
+        .cell_percent(static_cast<double>(m.proxy_hit_bytes) / total_bytes)
+        .cell_percent(static_cast<double>(m.remote_browser_hit_bytes) /
+                      total_bytes)
+        .cell_percent(m.byte_hit_ratio());
+  }
+  std::cout << "Figure 3 (hit ratio breakdowns), browsers-aware proxy, "
+               "NLANR-uc\n";
+  bench::emit(hits, args);
+  std::cout << "Figure 3 (byte hit ratio breakdowns)\n";
+  bench::emit(bytes, args);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 4: browsers-aware-proxy-server vs proxy-and-local-browser on the
+// NLANR-bo1 trace, browser caches at the §3.2 AVERAGE sizing.
+// Expected shape: BAPS consistently above P+LB on both metrics.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = baps::bench::parse_args(argc, argv);
+  baps::bench::run_compare_figure(baps::trace::Preset::kNlanrBo1, "Figure 4",
+                                  args);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 6: browsers-aware-proxy-server vs proxy-and-local-browser on the
+// BU-98 trace, browser caches at the §3.2 AVERAGE sizing.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = baps::bench::parse_args(argc, argv);
+  baps::bench::run_compare_figure(baps::trace::Preset::kBu98, "Figure 6",
+                                  args);
+  return 0;
+}

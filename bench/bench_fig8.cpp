@@ -1,0 +1,42 @@
+// Figure 8: hit-ratio and byte-hit-ratio increments of the browsers-aware
+// proxy server over proxy-and-local-browser as the relative number of
+// clients grows from 25% to 100%, for NLANR-bo1, BU-95 and BU-98.
+// The proxy cache is FIXED at 10% of the full-population infinite cache
+// size for every point (per the paper's §4.3 setup).
+//
+// Expected shape: both increments grow monotonically with the number of
+// clients for every trace.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace baps;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const std::vector<double> fractions = {0.25, 0.50, 0.75, 1.00};
+  const std::vector<trace::Preset> presets = {
+      trace::Preset::kNlanrBo1, trace::Preset::kBu95, trace::Preset::kBu98};
+
+  core::RunSpec spec;
+  spec.relative_cache_size = 0.10;
+  spec.sizing = core::BrowserSizing::kAverage;
+  ThreadPool pool;
+
+  Table hit({"Hit Ratio Increment (%)", "25%", "50%", "75%", "100%"});
+  Table byte({"Byte Hit Ratio Increment (%)", "25%", "50%", "75%", "100%"});
+  for (const trace::Preset preset : presets) {
+    const trace::Trace t = bench::load(preset, args);
+    const auto points = core::client_scaling_sweep(t, fractions, spec, &pool);
+    auto& hrow = hit.row().cell(trace::preset_name(preset));
+    auto& brow = byte.row().cell(trace::preset_name(preset));
+    for (const auto& p : points) {
+      hrow.cell(p.hit_ratio_increment_pct, 2);
+      brow.cell(p.byte_hit_ratio_increment_pct, 2);
+    }
+  }
+  std::cout << "Figure 8 (left): hit ratio increment vs relative number of "
+               "clients\n";
+  bench::emit(hit, args);
+  std::cout << "Figure 8 (right): byte hit ratio increment vs relative "
+               "number of clients\n";
+  bench::emit(byte, args);
+  return 0;
+}

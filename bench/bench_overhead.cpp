@@ -1,0 +1,109 @@
+// §5 overhead estimation, three parts:
+//
+//  1. Remote-transfer overhead: data-transfer + bus-contention time for
+//     remote-browser hits on a 10 Mbps Ethernet with 0.1 s connection setup,
+//     as a fraction of the total workload service time. Paper: < 1.2%
+//     overall, with contention ≤ 0.12% of the communication time.
+//  2. Index update staleness: hit-ratio degradation and message savings as
+//     the periodic-update threshold sweeps 1%–50% (the Fan et al. delay
+//     rule). Paper: ~0.2–1.7% degradation at the 10% threshold.
+//  3. Index storage footprint: the 16-byte-MD5 arithmetic of §5's example
+//     plus measured Bloom-summary sizes.
+#include "bench_common.hpp"
+
+#include "index/footprint.hpp"
+
+int main(int argc, char** argv) {
+  using namespace baps;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  // --- Part 1: remote transfer + contention across all presets -------------
+  {
+    Table table({"Trace", "Remote Transfers", "Remote Bytes", "Comm Time",
+                 "Contention", "Comm/Total Service", "Contention/Comm"});
+    for (const trace::Preset preset : trace::all_presets()) {
+      const trace::Trace t = bench::load(preset, args);
+      const trace::TraceStats stats = trace::compute_stats(t);
+      core::RunSpec spec;
+      spec.relative_cache_size = 0.10;
+      spec.sizing = core::BrowserSizing::kMinimum;
+      const sim::Metrics m =
+          core::run_one(core::OrgKind::kBrowsersAware, t, stats, spec);
+      table.row()
+          .cell(trace::preset_name(preset))
+          .cell(m.remote_browser_hits)
+          .cell(format_bytes(m.remote_transfer_bytes))
+          .cell(format_seconds(m.remote_transfer_time_s))
+          .cell(format_seconds(m.remote_contention_time_s))
+          .cell_percent(m.remote_overhead_fraction(), 3)
+          .cell_percent(m.contention_fraction_of_comm(), 3);
+    }
+    std::cout << "Section 5, part 1: remote-browser communication overhead "
+                 "(paper: comm/total < 1.2%, contention/comm <= 0.12%)\n";
+    bench::emit(table, args);
+  }
+
+  // --- Part 2: index update staleness sweep --------------------------------
+  {
+    const trace::Trace t = bench::load(trace::Preset::kNlanrUc, args);
+    const trace::TraceStats stats = trace::compute_stats(t);
+    core::RunSpec spec;
+    spec.relative_cache_size = 0.10;
+    spec.sizing = core::BrowserSizing::kMinimum;
+    const sim::Metrics exact =
+        core::run_one(core::OrgKind::kBrowsersAware, t, stats, spec);
+
+    Table table({"Update Threshold", "Hit Ratio", "Degradation (pts)",
+                 "False Forwards", "Index Messages", "Message Savings"});
+    table.row()
+        .cell("immediate")
+        .cell_percent(exact.hit_ratio())
+        .cell(0.0, 3)
+        .cell(exact.false_forwards)
+        .cell(exact.index_messages)
+        .cell("1.0x");
+    for (const double threshold : {0.01, 0.05, 0.10, 0.25, 0.50}) {
+      core::RunSpec lazy = spec;
+      lazy.index_mode = sim::IndexMode::kPeriodic;
+      lazy.index_threshold = threshold;
+      const sim::Metrics m =
+          core::run_one(core::OrgKind::kBrowsersAware, t, stats, lazy);
+      const double savings =
+          m.index_messages > 0
+              ? static_cast<double>(exact.index_messages) /
+                    static_cast<double>(m.index_messages)
+              : 0.0;
+      table.row()
+          .cell(std::to_string(static_cast<int>(threshold * 100)) + "%")
+          .cell_percent(m.hit_ratio())
+          .cell(100.0 * (exact.hit_ratio() - m.hit_ratio()), 3)
+          .cell(m.false_forwards)
+          .cell(m.index_messages)
+          .cell(std::to_string(savings).substr(0, 5) + "x");
+    }
+    std::cout << "\nSection 5, part 2: index staleness sweep, NLANR-uc "
+                 "(paper: 10% threshold costs ~0.2-1.7% hit ratio)\n";
+    bench::emit(table, args);
+  }
+
+  // --- Part 3: index storage footprint --------------------------------------
+  {
+    index::FootprintParams p;  // the paper's example: 100 clients, 8MB caches
+    const index::FootprintEstimate e = index::estimate_footprint(p);
+    Table table({"Quantity", "Value"});
+    table.row().cell("clients").cell(std::uint64_t{p.num_clients});
+    table.row().cell("browser cache").cell(format_bytes(p.browser_cache_bytes));
+    table.row().cell("avg document").cell(format_bytes(p.avg_doc_bytes));
+    table.row().cell("pages per browser").cell(e.docs_per_browser);
+    table.row().cell("total index entries").cell(e.total_entries);
+    table.row()
+        .cell("exact index (16B MD5 + meta)")
+        .cell(format_bytes(e.exact_index_bytes));
+    table.row()
+        .cell("bloom-compressed index")
+        .cell(format_bytes(e.bloom_index_bytes));
+    std::cout << "\nSection 5, part 3: browser index storage footprint\n";
+    bench::emit(table, args);
+  }
+  return 0;
+}

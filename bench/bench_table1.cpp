@@ -1,0 +1,35 @@
+// Table 1: Selected Web Traces — the characteristics of the five workload
+// presets standing in for the paper's NLANR / BU / CA*netII logs.
+//
+// Columns mirror the paper: #requests, total GB, infinite cache GB,
+// #clients, max hit ratio, max byte hit ratio. Absolute volumes are scaled
+// to laptop runs (documented in DESIGN.md §2); the shape columns — client
+// counts, the BU-95 > BU-98 locality ordering, hit > byte-hit — are the
+// calibration targets.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace baps;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  Table table({"Trace", "#Requests", "Total GB", "Infinite Cache (GB)",
+               "#Clients", "Max Hit Ratio", "Max Byte Hit Ratio"});
+  for (const trace::Preset preset : trace::all_presets()) {
+    const trace::Trace t = bench::load(preset, args);
+    const trace::TraceStats s = trace::compute_stats(t);
+    const auto gb = [](std::uint64_t bytes) {
+      return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+    };
+    table.row()
+        .cell(trace::preset_name(preset))
+        .cell(s.num_requests)
+        .cell(gb(s.total_bytes), 3)
+        .cell(gb(s.infinite_cache_bytes), 3)
+        .cell(std::uint64_t{s.num_clients})
+        .cell_percent(s.max_hit_ratio)
+        .cell_percent(s.max_byte_hit_ratio);
+  }
+  std::cout << "Table 1: Selected Web Traces (synthetic presets)\n";
+  bench::emit(table, args);
+  return 0;
+}

@@ -1,0 +1,213 @@
+// baps_cli — command-line driver for the simulator.
+//
+// Run any caching organization over a preset or a real log file with full
+// control of the knobs, printing a table or CSV. Examples:
+//
+//   baps_cli --preset nlanr-uc --size 0.10
+//   baps_cli --preset bu95 --orgs baps,hierarchy --sizes 0.01,0.05,0.10
+//   baps_cli --log access.log --format squid --policy gdsf --csv
+//   baps_cli --preset bu98 --index periodic --threshold 0.25
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/api.hpp"
+
+namespace {
+
+using namespace baps;
+
+[[noreturn]] void usage(int code) {
+  std::cout <<
+      "usage: baps_cli [options]\n"
+      "\nworkload (pick one):\n"
+      "  --preset NAME       nlanr-uc | nlanr-bo1 | bu95 | bu98 | canet2\n"
+      "  --log FILE          parse a real access log\n"
+      "  --format FMT        squid | plain        (default squid)\n"
+      "  --scale F           shrink a preset by F in (0,1]\n"
+      "\nsimulation:\n"
+      "  --orgs LIST         comma list of: proxy, local, global,\n"
+      "                      hierarchy, baps, all   (default all)\n"
+      "  --sizes LIST        relative proxy sizes   (default 0.10)\n"
+      "  --sizing MODE       min | avg              (default min)\n"
+      "  --policy P          lru|fifo|lfu|size|gdsf (default lru)\n"
+      "  --index MODE        immediate | periodic | bloom\n"
+      "  --threshold F       periodic flush threshold (default 0.1)\n"
+      "  --relay             remote hits relayed via the proxy (2 hops)\n"
+      "\noutput:\n"
+      "  --csv               machine-readable output\n"
+      "  --overheads         include the Section 5 overhead columns\n";
+  std::exit(code);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, sep)) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+trace::Preset preset_by_name(const std::string& name) {
+  if (name == "nlanr-uc") return trace::Preset::kNlanrUc;
+  if (name == "nlanr-bo1") return trace::Preset::kNlanrBo1;
+  if (name == "bu95") return trace::Preset::kBu95;
+  if (name == "bu98") return trace::Preset::kBu98;
+  if (name == "canet2") return trace::Preset::kCanet2;
+  std::cerr << "unknown preset: " << name << "\n";
+  usage(2);
+}
+
+core::OrgKind org_by_name(const std::string& name) {
+  if (name == "proxy") return core::OrgKind::kProxyOnly;
+  if (name == "local") return core::OrgKind::kLocalBrowserOnly;
+  if (name == "global") return core::OrgKind::kGlobalBrowsersOnly;
+  if (name == "hierarchy") return core::OrgKind::kProxyAndLocalBrowser;
+  if (name == "baps") return core::OrgKind::kBrowsersAware;
+  std::cerr << "unknown organization: " << name << "\n";
+  usage(2);
+}
+
+cache::PolicyKind policy_by_name(const std::string& name) {
+  if (name == "lru") return cache::PolicyKind::kLru;
+  if (name == "fifo") return cache::PolicyKind::kFifo;
+  if (name == "lfu") return cache::PolicyKind::kLfu;
+  if (name == "size") return cache::PolicyKind::kSize;
+  if (name == "gdsf") return cache::PolicyKind::kGdsf;
+  std::cerr << "unknown policy: " << name << "\n";
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string preset_name, log_file, format = "squid";
+  double scale = 1.0;
+  std::vector<core::OrgKind> orgs;
+  std::vector<double> sizes = {0.10};
+  core::RunSpec spec;
+  bool csv = false, overheads = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (a == "--preset") {
+      preset_name = next();
+    } else if (a == "--log") {
+      log_file = next();
+    } else if (a == "--format") {
+      format = next();
+    } else if (a == "--scale") {
+      scale = std::atof(next().c_str());
+    } else if (a == "--orgs") {
+      for (const auto& n : split(next(), ',')) {
+        if (n == "all") {
+          orgs.assign(std::begin(sim::kAllOrganizations),
+                      std::end(sim::kAllOrganizations));
+        } else {
+          orgs.push_back(org_by_name(n));
+        }
+      }
+    } else if (a == "--sizes") {
+      sizes.clear();
+      for (const auto& n : split(next(), ',')) {
+        sizes.push_back(std::atof(n.c_str()));
+      }
+    } else if (a == "--sizing") {
+      const std::string m = next();
+      spec.sizing = (m == "avg") ? core::BrowserSizing::kAverage
+                                 : core::BrowserSizing::kMinimum;
+    } else if (a == "--policy") {
+      spec.policy = policy_by_name(next());
+    } else if (a == "--index") {
+      const std::string m = next();
+      if (m == "periodic") {
+        spec.index_mode = sim::IndexMode::kPeriodic;
+      } else if (m == "bloom") {
+        spec.index_kind = sim::IndexKind::kBloomSummary;
+      } else if (m != "immediate") {
+        usage(2);
+      }
+    } else if (a == "--threshold") {
+      spec.index_threshold = std::atof(next().c_str());
+    } else if (a == "--relay") {
+      spec.relay_via_proxy = true;
+    } else if (a == "--csv") {
+      csv = true;
+    } else if (a == "--overheads") {
+      overheads = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      usage(2);
+    }
+  }
+  if (orgs.empty()) {
+    orgs.assign(std::begin(sim::kAllOrganizations),
+                std::end(sim::kAllOrganizations));
+  }
+  if (preset_name.empty() == log_file.empty()) {
+    std::cerr << "pick exactly one of --preset / --log\n";
+    usage(2);
+  }
+
+  trace::Trace t;
+  if (!preset_name.empty()) {
+    const trace::Preset preset = preset_by_name(preset_name);
+    t = scale >= 1.0 ? trace::load_preset(preset)
+                     : trace::load_preset_scaled(preset, scale);
+  } else {
+    std::ifstream in(log_file);
+    if (!in) {
+      std::cerr << "cannot open " << log_file << "\n";
+      return 1;
+    }
+    const trace::ParseResult r = format == "plain"
+                                     ? trace::parse_plain_log(in, log_file)
+                                     : trace::parse_squid_log(in, log_file);
+    std::cerr << "parsed " << r.lines_parsed << " requests ("
+              << r.lines_skipped << " lines skipped)\n";
+    t = std::move(r.trace);
+  }
+  if (t.empty()) {
+    std::cerr << "empty trace\n";
+    return 1;
+  }
+
+  ThreadPool pool;
+  const auto points = core::sweep_cache_sizes(t, sizes, orgs, spec, &pool);
+
+  std::vector<std::string> header = {"Organization", "Rel.Size", "Hit Ratio",
+                                     "Byte Hit Ratio", "Remote Hits"};
+  if (overheads) {
+    header.insert(header.end(), {"Comm/Service", "Contention/Comm",
+                                 "Index Msgs", "False Fwds"});
+  }
+  Table table(header);
+  for (const auto& p : points) {
+    for (const core::OrgKind org : orgs) {
+      const sim::Metrics& m = p.by_org.at(org);
+      auto& row = table.row()
+                      .cell(sim::org_name(org))
+                      .cell(p.relative_cache_size, 3)
+                      .cell_percent(m.hit_ratio())
+                      .cell_percent(m.byte_hit_ratio())
+                      .cell(m.remote_browser_hits);
+      if (overheads) {
+        row.cell_percent(m.remote_overhead_fraction(), 3)
+            .cell_percent(m.contention_fraction_of_comm(), 3)
+            .cell(m.index_messages)
+            .cell(m.false_forwards);
+      }
+    }
+  }
+  std::cout << (csv ? table.to_csv() : table.to_string());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Campus capacity study: a university lab is sizing the proxy cache for a
+// department of ~60 machines and wants to know (a) how much disk buys how
+// much hit ratio and (b) whether enabling browsers-aware peer sharing is
+// worth the deployment effort at each size.
+//
+// Demonstrates: building a custom workload with GeneratorParams, cache-size
+// sweeps on a thread pool, and exporting the trace for external tools.
+#include <fstream>
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace baps;
+
+  // A campus-shaped workload: moderate population, strong shared locality
+  // (course pages, department sites), bursty sessions.
+  trace::GeneratorParams params;
+  params.num_requests = 120'000;
+  params.num_clients = 60;
+  params.shared_docs = 40'000;
+  params.private_docs_per_client = 1'000;
+  params.shared_alpha = 0.82;
+  params.shared_prob = 0.70;
+  params.temporal_prob = 0.28;
+  params.session_mean_requests = 50.0;
+  const trace::Trace t = trace::generate_trace("campus", params, 2026);
+  const trace::TraceStats stats = trace::compute_stats(t);
+
+  std::cout << "Campus workload: " << stats.num_requests << " requests, "
+            << format_bytes(stats.total_bytes) << " moved, infinite cache "
+            << format_bytes(stats.infinite_cache_bytes) << ", max hit ratio "
+            << 100.0 * stats.max_hit_ratio << "%\n\n";
+
+  core::RunSpec spec;
+  spec.sizing = core::BrowserSizing::kAverage;
+  ThreadPool pool;
+  const std::vector<double> sizes = {0.01, 0.02, 0.05, 0.10, 0.20, 0.40};
+  const auto points = core::sweep_cache_sizes(
+      t, sizes,
+      {core::OrgKind::kProxyAndLocalBrowser, core::OrgKind::kBrowsersAware},
+      spec, &pool);
+
+  Table table({"Proxy Disk", "Hierarchy Hit", "BAPS Hit", "Gain (pts)",
+               "Hierarchy Byte Hit", "BAPS Byte Hit"});
+  for (const auto& p : points) {
+    const auto& pal = p.by_org.at(core::OrgKind::kProxyAndLocalBrowser);
+    const auto& aware = p.by_org.at(core::OrgKind::kBrowsersAware);
+    table.row()
+        .cell(format_bytes(sim::proxy_cache_bytes_for(
+            stats, p.relative_cache_size)))
+        .cell_percent(pal.hit_ratio())
+        .cell_percent(aware.hit_ratio())
+        .cell(100.0 * (aware.hit_ratio() - pal.hit_ratio()), 2)
+        .cell_percent(pal.byte_hit_ratio())
+        .cell_percent(aware.byte_hit_ratio());
+  }
+  std::cout << table;
+  std::cout << "\nReading: peer sharing substitutes for proxy disk — the "
+               "BAPS column at each\nrow roughly matches the hierarchy "
+               "column one or two rows further down.\n";
+
+  // Export for replotting or replay through a real Squid.
+  std::ofstream out("campus_trace.log");
+  trace::write_plain_log(t, out);
+  std::cout << "\nTrace exported to campus_trace.log ("
+            << stats.num_requests << " lines, plain format).\n";
+  return 0;
+}

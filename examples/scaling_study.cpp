@@ -1,0 +1,63 @@
+// ISP scaling study: an access provider expects its subscriber population
+// behind one proxy to quadruple. How does the browsers-aware gain scale, and
+// what does it cost in LAN traffic and index maintenance?
+//
+// Demonstrates: client-scaling sweeps (the Figure 8 machinery), the §5
+// overhead counters, and the index-footprint model.
+#include <iostream>
+
+#include "core/api.hpp"
+
+int main() {
+  using namespace baps;
+
+  trace::GeneratorParams params;
+  params.num_requests = 160'000;
+  params.num_clients = 160;
+  params.shared_docs = 70'000;
+  params.private_docs_per_client = 900;
+  params.shared_alpha = 0.76;
+  params.shared_prob = 0.60;
+  params.client_rate_alpha = 0.55;
+  const trace::Trace t = trace::generate_trace("isp", params, 404);
+
+  core::RunSpec spec;
+  spec.relative_cache_size = 0.10;
+  spec.sizing = core::BrowserSizing::kAverage;
+  ThreadPool pool;
+
+  const std::vector<double> fractions = {0.25, 0.5, 0.75, 1.0};
+  const auto points = core::client_scaling_sweep(t, fractions, spec, &pool);
+
+  Table table({"Clients", "Hierarchy Hit", "BAPS Hit", "Hit Increment",
+               "LAN Comm/Service", "Index Messages", "False Forwards"});
+  for (const auto& p : points) {
+    table.row()
+        .cell(std::uint64_t{p.num_clients})
+        .cell_percent(p.proxy_and_local.hit_ratio())
+        .cell_percent(p.browsers_aware.hit_ratio())
+        .cell(p.hit_ratio_increment_pct, 2)
+        .cell_percent(p.browsers_aware.remote_overhead_fraction(), 3)
+        .cell(p.browsers_aware.index_messages)
+        .cell(p.browsers_aware.false_forwards);
+  }
+  std::cout << "Scaling the subscriber population behind one proxy "
+               "(proxy disk held fixed):\n\n"
+            << table;
+
+  // What does indexing all those browsers cost the proxy in memory?
+  index::FootprintParams fp;
+  fp.num_clients = t.num_clients();
+  fp.browser_cache_bytes = 32ULL << 20;
+  fp.avg_doc_bytes = 8ULL << 10;
+  const index::FootprintEstimate est = index::estimate_footprint(fp);
+  std::cout << "\nBrowser index for " << fp.num_clients << " clients with "
+            << format_bytes(fp.browser_cache_bytes) << " caches: "
+            << format_bytes(est.exact_index_bytes) << " exact, "
+            << format_bytes(est.bloom_index_bytes)
+            << " Bloom-compressed.\n";
+  std::cout << "\nReading: the gain GROWS with population while LAN overhead "
+               "stays far below\n1% of service time — the paper's "
+               "scalability claim.\n";
+  return 0;
+}

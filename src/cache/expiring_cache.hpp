@@ -1,0 +1,65 @@
+// TTL-aware object cache. The paper's browser index carries "a time stamp
+// of the file or the TTL (Time To Live) provided by the data source" (§2);
+// this cache models the client side of that: every cached document records
+// an expiry time, lookups are made against a clock, and expired entries are
+// misses (lazily reclaimed). Supports the consistency experiments where
+// origin-assigned TTLs bound how stale a shared browser copy can be.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/object_cache.hpp"
+
+namespace baps::cache {
+
+class ExpiringCache {
+ public:
+  static constexpr double kNeverExpires =
+      std::numeric_limits<double>::infinity();
+
+  using ExpiryListener = std::function<void(DocId)>;
+
+  ExpiringCache(std::uint64_t capacity_bytes, PolicyKind policy);
+
+  std::uint64_t capacity_bytes() const { return cache_.capacity_bytes(); }
+  std::uint64_t used_bytes() const { return cache_.used_bytes(); }
+  std::size_t count() const { return cache_.count(); }
+
+  /// True iff resident AND unexpired at `now`. Pure query.
+  bool contains(DocId doc, double now) const;
+  std::optional<std::uint64_t> peek_size(DocId doc, double now) const;
+
+  /// Recency-touching lookup at time `now`. An expired entry is reclaimed
+  /// (expiry listener fires), and the lookup misses.
+  std::optional<std::uint64_t> touch(DocId doc, double now);
+
+  /// Inserts with an absolute expiry time (kNeverExpires for none).
+  bool insert(DocId doc, std::uint64_t size, double expires_at);
+
+  bool erase(DocId doc);
+
+  /// Remaining lifetime at `now`; nullopt if absent or already expired.
+  std::optional<double> ttl_remaining(DocId doc, double now) const;
+
+  /// Eagerly reclaims every entry expired at `now`; returns how many.
+  std::size_t purge_expired(double now);
+
+  /// Fired when an expired entry is reclaimed (lazy or purge) — distinct
+  /// from the capacity-eviction listener below.
+  void set_expiry_listener(ExpiryListener listener);
+  void set_eviction_listener(ObjectCache::EvictionListener listener);
+
+ private:
+  bool expired(DocId doc, double now) const;
+  void reclaim(DocId doc);
+
+  ObjectCache cache_;
+  std::unordered_map<DocId, double> expires_;
+  ExpiryListener on_expire_;
+};
+
+}  // namespace baps::cache

@@ -1,0 +1,29 @@
+#include "cache/fifo.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+
+void FifoPolicy::on_insert(DocId doc, std::uint64_t /*size*/) {
+  BAPS_REQUIRE(!where_.contains(doc), "doc already tracked by FIFO");
+  order_.push_front(doc);
+  where_[doc] = order_.begin();
+}
+
+void FifoPolicy::on_hit(DocId /*doc*/, std::uint64_t /*size*/) {
+  // FIFO ignores hits by definition.
+}
+
+void FifoPolicy::on_remove(DocId doc) {
+  const auto it = where_.find(doc);
+  BAPS_REQUIRE(it != where_.end(), "remove of untracked doc");
+  order_.erase(it->second);
+  where_.erase(it);
+}
+
+DocId FifoPolicy::victim() const {
+  BAPS_REQUIRE(!order_.empty(), "victim() on empty FIFO");
+  return order_.back();
+}
+
+}  // namespace baps::cache

@@ -1,0 +1,23 @@
+// First-In-First-Out: insertion order, hits do not rejuvenate.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace baps::cache {
+
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(DocId doc, std::uint64_t size) override;
+  void on_hit(DocId doc, std::uint64_t size) override;
+  void on_remove(DocId doc) override;
+  DocId victim() const override;
+
+ private:
+  std::list<DocId> order_;  // front = newest, back = oldest
+  std::unordered_map<DocId, std::list<DocId>::iterator> where_;
+};
+
+}  // namespace baps::cache

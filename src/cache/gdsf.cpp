@@ -1,0 +1,48 @@
+#include "cache/gdsf.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+
+double GdsfPolicy::priority_of(std::uint64_t freq, std::uint64_t size) const {
+  const double s = static_cast<double>(std::max<std::uint64_t>(1, size));
+  return inflation_ + static_cast<double>(freq) / s;
+}
+
+void GdsfPolicy::on_insert(DocId doc, std::uint64_t size) {
+  BAPS_REQUIRE(!meta_.contains(doc), "doc already tracked by GDSF");
+  const Meta m{priority_of(1, size), 1, size};
+  meta_[doc] = m;
+  order_.insert({m.priority, doc});
+}
+
+void GdsfPolicy::on_hit(DocId doc, std::uint64_t /*size*/) {
+  const auto it = meta_.find(doc);
+  BAPS_REQUIRE(it != meta_.end(), "hit on untracked doc");
+  Meta& m = it->second;
+  order_.erase({m.priority, doc});
+  ++m.freq;
+  m.priority = priority_of(m.freq, m.size);
+  order_.insert({m.priority, doc});
+}
+
+void GdsfPolicy::on_remove(DocId doc) {
+  const auto it = meta_.find(doc);
+  BAPS_REQUIRE(it != meta_.end(), "remove of untracked doc");
+  // Aging: L rises to the departing document's priority. Only genuine
+  // evictions should inflate, but the cache cannot tell us why a document
+  // leaves; explicit erases are rare enough that this approximation is the
+  // standard one.
+  inflation_ = std::max(inflation_, it->second.priority);
+  order_.erase({it->second.priority, doc});
+  meta_.erase(it);
+}
+
+DocId GdsfPolicy::victim() const {
+  BAPS_REQUIRE(!order_.empty(), "victim() on empty GDSF");
+  return std::get<1>(*order_.begin());
+}
+
+}  // namespace baps::cache

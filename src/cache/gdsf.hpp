@@ -1,0 +1,41 @@
+// GreedyDual-Size-Frequency (Cherkasova): priority
+//   K(d) = L + freq(d) * cost(d) / size(d)
+// with unit cost. L (the inflation value) rises to the priority of each
+// evicted document, aging out stale-but-once-popular entries. Evict the
+// lowest-priority document; O(log n) per op via an ordered set.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace baps::cache {
+
+class GdsfPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(DocId doc, std::uint64_t size) override;
+  void on_hit(DocId doc, std::uint64_t size) override;
+  void on_remove(DocId doc) override;
+  DocId victim() const override;
+
+  double inflation() const { return inflation_; }
+
+ private:
+  struct Meta {
+    double priority;
+    std::uint64_t freq;
+    std::uint64_t size;
+  };
+  using Key = std::tuple<double, DocId>;
+
+  double priority_of(std::uint64_t freq, std::uint64_t size) const;
+
+  double inflation_ = 0.0;
+  std::unordered_map<DocId, Meta> meta_;
+  std::set<Key> order_;  // ascending priority: begin() is the victim
+};
+
+}  // namespace baps::cache

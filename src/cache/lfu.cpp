@@ -1,0 +1,39 @@
+#include "cache/lfu.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+
+void LfuPolicy::reinsert(DocId doc, Meta& meta, std::uint64_t new_freq) {
+  order_.erase({meta.freq, meta.tick, doc});
+  meta.freq = new_freq;
+  meta.tick = ++clock_;
+  order_.insert({meta.freq, meta.tick, doc});
+}
+
+void LfuPolicy::on_insert(DocId doc, std::uint64_t /*size*/) {
+  BAPS_REQUIRE(!meta_.contains(doc), "doc already tracked by LFU");
+  const Meta m{1, ++clock_};
+  meta_[doc] = m;
+  order_.insert({m.freq, m.tick, doc});
+}
+
+void LfuPolicy::on_hit(DocId doc, std::uint64_t /*size*/) {
+  const auto it = meta_.find(doc);
+  BAPS_REQUIRE(it != meta_.end(), "hit on untracked doc");
+  reinsert(doc, it->second, it->second.freq + 1);
+}
+
+void LfuPolicy::on_remove(DocId doc) {
+  const auto it = meta_.find(doc);
+  BAPS_REQUIRE(it != meta_.end(), "remove of untracked doc");
+  order_.erase({it->second.freq, it->second.tick, doc});
+  meta_.erase(it);
+}
+
+DocId LfuPolicy::victim() const {
+  BAPS_REQUIRE(!order_.empty(), "victim() on empty LFU");
+  return std::get<2>(*order_.begin());
+}
+
+}  // namespace baps::cache

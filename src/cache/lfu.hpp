@@ -1,0 +1,36 @@
+// Least-Frequently-Used with LRU tie-breaking (a.k.a. LFU-DA lite): evicts
+// the lowest-frequency document; among equals, the least recently touched.
+// Ordered-set keyed by (frequency, logical tick) gives O(log n) per op.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace baps::cache {
+
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(DocId doc, std::uint64_t size) override;
+  void on_hit(DocId doc, std::uint64_t size) override;
+  void on_remove(DocId doc) override;
+  DocId victim() const override;
+
+ private:
+  struct Meta {
+    std::uint64_t freq;
+    std::uint64_t tick;
+  };
+  using Key = std::tuple<std::uint64_t, std::uint64_t, DocId>;
+
+  void reinsert(DocId doc, Meta& meta, std::uint64_t new_freq);
+
+  std::uint64_t clock_ = 0;
+  std::unordered_map<DocId, Meta> meta_;
+  std::set<Key> order_;  // ascending (freq, tick): begin() is the victim
+};
+
+}  // namespace baps::cache

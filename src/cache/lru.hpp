@@ -1,0 +1,25 @@
+// Least-Recently-Used: the paper's replacement policy. O(1) per operation
+// via an intrusive list + hash map of list iterators.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace baps::cache {
+
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void on_insert(DocId doc, std::uint64_t size) override;
+  void on_hit(DocId doc, std::uint64_t size) override;
+  void on_remove(DocId doc) override;
+  DocId victim() const override;
+
+ private:
+  // Front = most recently used, back = eviction candidate.
+  std::list<DocId> order_;
+  std::unordered_map<DocId, std::list<DocId>::iterator> where_;
+};
+
+}  // namespace baps::cache

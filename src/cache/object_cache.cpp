@@ -1,0 +1,59 @@
+#include "cache/object_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+
+ObjectCache::ObjectCache(std::uint64_t capacity_bytes, PolicyKind policy)
+    : capacity_(capacity_bytes), kind_(policy), policy_(make_policy(policy)) {}
+
+std::optional<std::uint64_t> ObjectCache::peek_size(DocId doc) const {
+  const auto it = entries_.find(doc);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint64_t> ObjectCache::touch(DocId doc) {
+  const auto it = entries_.find(doc);
+  if (it == entries_.end()) return std::nullopt;
+  policy_->on_hit(doc, it->second);
+  return it->second;
+}
+
+bool ObjectCache::insert(DocId doc, std::uint64_t size) {
+  BAPS_REQUIRE(!entries_.contains(doc),
+               "insert of resident doc — erase it first");
+  if (size > capacity_) return false;
+  while (used_ + size > capacity_) evict_one();
+  entries_[doc] = size;
+  used_ += size;
+  policy_->on_insert(doc, size);
+  return true;
+}
+
+bool ObjectCache::erase(DocId doc) {
+  const auto it = entries_.find(doc);
+  if (it == entries_.end()) return false;
+  used_ -= it->second;
+  policy_->on_remove(doc);
+  entries_.erase(it);
+  return true;
+}
+
+void ObjectCache::set_eviction_listener(EvictionListener listener) {
+  on_evict_ = std::move(listener);
+}
+
+void ObjectCache::evict_one() {
+  BAPS_ENSURE(!entries_.empty(), "eviction from empty cache");
+  const DocId victim = policy_->victim();
+  const auto it = entries_.find(victim);
+  BAPS_ENSURE(it != entries_.end(), "policy victim not resident");
+  const std::uint64_t size = it->second;
+  used_ -= size;
+  policy_->on_remove(victim);
+  entries_.erase(it);
+  if (on_evict_) on_evict_(victim, size);
+}
+
+}  // namespace baps::cache

@@ -1,0 +1,76 @@
+// Byte-capacity object cache: the building block for browser caches and the
+// proxy cache in every simulated organization.
+//
+// Semantics follow the paper's simulator (§3.2):
+//  * capacity is in bytes; inserting evicts policy-chosen victims until the
+//    new document fits;
+//  * a document larger than the whole cache is not cached at all;
+//  * each resident document records the size it was cached at, so the
+//    simulator can detect "hit on a document whose size has changed" and
+//    count it as a miss.
+//
+// An optional eviction listener lets the browsers-aware index send the
+// paper's invalidation messages when a browser cache replaces a document.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/policy.hpp"
+
+namespace baps::cache {
+
+class ObjectCache {
+ public:
+  using EvictionListener = std::function<void(DocId, std::uint64_t size)>;
+
+  ObjectCache(std::uint64_t capacity_bytes, PolicyKind policy);
+
+  std::uint64_t capacity_bytes() const { return capacity_; }
+  std::uint64_t used_bytes() const { return used_; }
+  std::size_t count() const { return entries_.size(); }
+  PolicyKind policy() const { return kind_; }
+
+  bool contains(DocId doc) const { return entries_.contains(doc); }
+
+  /// Size the document was cached at, without touching recency state.
+  std::optional<std::uint64_t> peek_size(DocId doc) const;
+
+  /// Recency-touching lookup: returns the cached size on hit, nullopt on
+  /// miss. The *caller* decides whether a size mismatch is a miss (and then
+  /// calls erase + insert), because that decision carries metric weight.
+  std::optional<std::uint64_t> touch(DocId doc);
+
+  /// Inserts (doc, size), evicting victims as needed. Returns false (and
+  /// caches nothing) if size exceeds capacity. Re-inserting a resident doc
+  /// is a programming error — erase first.
+  bool insert(DocId doc, std::uint64_t size);
+
+  /// Removes a document; returns false if absent. The eviction listener is
+  /// NOT called for explicit erases (they are invalidations the caller
+  /// already knows about), only for capacity evictions.
+  bool erase(DocId doc);
+
+  /// Called once per capacity-evicted document.
+  void set_eviction_listener(EvictionListener listener);
+
+  /// Iterates resident documents (order unspecified).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [doc, size] : entries_) fn(doc, size);
+  }
+
+ private:
+  void evict_one();
+
+  std::uint64_t capacity_;
+  PolicyKind kind_;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unordered_map<DocId, std::uint64_t> entries_;  // doc -> cached size
+  std::uint64_t used_ = 0;
+  EvictionListener on_evict_;
+};
+
+}  // namespace baps::cache

@@ -1,0 +1,36 @@
+#include "cache/policy.hpp"
+
+#include "cache/fifo.hpp"
+#include "cache/gdsf.hpp"
+#include "cache/lfu.hpp"
+#include "cache/lru.hpp"
+#include "cache/size_policy.hpp"
+#include "util/assert.hpp"
+
+namespace baps::cache {
+
+std::string policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return "LRU";
+    case PolicyKind::kFifo: return "FIFO";
+    case PolicyKind::kLfu: return "LFU";
+    case PolicyKind::kSize: return "SIZE";
+    case PolicyKind::kGdsf: return "GDSF";
+  }
+  BAPS_REQUIRE(false, "unknown policy kind");
+  return {};
+}
+
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+    case PolicyKind::kSize: return std::make_unique<SizePolicy>();
+    case PolicyKind::kGdsf: return std::make_unique<GdsfPolicy>();
+  }
+  BAPS_REQUIRE(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace baps::cache

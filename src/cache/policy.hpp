@@ -1,0 +1,47 @@
+// Cache replacement policy interface.
+//
+// The paper's simulator uses LRU everywhere (§3.2); the additional policies
+// (FIFO, LFU-with-tiebreak, SIZE, GDSF) support the ablation benchmarks that
+// ask whether the browsers-aware gains are replacement-policy artifacts.
+//
+// A policy only tracks ordering metadata — the ObjectCache owns sizes and
+// byte accounting and calls back into the policy on every event.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace baps::cache {
+
+using trace::DocId;
+
+enum class PolicyKind { kLru, kFifo, kLfu, kSize, kGdsf };
+
+/// All policy kinds, for parameterized tests and ablation sweeps.
+inline constexpr PolicyKind kAllPolicies[] = {
+    PolicyKind::kLru, PolicyKind::kFifo, PolicyKind::kLfu, PolicyKind::kSize,
+    PolicyKind::kGdsf};
+
+std::string policy_name(PolicyKind kind);
+
+/// Eviction-ordering strategy. The cache guarantees: on_insert is called once
+/// per resident document, on_hit only for resident documents, victim only
+/// when at least one document is resident, and on_remove exactly once when a
+/// document leaves (eviction or explicit erase).
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual void on_insert(DocId doc, std::uint64_t size) = 0;
+  virtual void on_hit(DocId doc, std::uint64_t size) = 0;
+  virtual void on_remove(DocId doc) = 0;
+  /// The document the policy would evict next. Must be resident.
+  virtual DocId victim() const = 0;
+};
+
+std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind);
+
+}  // namespace baps::cache

@@ -1,0 +1,29 @@
+#include "cache/size_policy.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+
+void SizePolicy::on_insert(DocId doc, std::uint64_t size) {
+  BAPS_REQUIRE(!sizes_.contains(doc), "doc already tracked by SIZE");
+  sizes_[doc] = size;
+  order_.insert({size, doc});
+}
+
+void SizePolicy::on_hit(DocId /*doc*/, std::uint64_t /*size*/) {
+  // SIZE ranks purely by size; hits change nothing.
+}
+
+void SizePolicy::on_remove(DocId doc) {
+  const auto it = sizes_.find(doc);
+  BAPS_REQUIRE(it != sizes_.end(), "remove of untracked doc");
+  order_.erase({it->second, doc});
+  sizes_.erase(it);
+}
+
+DocId SizePolicy::victim() const {
+  BAPS_REQUIRE(!order_.empty(), "victim() on empty SIZE");
+  return order_.rbegin()->second;
+}
+
+}  // namespace baps::cache

@@ -1,0 +1,29 @@
+// SIZE policy: evict the largest resident document first (Williams et al.).
+// Favors keeping many small documents — strong on hit ratio, weak on byte
+// hit ratio; a useful contrast point in the ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/policy.hpp"
+
+namespace baps::cache {
+
+class SizePolicy final : public EvictionPolicy {
+ public:
+  void on_insert(DocId doc, std::uint64_t size) override;
+  void on_hit(DocId doc, std::uint64_t size) override;
+  void on_remove(DocId doc) override;
+  DocId victim() const override;
+
+ private:
+  using Key = std::pair<std::uint64_t, DocId>;  // (size, doc)
+
+  std::unordered_map<DocId, std::uint64_t> sizes_;
+  std::set<Key> order_;  // rbegin() = largest = victim
+};
+
+}  // namespace baps::cache

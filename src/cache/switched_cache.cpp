@@ -1,0 +1,77 @@
+#include "cache/switched_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+
+SwitchedCache::SwitchedCache(std::vector<std::uint64_t> partition_capacities,
+                             PolicyKind policy) {
+  BAPS_REQUIRE(!partition_capacities.empty(),
+               "switched cache needs at least one partition");
+  partitions_.reserve(partition_capacities.size());
+  for (const std::uint64_t cap : partition_capacities) {
+    partitions_.emplace_back(cap, policy);
+  }
+}
+
+void SwitchedCache::switch_to(std::size_t partition) {
+  BAPS_REQUIRE(partition < partitions_.size(), "partition out of range");
+  active_ = partition;
+}
+
+std::uint64_t SwitchedCache::capacity_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.capacity_bytes();
+  return total;
+}
+
+std::uint64_t SwitchedCache::used_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& p : partitions_) total += p.used_bytes();
+  return total;
+}
+
+std::size_t SwitchedCache::count() const {
+  std::size_t total = 0;
+  for (const auto& p : partitions_) total += p.count();
+  return total;
+}
+
+std::optional<std::size_t> SwitchedCache::partition_of(DocId doc) const {
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    if (partitions_[i].contains(doc)) return i;
+  }
+  return std::nullopt;
+}
+
+bool SwitchedCache::contains(DocId doc) const {
+  return partition_of(doc).has_value();
+}
+
+std::optional<std::uint64_t> SwitchedCache::peek_size(DocId doc) const {
+  if (const auto p = partition_of(doc)) return partitions_[*p].peek_size(doc);
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> SwitchedCache::touch(DocId doc) {
+  if (const auto p = partition_of(doc)) return partitions_[*p].touch(doc);
+  return std::nullopt;
+}
+
+bool SwitchedCache::insert(DocId doc, std::uint64_t size) {
+  if (const auto p = partition_of(doc)) partitions_[*p].erase(doc);
+  return partitions_[active_].insert(doc, size);
+}
+
+bool SwitchedCache::erase(DocId doc) {
+  if (const auto p = partition_of(doc)) return partitions_[*p].erase(doc);
+  return false;
+}
+
+void SwitchedCache::set_eviction_listener(
+    ObjectCache::EvictionListener listener) {
+  // All partitions share one listener; copies are cheap (std::function).
+  for (auto& p : partitions_) p.set_eviction_listener(listener);
+}
+
+}  // namespace baps::cache

@@ -1,0 +1,60 @@
+// Browser cache switch (paper §1, citing J. Fox's WebDeveloper 2000 tool):
+// a user keeps several browser caches on one machine and switches the
+// *active* one as their task changes — different caches for different
+// contents and time periods. Switching "significantly increases the size of
+// a browser cache for an effective management of multiple data types":
+// content parked in an inactive partition survives churn that a single
+// unified cache would have evicted it under.
+//
+// Model: N partitions, each an independent ObjectCache. Inserts go to the
+// active partition; lookups hit ANY partition (all partitions live on the
+// same disk). The ablation bench compares this against one unified cache of
+// equal total capacity under phase-switching workloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/object_cache.hpp"
+
+namespace baps::cache {
+
+class SwitchedCache {
+ public:
+  /// One capacity per partition; partition 0 starts active.
+  SwitchedCache(std::vector<std::uint64_t> partition_capacities,
+                PolicyKind policy);
+
+  std::size_t partition_count() const { return partitions_.size(); }
+  std::size_t active_partition() const { return active_; }
+  void switch_to(std::size_t partition);
+
+  std::uint64_t capacity_bytes() const;  ///< sum over partitions
+  std::uint64_t used_bytes() const;
+  std::size_t count() const;
+
+  bool contains(DocId doc) const;
+  std::optional<std::uint64_t> peek_size(DocId doc) const;
+
+  /// Recency-touching lookup across ALL partitions.
+  std::optional<std::uint64_t> touch(DocId doc);
+
+  /// Inserts into the active partition. If another partition already holds
+  /// the document, that stale copy is dropped first (one copy per machine).
+  bool insert(DocId doc, std::uint64_t size);
+
+  /// Erases from whichever partition holds the document.
+  bool erase(DocId doc);
+
+  /// Fires for capacity evictions in any partition.
+  void set_eviction_listener(ObjectCache::EvictionListener listener);
+
+ private:
+  std::optional<std::size_t> partition_of(DocId doc) const;
+
+  std::vector<ObjectCache> partitions_;
+  std::size_t active_ = 0;
+};
+
+}  // namespace baps::cache

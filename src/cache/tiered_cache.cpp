@@ -1,0 +1,68 @@
+#include "cache/tiered_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+namespace {
+
+std::uint64_t memory_bytes(std::uint64_t capacity, double fraction) {
+  BAPS_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+               "memory fraction must be in (0,1]");
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(static_cast<double>(capacity) * fraction)));
+}
+
+}  // namespace
+
+TieredCache::TieredCache(std::uint64_t capacity_bytes, double memory_fraction,
+                         PolicyKind policy)
+    : full_(capacity_bytes, policy),
+      // The memory tier is always recency-managed regardless of the disk
+      // policy: RAM staging is an OS page/buffer-cache effect, not a cache
+      // replacement decision.
+      memory_(memory_bytes(capacity_bytes, memory_fraction), PolicyKind::kLru) {
+  // Documents leaving the full cache must leave the memory tier with them,
+  // for both capacity evictions (listener) and explicit erases (TieredCache
+  // routes those through erase()).
+  full_.set_eviction_listener([this](DocId doc, std::uint64_t size) {
+    memory_.erase(doc);
+    if (user_listener_) user_listener_(doc, size);
+  });
+}
+
+void TieredCache::set_eviction_listener(
+    ObjectCache::EvictionListener listener) {
+  user_listener_ = std::move(listener);
+}
+
+std::optional<TieredLookup> TieredCache::touch(DocId doc) {
+  const auto size = full_.touch(doc);
+  if (!size) return std::nullopt;
+  if (memory_.touch(doc)) {
+    return TieredLookup{*size, HitTier::kMemory};
+  }
+  // Disk hit: stage into RAM (may displace colder memory-tier residents).
+  if (*size <= memory_.capacity_bytes()) {
+    memory_.insert(doc, *size);
+  }
+  return TieredLookup{*size, HitTier::kDisk};
+}
+
+bool TieredCache::insert(DocId doc, std::uint64_t size) {
+  if (!full_.insert(doc, size)) return false;
+  if (size <= memory_.capacity_bytes() && !memory_.contains(doc)) {
+    memory_.insert(doc, size);
+  }
+  return true;
+}
+
+bool TieredCache::erase(DocId doc) {
+  memory_.erase(doc);
+  return full_.erase(doc);
+}
+
+}  // namespace baps::cache

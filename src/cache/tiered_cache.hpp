@@ -1,0 +1,69 @@
+// Two-tier (memory / disk) cache model for the paper's §4.2 memory-byte-hit
+// experiment.
+//
+// The paper models the RAM-resident portion of each cache as 1/10 of its
+// size (following Rousskov & Soloviev's Squid measurements). We realize that
+// as a small LRU "memory" cache layered over the full cache: a hit that
+// lands in the memory tier is served at RAM speed, any other hit at disk
+// speed, and hits promote the document into the memory tier (standard
+// inclusive staging). Overall hit/miss behaviour is decided *only* by the
+// full cache, so tiering never changes hit ratios — just where the bytes
+// are served from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "cache/object_cache.hpp"
+
+namespace baps::cache {
+
+enum class HitTier { kMemory, kDisk };
+
+struct TieredLookup {
+  std::uint64_t size = 0;
+  HitTier tier = HitTier::kDisk;
+};
+
+class TieredCache {
+ public:
+  /// memory_fraction of the capacity is RAM (paper: 0.1).
+  TieredCache(std::uint64_t capacity_bytes, double memory_fraction,
+              PolicyKind policy);
+
+  std::uint64_t capacity_bytes() const { return full_.capacity_bytes(); }
+  std::uint64_t memory_capacity_bytes() const {
+    return memory_.capacity_bytes();
+  }
+  std::uint64_t used_bytes() const { return full_.used_bytes(); }
+  std::size_t count() const { return full_.count(); }
+
+  bool contains(DocId doc) const { return full_.contains(doc); }
+  std::optional<std::uint64_t> peek_size(DocId doc) const {
+    return full_.peek_size(doc);
+  }
+
+  /// Lookup with tier attribution; promotes disk hits into the memory tier.
+  std::optional<TieredLookup> touch(DocId doc);
+
+  /// Inserts into both tiers (a freshly fetched document passes through RAM).
+  bool insert(DocId doc, std::uint64_t size);
+
+  bool erase(DocId doc);
+
+  /// Called once per capacity-evicted document (after memory-tier cleanup).
+  /// The internal memory-tier bookkeeping already occupies the full cache's
+  /// listener slot, so register here, not on full().
+  void set_eviction_listener(ObjectCache::EvictionListener listener);
+
+  /// Exposes the underlying full cache for iteration.
+  ObjectCache& full() { return full_; }
+  const ObjectCache& full() const { return full_; }
+
+ private:
+  ObjectCache full_;
+  ObjectCache memory_;
+  ObjectCache::EvictionListener user_listener_;
+};
+
+}  // namespace baps::cache

@@ -1,0 +1,129 @@
+#include "core/runner.hpp"
+
+#include <mutex>
+
+#include "util/assert.hpp"
+
+namespace baps::core {
+
+sim::SimConfig build_config(const trace::TraceStats& stats,
+                            const RunSpec& spec) {
+  sim::SimConfig cfg;
+  cfg.proxy_cache_bytes =
+      sim::proxy_cache_bytes_for(stats, spec.relative_cache_size);
+  if (spec.sizing == BrowserSizing::kMinimum) {
+    cfg.browser_cache_bytes =
+        sim::min_browser_caches(cfg.proxy_cache_bytes, stats.num_clients);
+  } else {
+    cfg.browser_cache_bytes =
+        sim::avg_browser_caches(stats, spec.relative_cache_size);
+  }
+  cfg.policy = spec.policy;
+  cfg.memory_fraction = spec.memory_fraction;
+  cfg.index_mode = spec.index_mode;
+  cfg.index_threshold = spec.index_threshold;
+  cfg.index_kind = spec.index_kind;
+  cfg.bloom_expected_docs_per_client = spec.bloom_expected_docs_per_client;
+  cfg.bloom_target_fp = spec.bloom_target_fp;
+  cfg.relay_via_proxy = spec.relay_via_proxy;
+  cfg.lan = spec.lan;
+  cfg.latency = spec.latency;
+  return cfg;
+}
+
+Metrics run_one(OrgKind kind, const trace::Trace& trace,
+                const trace::TraceStats& stats, const RunSpec& spec) {
+  return sim::run_organization(kind, build_config(stats, spec), trace);
+}
+
+std::vector<CacheSizePoint> sweep_cache_sizes(
+    const trace::Trace& trace, const std::vector<double>& relative_sizes,
+    const std::vector<OrgKind>& orgs, const RunSpec& spec, ThreadPool* pool) {
+  BAPS_REQUIRE(!relative_sizes.empty(), "sweep needs at least one size");
+  BAPS_REQUIRE(!orgs.empty(), "sweep needs at least one organization");
+  const trace::TraceStats stats = trace::compute_stats(trace);
+
+  std::vector<CacheSizePoint> points(relative_sizes.size());
+  for (std::size_t i = 0; i < relative_sizes.size(); ++i) {
+    points[i].relative_cache_size = relative_sizes[i];
+  }
+
+  struct Task {
+    std::size_t point;
+    OrgKind org;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t i = 0; i < relative_sizes.size(); ++i) {
+    for (const OrgKind org : orgs) tasks.push_back({i, org});
+  }
+
+  std::mutex mu;  // guards the result maps
+  const auto run_task = [&](std::size_t t) {
+    const Task& task = tasks[t];
+    RunSpec point_spec = spec;
+    point_spec.relative_cache_size = relative_sizes[task.point];
+    Metrics m = run_one(task.org, trace, stats, point_spec);
+    std::scoped_lock lock(mu);
+    points[task.point].by_org.emplace(task.org, std::move(m));
+  };
+
+  if (pool) {
+    pool->parallel_for(tasks.size(), run_task);
+  } else {
+    for (std::size_t t = 0; t < tasks.size(); ++t) run_task(t);
+  }
+  return points;
+}
+
+std::vector<ClientScalingPoint> client_scaling_sweep(
+    const trace::Trace& trace, const std::vector<double>& client_fractions,
+    const RunSpec& spec, ThreadPool* pool) {
+  BAPS_REQUIRE(!client_fractions.empty(), "sweep needs at least one fraction");
+  // The proxy size is pinned to the FULL population's infinite cache size.
+  const trace::TraceStats full_stats = trace::compute_stats(trace);
+  const std::uint64_t fixed_proxy_bytes =
+      sim::proxy_cache_bytes_for(full_stats, spec.relative_cache_size);
+
+  std::vector<ClientScalingPoint> points(client_fractions.size());
+  const auto run_point = [&](std::size_t i) {
+    const double fraction = client_fractions[i];
+    const trace::Trace sub = trace.restrict_clients(fraction);
+    const trace::TraceStats sub_stats = trace::compute_stats(sub);
+
+    sim::SimConfig cfg = build_config(sub_stats, spec);
+    cfg.proxy_cache_bytes = fixed_proxy_bytes;
+    if (spec.sizing == BrowserSizing::kMinimum) {
+      // Minimum sizing derives from the (fixed) proxy size and the subset's
+      // population.
+      cfg.browser_cache_bytes =
+          sim::min_browser_caches(fixed_proxy_bytes, sub_stats.num_clients);
+    }
+
+    ClientScalingPoint p;
+    p.client_fraction = fraction;
+    p.num_clients = sub.num_clients();
+    p.browsers_aware =
+        sim::run_organization(OrgKind::kBrowsersAware, cfg, sub);
+    p.proxy_and_local =
+        sim::run_organization(OrgKind::kProxyAndLocalBrowser, cfg, sub);
+
+    const auto increment = [](double baps, double base) {
+      return base > 0.0 ? 100.0 * (baps - base) / base : 0.0;
+    };
+    p.hit_ratio_increment_pct = increment(p.browsers_aware.hit_ratio(),
+                                          p.proxy_and_local.hit_ratio());
+    p.byte_hit_ratio_increment_pct =
+        increment(p.browsers_aware.byte_hit_ratio(),
+                  p.proxy_and_local.byte_hit_ratio());
+    points[i] = std::move(p);
+  };
+
+  if (pool) {
+    pool->parallel_for(points.size(), run_point);
+  } else {
+    for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
+  }
+  return points;
+}
+
+}  // namespace baps::core

@@ -1,0 +1,46 @@
+// DES (FIPS 46-3), the symmetric cipher the paper's §6 names for its
+// shared-key protocols ("DES (Data Encryption Standard) is such an
+// example"). 64-bit blocks, 56-bit effective keys, 16 Feistel rounds.
+//
+// DES has been brute-forceable since the late 1990s; it is provided for
+// protocol fidelity and interoperability experiments. New code should use
+// the XTEA-CTR wrapper (or a real AEAD outside this repo). A CBC mode is
+// included because that is what deployed DES protocols of the era used.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace baps::crypto {
+
+/// Key schedule: sixteen 48-bit round keys derived from a 64-bit key
+/// (parity bits ignored, per the standard).
+class DesKeySchedule {
+ public:
+  explicit DesKeySchedule(std::uint64_t key);
+
+  const std::array<std::uint64_t, 16>& round_keys() const { return keys_; }
+
+ private:
+  std::array<std::uint64_t, 16> keys_{};
+};
+
+/// One-block ECB primitives.
+std::uint64_t des_encrypt_block(std::uint64_t plaintext,
+                                const DesKeySchedule& schedule);
+std::uint64_t des_decrypt_block(std::uint64_t ciphertext,
+                                const DesKeySchedule& schedule);
+
+/// CBC mode over byte buffers with PKCS#5-style padding (always adds
+/// 1..8 bytes, so any input length round-trips).
+std::vector<std::uint8_t> des_cbc_encrypt(std::span<const std::uint8_t> data,
+                                          std::uint64_t key,
+                                          std::uint64_t iv);
+/// Throws InvariantError on malformed ciphertext length or padding.
+std::vector<std::uint8_t> des_cbc_decrypt(
+    std::span<const std::uint8_t> ciphertext, std::uint64_t key,
+    std::uint64_t iv);
+
+}  // namespace baps::crypto

@@ -1,0 +1,53 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace baps::crypto {
+
+Md5Digest hmac_md5(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    const Md5Digest kd = md5(key);
+    std::copy(kd.bytes.begin(), kd.bytes.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Md5 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Md5Digest inner_digest = inner.finish();
+
+  Md5 outer;
+  outer.update(opad);
+  outer.update(inner_digest.bytes);
+  return outer.finish();
+}
+
+Md5Digest hmac_md5(std::string_view key, std::string_view message) {
+  return hmac_md5(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(message.data()),
+          message.size()));
+}
+
+bool digest_equal(const Md5Digest& a, const Md5Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.bytes.size(); ++i) {
+    diff = static_cast<std::uint8_t>(diff | (a.bytes[i] ^ b.bytes[i]));
+  }
+  return diff == 0;
+}
+
+}  // namespace baps::crypto

@@ -1,0 +1,28 @@
+// HMAC-MD5 (RFC 2104): keyed message authentication over the repo's MD5.
+//
+// Used by the runtime engine's index-update authentication: a client and
+// the proxy share a symmetric key, and index add/remove messages carry an
+// HMAC so no third party can forge invalidations for someone else's cache.
+// (The paper's §6 protocols assume exactly such a shared-symmetric-key
+// channel between each client and the proxy.)
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/md5.hpp"
+
+namespace baps::crypto {
+
+/// HMAC-MD5(key, message). Keys longer than the 64-byte block are hashed
+/// first, per RFC 2104.
+Md5Digest hmac_md5(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+
+Md5Digest hmac_md5(std::string_view key, std::string_view message);
+
+/// Constant-shape comparison (full-width, no early exit) for MAC checks.
+bool digest_equal(const Md5Digest& a, const Md5Digest& b);
+
+}  // namespace baps::crypto

@@ -1,0 +1,63 @@
+// MD5 message digest, implemented from RFC 1321.
+//
+// The paper's data-integrity protocol watermarks each shared document with an
+// MD5 digest signed by the proxy ("a 16-byte MD5 signature" also keys the
+// browser index file). MD5 is cryptographically broken for collision
+// resistance today; we implement it because it is what the paper specifies,
+// and the index/watermark code treats the digest type opaquely so it could be
+// swapped for a modern hash.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace baps::crypto {
+
+/// A 16-byte MD5 digest. Comparable and hashable so it can key maps.
+struct Md5Digest {
+  std::array<std::uint8_t, 16> bytes{};
+
+  friend bool operator==(const Md5Digest&, const Md5Digest&) = default;
+  friend auto operator<=>(const Md5Digest&, const Md5Digest&) = default;
+
+  std::string hex() const;
+  /// First 8 bytes as a little-endian integer — handy as a compact hash key.
+  std::uint64_t prefix64() const;
+};
+
+/// Incremental MD5: update() any number of times, then finish().
+class Md5 {
+ public:
+  Md5();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data);
+
+  /// Finalizes and returns the digest. The object must not be reused after.
+  Md5Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot helpers.
+Md5Digest md5(std::span<const std::uint8_t> data);
+Md5Digest md5(std::string_view data);
+
+}  // namespace baps::crypto
+
+template <>
+struct std::hash<baps::crypto::Md5Digest> {
+  std::size_t operator()(const baps::crypto::Md5Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};

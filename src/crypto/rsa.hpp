@@ -1,0 +1,48 @@
+// Demonstration-grade RSA signatures for the paper's digital watermark.
+//
+// The proxy signs each document's MD5 digest with its private key; any client
+// verifies with the proxy's public key but cannot forge a matching watermark.
+// Keys are small (default 256-bit modulus) because the reproduction needs the
+// protocol's algebraic shape, not production security; the sizes are knobs.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/biguint.hpp"
+#include "crypto/md5.hpp"
+
+namespace baps::crypto {
+
+struct RsaPublicKey {
+  BigUInt n;  ///< modulus
+  BigUInt e;  ///< public exponent (65537)
+};
+
+struct RsaPrivateKey {
+  BigUInt n;
+  BigUInt d;  ///< private exponent
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Miller–Rabin probabilistic primality test with `rounds` random witnesses.
+bool is_probable_prime(const BigUInt& n, int rounds, std::uint64_t seed);
+
+/// Random prime with exactly `bits` bits (top bit set), deterministic in seed.
+BigUInt generate_prime(std::size_t bits, std::uint64_t seed);
+
+/// RSA key pair with a modulus of ~`modulus_bits` bits. Deterministic in seed.
+/// modulus_bits must be >= 136 so a 16-byte MD5 digest embeds below n.
+RsaKeyPair generate_rsa_keypair(std::size_t modulus_bits, std::uint64_t seed);
+
+/// Signature over an MD5 digest: sig = digest^d mod n.
+BigUInt rsa_sign_digest(const Md5Digest& digest, const RsaPrivateKey& key);
+
+/// Verifies sig^e mod n == digest.
+bool rsa_verify_digest(const Md5Digest& digest, const BigUInt& signature,
+                       const RsaPublicKey& key);
+
+}  // namespace baps::crypto

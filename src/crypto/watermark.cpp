@@ -1,0 +1,15 @@
+#include "crypto/watermark.hpp"
+
+namespace baps::crypto {
+
+Watermark issue_watermark(std::string_view body,
+                          const RsaPrivateKey& proxy_key) {
+  return Watermark{rsa_sign_digest(md5(body), proxy_key)};
+}
+
+bool verify_watermark(std::string_view body, const Watermark& mark,
+                      const RsaPublicKey& proxy_key) {
+  return rsa_verify_digest(md5(body), mark.signature, proxy_key);
+}
+
+}  // namespace baps::crypto

@@ -1,0 +1,32 @@
+// The paper's data-integrity scheme (§6.1): when the proxy first fetches a
+// document D from the origin, it produces a digital watermark
+//   W = RSA_sign(proxy_private_key, MD5(D))
+// and hands {D, W} to the caching client. When a remote browser later serves
+// D peer-to-peer, the receiver recomputes MD5 and verifies W against the
+// proxy's public key. No client can tamper with D and forge a matching W,
+// because only the proxy knows its private key.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "crypto/md5.hpp"
+#include "crypto/rsa.hpp"
+
+namespace baps::crypto {
+
+/// A watermark travels with the document through browser caches.
+struct Watermark {
+  BigUInt signature;
+
+  friend bool operator==(const Watermark&, const Watermark&) = default;
+};
+
+/// Issues a watermark for a document body. Proxy-side only.
+Watermark issue_watermark(std::string_view body, const RsaPrivateKey& proxy_key);
+
+/// Client-side check that the received body matches its watermark.
+bool verify_watermark(std::string_view body, const Watermark& mark,
+                      const RsaPublicKey& proxy_key);
+
+}  // namespace baps::crypto

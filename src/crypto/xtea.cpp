@@ -1,0 +1,61 @@
+#include "crypto/xtea.hpp"
+
+namespace baps::crypto {
+namespace {
+constexpr std::uint32_t kDelta = 0x9E3779B9;
+constexpr unsigned kRounds = 32;
+}  // namespace
+
+XteaKey xtea_key_from_bytes(std::span<const std::uint8_t> bytes) {
+  XteaKey key{};
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    key[(i / 4) % 4] ^= static_cast<std::uint32_t>(bytes[i])
+                        << (8 * (i % 4));
+  }
+  return key;
+}
+
+void xtea_encrypt_block(std::array<std::uint32_t, 2>& v, const XteaKey& key) {
+  std::uint32_t v0 = v[0], v1 = v[1], sum = 0;
+  for (unsigned i = 0; i < kRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+  }
+  v = {v0, v1};
+}
+
+void xtea_decrypt_block(std::array<std::uint32_t, 2>& v, const XteaKey& key) {
+  std::uint32_t v0 = v[0], v1 = v[1], sum = kDelta * kRounds;
+  for (unsigned i = 0; i < kRounds; ++i) {
+    v1 -= (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key[(sum >> 11) & 3]);
+    sum -= kDelta;
+    v0 -= (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key[sum & 3]);
+  }
+  v = {v0, v1};
+}
+
+std::vector<std::uint8_t> xtea_ctr_crypt(std::span<const std::uint8_t> data,
+                                         const XteaKey& key,
+                                         std::uint64_t nonce) {
+  std::vector<std::uint8_t> out(data.size());
+  std::uint64_t counter = 0;
+  for (std::size_t off = 0; off < data.size(); off += 8, ++counter) {
+    std::array<std::uint32_t, 2> block = {
+        static_cast<std::uint32_t>(nonce ^ counter),
+        static_cast<std::uint32_t>((nonce >> 32) ^ (counter * 0x9E3779B97F4AULL))};
+    xtea_encrypt_block(block, key);
+    std::uint8_t keystream[8];
+    for (int i = 0; i < 4; ++i) {
+      keystream[i] = static_cast<std::uint8_t>(block[0] >> (8 * i));
+      keystream[4 + i] = static_cast<std::uint8_t>(block[1] >> (8 * i));
+    }
+    const std::size_t n = std::min<std::size_t>(8, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace baps::crypto

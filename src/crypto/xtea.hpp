@@ -1,0 +1,32 @@
+// XTEA block cipher (Needham & Wheeler) with a CTR-mode stream wrapper.
+//
+// The paper's protocols assume "a symmetric key system (e.g. DES)". XTEA is
+// our stand-in: same role (shared-secret confidentiality for relayed
+// documents), trivially implementable from the published reference code, and
+// unlike DES it has no export-era key-schedule baggage. 64-bit blocks,
+// 128-bit keys, 32 rounds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace baps::crypto {
+
+using XteaKey = std::array<std::uint32_t, 4>;
+
+/// Derives a key from raw bytes (e.g. an MD5 digest of a shared secret).
+XteaKey xtea_key_from_bytes(std::span<const std::uint8_t> bytes);
+
+/// One-block primitives (v is two 32-bit words).
+void xtea_encrypt_block(std::array<std::uint32_t, 2>& v, const XteaKey& key);
+void xtea_decrypt_block(std::array<std::uint32_t, 2>& v, const XteaKey& key);
+
+/// CTR-mode keystream XOR: encryption and decryption are the same operation.
+/// `nonce` must be unique per (key, message).
+std::vector<std::uint8_t> xtea_ctr_crypt(std::span<const std::uint8_t> data,
+                                         const XteaKey& key,
+                                         std::uint64_t nonce);
+
+}  // namespace baps::crypto

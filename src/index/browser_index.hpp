@@ -1,0 +1,65 @@
+// The browser index file (§2): the proxy-resident directory of every
+// client's browser-cache contents. Each entry is conceptually
+// (client id, URL-digest, timestamp/TTL); here documents are already
+// interned, so entries are (client, doc) pairs with the digest footprint
+// accounted separately (see index/footprint.hpp).
+//
+// Two maintenance protocols from the paper:
+//  * immediate invalidation — the client tells the proxy on every browser
+//    cache insert/replace/delete (accurate view, one message per event);
+//  * periodic batch update — each client accumulates a delta and flushes it
+//    when the fraction of changed documents crosses a threshold (Fan et
+//    al.'s summary-cache delay rule). Between flushes the proxy's view is
+//    stale; the simulator measures the resulting hit-ratio degradation and
+//    false forwards.
+//
+// This class is the *view* the proxy holds; the update protocols live in
+// index/update_protocol.hpp and feed mutations into it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace baps::index {
+
+using trace::ClientId;
+using trace::DocId;
+
+class BrowserIndex {
+ public:
+  explicit BrowserIndex(std::uint32_t num_clients);
+
+  std::uint32_t num_clients() const {
+    return static_cast<std::uint32_t>(per_client_.size());
+  }
+  std::uint64_t entry_count() const { return entries_; }
+
+  /// Records that `client`'s browser cache now holds `doc`. Idempotent.
+  void add(ClientId client, DocId doc);
+  /// Records that `client` no longer holds `doc`. Idempotent.
+  void remove(ClientId client, DocId doc);
+  bool holds(ClientId client, DocId doc) const;
+
+  /// Some client (≠ requester) the index believes holds `doc`. Holders are
+  /// chosen round-robin so repeated lookups spread load across peers.
+  std::optional<ClientId> find_holder(DocId doc, ClientId requester) const;
+
+  /// All believed holders of `doc` (unspecified order), for fan-out checks.
+  std::vector<ClientId> holders(DocId doc) const;
+
+  /// Number of docs indexed for one client.
+  std::uint64_t client_entry_count(ClientId client) const;
+
+ private:
+  std::unordered_map<DocId, std::vector<ClientId>> by_doc_;
+  std::vector<std::unordered_set<DocId>> per_client_;
+  std::uint64_t entries_ = 0;
+  mutable std::uint64_t rr_ = 0;  // round-robin cursor
+};
+
+}  // namespace baps::index

@@ -1,0 +1,22 @@
+#include "index/footprint.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace baps::index {
+
+FootprintEstimate estimate_footprint(const FootprintParams& p) {
+  BAPS_REQUIRE(p.avg_doc_bytes > 0, "average document size must be positive");
+  BAPS_REQUIRE(p.num_clients > 0, "need at least one client");
+  FootprintEstimate e;
+  e.docs_per_browser = p.browser_cache_bytes / p.avg_doc_bytes;
+  e.total_entries = e.docs_per_browser * p.num_clients;
+  e.exact_index_bytes = e.total_entries * p.bytes_per_exact_entry;
+  e.bloom_index_bytes = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(e.total_entries) * p.bloom_bits_per_doc /
+                8.0));
+  return e;
+}
+
+}  // namespace baps::index

@@ -1,0 +1,77 @@
+#include "index/update_protocol.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::index {
+
+void ImmediateUpdateProtocol::on_cache_insert(ClientId client, DocId doc) {
+  index_.add(client, doc);
+  ++messages_;
+}
+
+void ImmediateUpdateProtocol::on_cache_remove(ClientId client, DocId doc) {
+  index_.remove(client, doc);
+  ++messages_;
+}
+
+PeriodicUpdateProtocol::PeriodicUpdateProtocol(BrowserIndex& idx,
+                                               std::uint32_t num_clients,
+                                               double threshold)
+    : index_(idx), threshold_(threshold), clients_(num_clients) {
+  BAPS_REQUIRE(threshold > 0.0 && threshold <= 1.0,
+               "flush threshold must be in (0,1]");
+}
+
+void PeriodicUpdateProtocol::on_cache_insert(ClientId client, DocId doc) {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  ClientState& st = clients_[client];
+  ++st.cached_docs;
+  // A remove pending for this doc cancels; the proxy still believes the old
+  // state, which happens to be correct again.
+  if (st.pending_remove.erase(doc) == 0) st.pending_add.insert(doc);
+  maybe_flush(client);
+}
+
+void PeriodicUpdateProtocol::on_cache_remove(ClientId client, DocId doc) {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  ClientState& st = clients_[client];
+  BAPS_REQUIRE(st.cached_docs > 0, "remove without matching insert");
+  --st.cached_docs;
+  if (st.pending_add.erase(doc) == 0) st.pending_remove.insert(doc);
+  maybe_flush(client);
+}
+
+void PeriodicUpdateProtocol::maybe_flush(ClientId client) {
+  const ClientState& st = clients_[client];
+  const auto changed = st.pending_add.size() + st.pending_remove.size();
+  if (changed == 0) return;
+  // Flush when the delta reaches threshold × current population. The +1
+  // keeps a nearly-empty cache from flushing on every single event.
+  const double population = static_cast<double>(st.cached_docs) + 1.0;
+  if (static_cast<double>(changed) >= threshold_ * population) flush(client);
+}
+
+void PeriodicUpdateProtocol::flush(ClientId client) {
+  ClientState& st = clients_[client];
+  if (st.pending_add.empty() && st.pending_remove.empty()) return;
+  // One batched message per flush regardless of delta size (the paper's
+  // point: batching makes index maintenance traffic negligible).
+  ++messages_;
+  ++flushes_;
+  for (DocId doc : st.pending_add) {
+    index_.add(client, doc);
+    ++applied_;
+  }
+  for (DocId doc : st.pending_remove) {
+    index_.remove(client, doc);
+    ++applied_;
+  }
+  st.pending_add.clear();
+  st.pending_remove.clear();
+}
+
+void PeriodicUpdateProtocol::flush_all() {
+  for (ClientId c = 0; c < clients_.size(); ++c) flush(c);
+}
+
+}  // namespace baps::index

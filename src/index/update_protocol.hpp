@@ -1,0 +1,93 @@
+// Index maintenance protocols (§2, §5).
+//
+// The browser-cache side generates a stream of (add, remove) events; the
+// protocol decides when the proxy's BrowserIndex sees them:
+//
+//  * ImmediateUpdateProtocol — every event is applied at once. One message
+//    per event; the proxy's view is always exact.
+//  * PeriodicUpdateProtocol — per-client deltas accumulate and flush when
+//    the number of *changed* documents exceeds `threshold` × (docs currently
+//    cached by the client), the delay rule the paper adopts from Fan et al.
+//    (1%–50% thresholds → update every few minutes to an hour). Between
+//    flushes the proxy view is stale in both directions: it misses fresh
+//    documents (lost remote hits) and still advertises evicted ones (false
+//    forwards). Message accounting lets bench_overhead report traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "index/browser_index.hpp"
+
+namespace baps::index {
+
+class UpdateProtocol {
+ public:
+  virtual ~UpdateProtocol() = default;
+
+  /// Client-side events, forwarded per the protocol's schedule.
+  virtual void on_cache_insert(ClientId client, DocId doc) = 0;
+  virtual void on_cache_remove(ClientId client, DocId doc) = 0;
+
+  /// Messages sent from browsers to the proxy so far (index traffic).
+  virtual std::uint64_t messages_sent() const = 0;
+  /// Index mutations applied at the proxy so far.
+  virtual std::uint64_t updates_applied() const = 0;
+
+  /// Forces all pending deltas out (end-of-run flush for accounting).
+  virtual void flush_all() = 0;
+};
+
+class ImmediateUpdateProtocol final : public UpdateProtocol {
+ public:
+  explicit ImmediateUpdateProtocol(BrowserIndex& idx) : index_(idx) {}
+
+  void on_cache_insert(ClientId client, DocId doc) override;
+  void on_cache_remove(ClientId client, DocId doc) override;
+  std::uint64_t messages_sent() const override { return messages_; }
+  std::uint64_t updates_applied() const override { return messages_; }
+  void flush_all() override {}
+
+ private:
+  BrowserIndex& index_;
+  std::uint64_t messages_ = 0;
+};
+
+class PeriodicUpdateProtocol final : public UpdateProtocol {
+ public:
+  /// threshold: fraction of a client's cached documents that must change
+  /// before its delta flushes (e.g. 0.1 = Fan et al.'s 10%).
+  PeriodicUpdateProtocol(BrowserIndex& idx, std::uint32_t num_clients,
+                         double threshold);
+
+  void on_cache_insert(ClientId client, DocId doc) override;
+  void on_cache_remove(ClientId client, DocId doc) override;
+  std::uint64_t messages_sent() const override { return messages_; }
+  std::uint64_t updates_applied() const override { return applied_; }
+  void flush_all() override;
+
+  std::uint64_t flush_count() const { return flushes_; }
+
+ private:
+  struct ClientState {
+    // Net effect since last flush. A doc inserted then removed cancels out.
+    std::unordered_set<DocId> pending_add;
+    std::unordered_set<DocId> pending_remove;
+    std::uint64_t cached_docs = 0;  // client's current cache population
+  };
+
+  void maybe_flush(ClientId client);
+  void flush(ClientId client);
+
+  BrowserIndex& index_;
+  double threshold_;
+  std::vector<ClientState> clients_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace baps::index

@@ -1,0 +1,94 @@
+#include "index/url_table.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace baps::index {
+namespace {
+
+std::size_t common_prefix(std::string_view a, std::string_view b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  std::size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+UrlTable::UrlTable(std::vector<std::string> urls, std::size_t bucket_size)
+    : bucket_size_(bucket_size) {
+  BAPS_REQUIRE(bucket_size_ > 0, "bucket size must be positive");
+  std::sort(urls.begin(), urls.end());
+  urls.erase(std::unique(urls.begin(), urls.end()), urls.end());
+  count_ = urls.size();
+  entries_.reserve(count_);
+  for (std::size_t i = 0; i < urls.size(); ++i) {
+    raw_bytes_ += urls[i].size();
+    std::size_t prefix = 0;
+    if (i % bucket_size_ != 0) {
+      prefix = common_prefix(urls[i - 1], urls[i]);
+    }
+    const std::string_view suffix = std::string_view(urls[i]).substr(prefix);
+    entries_.push_back(Entry{static_cast<std::uint32_t>(prefix),
+                             static_cast<std::uint32_t>(pool_.size()),
+                             static_cast<std::uint32_t>(suffix.size())});
+    pool_.append(suffix);
+  }
+}
+
+std::string UrlTable::decode(std::size_t i) const {
+  BAPS_REQUIRE(i < count_, "url index out of range");
+  const std::size_t head = bucket_of(i) * bucket_size_;
+  std::string url;
+  for (std::size_t j = head; j <= i; ++j) {
+    const Entry& e = entries_[j];
+    url.resize(e.prefix_len);  // keep the shared prefix, drop the rest
+    url.append(pool_, e.suffix_off, e.suffix_len);
+  }
+  return url;
+}
+
+std::string UrlTable::at(std::size_t i) const { return decode(i); }
+
+std::optional<std::size_t> UrlTable::find(std::string_view url) const {
+  if (count_ == 0) return std::nullopt;
+  // Binary search over bucket heads (stored with prefix_len 0, so their
+  // suffix IS the full URL)...
+  const std::size_t buckets = (count_ + bucket_size_ - 1) / bucket_size_;
+  std::size_t lo = 0, hi = buckets;  // first bucket whose head > url
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    const Entry& head = entries_[mid * bucket_size_];
+    const std::string_view head_url(pool_.data() + head.suffix_off,
+                                    head.suffix_len);
+    if (head_url <= url) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return std::nullopt;  // url sorts before every head
+  // ...then decode one bucket linearly.
+  const std::size_t start = (lo - 1) * bucket_size_;
+  const std::size_t end = std::min(start + bucket_size_, count_);
+  std::string candidate;
+  for (std::size_t j = start; j < end; ++j) {
+    const Entry& e = entries_[j];
+    candidate.resize(e.prefix_len);
+    candidate.append(pool_, e.suffix_off, e.suffix_len);
+    if (candidate == url) return j;
+    if (std::string_view(candidate) > url) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::size_t UrlTable::compressed_bytes() const {
+  // Suffix pool + per-entry metadata (prefix len byte-packed as u16 + u32
+  // offset omitted in a production layout; we charge u16 prefix + u16
+  // suffix length per entry plus one u32 per bucket head offset).
+  const std::size_t buckets = (count_ + bucket_size_ - 1) / bucket_size_;
+  return pool_.size() + count_ * 4 + buckets * 4;
+}
+
+}  // namespace baps::index

@@ -1,0 +1,68 @@
+// Compressed URL table: front-coded storage of a sorted URL set.
+//
+// §5 of the paper notes that applying URL-table compression (its refs [4]
+// and [10] — Summary Cache and "URL Forwarding and Compression in Adaptive
+// Web Caching") shrinks the browser index further. URLs share long prefixes
+// (scheme, host, directory), so front coding — store each URL as
+// (shared-prefix length with its predecessor, distinct suffix) — compresses
+// typical web URL sets several-fold while keeping O(log n) membership
+// queries: entries are bucketed, each bucket starts with a full URL, and a
+// lookup binary-searches bucket heads then decodes one bucket.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace baps::index {
+
+class UrlTable {
+ public:
+  /// Builds from any URL collection (sorted + deduplicated internally).
+  /// bucket_size trades lookup cost against compression (heads are stored
+  /// uncompressed).
+  explicit UrlTable(std::vector<std::string> urls,
+                    std::size_t bucket_size = 16);
+
+  std::size_t size() const { return count_; }
+
+  /// i-th URL in sorted order.
+  std::string at(std::size_t i) const;
+
+  /// Sorted-order index of the URL, if present.
+  std::optional<std::size_t> find(std::string_view url) const;
+  bool contains(std::string_view url) const { return find(url).has_value(); }
+
+  /// Bytes of the compressed representation (suffix pool + prefix lengths +
+  /// bucket offsets).
+  std::size_t compressed_bytes() const;
+  /// Bytes the raw strings would take (sum of lengths).
+  std::size_t raw_bytes() const { return raw_bytes_; }
+  double compression_ratio() const {
+    return compressed_bytes() > 0
+               ? static_cast<double>(raw_bytes_) /
+                     static_cast<double>(compressed_bytes())
+               : 0.0;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t prefix_len;   // shared with predecessor (0 for heads)
+    std::uint32_t suffix_off;   // into pool_
+    std::uint32_t suffix_len;
+  };
+
+  /// Decodes URLs [bucket start .. i] and returns the i-th.
+  std::string decode(std::size_t i) const;
+  std::size_t bucket_of(std::size_t i) const { return i / bucket_size_; }
+
+  std::size_t bucket_size_;
+  std::size_t count_ = 0;
+  std::string pool_;             // concatenated suffixes
+  std::vector<Entry> entries_;   // one per URL, sorted order
+  std::size_t raw_bytes_ = 0;
+};
+
+}  // namespace baps::index

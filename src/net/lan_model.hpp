@@ -1,0 +1,52 @@
+// Shared-Ethernet LAN model for §5's overhead estimation.
+//
+// The paper assumes a 10 Mbps Ethernet with 0.1 s connection setup per
+// remote-browser transfer, and measures (a) total data-transfer time for
+// remote-browser hits and (b) bus-contention time. We model the LAN as a
+// single shared bus: a transfer that arrives while the bus is busy waits
+// until it frees (that wait is the contention time), then occupies the bus
+// for setup + bytes/bandwidth.
+#pragma once
+
+#include <cstdint>
+
+namespace baps::net {
+
+struct LanParams {
+  double bandwidth_bps = 10e6;      ///< 10 Mbps Ethernet
+  double connection_setup_s = 0.1;  ///< per-transfer connection time
+};
+
+struct TransferResult {
+  double wait_s = 0.0;      ///< contention: time spent waiting for the bus
+  double transfer_s = 0.0;  ///< setup + serialization time
+  double finish_time = 0.0; ///< absolute completion time
+};
+
+class LanModel {
+ public:
+  explicit LanModel(LanParams params = {});
+
+  /// Serialization + setup time for a payload, ignoring contention.
+  double transfer_time(std::uint64_t bytes) const;
+
+  /// Performs a transfer requested at absolute time `now`; advances the
+  /// bus-busy horizon and accumulates totals. `now` values must be
+  /// non-decreasing across calls (the simulator replays in trace order).
+  TransferResult transfer(double now, std::uint64_t bytes);
+
+  std::uint64_t transfer_count() const { return transfers_; }
+  std::uint64_t bytes_moved() const { return bytes_; }
+  double total_transfer_time() const { return total_transfer_s_; }
+  double total_contention_time() const { return total_wait_s_; }
+
+ private:
+  LanParams params_;
+  double bus_free_at_ = 0.0;
+  std::uint64_t transfers_ = 0;
+  std::uint64_t bytes_ = 0;
+  double total_transfer_s_ = 0.0;
+  double total_wait_s_ = 0.0;
+};
+
+}  // namespace baps::net

@@ -1,0 +1,48 @@
+#include "runtime/doc_store.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::runtime {
+
+DocStore::DocStore(std::uint64_t capacity_bytes)
+    : cache_(capacity_bytes, cache::PolicyKind::kLru) {
+  cache_.set_eviction_listener([this](trace::DocId key, std::uint64_t) {
+    docs_.erase(key);
+    if (on_evict_) on_evict_(key);
+  });
+}
+
+std::optional<Document> DocStore::get(Key key) {
+  if (!cache_.touch(key)) return std::nullopt;
+  const auto it = docs_.find(key);
+  BAPS_ENSURE(it != docs_.end(), "cache and body map out of sync");
+  return it->second;
+}
+
+bool DocStore::put(Key key, Document doc) {
+  if (cache_.contains(key)) {
+    cache_.erase(key);
+    docs_.erase(key);
+  }
+  if (!cache_.insert(key, doc.body.size())) return false;
+  docs_[key] = std::move(doc);
+  return true;
+}
+
+bool DocStore::erase(Key key) {
+  docs_.erase(key);
+  return cache_.erase(key);
+}
+
+void DocStore::set_eviction_listener(EvictionListener listener) {
+  on_evict_ = std::move(listener);
+}
+
+bool DocStore::corrupt(Key key) {
+  const auto it = docs_.find(key);
+  if (it == docs_.end() || it->second.body.empty()) return false;
+  it->second.body[0] = static_cast<char>(it->second.body[0] ^ 0x5A);
+  return true;
+}
+
+}  // namespace baps::runtime

@@ -1,0 +1,55 @@
+// Byte-capacity LRU store of actual document bodies (+ watermarks) for the
+// runtime protocol engine. Wraps cache::ObjectCache for the eviction
+// machinery and keeps the payloads alongside.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "cache/object_cache.hpp"
+#include "crypto/watermark.hpp"
+
+namespace baps::runtime {
+
+/// A document as it travels through the system: body plus the proxy-issued
+/// integrity watermark (§6.1).
+struct Document {
+  std::string body;
+  crypto::Watermark mark;
+};
+
+class DocStore {
+ public:
+  using Key = std::uint64_t;  ///< URL-digest prefix (see runtime/types.hpp)
+  using EvictionListener = std::function<void(Key)>;
+
+  explicit DocStore(std::uint64_t capacity_bytes);
+
+  bool contains(Key key) const { return docs_.contains(key); }
+  std::size_t count() const { return docs_.size(); }
+  std::uint64_t used_bytes() const { return cache_.used_bytes(); }
+
+  /// LRU-touching fetch.
+  std::optional<Document> get(Key key);
+
+  /// Inserts or replaces; returns false if the body exceeds capacity.
+  bool put(Key key, Document doc);
+
+  bool erase(Key key);
+
+  /// Fired for capacity evictions only (mirrors ObjectCache semantics).
+  void set_eviction_listener(EvictionListener listener);
+
+  /// Test hook: mutate a stored body in place (models a tampering client).
+  bool corrupt(Key key);
+
+ private:
+  cache::ObjectCache cache_;
+  std::unordered_map<Key, Document> docs_;
+  EvictionListener on_evict_;
+};
+
+}  // namespace baps::runtime

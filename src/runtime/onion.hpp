@@ -1,0 +1,59 @@
+// Decentralized mutual-anonymity protocol: layered (onion) peer-to-peer
+// forwarding.
+//
+// §6.2 of the paper implements anonymity through the proxy acting as a
+// trusted relay, and points at its companion report (Xu, Xiao & Zhang,
+// HPL-2001-204) for "anonymity protocols that hide identities among peer
+// browsers with no or limited centralized controls". This module implements
+// that decentralized variant: the initiator wraps the payload in one
+// encryption layer per relay, and each relay can decrypt exactly one layer —
+// learning only its predecessor and successor, never the endpoints.
+//
+// Construction (hybrid encryption, innermost first):
+//   layer_i = RSA_pub(relay_i){session_key_i}
+//             || nonce_i || XTEA-CTR(session_key_i){ type, next, inner }
+// The exit layer carries the payload; every other layer carries the next
+// hop id and the next blob. Key sizes are the repo's demonstration-grade
+// RSA — protocol shape, not production crypto.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/rsa.hpp"
+#include "trace/record.hpp"
+
+namespace baps::runtime {
+
+using trace::ClientId;
+
+/// A relay's identity: node id + RSA key pair (public part known to all
+/// peers, as the paper's §6 assumes).
+struct RelayKeys {
+  ClientId node = 0;
+  crypto::RsaPublicKey pub;
+};
+
+/// What one relay learns when it peels its layer.
+struct PeeledLayer {
+  /// Set for intermediate layers: forward `blob` to this node.
+  std::optional<ClientId> next;
+  /// Intermediate: the next onion blob. Exit: the payload bytes.
+  std::vector<std::uint8_t> blob;
+};
+
+/// Builds an onion for `path` (first element = first relay, last = exit)
+/// around `payload`. Deterministic in `seed` (session keys and nonces).
+/// Requires a non-empty path and every RSA modulus ≥ 136 bits.
+std::vector<std::uint8_t> build_onion(
+    const std::vector<RelayKeys>& path,
+    std::vector<std::uint8_t> payload, std::uint64_t seed);
+
+/// Peels one layer with the relay's private key. Returns nullopt if the
+/// blob is malformed or was not encrypted for this key (tampering or
+/// misrouting — the relay just drops it).
+std::optional<PeeledLayer> peel_onion(std::span<const std::uint8_t> blob,
+                                      const crypto::RsaPrivateKey& priv);
+
+}  // namespace baps::runtime

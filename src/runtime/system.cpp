@@ -1,0 +1,223 @@
+#include "runtime/system.hpp"
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace baps::runtime {
+
+std::string msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kClientRequest: return "client-request";
+    case MsgKind::kProxyResponse: return "proxy-response";
+    case MsgKind::kPeerFetch: return "peer-fetch";
+    case MsgKind::kPeerDeliver: return "peer-deliver";
+    case MsgKind::kOriginFetch: return "origin-fetch";
+    case MsgKind::kOriginResponse: return "origin-response";
+    case MsgKind::kIndexAdd: return "index-add";
+    case MsgKind::kIndexRemove: return "index-remove";
+  }
+  BAPS_REQUIRE(false, "unknown message kind");
+  return {};
+}
+
+std::string source_name(FetchOutcome::Source source) {
+  switch (source) {
+    case FetchOutcome::Source::kLocalBrowser: return "local-browser";
+    case FetchOutcome::Source::kProxy: return "proxy-cache";
+    case FetchOutcome::Source::kRemoteBrowser: return "remote-browser";
+    case FetchOutcome::Source::kOrigin: return "origin-server";
+  }
+  BAPS_REQUIRE(false, "unknown source");
+  return {};
+}
+
+BapsSystem::BapsSystem(const Params& params)
+    : params_(params),
+      origin_(params.seed),
+      keys_(crypto::generate_rsa_keypair(params.rsa_modulus_bits,
+                                         params.seed ^ 0x4B455953454544ULL)),
+      proxy_cache_(params.proxy_cache_bytes),
+      index_(params.num_clients) {
+  BAPS_REQUIRE(params.num_clients > 0, "system needs at least one client");
+  clients_.resize(params.num_clients);
+  baps::SplitMix64 key_mixer(params.seed ^ 0x4D41434B4559ULL);
+  for (ClientId c = 0; c < params.num_clients; ++c) {
+    clients_[c].browser =
+        std::make_unique<DocStore>(params.browser_cache_bytes);
+    // Per-client symmetric key shared with the proxy (key establishment is
+    // out of band, as the paper's §6 assumes).
+    clients_[c].mac_key = "k" + std::to_string(key_mixer.next());
+    // Browser-cache replacement sends the paper's invalidation message.
+    clients_[c].browser->set_eviction_listener([this, c](DocStore::Key key) {
+      trace_.record(MsgKind::kIndexRemove, client_name(c), "proxy", key);
+      proxy_apply_index_update(c, /*is_add=*/false, key,
+                               index_update_mac(c, false, key));
+    });
+  }
+}
+
+crypto::Md5Digest BapsSystem::index_update_mac(ClientId sender, bool is_add,
+                                               DocStore::Key key) const {
+  std::string msg = is_add ? "add:" : "remove:";
+  msg += std::to_string(sender);
+  msg += ':';
+  msg += std::to_string(key);
+  return crypto::hmac_md5(clients_[sender].mac_key, msg);
+}
+
+bool BapsSystem::proxy_apply_index_update(ClientId claimed_sender,
+                                          bool is_add, DocStore::Key key,
+                                          const crypto::Md5Digest& mac) {
+  // The proxy recomputes the MAC under the claimed sender's key: only the
+  // real owner of that key can mutate its own index entries.
+  if (!crypto::digest_equal(mac,
+                            index_update_mac(claimed_sender, is_add, key))) {
+    ++rejected_index_updates_;
+    return false;
+  }
+  if (is_add) {
+    index_.add(claimed_sender, key);
+  } else {
+    index_.remove(claimed_sender, key);
+  }
+  return true;
+}
+
+std::string BapsSystem::client_name(ClientId c) const {
+  return "client" + std::to_string(c);
+}
+
+void BapsSystem::client_store(ClientId client, const Url& url, Document doc) {
+  const DocStore::Key key = url_key(url);
+  if (clients_[client].browser->put(key, std::move(doc))) {
+    trace_.record(MsgKind::kIndexAdd, client_name(client), "proxy", key);
+    proxy_apply_index_update(client, /*is_add=*/true, key,
+                             index_update_mac(client, true, key));
+  }
+}
+
+BapsSystem::ProxyReply BapsSystem::proxy_handle(ClientId requester,
+                                                const Url& url,
+                                                bool avoid_peers) {
+  const DocStore::Key key = url_key(url);
+
+  // 1. The proxy's own cache.
+  if (auto doc = proxy_cache_.get(key)) {
+    ++proxy_hits_;
+    return {std::move(*doc), FetchOutcome::Source::kProxy};
+  }
+
+  // 2. The browser index. The peer-fetch message deliberately carries only
+  //    the document key: the holder never learns who asked (§6.2).
+  if (!avoid_peers) {
+    if (const auto holder = index_.find_holder(key, requester)) {
+      trace_.record(MsgKind::kPeerFetch, "proxy", client_name(*holder), key);
+      ClientState& peer = clients_[*holder];
+      if (peer.tampering) peer.browser->corrupt(key);
+      if (auto doc = peer.browser->get(key)) {
+        trace_.record(MsgKind::kPeerDeliver, client_name(*holder), "proxy",
+                      key);
+        ++peer_hits_;
+        return {std::move(*doc), FetchOutcome::Source::kRemoteBrowser};
+      }
+      // Stale index entry: the peer no longer holds the document.
+      ++false_forwards_;
+      index_.remove(*holder, key);
+    }
+  }
+
+  // 3. The origin server. The proxy issues the watermark here — the only
+  //    place documents enter the system (§6.1).
+  trace_.record(MsgKind::kOriginFetch, "proxy", "origin", key);
+  std::string body = origin_.fetch(url);
+  trace_.record(MsgKind::kOriginResponse, "origin", "proxy", key);
+  ++origin_fetches_;
+  Document doc{std::move(body), crypto::Watermark{}};
+  doc.mark = crypto::issue_watermark(doc.body, keys_.priv);
+  proxy_cache_.put(key, doc);
+  return {std::move(doc), FetchOutcome::Source::kOrigin};
+}
+
+FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  const DocStore::Key key = url_key(url);
+
+  // Local browser cache first. A local copy that fails its watermark (e.g.
+  // corrupted on disk, or self-tampered) is discarded and refetched rather
+  // than served: the client tells the proxy it no longer holds the URL and
+  // falls through to the normal request path.
+  if (auto doc = clients_[client].browser->get(key)) {
+    if (crypto::verify_watermark(doc->body, doc->mark, keys_.pub)) {
+      ++local_hits_;
+      FetchOutcome out;
+      out.source = FetchOutcome::Source::kLocalBrowser;
+      out.verified = true;
+      out.body = std::move(doc->body);
+      return out;
+    }
+    ++tamper_detections_;
+    clients_[client].browser->erase(key);
+    trace_.record(MsgKind::kIndexRemove, client_name(client), "proxy", key);
+    proxy_apply_index_update(client, /*is_add=*/false, key,
+                             index_update_mac(client, false, key));
+  }
+
+  trace_.record(MsgKind::kClientRequest, client_name(client), "proxy", key);
+  ProxyReply reply = proxy_handle(client, url, /*avoid_peers=*/false);
+  trace_.record(MsgKind::kProxyResponse, "proxy", client_name(client), key);
+
+  FetchOutcome out;
+  out.source = reply.source;
+  out.verified =
+      crypto::verify_watermark(reply.doc.body, reply.doc.mark, keys_.pub);
+
+  if (!out.verified) {
+    // §6.1: a failed watermark means the peer copy was tampered with. The
+    // client rejects it and re-requests, bypassing peers; the proxy serves
+    // a fresh, correctly watermarked copy from the origin.
+    ++tamper_detections_;
+    trace_.record(MsgKind::kClientRequest, client_name(client), "proxy", key);
+    reply = proxy_handle(client, url, /*avoid_peers=*/true);
+    trace_.record(MsgKind::kProxyResponse, "proxy", client_name(client), key);
+    out.source = reply.source;
+    out.verified =
+        crypto::verify_watermark(reply.doc.body, reply.doc.mark, keys_.pub);
+    out.tamper_recovered = true;
+    BAPS_ENSURE(out.verified, "origin-served document must verify");
+  }
+
+  out.body = reply.doc.body;
+  client_store(client, url, std::move(reply.doc));
+  return out;
+}
+
+void BapsSystem::set_tampering(ClientId client, bool tampering) {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  clients_[client].tampering = tampering;
+}
+
+bool BapsSystem::spoof_index_remove(ClientId attacker, ClientId victim,
+                                    const Url& url) {
+  BAPS_REQUIRE(attacker < clients_.size() && victim < clients_.size(),
+               "client id out of range");
+  const DocStore::Key key = url_key(url);
+  // The attacker claims to be the victim but can only MAC with its own key.
+  trace_.record(MsgKind::kIndexRemove, client_name(attacker), "proxy", key);
+  return proxy_apply_index_update(victim, /*is_add=*/false, key,
+                                  index_update_mac(attacker, false, key));
+}
+
+void BapsSystem::drop_silently(ClientId client, const Url& url) {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  // Bypass the eviction listener: erase() in DocStore routes through
+  // ObjectCache::erase, which never fires the listener — so the proxy's
+  // index keeps the stale entry, exactly the failure this hook models.
+  clients_[client].browser->erase(url_key(url));
+}
+
+bool BapsSystem::client_has(ClientId client, const Url& url) const {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  return clients_[client].browser->contains(url_key(url));
+}
+
+}  // namespace baps::runtime

@@ -1,0 +1,138 @@
+// The runtime BAPS protocol engine: an in-process implementation of the full
+// browsers-aware proxy protocol — clients with real browser caches, a proxy
+// with a cache + browser index, an origin server, integrity watermarks
+// (§6.1), and the anonymizing relay (§6.2).
+//
+// Message passing is synchronous in-process dispatch; every message's
+// envelope (kind, from, to, url digest) is recorded in a MessageTrace so
+// tests can audit exactly what each party could observe. The §6.2 property
+// holds by construction — a kPeerFetch carries no requester identity and a
+// requester only ever talks to the proxy — and the tests verify it against
+// the recorded traffic.
+//
+// The paper's decentralized anonymity protocols (its reference [17],
+// HPL-2001-204) are out of scope; the proxy-relay mode implemented here is
+// the variant the paper itself specifies in §6.2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "index/browser_index.hpp"
+#include "runtime/doc_store.hpp"
+#include "runtime/origin.hpp"
+#include "runtime/types.hpp"
+
+namespace baps::runtime {
+
+using trace::ClientId;
+
+struct FetchOutcome {
+  enum class Source { kLocalBrowser, kProxy, kRemoteBrowser, kOrigin };
+  Source source = Source::kOrigin;
+  bool verified = false;         ///< watermark check passed at the requester
+  bool tamper_recovered = false; ///< a peer delivery failed verification and
+                                 ///< the request was re-served from origin
+  std::string body;
+};
+
+std::string source_name(FetchOutcome::Source source);
+
+class BapsSystem {
+ public:
+  struct Params {
+    std::uint32_t num_clients = 4;
+    std::uint64_t proxy_cache_bytes = 256 << 10;
+    std::uint64_t browser_cache_bytes = 64 << 10;
+    std::uint64_t seed = 7;
+    std::size_t rsa_modulus_bits = 256;
+  };
+
+  explicit BapsSystem(const Params& params);
+
+  /// A full client-side page fetch, end to end.
+  FetchOutcome browse(ClientId client, const Url& url);
+
+  // --- observability ------------------------------------------------------
+  OriginServer& origin() { return origin_; }
+  const MessageTrace& messages() const { return trace_; }
+  MessageTrace& messages() { return trace_; }
+  const crypto::RsaPublicKey& proxy_public_key() const { return keys_.pub; }
+  const index::BrowserIndex& browser_index() const { return index_; }
+
+  std::uint64_t peer_hits() const { return peer_hits_; }
+  std::uint64_t proxy_hits() const { return proxy_hits_; }
+  std::uint64_t local_hits() const { return local_hits_; }
+  std::uint64_t origin_fetches() const { return origin_fetches_; }
+  std::uint64_t false_forwards() const { return false_forwards_; }
+  std::uint64_t tamper_detections() const { return tamper_detections_; }
+
+  // --- fault injection ----------------------------------------------------
+  /// A tampering client corrupts every document it serves to peers.
+  void set_tampering(ClientId client, bool tampering);
+  /// Drops a document from a client's browser WITHOUT telling the proxy —
+  /// produces a stale index entry (false forward on the next lookup).
+  void drop_silently(ClientId client, const Url& url);
+
+  /// Attempts to forge an index-remove for `victim`'s copy of `url`, MACed
+  /// with `attacker`'s key. Returns true if the proxy accepted it (it must
+  /// not: index updates are HMAC-authenticated per sender). For testing the
+  /// authentication path.
+  bool spoof_index_remove(ClientId attacker, ClientId victim, const Url& url);
+
+  std::uint64_t rejected_index_updates() const {
+    return rejected_index_updates_;
+  }
+
+  bool client_has(ClientId client, const Url& url) const;
+
+ private:
+  struct ClientState {
+    std::unique_ptr<DocStore> browser;
+    bool tampering = false;
+    /// Symmetric key shared with the proxy; authenticates index updates
+    /// (the §6 protocols assume such a per-client shared-key channel).
+    std::string mac_key;
+  };
+
+  struct ProxyReply {
+    Document doc;
+    FetchOutcome::Source source;
+  };
+
+  std::string client_name(ClientId c) const;
+  /// MAC over an index update: HMAC(key_of(sender), op | sender | url key).
+  crypto::Md5Digest index_update_mac(ClientId sender, bool is_add,
+                                     DocStore::Key key) const;
+  /// Proxy-side handler: applies the update iff the MAC verifies under the
+  /// claimed sender's key.
+  bool proxy_apply_index_update(ClientId claimed_sender, bool is_add,
+                                DocStore::Key key,
+                                const crypto::Md5Digest& mac);
+  /// Proxy-side request handling; avoid_peers=true skips the index (the
+  /// requester's retry path after a failed watermark).
+  ProxyReply proxy_handle(ClientId requester, const Url& url,
+                          bool avoid_peers);
+  void client_store(ClientId client, const Url& url, Document doc);
+
+  Params params_;
+  OriginServer origin_;
+  crypto::RsaKeyPair keys_;
+  DocStore proxy_cache_;
+  index::BrowserIndex index_;
+  std::vector<ClientState> clients_;
+  MessageTrace trace_;
+
+  std::uint64_t peer_hits_ = 0;
+  std::uint64_t proxy_hits_ = 0;
+  std::uint64_t local_hits_ = 0;
+  std::uint64_t origin_fetches_ = 0;
+  std::uint64_t false_forwards_ = 0;
+  std::uint64_t tamper_detections_ = 0;
+  std::uint64_t rejected_index_updates_ = 0;
+};
+
+}  // namespace baps::runtime

@@ -1,0 +1,69 @@
+// Shared vocabulary of the runtime protocol engine: URL keys and the
+// message-trace records the anonymity tests audit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/md5.hpp"
+
+namespace baps::runtime {
+
+using Url = std::string;
+
+/// Documents are keyed by the first 8 bytes of the URL's MD5 signature —
+/// the paper's index keys entries by a 16-byte MD5 of the URL; the 64-bit
+/// prefix keeps in-memory keys compact (collision odds are negligible at
+/// browser-cache scale and a collision only costs a false forward).
+inline std::uint64_t url_key(const Url& url) {
+  return crypto::md5(url).prefix64();
+}
+
+/// Every protocol message kind that crosses the simulated wire.
+enum class MsgKind {
+  kClientRequest,   ///< client → proxy: "I want this URL"
+  kProxyResponse,   ///< proxy → client: document (+watermark)
+  kPeerFetch,       ///< proxy → holder: "send me this URL" (no requester id!)
+  kPeerDeliver,     ///< holder → proxy: document
+  kOriginFetch,     ///< proxy → origin server
+  kOriginResponse,  ///< origin server → proxy
+  kIndexAdd,        ///< client → proxy: "my cache now holds this URL"
+  kIndexRemove,     ///< client → proxy: "I replaced/deleted this URL"
+};
+
+std::string msg_kind_name(MsgKind kind);
+
+/// Envelope metadata recorded for every delivered message. The payloads are
+/// typed C++ structs passed by call; this record is what an on-path observer
+/// (or a curious peer) could see — which is precisely what the §6.2
+/// anonymity property constrains.
+struct MsgRecord {
+  MsgKind kind;
+  std::string from;
+  std::string to;
+  std::uint64_t url = 0;  ///< url_key of the subject document (0 if none)
+};
+
+/// Append-only message trace shared by all nodes.
+class MessageTrace {
+ public:
+  void record(MsgKind kind, std::string from, std::string to,
+              std::uint64_t url) {
+    log_.push_back(MsgRecord{kind, std::move(from), std::move(to), url});
+  }
+  const std::vector<MsgRecord>& log() const { return log_; }
+  std::uint64_t count(MsgKind kind) const {
+    std::uint64_t n = 0;
+    for (const auto& r : log_) {
+      if (r.kind == kind) ++n;
+    }
+    return n;
+  }
+  void clear() { log_.clear(); }
+
+ private:
+  std::vector<MsgRecord> log_;
+};
+
+}  // namespace baps::runtime

@@ -1,0 +1,57 @@
+#include "sim/config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace baps::sim {
+
+std::string org_name(OrgKind kind) {
+  switch (kind) {
+    case OrgKind::kProxyOnly: return "proxy-cache-only";
+    case OrgKind::kLocalBrowserOnly: return "local-browser-cache-only";
+    case OrgKind::kGlobalBrowsersOnly: return "global-browsers-cache-only";
+    case OrgKind::kProxyAndLocalBrowser: return "proxy-and-local-browser";
+    case OrgKind::kBrowsersAware: return "browsers-aware-proxy-server";
+  }
+  BAPS_REQUIRE(false, "unknown organization kind");
+  return {};
+}
+
+std::uint64_t min_browser_cache_bytes(std::uint64_t proxy_cache_bytes,
+                                      std::uint32_t num_clients) {
+  BAPS_REQUIRE(num_clients > 0, "need at least one client");
+  return std::max<std::uint64_t>(
+      1, proxy_cache_bytes / (10ULL * num_clients));
+}
+
+std::vector<std::uint64_t> min_browser_caches(std::uint64_t proxy_cache_bytes,
+                                              std::uint32_t num_clients) {
+  return std::vector<std::uint64_t>(
+      num_clients, min_browser_cache_bytes(proxy_cache_bytes, num_clients));
+}
+
+std::vector<std::uint64_t> avg_browser_caches(const trace::TraceStats& stats,
+                                              double relative_size) {
+  BAPS_REQUIRE(relative_size > 0.0 && relative_size <= 1.0,
+               "relative size must be in (0,1]");
+  const auto size = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(static_cast<double>(
+                              stats.avg_infinite_browser_bytes()) *
+                          relative_size)));
+  return std::vector<std::uint64_t>(stats.num_clients, size);
+}
+
+std::uint64_t proxy_cache_bytes_for(const trace::TraceStats& stats,
+                                    double relative_size) {
+  BAPS_REQUIRE(relative_size > 0.0 && relative_size <= 1.0,
+               "relative size must be in (0,1]");
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::llround(static_cast<double>(stats.infinite_cache_bytes) *
+                          relative_size)));
+}
+
+}  // namespace baps::sim

@@ -1,0 +1,89 @@
+// Simulation configuration: the five organizations plus the sizing rules of
+// §3.2 ("minimum" and "average" browser cache sizes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/policy.hpp"
+#include "net/lan_model.hpp"
+#include "sim/latency_model.hpp"
+#include "trace/stats.hpp"
+
+namespace baps::sim {
+
+/// The five web caching organizations of §3.2.
+enum class OrgKind {
+  kProxyOnly,             ///< 1. proxy-cache-only
+  kLocalBrowserOnly,      ///< 2. local-browser-cache-only
+  kGlobalBrowsersOnly,    ///< 3. global-browsers-cache-only
+  kProxyAndLocalBrowser,  ///< 4. proxy-and-local-browser
+  kBrowsersAware,         ///< 5. browsers-aware-proxy-server
+};
+
+inline constexpr OrgKind kAllOrganizations[] = {
+    OrgKind::kProxyOnly, OrgKind::kLocalBrowserOnly,
+    OrgKind::kGlobalBrowsersOnly, OrgKind::kProxyAndLocalBrowser,
+    OrgKind::kBrowsersAware};
+
+std::string org_name(OrgKind kind);
+
+/// How the browsers-aware index is maintained (§2, §5).
+enum class IndexMode { kImmediate, kPeriodic };
+
+/// What the proxy stores per client: the exact directory (16-byte MD5
+/// entries) or a counting-Bloom summary (Summary-Cache compression — may
+/// produce false forwards, costs far less memory).
+enum class IndexKind { kExact, kBloomSummary };
+
+struct SimConfig {
+  std::uint64_t proxy_cache_bytes = 0;
+  /// Per-client browser cache sizes (unused by proxy-only).
+  std::vector<std::uint64_t> browser_cache_bytes;
+
+  cache::PolicyKind policy = cache::PolicyKind::kLru;
+  /// RAM share of every cache (§4.2; Squid-measured 1/10).
+  double memory_fraction = 0.1;
+
+  IndexMode index_mode = IndexMode::kImmediate;
+  /// PeriodicUpdateProtocol flush threshold (fraction of cached docs).
+  double index_threshold = 0.1;
+
+  IndexKind index_kind = IndexKind::kExact;
+  /// Bloom-summary sizing (per client). Only used with kBloomSummary;
+  /// updates are applied immediately in that mode.
+  std::uint64_t bloom_expected_docs_per_client = 4096;
+  double bloom_target_fp = 0.001;
+
+  /// If true, remote-browser hits are relayed through the proxy (two LAN
+  /// hops and the proxy keeps a copy); if false the source client forwards
+  /// directly (one hop), the paper's first alternative.
+  bool relay_via_proxy = false;
+
+  net::LanParams lan{};
+  LatencyParams latency{};
+};
+
+// ---------------------------------------------------------------------------
+// §3.2 sizing rules.
+
+/// Minimum browser cache: C_proxy / (10 · N) for N clients.
+std::uint64_t min_browser_cache_bytes(std::uint64_t proxy_cache_bytes,
+                                      std::uint32_t num_clients);
+
+/// Uniform per-client vector at the minimum size.
+std::vector<std::uint64_t> min_browser_caches(std::uint64_t proxy_cache_bytes,
+                                              std::uint32_t num_clients);
+
+/// "Average" browser cache: relative_size × the average infinite browser
+/// cache size from the trace (the paper scales browser caches by the same
+/// percentage as the proxy cache).
+std::vector<std::uint64_t> avg_browser_caches(
+    const trace::TraceStats& stats, double relative_size);
+
+/// Proxy cache: relative_size × infinite proxy cache size.
+std::uint64_t proxy_cache_bytes_for(const trace::TraceStats& stats,
+                                    double relative_size);
+
+}  // namespace baps::sim

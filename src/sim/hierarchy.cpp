@@ -1,0 +1,156 @@
+#include "sim/hierarchy.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::sim {
+
+HierarchySim::HierarchySim(const HierarchyConfig& config,
+                           std::uint32_t num_clients)
+    : config_(config),
+      latency_(config.latency),
+      lan_(config.lan),
+      parent_(config.parent_cache_bytes, config.memory_fraction,
+              config.policy) {
+  BAPS_REQUIRE(config.num_leaf_proxies > 0, "need at least one leaf proxy");
+  BAPS_REQUIRE(config.browser_cache_bytes.size() == num_clients,
+               "need one browser cache size per client");
+  browsers_.reserve(num_clients);
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    browsers_.emplace_back(config.browser_cache_bytes[c],
+                           config.memory_fraction, config.policy);
+  }
+  leaves_.reserve(config.num_leaf_proxies);
+  for (std::uint32_t l = 0; l < config.num_leaf_proxies; ++l) {
+    leaves_.emplace_back(config.leaf_cache_bytes, config.memory_fraction,
+                         config.policy);
+  }
+  if (config.browsers_aware) {
+    indexes_.resize(config.num_leaf_proxies);
+    for (std::uint32_t l = 0; l < config.num_leaf_proxies; ++l) {
+      indexes_[l] = std::make_unique<index::BrowserIndex>(num_clients);
+    }
+    for (std::uint32_t c = 0; c < num_clients; ++c) {
+      index::BrowserIndex& idx = *indexes_[leaf_of(c)];
+      browsers_[c].set_eviction_listener(
+          [&idx, c](trace::DocId doc, std::uint64_t) { idx.remove(c, doc); });
+    }
+  }
+}
+
+std::optional<cache::TieredLookup> HierarchySim::fresh_lookup(
+    cache::TieredCache& cache, const trace::Request& r) {
+  const auto size = cache.peek_size(r.doc);
+  if (!size) return std::nullopt;
+  if (*size != r.size) {
+    cache.erase(r.doc);  // §3.2 size-change rule, applied at every level
+    return std::nullopt;
+  }
+  return cache.touch(r.doc);
+}
+
+void HierarchySim::serve(const trace::Request& r, double latency_s,
+                         std::uint64_t* counter) {
+  metrics_.hits.hit();
+  metrics_.byte_hits.hit(r.size);
+  ++*counter;
+  metrics_.total_service_time_s += latency_s;
+}
+
+void HierarchySim::process(const trace::Request& r) {
+  const std::uint32_t leaf = leaf_of(r.client);
+  cache::TieredCache& browser = browsers_[r.client];
+  index::BrowserIndex* idx =
+      config_.browsers_aware ? indexes_[leaf].get() : nullptr;
+
+  // 1. Local browser.
+  if (const auto hit = fresh_lookup(browser, r)) {
+    // A stale local erase leaves a dangling index entry; sweep it.
+    serve(r, latency_.cache_read(r.size, hit->tier),
+          &metrics_.local_browser_hits);
+    return;
+  }
+  if (idx && idx->holds(r.client, r.doc) && !browser.contains(r.doc)) {
+    idx->remove(r.client, r.doc);  // stale copy was just dropped above
+  }
+
+  const auto fill_browser = [&] {
+    if (browser.insert(r.doc, r.size) && idx) idx->add(r.client, r.doc);
+  };
+
+  // 2. Own leaf proxy.
+  if (const auto hit = fresh_lookup(leaves_[leaf], r)) {
+    serve(r,
+          latency_.cache_read(r.size, hit->tier) + lan_.transfer_time(r.size),
+          &metrics_.leaf_proxy_hits);
+    fill_browser();
+    return;
+  }
+
+  // 3. Browsers-aware: this leaf's browser index.
+  if (idx) {
+    if (const auto holder = idx->find_holder(r.doc, r.client)) {
+      cache::TieredCache& remote = browsers_[*holder];
+      const auto remote_size = remote.peek_size(r.doc);
+      if (remote_size && *remote_size == r.size) {
+        const auto hit = remote.touch(r.doc);
+        const auto x = lan_.transfer(r.timestamp, r.size);
+        serve(r,
+              latency_.cache_read(r.size, hit->tier) + x.transfer_s + x.wait_s,
+              &metrics_.remote_browser_hits);
+        fill_browser();
+        return;
+      }
+    }
+  }
+
+  // 4. Sibling leaf proxies (ICP-style: query all, fetch from a holder).
+  if (config_.sibling_cooperation) {
+    for (std::uint32_t s = 0; s < leaves_.size(); ++s) {
+      if (s == leaf) continue;
+      if (const auto hit = fresh_lookup(leaves_[s], r)) {
+        const auto x = lan_.transfer(r.timestamp, r.size);
+        serve(r,
+              latency_.cache_read(r.size, hit->tier) + x.transfer_s +
+                  x.wait_s + lan_.transfer_time(r.size),
+              &metrics_.sibling_proxy_hits);
+        // The requesting leaf caches the sibling's copy (standard ICP).
+        leaves_[leaf].erase(r.doc);
+        leaves_[leaf].insert(r.doc, r.size);
+        fill_browser();
+        return;
+      }
+    }
+  }
+
+  // 5. Parent proxy.
+  if (const auto hit = fresh_lookup(parent_, r)) {
+    serve(r,
+          latency_.cache_read(r.size, hit->tier) +
+              2.0 * lan_.transfer_time(r.size),
+          &metrics_.parent_proxy_hits);
+    leaves_[leaf].erase(r.doc);
+    leaves_[leaf].insert(r.doc, r.size);
+    fill_browser();
+    return;
+  }
+
+  // 6. Origin.
+  metrics_.hits.miss();
+  metrics_.byte_hits.miss(r.size);
+  ++metrics_.misses;
+  metrics_.total_service_time_s += latency_.origin_fetch(r.size);
+  parent_.erase(r.doc);
+  parent_.insert(r.doc, r.size);
+  leaves_[leaf].erase(r.doc);
+  leaves_[leaf].insert(r.doc, r.size);
+  fill_browser();
+}
+
+HierarchyMetrics run_hierarchy(const HierarchyConfig& config,
+                               const trace::Trace& trace) {
+  HierarchySim sim(config, trace.num_clients());
+  for (const trace::Request& r : trace.requests()) sim.process(r);
+  return sim.metrics();
+}
+
+}  // namespace baps::sim

@@ -1,0 +1,98 @@
+// Multi-proxy hierarchy extension.
+//
+// The paper situates BAPS inside the standard late-90s caching hierarchy
+// ("the proxy will immediately send the request to its cooperative caches,
+// if any, or to an upper level proxy cache, or to the web server") and its
+// journal follow-up (Xiao, Zhang & Xu, TKDE 2004) grew the idea into a
+// hybrid proxy+browser P2P system. This module implements that larger
+// topology so the composition question can be measured:
+//
+//   clients → leaf proxy (per group) → [sibling proxies, ICP-style]
+//           → parent proxy → origin
+//
+// with browsers-awareness optionally enabled at each leaf. Clients are
+// partitioned across leaves; sibling cooperation queries the other leaves'
+// caches on a leaf miss (one LAN hop, like a remote-browser hit); the
+// parent is a shared second-level cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/browser_index.hpp"
+#include "sim/organization.hpp"
+
+namespace baps::sim {
+
+struct HierarchyConfig {
+  std::uint32_t num_leaf_proxies = 4;
+  bool sibling_cooperation = false;  ///< ICP-style sibling queries
+  bool browsers_aware = false;       ///< BAPS at each leaf
+
+  std::uint64_t leaf_cache_bytes = 0;
+  std::uint64_t parent_cache_bytes = 0;
+  std::vector<std::uint64_t> browser_cache_bytes;  ///< per client
+
+  cache::PolicyKind policy = cache::PolicyKind::kLru;
+  double memory_fraction = 0.1;
+  net::LanParams lan{};
+  LatencyParams latency{};
+};
+
+/// Where a request was served from, hierarchy edition.
+struct HierarchyMetrics {
+  baps::RatioCounter hits;
+  baps::RatioCounter byte_hits;
+
+  std::uint64_t local_browser_hits = 0;
+  std::uint64_t leaf_proxy_hits = 0;
+  std::uint64_t remote_browser_hits = 0;
+  std::uint64_t sibling_proxy_hits = 0;
+  std::uint64_t parent_proxy_hits = 0;
+  std::uint64_t misses = 0;
+
+  double total_service_time_s = 0.0;
+
+  double hit_ratio() const { return hits.ratio(); }
+  double byte_hit_ratio() const { return byte_hits.ratio(); }
+};
+
+/// Trace-driven simulation of the hierarchy. Clients are assigned to leaf
+/// proxy (client id mod num_leaf_proxies).
+class HierarchySim {
+ public:
+  HierarchySim(const HierarchyConfig& config, std::uint32_t num_clients);
+
+  void process(const trace::Request& r);
+  const HierarchyMetrics& metrics() const { return metrics_; }
+
+  std::uint32_t leaf_of(trace::ClientId client) const {
+    return client % config_.num_leaf_proxies;
+  }
+
+ private:
+  /// Size-change-aware lookup (erases stale copies, counts nothing).
+  static std::optional<cache::TieredLookup> fresh_lookup(
+      cache::TieredCache& cache, const trace::Request& r);
+
+  void serve(const trace::Request& r, double latency_s,
+             std::uint64_t* counter);
+
+  HierarchyConfig config_;
+  LatencyModel latency_;
+  net::LanModel lan_;
+  std::vector<cache::TieredCache> browsers_;
+  std::vector<cache::TieredCache> leaves_;
+  cache::TieredCache parent_;
+  // One browser index per leaf (a leaf only knows its own clients).
+  std::vector<std::unique_ptr<index::BrowserIndex>> indexes_;
+  HierarchyMetrics metrics_;
+};
+
+/// Convenience runner.
+HierarchyMetrics run_hierarchy(const HierarchyConfig& config,
+                               const trace::Trace& trace);
+
+}  // namespace baps::sim

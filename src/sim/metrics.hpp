@@ -1,0 +1,89 @@
+// Simulation metrics: everything the paper's figures and overhead tables
+// report, gathered in one result struct.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "util/stats.hpp"
+
+namespace baps::sim {
+
+/// Where a request was served from.
+enum class HitLocation { kLocalBrowser, kProxy, kRemoteBrowser, kMiss };
+
+struct Metrics {
+  // --- headline ratios (Figures 2, 4–7) ---------------------------------
+  baps::RatioCounter hits;        ///< request-weighted
+  baps::RatioCounter byte_hits;   ///< byte-weighted
+
+  // --- hit-location breakdowns (Figure 3) -------------------------------
+  std::uint64_t local_browser_hits = 0;
+  std::uint64_t proxy_hits = 0;
+  std::uint64_t remote_browser_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t local_browser_hit_bytes = 0;
+  std::uint64_t proxy_hit_bytes = 0;
+  std::uint64_t remote_browser_hit_bytes = 0;
+  std::uint64_t miss_bytes = 0;
+
+  // --- memory-tier accounting (§4.2) -------------------------------------
+  std::uint64_t memory_hit_bytes = 0;  ///< hit bytes served from RAM tiers
+  std::uint64_t disk_hit_bytes = 0;    ///< hit bytes served from disk tiers
+
+  // --- size-change misses (§3.2 rule) ------------------------------------
+  std::uint64_t size_change_misses = 0;
+
+  // --- overheads (§5) -----------------------------------------------------
+  double remote_transfer_time_s = 0.0;   ///< LAN time for remote-browser hits
+  double remote_contention_time_s = 0.0; ///< bus waiting for those transfers
+  std::uint64_t remote_transfer_bytes = 0;
+  std::uint64_t index_messages = 0;      ///< browser→proxy index traffic
+  std::uint64_t false_forwards = 0;      ///< index said yes, browser said no
+  std::uint64_t stale_remote_probes = 0; ///< remote copy had changed size
+
+  // --- service time (denominator for §5's "portion of total workload
+  //     service time") ----------------------------------------------------
+  double total_service_time_s = 0.0;
+  double total_hit_latency_s = 0.0;  ///< service time excluding miss fetches
+
+  /// Per-request service-time distribution, log10-seconds over [1 µs, 1000 s)
+  /// — spans memory reads through WAN fetches of tail documents.
+  baps::Histogram log_latency{-6.0, 3.0, 90};
+
+  void observe_latency(double seconds) {
+    log_latency.add(std::log10(std::max(seconds, 1e-9)));
+  }
+  /// Request-latency quantile in seconds (bucket resolution).
+  double latency_quantile(double q) const {
+    return std::pow(10.0, log_latency.quantile(q));
+  }
+
+  // Derived helpers ---------------------------------------------------------
+  double hit_ratio() const { return hits.ratio(); }
+  double byte_hit_ratio() const { return byte_hits.ratio(); }
+
+  /// Fraction of hit *bytes* served from memory tiers, normalized by total
+  /// requested bytes (the paper's "memory byte hit ratio").
+  double memory_byte_hit_ratio() const {
+    const auto total = byte_hits.total();
+    return total ? static_cast<double>(memory_hit_bytes) /
+                       static_cast<double>(total)
+                 : 0.0;
+  }
+
+  double remote_overhead_fraction() const {
+    return total_service_time_s > 0.0
+               ? (remote_transfer_time_s + remote_contention_time_s) /
+                     total_service_time_s
+               : 0.0;
+  }
+
+  double contention_fraction_of_comm() const {
+    const double comm = remote_transfer_time_s + remote_contention_time_s;
+    return comm > 0.0 ? remote_contention_time_s / comm : 0.0;
+  }
+};
+
+}  // namespace baps::sim

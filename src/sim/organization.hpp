@@ -1,0 +1,82 @@
+// The five web caching organizations of §3.2, behind one interface.
+//
+// An Organization consumes a trace request-by-request, maintains whatever
+// caches/indexes its scheme prescribes, and accumulates Metrics. All five
+// share the §3.2 ground rules:
+//   * replacement policy per SimConfig (the paper: LRU);
+//   * a hit on a document whose size has changed counts as a miss and the
+//     stale copy is discarded;
+//   * caches are two-tier (RAM/disk) for §4.2's memory accounting.
+//
+// Latency/overhead accounting (§4.2, §5):
+//   * local browser hit: tiered cache read;
+//   * proxy hit: tiered read at the proxy + an uncontended LAN delivery to
+//     the client;
+//   * remote browser hit: tiered read at the peer + a *shared-bus* LAN
+//     transfer (one hop direct, two hops when relayed via the proxy) — only
+//     these transfers contend, matching the paper's overhead definition;
+//   * miss: WAN origin fetch.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cache/tiered_cache.hpp"
+#include "net/lan_model.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "trace/record.hpp"
+
+namespace baps::sim {
+
+class Organization {
+ public:
+  static std::unique_ptr<Organization> create(OrgKind kind,
+                                              const SimConfig& config,
+                                              std::uint32_t num_clients);
+
+  virtual ~Organization() = default;
+
+  virtual OrgKind kind() const = 0;
+
+  /// Processes one trace request. Requests must arrive in trace order.
+  virtual void process(const trace::Request& r) = 0;
+
+  /// End-of-trace hook (flush index protocols, close accounting).
+  virtual void finish() {}
+
+  const Metrics& metrics() const { return metrics_; }
+
+ protected:
+  Organization(const SimConfig& config, std::uint32_t num_clients);
+
+  /// Looks up `r.doc` in `cache` applying the size-change rule: a cached
+  /// copy at a different size is erased and reported as a miss
+  /// (metrics_.size_change_misses incremented). `on_stale_erase` fires when
+  /// that happens, so index-maintaining organizations can propagate the
+  /// removal.
+  std::optional<cache::TieredLookup> lookup_current(
+      cache::TieredCache& cache, const trace::Request& r,
+      const std::function<void(trace::DocId)>& on_stale_erase = nullptr);
+
+  void record_local_browser_hit(const trace::Request& r, cache::HitTier tier);
+  void record_proxy_hit(const trace::Request& r, cache::HitTier tier);
+  /// hops: 1 for direct client→client forwarding, 2 for proxy relay.
+  void record_remote_browser_hit(const trace::Request& r, cache::HitTier tier,
+                                 int hops);
+  void record_miss(const trace::Request& r);
+
+  void count_memory_bytes(const trace::Request& r, cache::HitTier tier);
+
+  SimConfig config_;
+  std::uint32_t num_clients_;
+  LatencyModel latency_;
+  net::LanModel lan_;
+  Metrics metrics_;
+};
+
+/// Convenience: run a whole trace through a fresh organization.
+Metrics run_organization(OrgKind kind, const SimConfig& config,
+                         const trace::Trace& trace);
+
+}  // namespace baps::sim

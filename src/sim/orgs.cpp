@@ -1,0 +1,252 @@
+#include "sim/orgs.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::sim {
+namespace {
+
+std::vector<cache::TieredCache> make_browsers(const SimConfig& config,
+                                              std::uint32_t num_clients) {
+  BAPS_REQUIRE(config.browser_cache_bytes.size() == num_clients,
+               "need one browser cache size per client");
+  std::vector<cache::TieredCache> browsers;
+  browsers.reserve(num_clients);
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    browsers.emplace_back(config.browser_cache_bytes[c],
+                          config.memory_fraction, config.policy);
+  }
+  return browsers;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// 1. proxy-cache-only
+
+ProxyOnlyOrg::ProxyOnlyOrg(const SimConfig& config, std::uint32_t num_clients)
+    : Organization(config, num_clients),
+      proxy_(config.proxy_cache_bytes, config.memory_fraction, config.policy) {}
+
+void ProxyOnlyOrg::process(const trace::Request& r) {
+  if (const auto hit = lookup_current(proxy_, r)) {
+    record_proxy_hit(r, hit->tier);
+    return;
+  }
+  record_miss(r);
+  proxy_.insert(r.doc, r.size);
+}
+
+// ---------------------------------------------------------------------------
+// 2. local-browser-cache-only
+
+LocalBrowserOnlyOrg::LocalBrowserOnlyOrg(const SimConfig& config,
+                                         std::uint32_t num_clients)
+    : Organization(config, num_clients),
+      browsers_(make_browsers(config, num_clients)) {}
+
+void LocalBrowserOnlyOrg::process(const trace::Request& r) {
+  cache::TieredCache& browser = browsers_[r.client];
+  if (const auto hit = lookup_current(browser, r)) {
+    record_local_browser_hit(r, hit->tier);
+    return;
+  }
+  record_miss(r);
+  browser.insert(r.doc, r.size);
+}
+
+// ---------------------------------------------------------------------------
+// 3. global-browsers-cache-only
+
+GlobalBrowsersOnlyOrg::GlobalBrowsersOnlyOrg(const SimConfig& config,
+                                             std::uint32_t num_clients)
+    : Organization(config, num_clients),
+      browsers_(make_browsers(config, num_clients)),
+      index_(num_clients) {
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    browsers_[c].set_eviction_listener(
+        [this, c](trace::DocId doc, std::uint64_t) { index_.remove(c, doc); });
+  }
+}
+
+void GlobalBrowsersOnlyOrg::fill_browser(trace::ClientId client,
+                                         const trace::Request& r) {
+  if (browsers_[client].insert(r.doc, r.size)) index_.add(client, r.doc);
+}
+
+void GlobalBrowsersOnlyOrg::process(const trace::Request& r) {
+  cache::TieredCache& browser = browsers_[r.client];
+  const auto on_stale = [this, &r](trace::DocId doc) {
+    index_.remove(r.client, doc);
+  };
+  if (const auto hit = lookup_current(browser, r, on_stale)) {
+    record_local_browser_hit(r, hit->tier);
+    return;
+  }
+  // Replicated index lookup: one remote probe, direct client→client forward.
+  if (const auto holder = index_.find_holder(r.doc, r.client)) {
+    cache::TieredCache& remote = browsers_[*holder];
+    const auto remote_size = remote.peek_size(r.doc);
+    BAPS_ENSURE(remote_size.has_value(),
+                "immediate index out of sync with browser cache");
+    if (*remote_size == r.size) {
+      const auto hit = remote.touch(r.doc);
+      record_remote_browser_hit(r, hit->tier, /*hops=*/1);
+      // §3.2 item 3: the requester does NOT cache a document fetched from
+      // another browser in this organization.
+      return;
+    }
+    ++metrics_.stale_remote_probes;
+  }
+  record_miss(r);
+  fill_browser(r.client, r);
+}
+
+// ---------------------------------------------------------------------------
+// 4. proxy-and-local-browser
+
+ProxyAndLocalBrowserOrg::ProxyAndLocalBrowserOrg(const SimConfig& config,
+                                                 std::uint32_t num_clients)
+    : Organization(config, num_clients),
+      browsers_(make_browsers(config, num_clients)),
+      proxy_(config.proxy_cache_bytes, config.memory_fraction, config.policy) {}
+
+void ProxyAndLocalBrowserOrg::fill_browser(trace::ClientId client,
+                                           const trace::Request& r) {
+  browsers_[client].insert(r.doc, r.size);
+}
+
+void ProxyAndLocalBrowserOrg::process(const trace::Request& r) {
+  cache::TieredCache& browser = browsers_[r.client];
+  if (const auto hit = lookup_current(browser, r)) {
+    record_local_browser_hit(r, hit->tier);
+    return;
+  }
+  if (const auto hit = lookup_current(proxy_, r)) {
+    record_proxy_hit(r, hit->tier);
+    fill_browser(r.client, r);  // the document passes through the browser
+    return;
+  }
+  record_miss(r);
+  proxy_.insert(r.doc, r.size);
+  fill_browser(r.client, r);
+}
+
+// ---------------------------------------------------------------------------
+// 5. browsers-aware-proxy-server
+
+BrowsersAwareOrg::BrowsersAwareOrg(const SimConfig& config,
+                                   std::uint32_t num_clients)
+    : Organization(config, num_clients),
+      browsers_(make_browsers(config, num_clients)),
+      proxy_(config.proxy_cache_bytes, config.memory_fraction,
+             config.policy) {
+  if (config.index_kind == IndexKind::kExact) {
+    exact_index_ = std::make_unique<index::BrowserIndex>(num_clients);
+    if (config.index_mode == IndexMode::kImmediate) {
+      protocol_ =
+          std::make_unique<index::ImmediateUpdateProtocol>(*exact_index_);
+    } else {
+      protocol_ = std::make_unique<index::PeriodicUpdateProtocol>(
+          *exact_index_, num_clients, config.index_threshold);
+    }
+  } else {
+    summary_index_ = std::make_unique<index::SummaryIndex>(
+        num_clients, config.bloom_expected_docs_per_client,
+        config.bloom_target_fp);
+  }
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    browsers_[c].set_eviction_listener(
+        [this, c](trace::DocId doc, std::uint64_t) {
+          index_remove(c, doc);
+        });
+  }
+}
+
+void BrowsersAwareOrg::index_insert(trace::ClientId client,
+                                    trace::DocId doc) {
+  if (protocol_) {
+    protocol_->on_cache_insert(client, doc);
+  } else {
+    summary_index_->add(client, doc);
+    ++summary_messages_;
+  }
+}
+
+void BrowsersAwareOrg::index_remove(trace::ClientId client,
+                                    trace::DocId doc) {
+  if (protocol_) {
+    protocol_->on_cache_remove(client, doc);
+  } else {
+    summary_index_->remove(client, doc);
+    ++summary_messages_;
+  }
+}
+
+std::optional<trace::ClientId> BrowsersAwareOrg::index_lookup(
+    trace::DocId doc, trace::ClientId requester) const {
+  if (exact_index_) return exact_index_->find_holder(doc, requester);
+  return summary_index_->find_candidate(doc, requester);
+}
+
+std::uint64_t BrowsersAwareOrg::index_bytes() const {
+  if (exact_index_) {
+    // 16-byte MD5 signature + client id + timestamp/TTL, per §5.
+    return exact_index_->entry_count() * (16 + 4 + 4);
+  }
+  return summary_index_->byte_size();
+}
+
+void BrowsersAwareOrg::fill_browser(trace::ClientId client,
+                                    const trace::Request& r) {
+  if (browsers_[client].insert(r.doc, r.size)) {
+    index_insert(client, r.doc);
+  }
+}
+
+void BrowsersAwareOrg::process(const trace::Request& r) {
+  cache::TieredCache& browser = browsers_[r.client];
+  const auto on_stale = [this, &r](trace::DocId doc) {
+    index_remove(r.client, doc);
+  };
+  if (const auto hit = lookup_current(browser, r, on_stale)) {
+    record_local_browser_hit(r, hit->tier);
+    return;
+  }
+  if (const auto hit = lookup_current(proxy_, r)) {
+    record_proxy_hit(r, hit->tier);
+    fill_browser(r.client, r);
+    return;
+  }
+  // Proxy and local caches missed: consult the browser index (§2).
+  if (const auto holder = index_lookup(r.doc, r.client)) {
+    cache::TieredCache& remote = browsers_[*holder];
+    const auto remote_size = remote.peek_size(r.doc);
+    if (!remote_size) {
+      // Stale index entry (periodic mode) or Bloom false positive: the
+      // probe comes back empty.
+      ++metrics_.false_forwards;
+    } else if (*remote_size == r.size) {
+      const auto hit = remote.touch(r.doc);
+      const int hops = config_.relay_via_proxy ? 2 : 1;
+      record_remote_browser_hit(r, hit->tier, hops);
+      fill_browser(r.client, r);  // the requester's browser keeps a copy
+      return;
+    } else {
+      ++metrics_.stale_remote_probes;
+    }
+  }
+  record_miss(r);
+  proxy_.insert(r.doc, r.size);
+  fill_browser(r.client, r);
+}
+
+void BrowsersAwareOrg::finish() {
+  if (protocol_) {
+    protocol_->flush_all();
+    metrics_.index_messages = protocol_->messages_sent();
+  } else {
+    metrics_.index_messages = summary_messages_;
+  }
+}
+
+}  // namespace baps::sim

@@ -1,0 +1,96 @@
+// Concrete implementations of the five caching organizations (§3.2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "index/browser_index.hpp"
+#include "index/summary_index.hpp"
+#include "index/update_protocol.hpp"
+#include "sim/organization.hpp"
+
+namespace baps::sim {
+
+/// 1. proxy-cache-only: no browser caches; every request goes to the proxy.
+class ProxyOnlyOrg final : public Organization {
+ public:
+  ProxyOnlyOrg(const SimConfig& config, std::uint32_t num_clients);
+  OrgKind kind() const override { return OrgKind::kProxyOnly; }
+  void process(const trace::Request& r) override;
+
+ private:
+  cache::TieredCache proxy_;
+};
+
+/// 2. local-browser-cache-only: private browser caches, no proxy.
+class LocalBrowserOnlyOrg final : public Organization {
+ public:
+  LocalBrowserOnlyOrg(const SimConfig& config, std::uint32_t num_clients);
+  OrgKind kind() const override { return OrgKind::kLocalBrowserOnly; }
+  void process(const trace::Request& r) override;
+
+ private:
+  std::vector<cache::TieredCache> browsers_;
+};
+
+/// 3. global-browsers-cache-only: browser caches shared through a replicated
+/// index, no proxy cache. A browser does NOT cache documents fetched from
+/// another browser (§3.2 item 3).
+class GlobalBrowsersOnlyOrg final : public Organization {
+ public:
+  GlobalBrowsersOnlyOrg(const SimConfig& config, std::uint32_t num_clients);
+  OrgKind kind() const override { return OrgKind::kGlobalBrowsersOnly; }
+  void process(const trace::Request& r) override;
+
+ private:
+  void fill_browser(trace::ClientId client, const trace::Request& r);
+
+  std::vector<cache::TieredCache> browsers_;
+  index::BrowserIndex index_;
+};
+
+/// 4. proxy-and-local-browser: the conventional hierarchy.
+class ProxyAndLocalBrowserOrg final : public Organization {
+ public:
+  ProxyAndLocalBrowserOrg(const SimConfig& config, std::uint32_t num_clients);
+  OrgKind kind() const override { return OrgKind::kProxyAndLocalBrowser; }
+  void process(const trace::Request& r) override;
+
+ private:
+  void fill_browser(trace::ClientId client, const trace::Request& r);
+
+  std::vector<cache::TieredCache> browsers_;
+  cache::TieredCache proxy_;
+};
+
+/// 5. browsers-aware-proxy-server: hierarchy + browser index + remote hits.
+class BrowsersAwareOrg final : public Organization {
+ public:
+  BrowsersAwareOrg(const SimConfig& config, std::uint32_t num_clients);
+  OrgKind kind() const override { return OrgKind::kBrowsersAware; }
+  void process(const trace::Request& r) override;
+  void finish() override;
+
+  /// Bytes the proxy spends on the index in this configuration (for the §5
+  /// footprint comparisons): exact entries at 24 B each, or the summary
+  /// filters' actual size.
+  std::uint64_t index_bytes() const;
+
+ private:
+  void fill_browser(trace::ClientId client, const trace::Request& r);
+  void index_insert(trace::ClientId client, trace::DocId doc);
+  void index_remove(trace::ClientId client, trace::DocId doc);
+  /// The index's best candidate holder for `doc`, or nullopt.
+  std::optional<trace::ClientId> index_lookup(trace::DocId doc,
+                                              trace::ClientId requester) const;
+
+  std::vector<cache::TieredCache> browsers_;
+  cache::TieredCache proxy_;
+  // Exactly one of the two indexes is active, per config_.index_kind.
+  std::unique_ptr<index::BrowserIndex> exact_index_;
+  std::unique_ptr<index::UpdateProtocol> protocol_;  // exact mode only
+  std::unique_ptr<index::SummaryIndex> summary_index_;
+  std::uint64_t summary_messages_ = 0;
+};
+
+}  // namespace baps::sim

@@ -1,0 +1,124 @@
+#include "sim/ttl_study.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::sim {
+namespace {
+
+/// One TTL-enforcing cache layer plus its bookkeeping.
+class TtlLayer {
+ public:
+  TtlLayer(std::uint64_t capacity, cache::PolicyKind policy, double ttl,
+           TtlStudyMetrics& metrics)
+      : cache_(capacity, policy), ttl_(ttl), metrics_(metrics) {
+    cache_.set_expiry_listener([this](trace::DocId) {
+      ++metrics_.expirations;
+    });
+  }
+
+  cache::ExpiringCache& cache() { return cache_; }
+
+  /// Serves whatever copy is cached and unexpired — stale or not. Returns
+  /// the cached size.
+  std::optional<std::uint64_t> lookup(const trace::Request& r) {
+    return cache_.touch(r.doc, r.timestamp);
+  }
+
+  bool fill(const trace::Request& r) {
+    cache_.erase(r.doc);  // replace any expired-or-stale leftover record
+    const double expires_at =
+        ttl_ == cache::ExpiringCache::kNeverExpires
+            ? cache::ExpiringCache::kNeverExpires
+            : r.timestamp + ttl_;
+    return cache_.insert(r.doc, r.size, expires_at);
+  }
+
+ private:
+  cache::ExpiringCache cache_;
+  double ttl_;
+  TtlStudyMetrics& metrics_;
+};
+
+}  // namespace
+
+TtlStudyMetrics run_ttl_study(const TtlStudyConfig& config,
+                              const trace::Trace& trace) {
+  BAPS_REQUIRE(config.browser_cache_bytes.size() == trace.num_clients(),
+               "need one browser cache size per client");
+  BAPS_REQUIRE(config.ttl_seconds > 0.0, "ttl must be positive");
+  TtlStudyMetrics metrics;
+
+  TtlLayer proxy(config.proxy_cache_bytes, config.policy, config.ttl_seconds,
+                 metrics);
+  std::vector<TtlLayer> browsers;
+  browsers.reserve(trace.num_clients());
+  for (std::uint32_t c = 0; c < trace.num_clients(); ++c) {
+    browsers.emplace_back(config.browser_cache_bytes[c], config.policy,
+                          config.ttl_seconds, metrics);
+  }
+  index::BrowserIndex index(trace.num_clients());
+  if (config.browsers_aware) {
+    for (std::uint32_t c = 0; c < trace.num_clients(); ++c) {
+      browsers[c].cache().set_eviction_listener(
+          [&index, c](trace::DocId doc, std::uint64_t) {
+            index.remove(c, doc);
+          });
+      browsers[c].cache().set_expiry_listener(
+          [&index, &metrics, c](trace::DocId doc) {
+            index.remove(c, doc);
+            ++metrics.expirations;
+          });
+    }
+  }
+
+  const auto record_hit = [&](const trace::Request& r,
+                              std::uint64_t served_size, bool remote) {
+    metrics.hits.hit();
+    if (remote) ++metrics.remote_hits;
+    if (served_size == r.size) {
+      ++metrics.fresh_hits;
+    } else {
+      ++metrics.stale_hits;
+      if (remote) ++metrics.stale_remote_hits;
+    }
+  };
+
+  for (const trace::Request& r : trace.requests()) {
+    TtlLayer& browser = browsers[r.client];
+    // No oracle anywhere: whatever unexpired copy exists gets served.
+    if (const auto size = browser.lookup(r)) {
+      record_hit(r, *size, /*remote=*/false);
+      continue;
+    }
+    if (const auto size = proxy.lookup(r)) {
+      record_hit(r, *size, /*remote=*/false);
+      if (browser.fill(trace::Request{r.timestamp, r.client, r.doc, *size}) &&
+          config.browsers_aware) {
+        index.add(r.client, r.doc);
+      }
+      continue;
+    }
+    if (config.browsers_aware) {
+      if (const auto holder = index.find_holder(r.doc, r.client)) {
+        if (const auto size = browsers[*holder].lookup(r)) {
+          record_hit(r, *size, /*remote=*/true);
+          if (browser.fill(
+                  trace::Request{r.timestamp, r.client, r.doc, *size})) {
+            index.add(r.client, r.doc);
+          }
+          continue;
+        }
+        index.remove(*holder, r.doc);  // expired under us: repair the index
+      }
+    }
+    // Origin fetch: always fresh, fills proxy + browser.
+    metrics.hits.miss();
+    proxy.fill(r);
+    if (browser.fill(r) && config.browsers_aware) {
+      index.add(r.client, r.doc);
+    }
+  }
+  return metrics;
+}
+
+}  // namespace baps::sim

@@ -1,0 +1,62 @@
+// TTL consistency study.
+//
+// The paper's simulator detects document changes by oracle: it knows the
+// current size of every document and counts a hit on a changed document as
+// a miss (§3.2). A real browsers-aware deployment has no such oracle — a
+// cached copy (local, proxy, or a *peer's* browser copy, which §6 worries
+// about explicitly) is served as long as it is cached, however stale. The
+// classical defense is the TTL the paper's index entries carry (§2):
+// expire copies after a bound, trading refetches for freshness.
+//
+// This simulator runs the browsers-aware organization WITHOUT the oracle,
+// with every cache layer TTL-enforcing (cache::ExpiringCache), and measures
+// the tradeoff: stale hits served vs hit ratio as the TTL sweeps from
+// infinite (maximum staleness) toward zero (no caching at all).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/expiring_cache.hpp"
+#include "index/browser_index.hpp"
+#include "trace/record.hpp"
+#include "util/stats.hpp"
+
+namespace baps::sim {
+
+struct TtlStudyConfig {
+  std::uint64_t proxy_cache_bytes = 0;
+  std::vector<std::uint64_t> browser_cache_bytes;
+  cache::PolicyKind policy = cache::PolicyKind::kLru;
+  /// Uniform TTL assigned to every cached copy, seconds;
+  /// ExpiringCache::kNeverExpires disables expiry.
+  double ttl_seconds = cache::ExpiringCache::kNeverExpires;
+  /// If false, run plain proxy-and-local-browser (no peer serving).
+  bool browsers_aware = true;
+};
+
+struct TtlStudyMetrics {
+  baps::RatioCounter hits;   ///< requests served from any cache
+  std::uint64_t fresh_hits = 0;
+  /// Hits that served a copy whose size no longer matches the live
+  /// document — the consistency violations the oracle rule hides.
+  std::uint64_t stale_hits = 0;
+  std::uint64_t stale_remote_hits = 0;  ///< stale copies served peer-to-peer
+  std::uint64_t remote_hits = 0;
+  std::uint64_t expirations = 0;        ///< copies reclaimed by TTL
+
+  double hit_ratio() const { return hits.ratio(); }
+  double stale_hit_fraction() const {
+    return hits.hits() ? static_cast<double>(stale_hits) /
+                             static_cast<double>(hits.hits())
+                       : 0.0;
+  }
+};
+
+/// Runs the study over a trace. Request sizes are the live document sizes
+/// (the generator guarantees this), so "stale" is checkable by comparing a
+/// cached copy's recorded size against the request's.
+TtlStudyMetrics run_ttl_study(const TtlStudyConfig& config,
+                              const trace::Trace& trace);
+
+}  // namespace baps::sim

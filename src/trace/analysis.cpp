@@ -1,0 +1,151 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace baps::trace {
+namespace {
+
+/// Fenwick tree over access positions; supports point update and suffix sum.
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t pos, int delta) {
+    for (std::size_t i = pos + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Sum of [0, pos].
+  std::int64_t prefix(std::size_t pos) const {
+    std::int64_t s = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1)) s += tree_[i];
+    return s;
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+double PopularityCurve::head_mass(double fraction) const {
+  BAPS_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+               "fraction must be in [0,1]");
+  if (counts.empty() || total_requests == 0) return 0.0;
+  const auto head = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(counts.size())));
+  std::uint64_t mass = 0;
+  for (std::size_t i = 0; i < head && i < counts.size(); ++i) {
+    mass += counts[i];
+  }
+  return static_cast<double>(mass) / static_cast<double>(total_requests);
+}
+
+double PopularityCurve::fitted_zipf_alpha(std::size_t ranks) const {
+  const std::size_t n = std::min(ranks, counts.size());
+  if (n < 2) return 0.0;
+  // Least squares on (x, y) = (log(rank+1), log(count)); slope = -alpha.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t used = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (counts[r] == 0) break;
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(static_cast<double>(counts[r]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++used;
+  }
+  if (used < 2) return 0.0;
+  const double m = static_cast<double>(used);
+  const double denom = m * sxx - sx * sx;
+  if (denom <= 0.0) return 0.0;
+  return -(m * sxy - sx * sy) / denom;
+}
+
+PopularityCurve popularity_of(const Trace& trace) {
+  std::unordered_map<DocId, std::uint64_t> counts;
+  for (const Request& r : trace.requests()) ++counts[r.doc];
+  PopularityCurve out;
+  out.total_requests = trace.size();
+  out.counts.reserve(counts.size());
+  for (const auto& [doc, n] : counts) out.counts.push_back(n);
+  std::sort(out.counts.begin(), out.counts.end(), std::greater<>());
+  return out;
+}
+
+double StackDistanceHistogram::median_distance() const {
+  if (rereferences == 0) return 0.0;
+  const std::uint64_t target = (rereferences + 1) / 2;
+  std::uint64_t running = 0;
+  for (std::size_t k = 0; k < buckets.size(); ++k) {
+    running += buckets[k];
+    if (running >= target) return std::pow(2.0, static_cast<double>(k));
+  }
+  return std::pow(2.0, static_cast<double>(buckets.size()));
+}
+
+StackDistanceHistogram stack_distances_of(const Trace& trace) {
+  StackDistanceHistogram out;
+  const std::size_t n = trace.size();
+  Fenwick active(n);  // 1 at the most-recent access position of each doc
+  std::unordered_map<DocId, std::size_t> last_pos;
+  last_pos.reserve(n / 2);
+
+  for (std::size_t t = 0; t < n; ++t) {
+    const DocId doc = trace.requests()[t].doc;
+    const auto it = last_pos.find(doc);
+    if (it == last_pos.end()) {
+      ++out.cold_misses;
+    } else {
+      // Stack distance = #distinct docs accessed strictly after last_pos =
+      // suffix count of active markers in (last_pos, t).
+      const std::int64_t after =
+          active.prefix(t > 0 ? t - 1 : 0) - active.prefix(it->second);
+      const auto distance = static_cast<std::uint64_t>(after);
+      std::size_t bucket = 0;
+      while ((1ULL << (bucket + 1)) <= distance + 1) ++bucket;
+      if (out.buckets.size() <= bucket) out.buckets.resize(bucket + 1, 0);
+      ++out.buckets[bucket];
+      ++out.rereferences;
+      active.add(it->second, -1);
+    }
+    active.add(t, +1);
+    last_pos[doc] = t;
+  }
+  return out;
+}
+
+SharingStats sharing_of(const Trace& trace) {
+  std::unordered_map<DocId, std::unordered_set<ClientId>> clients_of;
+  std::unordered_map<DocId, std::uint64_t> requests_of;
+  for (const Request& r : trace.requests()) {
+    clients_of[r.doc].insert(r.client);
+    ++requests_of[r.doc];
+  }
+  SharingStats out;
+  out.total_requests = trace.size();
+  out.unique_docs = clients_of.size();
+  std::uint64_t client_sum = 0;
+  for (const auto& [doc, clients] : clients_of) {
+    client_sum += clients.size();
+    if (clients.size() >= 2) {
+      ++out.shared_docs;
+      out.requests_to_shared += requests_of.at(doc);
+    }
+  }
+  if (out.unique_docs > 0) {
+    out.mean_clients_per_doc = static_cast<double>(client_sum) /
+                               static_cast<double>(out.unique_docs);
+  }
+  return out;
+}
+
+}  // namespace baps::trace

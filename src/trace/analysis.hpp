@@ -1,0 +1,74 @@
+// Workload characterization: the classical web-trace analyses (popularity
+// skew, LRU stack distances, cross-client sharing) used to validate the
+// synthetic presets against the published properties of the paper's traces
+// — Zipf-like popularity, strong temporal locality, and a substantial
+// sharable working set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace baps::trace {
+
+// ---------------------------------------------------------------------------
+// Popularity.
+
+struct PopularityCurve {
+  /// Per-document request counts, sorted descending (rank order).
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total_requests = 0;
+
+  /// Fraction of all requests absorbed by the top `fraction` of documents.
+  double head_mass(double fraction) const;
+
+  /// Least-squares slope of log(count) vs log(rank+1) over the busiest
+  /// `ranks` documents — the fitted Zipf alpha (positive).
+  double fitted_zipf_alpha(std::size_t ranks = 1000) const;
+};
+
+PopularityCurve popularity_of(const Trace& trace);
+
+// ---------------------------------------------------------------------------
+// Temporal locality: LRU stack distances.
+
+struct StackDistanceHistogram {
+  /// buckets[k] counts re-references with stack distance in [2^k, 2^{k+1}).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t cold_misses = 0;     ///< first references (infinite distance)
+  std::uint64_t rereferences = 0;
+
+  /// Median stack distance over re-references (bucket-resolution).
+  double median_distance() const;
+};
+
+/// Exact LRU stack distances in O(n log n) via a Fenwick tree over access
+/// positions (Bennett & Kruskal's algorithm).
+StackDistanceHistogram stack_distances_of(const Trace& trace);
+
+// ---------------------------------------------------------------------------
+// Cross-client sharing.
+
+struct SharingStats {
+  std::uint64_t unique_docs = 0;
+  std::uint64_t shared_docs = 0;        ///< requested by ≥ 2 clients
+  std::uint64_t requests_to_shared = 0; ///< requests touching shared docs
+  std::uint64_t total_requests = 0;
+  double mean_clients_per_doc = 0.0;
+
+  double shared_doc_fraction() const {
+    return unique_docs ? static_cast<double>(shared_docs) /
+                             static_cast<double>(unique_docs)
+                       : 0.0;
+  }
+  double shared_request_fraction() const {
+    return total_requests ? static_cast<double>(requests_to_shared) /
+                                static_cast<double>(total_requests)
+                          : 0.0;
+  }
+};
+
+SharingStats sharing_of(const Trace& trace);
+
+}  // namespace baps::trace

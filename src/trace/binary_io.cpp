@@ -1,0 +1,104 @@
+#include "trace/binary_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace baps::trace {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'A', 'P', 'S', 'T', 'R', 'C', '1'};
+
+static_assert(std::endian::native == std::endian::little,
+              "binary trace io assumes a little-endian host");
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  BAPS_REQUIRE(in.good(), "truncated binary trace");
+  return v;
+}
+
+void write_string(std::ostream& out, const std::string& s) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto len = read_pod<std::uint32_t>(in);
+  BAPS_REQUIRE(len <= (64u << 20), "implausible string length");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  BAPS_REQUIRE(in.good(), "truncated binary trace");
+  return s;
+}
+
+}  // namespace
+
+void write_binary(const Trace& trace, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_string(out, trace.name());
+  write_pod<std::uint32_t>(out, trace.num_clients());
+  write_pod<std::uint64_t>(out, trace.num_docs());
+  write_pod<std::uint64_t>(out, trace.size());
+  // A trace either has parsed URLs for every doc or synthesizes them all;
+  // probe by checking whether doc 0 round-trips as synthetic.
+  const bool has_urls =
+      trace.num_docs() > 0 && trace.url_of(0) != synthetic_url(0);
+  write_pod<std::uint64_t>(out, has_urls ? trace.num_docs() : 0);
+  for (const Request& r : trace.requests()) {
+    write_pod(out, r.timestamp);
+    write_pod(out, r.client);
+    write_pod(out, r.doc);
+    write_pod(out, r.size);
+  }
+  if (has_urls) {
+    for (DocId d = 0; d < trace.num_docs(); ++d) {
+      write_string(out, trace.url_of(d));
+    }
+  }
+  BAPS_ENSURE(out.good(), "binary trace write failed");
+}
+
+Trace read_binary(std::istream& in) {
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  BAPS_REQUIRE(in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               "not a baps binary trace");
+  const std::string name = read_string(in);
+  const auto num_clients = read_pod<std::uint32_t>(in);
+  const auto num_docs = read_pod<std::uint64_t>(in);
+  const auto num_requests = read_pod<std::uint64_t>(in);
+  const auto num_urls = read_pod<std::uint64_t>(in);
+  BAPS_REQUIRE(num_urls == 0 || num_urls == num_docs,
+               "url table must be absent or complete");
+
+  std::vector<Request> requests;
+  requests.reserve(num_requests);
+  for (std::uint64_t i = 0; i < num_requests; ++i) {
+    Request r;
+    r.timestamp = read_pod<double>(in);
+    r.client = read_pod<ClientId>(in);
+    r.doc = read_pod<DocId>(in);
+    r.size = read_pod<std::uint64_t>(in);
+    requests.push_back(r);
+  }
+  std::vector<std::string> urls;
+  urls.reserve(num_urls);
+  for (std::uint64_t i = 0; i < num_urls; ++i) {
+    urls.push_back(read_string(in));
+  }
+  return Trace(name, num_clients, num_docs, std::move(requests),
+               std::move(urls));
+}
+
+}  // namespace baps::trace

@@ -1,0 +1,27 @@
+// Compact binary trace serialization.
+//
+// The plain-text format (log_parser.hpp) is for interop; this one is for
+// speed and fidelity: bit-exact timestamps (the text path rounds), packed
+// 28-byte records, and the URL table stored only when the trace carries
+// real (parsed) URLs. A day-scale trace loads in milliseconds, so bench
+// harnesses can cache generated workloads across runs.
+//
+// Layout (little-endian):
+//   magic "BAPSTRC1" | u32 name_len | name bytes
+//   u32 num_clients | u64 num_docs | u64 num_requests | u64 num_urls
+//   requests: (f64 timestamp, u32 client, u64 doc, u64 size) × num_requests
+//   urls:     (u32 len, bytes) × num_urls        (num_urls is 0 or num_docs)
+#pragma once
+
+#include <iosfwd>
+
+#include "trace/record.hpp"
+
+namespace baps::trace {
+
+void write_binary(const Trace& trace, std::ostream& out);
+
+/// Throws InvariantError on bad magic or a truncated/inconsistent stream.
+Trace read_binary(std::istream& in);
+
+}  // namespace baps::trace

@@ -1,0 +1,166 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/zipf.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace baps::trace {
+namespace {
+
+/// Per-client re-reference stack: a bounded LRU of recently requested docs.
+class HistoryStack {
+ public:
+  explicit HistoryStack(std::uint32_t capacity) : capacity_(capacity) {}
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Most-recent-first access by stack position.
+  DocId at_depth(std::size_t depth) const { return entries_[depth]; }
+
+  void touch(DocId doc) {
+    // Linear scan is fine: stacks are ≤ a few hundred entries and usually
+    // hit near the front (that is the whole point of temporal locality).
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i] == doc) {
+        entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    entries_.push_front(doc);
+    if (entries_.size() > capacity_) entries_.pop_back();
+  }
+
+ private:
+  std::uint32_t capacity_;
+  std::deque<DocId> entries_;
+};
+
+}  // namespace
+
+Trace generate_trace(const std::string& name, const GeneratorParams& p,
+                     std::uint64_t seed) {
+  BAPS_REQUIRE(p.num_clients > 0, "need at least one client");
+  BAPS_REQUIRE(p.shared_docs > 0, "need a shared document universe");
+  BAPS_REQUIRE(p.shared_prob >= 0.0 && p.shared_prob <= 1.0,
+               "shared_prob must be a probability");
+  BAPS_REQUIRE(p.temporal_prob >= 0.0 && p.temporal_prob < 1.0,
+               "temporal_prob must be in [0,1)");
+  BAPS_REQUIRE(p.mean_interarrival > 0.0, "mean interarrival must be positive");
+
+  baps::SplitMix64 mixer(seed);
+  baps::Xoshiro256 rng(mixer.next());
+  const SizeModel size_model(p.size_model, mixer.next());
+
+  // Document id layout: shared docs first, then each client's private block.
+  const DocId num_docs =
+      p.shared_docs + static_cast<DocId>(p.num_clients) *
+                          p.private_docs_per_client;
+  const auto private_base = [&](ClientId c) {
+    return p.shared_docs +
+           static_cast<DocId>(c) * p.private_docs_per_client;
+  };
+
+  const ZipfSampler shared_pop(p.shared_docs, p.shared_alpha);
+  // Private universes share one sampler (same size and exponent per client).
+  const ZipfSampler private_pop(
+      p.private_docs_per_client ? p.private_docs_per_client : 1,
+      p.private_alpha);
+  const ZipfSampler client_rates(p.num_clients, p.client_rate_alpha);
+  const ZipfSampler stack_dist(p.history_depth, p.stack_alpha);
+
+  std::vector<HistoryStack> history(p.num_clients,
+                                    HistoryStack(p.history_depth));
+  std::unordered_map<DocId, std::uint32_t> version;  // mutated docs only
+
+  // Final size of a document at a given mutation version: the raw size
+  // model draw, scaled by the popularity/size anti-correlation. Document ids
+  // are rank-ordered within their universe (shared, or one client's private
+  // block), so the rank is recoverable from the id. Without this skew the
+  // byte hit ratio would track the hit ratio instead of trailing it.
+  const auto sized = [&](DocId doc, std::uint32_t v) {
+    std::uint64_t size = size_model.size_of(doc, v);
+    if (p.size_popularity_exponent <= 0.0) return size;
+    DocId rank;
+    double universe;
+    if (doc < p.shared_docs) {
+      rank = doc;
+      universe = static_cast<double>(p.shared_docs);
+    } else {
+      rank = (doc - p.shared_docs) % p.private_docs_per_client;
+      universe = static_cast<double>(p.private_docs_per_client);
+    }
+    const double rel = static_cast<double>(rank + 1) / (0.5 * universe);
+    const double factor = std::clamp(
+        std::pow(rel, p.size_popularity_exponent), p.size_factor_min,
+        p.size_factor_max);
+    return std::max<std::uint64_t>(
+        p.size_model.min_size,
+        static_cast<std::uint64_t>(static_cast<double>(size) * factor));
+  };
+  const auto version_of = [&](DocId doc) -> std::uint32_t {
+    const auto it = version.find(doc);
+    return it != version.end() ? it->second : 0;
+  };
+
+  std::vector<Request> requests;
+  requests.reserve(p.num_requests);
+  double clock = 0.0;
+
+  // Session model: the active client persists with probability
+  // 1 - 1/session_mean, otherwise a new session starts at a rate-sampled
+  // client. Long-run per-client request shares still follow client_rates.
+  BAPS_REQUIRE(p.session_mean_requests >= 1.0,
+               "session length must be at least one request");
+  const double session_continue = 1.0 - 1.0 / p.session_mean_requests;
+  auto active_client = static_cast<ClientId>(client_rates.sample(rng));
+
+  for (std::uint64_t i = 0; i < p.num_requests; ++i) {
+    // Exponential inter-arrival times → Poisson arrivals in aggregate.
+    clock += -p.mean_interarrival * std::log(1.0 - rng.uniform());
+    if (rng.uniform() >= session_continue) {
+      active_client = static_cast<ClientId>(client_rates.sample(rng));
+    }
+    const ClientId client = active_client;
+
+    DocId doc;
+    HistoryStack& stack = history[client];
+    if (rng.uniform() < p.temporal_prob && !stack.empty()) {
+      // Re-reference: Zipf over stack distance, clamped to current depth.
+      // Re-references of bulk downloads are rare in real browsing: re-draw
+      // (bounded) when the pick lands on a large document.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        std::size_t depth = stack_dist.sample(rng);
+        if (depth >= stack.size()) depth = stack.size() - 1;
+        doc = stack.at_depth(depth);
+        if (attempt == 3 || p.large_doc_threshold == 0 ||
+            sized(doc, version_of(doc)) <= p.large_doc_threshold ||
+            rng.uniform() >= p.large_rereference_reject) {
+          break;
+        }
+      }
+    } else if (p.private_docs_per_client == 0 ||
+               rng.uniform() < p.shared_prob) {
+      doc = shared_pop.sample(rng);
+    } else {
+      doc = private_base(client) + private_pop.sample(rng);
+    }
+    stack.touch(doc);
+
+    std::uint32_t v = version_of(doc);
+    if (p.mutation_prob > 0.0 && rng.uniform() < p.mutation_prob) {
+      version[doc] = ++v;
+    }
+    requests.push_back(Request{clock, client, doc, sized(doc, v)});
+  }
+
+  return Trace(name, p.num_clients, num_docs, std::move(requests));
+}
+
+}  // namespace baps::trace

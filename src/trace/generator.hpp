@@ -1,0 +1,91 @@
+// Synthetic web-workload generator.
+//
+// Substitutes for the paper's NLANR / BU / CA*netII access logs (long since
+// unavailable). The model reproduces the workload properties the paper's
+// conclusions rest on:
+//
+//  * Zipf-like global document popularity (sharable cross-client locality);
+//  * per-client private working sets (documents only one client ever asks
+//    for — they populate browser caches without being sharable);
+//  * per-client temporal locality via an LRU re-reference stack (this is
+//    what makes small browser caches useful at all);
+//  * heavy-tailed document sizes (hit ratio != byte hit ratio);
+//  * skewed per-client request rates (the proxy and each browser replace at
+//    different paces — the root cause of the paper's "two types of misses");
+//  * document mutation: a document's size occasionally changes, and the
+//    simulator counts a hit on a changed document as a miss (§3.2).
+//
+// Everything is deterministic in `seed`.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+#include "trace/size_model.hpp"
+
+namespace baps::trace {
+
+struct GeneratorParams {
+  std::uint64_t num_requests = 100'000;
+  std::uint32_t num_clients = 50;
+
+  /// Shared (globally popular) document universe size.
+  DocId shared_docs = 20'000;
+  /// Private documents *per client*.
+  DocId private_docs_per_client = 2'000;
+
+  /// Zipf exponent for shared-document popularity.
+  double shared_alpha = 0.75;
+  /// Zipf exponent for private-document popularity within a client.
+  double private_alpha = 0.75;
+  /// Zipf exponent for per-client request rates (0 = uniform clients).
+  double client_rate_alpha = 0.5;
+  /// Mean browsing-session length in requests. Clients issue requests in
+  /// bursts (geometric length) separated by idle periods. While a client is
+  /// idle its browser cache freezes — no evictions — while the proxy keeps
+  /// churning under everyone else's traffic. This divergence of replacement
+  /// paces is what leaves documents in browser caches after the proxy has
+  /// replaced them (the paper's first "type of miss"). 1 = iid clients.
+  double session_mean_requests = 40.0;
+
+  /// Probability a request targets the shared universe (vs. private docs).
+  double shared_prob = 0.65;
+  /// Probability a request re-references the client's recent history
+  /// (drawn from an LRU stack with Zipf-distributed stack distance).
+  double temporal_prob = 0.25;
+  /// Re-reference stack capacity per client.
+  std::uint32_t history_depth = 256;
+  /// Zipf exponent over stack distance for re-references.
+  double stack_alpha = 1.2;
+  /// Users revisit pages, not bulk downloads: a stack re-reference that
+  /// lands on a document larger than this is re-drawn (up to 3 tries) with
+  /// probability large_rereference_reject. Keeps re-referenced traffic
+  /// byte-light, which is why real traces show byte hit ratios far below
+  /// hit ratios. 0 disables.
+  std::uint64_t large_doc_threshold = 64 * 1024;
+  double large_rereference_reject = 0.8;
+
+  /// Per-request probability that the requested document mutates (its size
+  /// changes) immediately before this access.
+  double mutation_prob = 0.002;
+
+  /// Popularity/size anti-correlation for shared documents: sizes are scaled
+  /// by ((rank+1) / (shared_docs/2)) ^ exponent, clamped to
+  /// [min_factor, max_factor]. Real traces show popular documents skewing
+  /// small, which is why hit ratios exceed byte hit ratios — exponent 0
+  /// disables the effect.
+  double size_popularity_exponent = 0.9;
+  double size_factor_min = 0.04;
+  double size_factor_max = 12.0;
+
+  /// Mean request inter-arrival time across the whole population, seconds.
+  double mean_interarrival = 0.25;
+
+  SizeModelParams size_model{};
+};
+
+/// Generates a complete trace. Single pass, O(requests · log universe).
+Trace generate_trace(const std::string& name, const GeneratorParams& params,
+                     std::uint64_t seed);
+
+}  // namespace baps::trace

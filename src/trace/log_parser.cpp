@@ -1,0 +1,116 @@
+#include "trace/log_parser.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace baps::trace {
+namespace {
+
+/// Interns strings to dense ids in first-appearance order.
+class Interner {
+ public:
+  std::uint64_t id_of(const std::string& s) {
+    auto [it, inserted] = ids_.try_emplace(s, values_.size());
+    if (inserted) values_.push_back(s);
+    return it->second;
+  }
+  std::vector<std::string> take_values() { return std::move(values_); }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::uint64_t> ids_;
+  std::vector<std::string> values_;
+};
+
+struct RawRecord {
+  double timestamp;
+  std::string client;
+  std::string url;
+  std::uint64_t size;
+};
+
+ParseResult assemble(std::vector<RawRecord> raw, const std::string& name,
+                     std::uint64_t parsed, std::uint64_t skipped) {
+  Interner clients;
+  Interner urls;
+  std::vector<Request> requests;
+  requests.reserve(raw.size());
+  double t0 = raw.empty() ? 0.0 : raw.front().timestamp;
+  for (const RawRecord& r : raw) {
+    if (r.timestamp < t0) t0 = r.timestamp;
+  }
+  for (RawRecord& r : raw) {
+    requests.push_back(Request{
+        r.timestamp - t0, static_cast<ClientId>(clients.id_of(r.client)),
+        urls.id_of(r.url), r.size});
+  }
+  const auto num_clients = static_cast<std::uint32_t>(clients.size());
+  const auto num_docs = static_cast<DocId>(urls.size());
+  ParseResult out{Trace(name, num_clients, num_docs, std::move(requests),
+                        urls.take_values()),
+                  parsed, skipped};
+  return out;
+}
+
+}  // namespace
+
+ParseResult parse_squid_log(std::istream& in, const std::string& trace_name) {
+  std::vector<RawRecord> raw;
+  std::uint64_t parsed = 0, skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double time_s;
+    long long elapsed_ms;
+    std::string client, code_status, method, url;
+    long long bytes;
+    if (!(ls >> time_s >> elapsed_ms >> client >> code_status >> bytes >>
+          method >> url)) {
+      ++skipped;
+      continue;
+    }
+    // Only completed document fetches are simulated: GET with a body.
+    if (method != "GET" || bytes <= 0) {
+      ++skipped;
+      continue;
+    }
+    raw.push_back(RawRecord{time_s, std::move(client), std::move(url),
+                            static_cast<std::uint64_t>(bytes)});
+    ++parsed;
+  }
+  return assemble(std::move(raw), trace_name, parsed, skipped);
+}
+
+ParseResult parse_plain_log(std::istream& in, const std::string& trace_name) {
+  std::vector<RawRecord> raw;
+  std::uint64_t parsed = 0, skipped = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    double time_s;
+    std::string client, url;
+    long long bytes;
+    if (!(ls >> time_s >> client >> url >> bytes) || bytes <= 0) {
+      ++skipped;
+      continue;
+    }
+    raw.push_back(RawRecord{time_s, std::move(client), std::move(url),
+                            static_cast<std::uint64_t>(bytes)});
+    ++parsed;
+  }
+  return assemble(std::move(raw), trace_name, parsed, skipped);
+}
+
+void write_plain_log(const Trace& trace, std::ostream& out) {
+  out << "# baps plain trace: " << trace.name() << '\n';
+  for (const Request& r : trace.requests()) {
+    out << r.timestamp << " c" << r.client << ' ' << trace.url_of(r.doc) << ' '
+        << r.size << '\n';
+  }
+}
+
+}  // namespace baps::trace

@@ -1,0 +1,39 @@
+// Parsers for real proxy access logs, so downstream users can feed actual
+// traces (the paper used sanitized NLANR/BU/CA*netII logs of exactly these
+// shapes). Two formats:
+//
+//  * Squid native access.log:
+//      time.ms elapsed client code/status bytes method URL ident hier/host type
+//    (the NLANR and CA*netII sanitized logs are this format, with client
+//    addresses randomized);
+//  * a minimal whitespace format for hand-made or converted traces:
+//      <timestamp> <client> <url> <size>
+//
+// Clients and URLs are interned to dense ids in first-appearance order.
+// Malformed lines are skipped and counted, not fatal — real logs are dirty.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace baps::trace {
+
+struct ParseResult {
+  Trace trace;
+  std::uint64_t lines_parsed = 0;
+  std::uint64_t lines_skipped = 0;
+};
+
+/// Parses Squid native-format logs. Only GET-like entries with positive byte
+/// counts become requests (the simulator models document fetches).
+ParseResult parse_squid_log(std::istream& in, const std::string& trace_name);
+
+/// Parses the minimal `<timestamp> <client> <url> <size>` format.
+ParseResult parse_plain_log(std::istream& in, const std::string& trace_name);
+
+/// Serializes a trace to the plain format (round-trips with parse_plain_log).
+void write_plain_log(const Trace& trace, std::ostream& out);
+
+}  // namespace baps::trace

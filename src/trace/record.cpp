@@ -1,0 +1,57 @@
+#include "trace/record.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace baps::trace {
+
+Trace::Trace(std::string name, std::uint32_t num_clients, DocId num_docs,
+             std::vector<Request> requests, std::vector<std::string> urls)
+    : name_(std::move(name)),
+      num_clients_(num_clients),
+      num_docs_(num_docs),
+      requests_(std::move(requests)),
+      urls_(std::move(urls)) {
+  BAPS_REQUIRE(num_clients_ > 0 || requests_.empty(),
+               "nonempty trace needs at least one client");
+  BAPS_REQUIRE(urls_.empty() || urls_.size() >= num_docs_,
+               "url table must cover the document universe");
+  for (const Request& r : requests_) {
+    BAPS_REQUIRE(r.client < num_clients_, "client id out of range");
+    BAPS_REQUIRE(r.doc < num_docs_, "doc id out of range");
+  }
+}
+
+std::string Trace::url_of(DocId doc) const {
+  BAPS_REQUIRE(doc < num_docs_, "doc id out of range");
+  if (!urls_.empty()) return urls_[doc];
+  return synthetic_url(doc);
+}
+
+Trace Trace::restrict_clients(double fraction) const {
+  BAPS_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+               "client fraction must be in (0,1]");
+  const auto keep = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(
+             static_cast<double>(num_clients_) * fraction + 0.5));
+  std::vector<Request> kept;
+  kept.reserve(static_cast<std::size_t>(
+      static_cast<double>(requests_.size()) * fraction * 1.1));
+  for (const Request& r : requests_) {
+    if (r.client < keep) kept.push_back(r);
+  }
+  return Trace(name_ + "@" + std::to_string(keep) + "c", keep, num_docs_,
+               std::move(kept), urls_);
+}
+
+std::string synthetic_url(DocId doc) {
+  // Spread documents over a plausible set of origin servers so URL strings
+  // look like the real thing (useful in the runtime engine and index tests).
+  const DocId server = doc % 997;
+  return "http://server" + std::to_string(server) + ".example.com/doc/" +
+         std::to_string(doc) + ".html";
+}
+
+}  // namespace baps::trace

@@ -1,0 +1,64 @@
+// The request record model every other subsystem consumes.
+//
+// A trace is a time-ordered stream of (timestamp, client, document, size)
+// tuples — exactly what the paper's trace-driven simulator needs and exactly
+// what sanitized proxy logs (NLANR / BU / CA*netII) provide. Documents are
+// interned to dense integer ids; URL strings are materialized on demand
+// (synthetic traces derive them deterministically from the id, parsed traces
+// carry the real strings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace baps::trace {
+
+using ClientId = std::uint32_t;
+using DocId = std::uint64_t;
+
+/// One HTTP request as seen at the client.
+struct Request {
+  double timestamp = 0.0;  ///< seconds since trace start
+  ClientId client = 0;
+  DocId doc = 0;
+  std::uint64_t size = 0;  ///< response body size in bytes at request time
+};
+
+/// An immutable request stream plus its client/document universe.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::string name, std::uint32_t num_clients, DocId num_docs,
+        std::vector<Request> requests,
+        std::vector<std::string> urls = {});
+
+  const std::string& name() const { return name_; }
+  std::uint32_t num_clients() const { return num_clients_; }
+  DocId num_docs() const { return num_docs_; }
+  const std::vector<Request>& requests() const { return requests_; }
+  bool empty() const { return requests_.empty(); }
+  std::size_t size() const { return requests_.size(); }
+
+  /// URL for a document id: the parsed string when available, otherwise a
+  /// deterministic synthetic URL.
+  std::string url_of(DocId doc) const;
+
+  /// Restricts the trace to the first `fraction` of clients (by id), keeping
+  /// request order — this is how the paper scales "relative number of
+  /// clients" in Figure 8.
+  Trace restrict_clients(double fraction) const;
+
+ private:
+  std::string name_;
+  std::uint32_t num_clients_ = 0;
+  DocId num_docs_ = 0;
+  std::vector<Request> requests_;
+  std::vector<std::string> urls_;  // empty for synthetic traces
+};
+
+/// Deterministic URL for synthetic documents.
+std::string synthetic_url(DocId doc);
+
+}  // namespace baps::trace

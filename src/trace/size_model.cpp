@@ -1,0 +1,51 @@
+#include "trace/size_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace baps::trace {
+namespace {
+
+/// Three independent uniforms from one hashed stream: tail selector plus the
+/// two inputs of Box–Muller (keeping them separate avoids conditioning the
+/// lognormal draw on the tail-selection outcome).
+struct ThreeUniforms {
+  double sel;
+  double u1;
+  double u2;
+};
+
+ThreeUniforms hashed_uniforms(std::uint64_t seed, DocId doc,
+                              std::uint32_t version) {
+  baps::SplitMix64 sm(seed ^ (doc * 0x9E3779B97F4A7C15ULL) ^
+                      (static_cast<std::uint64_t>(version) << 48));
+  const auto to_unit = [](std::uint64_t x) {
+    return (static_cast<double>(x >> 11) + 0.5) * 0x1.0p-53;
+  };
+  return {to_unit(sm.next()), to_unit(sm.next()), to_unit(sm.next())};
+}
+
+}  // namespace
+
+std::uint64_t SizeModel::size_of(DocId doc, std::uint32_t version) const {
+  const auto [sel, u1, u2] = hashed_uniforms(seed_, doc, version);
+  double bytes;
+  if (sel < params_.pareto_tail_prob) {
+    // Inverse-CDF Pareto: x = x_min * (1-u)^(-1/alpha).
+    bytes = static_cast<double>(params_.pareto_min) *
+            std::pow(1.0 - u2, -1.0 / params_.pareto_alpha);
+  } else {
+    // Box–Muller lognormal from the two uniforms.
+    const double z = std::sqrt(-2.0 * std::log(u2)) *
+                     std::cos(2.0 * std::numbers::pi * u1);
+    bytes = std::exp(params_.lognormal_mu + params_.lognormal_sigma * z);
+  }
+  bytes = std::clamp(bytes, static_cast<double>(params_.min_size),
+                     static_cast<double>(params_.max_size));
+  return static_cast<std::uint64_t>(bytes);
+}
+
+}  // namespace baps::trace

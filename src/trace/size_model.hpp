@@ -1,0 +1,42 @@
+// Document size model.
+//
+// Web response sizes are heavy-tailed: the bulk follows a lognormal body and
+// the tail a Pareto distribution (Barford & Crovella's SURGE model). Each
+// document's size is a pure function of (doc id, seed) so the generator never
+// stores a size table; mutations (the paper counts a size change as a miss)
+// derive a new size from (doc id, version).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace baps::trace {
+
+struct SizeModelParams {
+  double lognormal_mu = 8.5;      ///< ln-bytes mean (~4.9 KB median)
+  double lognormal_sigma = 1.3;   ///< ln-bytes stddev
+  double pareto_tail_prob = 0.05; ///< fraction of docs drawn from the tail
+  double pareto_alpha = 1.3;      ///< tail index (alpha > 1 → finite mean)
+  std::uint64_t pareto_min = 64 * 1024;  ///< tail minimum, bytes
+  std::uint64_t min_size = 64;           ///< floor, bytes
+  std::uint64_t max_size = 512ULL << 20; ///< cap, bytes (sanity bound)
+};
+
+class SizeModel {
+ public:
+  SizeModel(SizeModelParams params, std::uint64_t seed)
+      : params_(params), seed_(seed) {}
+
+  /// Size in bytes of document `doc` at mutation version `version`.
+  /// Deterministic; version 0 is the original document.
+  std::uint64_t size_of(DocId doc, std::uint32_t version = 0) const;
+
+  const SizeModelParams& params() const { return params_; }
+
+ private:
+  SizeModelParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace baps::trace

@@ -1,0 +1,77 @@
+#include "trace/stats.hpp"
+
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace baps::trace {
+
+std::uint64_t TraceStats::avg_infinite_browser_bytes() const {
+  if (infinite_browser_bytes.empty()) return 0;
+  std::uint64_t sum = 0;
+  for (std::uint64_t b : infinite_browser_bytes) sum += b;
+  return sum / infinite_browser_bytes.size();
+}
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats s;
+  s.num_requests = trace.size();
+  s.num_clients = trace.num_clients();
+  s.infinite_browser_bytes.assign(trace.num_clients(), 0);
+
+  // doc -> last observed size (global, and per client for browser sizing).
+  std::unordered_map<DocId, std::uint64_t> last_size;
+  // (client, doc) -> last size that client saw. Keyed by a packed 64-bit id;
+  // doc ids stay well below 2^40 so the packing is collision-free.
+  std::unordered_map<std::uint64_t, std::uint64_t> client_last_size;
+  const auto pack = [](ClientId c, DocId d) {
+    BAPS_REQUIRE(d < (1ULL << 40), "doc id too large to pack");
+    return (static_cast<std::uint64_t>(c) << 40) | d;
+  };
+
+  std::uint64_t hit_requests = 0;
+  std::uint64_t hit_bytes = 0;
+
+  for (const Request& r : trace.requests()) {
+    s.total_bytes += r.size;
+    if (r.timestamp > s.duration_seconds) s.duration_seconds = r.timestamp;
+
+    // Global infinite-cache hit: seen before at the same size.
+    auto [it, inserted] = last_size.try_emplace(r.doc, r.size);
+    if (!inserted) {
+      if (it->second == r.size) {
+        ++hit_requests;
+        hit_bytes += r.size;
+      } else {
+        it->second = r.size;  // mutated: refreshed copy
+      }
+    }
+
+    // Per-client accounting for infinite browser cache sizes.
+    auto [cit, cinserted] = client_last_size.try_emplace(pack(r.client, r.doc),
+                                                         r.size);
+    if (cinserted) {
+      s.infinite_browser_bytes[r.client] += r.size;
+    } else if (cit->second != r.size) {
+      // Replace the stale copy: adjust the byte account to the new size.
+      s.infinite_browser_bytes[r.client] += r.size;
+      s.infinite_browser_bytes[r.client] -= cit->second;
+      cit->second = r.size;
+    }
+  }
+
+  s.unique_docs = last_size.size();
+  for (const auto& [doc, size] : last_size) s.infinite_cache_bytes += size;
+
+  if (s.num_requests > 0) {
+    s.max_hit_ratio = static_cast<double>(hit_requests) /
+                      static_cast<double>(s.num_requests);
+  }
+  if (s.total_bytes > 0) {
+    s.max_byte_hit_ratio = static_cast<double>(hit_bytes) /
+                           static_cast<double>(s.total_bytes);
+  }
+  return s;
+}
+
+}  // namespace baps::trace

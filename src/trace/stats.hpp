@@ -1,0 +1,41 @@
+// Trace characteristics — the columns of the paper's Table 1 plus the
+// derived quantities the simulator's cache-sizing rules need (§3.2):
+// infinite proxy cache size and per-client infinite browser cache sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace baps::trace {
+
+struct TraceStats {
+  std::uint64_t num_requests = 0;
+  std::uint64_t total_bytes = 0;        ///< sum of all response sizes
+  std::uint64_t unique_docs = 0;
+  /// "Infinite cache size": bytes to store every unique document (at its
+  /// last observed size).
+  std::uint64_t infinite_cache_bytes = 0;
+  std::uint32_t num_clients = 0;
+  double duration_seconds = 0.0;
+
+  /// Upper bounds on any caching scheme: the fraction of requests (bytes)
+  /// that re-reference a document whose size is unchanged since its previous
+  /// access — i.e. the hit ratio of a single infinite shared cache.
+  double max_hit_ratio = 0.0;
+  double max_byte_hit_ratio = 0.0;
+
+  /// Per-client infinite browser cache size: bytes of documents the client
+  /// itself requested (at last observed size), indexed by client id.
+  std::vector<std::uint64_t> infinite_browser_bytes;
+
+  /// Mean of infinite_browser_bytes (the paper's "average infinite browser
+  /// cache size").
+  std::uint64_t avg_infinite_browser_bytes() const;
+};
+
+/// Single pass over the trace.
+TraceStats compute_stats(const Trace& trace);
+
+}  // namespace baps::trace

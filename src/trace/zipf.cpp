@@ -1,0 +1,35 @@
+#include "trace/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace baps::trace {
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha) : alpha_(alpha) {
+  BAPS_REQUIRE(n > 0, "zipf universe must be nonempty");
+  BAPS_REQUIRE(alpha >= 0.0, "zipf alpha must be non-negative");
+  cdf_.resize(n);
+  double running = 0.0;
+  for (std::uint64_t r = 0; r < n; ++r) {
+    running += std::pow(static_cast<double>(r + 1), -alpha);
+    cdf_[r] = running;
+  }
+  const double total = running;
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  BAPS_REQUIRE(rank < cdf_.size(), "rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace baps::trace

@@ -1,0 +1,35 @@
+// Zipf-like discrete sampler.
+//
+// Web document popularity is famously Zipf-like (P(rank r) ∝ 1/r^alpha with
+// alpha ≈ 0.6–0.9 for proxy traces). We precompute the CDF once and sample by
+// binary search: O(n) setup, O(log n) per draw, deterministic in the caller's
+// RNG.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace baps::trace {
+
+class ZipfSampler {
+ public:
+  /// Ranks are 0-based: rank 0 is the most popular of `n` items.
+  ZipfSampler(std::uint64_t n, double alpha);
+
+  std::uint64_t n() const { return static_cast<std::uint64_t>(cdf_.size()); }
+  double alpha() const { return alpha_; }
+
+  /// Draws a rank in [0, n).
+  std::uint64_t sample(Xoshiro256& rng) const;
+
+  /// Probability mass of a rank (for tests and analytic checks).
+  double pmf(std::uint64_t rank) const;
+
+ private:
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r)
+};
+
+}  // namespace baps::trace

@@ -1,0 +1,15 @@
+#include "util/assert.hpp"
+
+#include <sstream>
+
+namespace baps::detail {
+
+void invariant_failure(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace baps::detail

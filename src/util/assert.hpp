@@ -1,0 +1,42 @@
+// Lightweight always-on invariant checking.
+//
+// BAPS_REQUIRE is for precondition violations (caller bugs), BAPS_ENSURE for
+// internal invariants. Both throw baps::InvariantError so tests can assert on
+// failures; neither compiles out in release builds — the simulator is cheap
+// enough that checking is always affordable.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace baps {
+
+/// Thrown when a BAPS_REQUIRE/BAPS_ENSURE predicate fails.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void invariant_failure(const char* kind, const char* expr,
+                                    const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+}  // namespace baps
+
+#define BAPS_REQUIRE(expr, msg)                                             \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::baps::detail::invariant_failure("precondition", #expr, __FILE__,    \
+                                        __LINE__, (msg));                   \
+    }                                                                       \
+  } while (false)
+
+#define BAPS_ENSURE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::baps::detail::invariant_failure("invariant", #expr, __FILE__,       \
+                                        __LINE__, (msg));                   \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,36 @@
+#include "util/hex.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps {
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out += kDigits[b >> 4];
+    out += kDigits[b & 0xF];
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(const std::string& hex) {
+  BAPS_REQUIRE(hex.size() % 2 == 0, "hex string must have even length");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    BAPS_REQUIRE(false, std::string("invalid hex character: ") + c);
+    return 0;
+  };
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((nibble(hex[i]) << 4) |
+                                            nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace baps

@@ -1,0 +1,18 @@
+// Hex encoding/decoding for digests and keys.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace baps {
+
+/// Lowercase hex of a byte span.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Parses lowercase/uppercase hex; throws InvariantError on odd length or
+/// non-hex characters.
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace baps

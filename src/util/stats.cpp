@@ -1,0 +1,22 @@
+#include "util/stats.hpp"
+
+namespace baps {
+
+double Histogram::quantile(double q) const {
+  BAPS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (n_ == 0) return lo_;
+  const double target = q * static_cast<double>(n_);
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (running + c >= target) {
+      const double frac = c > 0 ? (target - running) / c : 0.0;
+      return lo_ + (static_cast<double>(i) + frac) * width;
+    }
+    running += c;
+  }
+  return hi_;
+}
+
+}  // namespace baps

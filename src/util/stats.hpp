@@ -1,0 +1,106 @@
+// Streaming statistics accumulators used throughout the simulator and the
+// benchmark harnesses: mean/variance (Welford), min/max, ratio counters, and
+// a fixed-resolution histogram good enough for latency distributions.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace baps {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Numerator/denominator pair reported as a percentage; the shape of every
+/// hit-ratio metric in the paper.
+class RatioCounter {
+ public:
+  void hit(std::uint64_t weight = 1) {
+    hits_ += weight;
+    total_ += weight;
+  }
+  void miss(std::uint64_t weight = 1) { total_ += weight; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Ratio in [0,1]; 0 when empty.
+  double ratio() const {
+    return total_ ? static_cast<double>(hits_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+  double percent() const { return 100.0 * ratio(); }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp to
+/// the edge buckets so totals always balance.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets, 0) {
+    BAPS_REQUIRE(hi > lo, "histogram range must be nonempty");
+    BAPS_REQUIRE(buckets > 0, "histogram needs at least one bucket");
+  }
+
+  void add(double x) {
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<std::int64_t>(counts_.size())) {
+      idx = static_cast<std::int64_t>(counts_.size()) - 1;
+    }
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++n_;
+  }
+
+  std::uint64_t count() const { return n_; }
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+
+  /// Linear-interpolated quantile, q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t n_ = 0;
+};
+
+}  // namespace baps

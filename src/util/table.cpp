@@ -1,0 +1,129 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace baps {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  BAPS_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(std::string value) {
+  BAPS_REQUIRE(!rows_.empty(), "call row() before adding cells");
+  BAPS_REQUIRE(rows_.back().size() < header_.size(),
+               "row has more cells than header columns");
+  rows_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell(std::uint64_t value) {
+  return cell(std::to_string(value));
+}
+
+Table& Table::cell_percent(double ratio01, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << 100.0 * ratio01 << '%';
+  return cell(os.str());
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(width[c])) << v;
+      if (c + 1 < header_.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(width[c], '-');
+    if (c + 1 < header_.size()) os << "  ";
+  }
+  os << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& r : rows_) emit_row(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_string();
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < std::size(kUnits)) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(u == 0 ? 0 : 2) << v << ' '
+     << kUnits[u];
+  return os.str();
+}
+
+std::string format_seconds(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  if (seconds < 1e-6) {
+    os << seconds * 1e9 << " ns";
+  } else if (seconds < 1e-3) {
+    os << seconds * 1e6 << " us";
+  } else if (seconds < 1.0) {
+    os << seconds * 1e3 << " ms";
+  } else {
+    os << seconds << " s";
+  }
+  return os.str();
+}
+
+}  // namespace baps

@@ -1,0 +1,63 @@
+// Fixed-size thread pool used by the parallel sweep runner. Simulations are
+// independent, embarrassingly parallel tasks over immutable shared trace
+// data, so a plain mutex-protected queue is enough — no work stealing.
+//
+// Concurrency discipline (CppCoreGuidelines CP.*): tasks capture either
+// values or shared_ptr<const T>; each worker mutates only its own state. The
+// pool joins all workers in the destructor so no task outlives the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace baps {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result. Exceptions thrown
+  /// by the task propagate through the future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::scoped_lock lock(mu_);
+      queue_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace baps

@@ -1,0 +1,174 @@
+// Per-policy ordering semantics plus a parameterized contract suite every
+// policy must satisfy.
+#include "cache/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace baps::cache {
+namespace {
+
+TEST(PolicyNameTest, AllKindsNamed) {
+  EXPECT_EQ(policy_name(PolicyKind::kLru), "LRU");
+  EXPECT_EQ(policy_name(PolicyKind::kFifo), "FIFO");
+  EXPECT_EQ(policy_name(PolicyKind::kLfu), "LFU");
+  EXPECT_EQ(policy_name(PolicyKind::kSize), "SIZE");
+  EXPECT_EQ(policy_name(PolicyKind::kGdsf), "GDSF");
+}
+
+TEST(LruSemanticsTest, EvictsLeastRecentlyUsed) {
+  auto p = make_policy(PolicyKind::kLru);
+  p->on_insert(1, 10);
+  p->on_insert(2, 10);
+  p->on_insert(3, 10);
+  EXPECT_EQ(p->victim(), 1u);
+  p->on_hit(1, 10);  // 2 is now coldest
+  EXPECT_EQ(p->victim(), 2u);
+}
+
+TEST(FifoSemanticsTest, HitsDoNotRejuvenate) {
+  auto p = make_policy(PolicyKind::kFifo);
+  p->on_insert(1, 10);
+  p->on_insert(2, 10);
+  p->on_hit(1, 10);
+  EXPECT_EQ(p->victim(), 1u);  // still oldest by insertion
+}
+
+TEST(LfuSemanticsTest, EvictsLowestFrequencyWithLruTiebreak) {
+  auto p = make_policy(PolicyKind::kLfu);
+  p->on_insert(1, 10);
+  p->on_insert(2, 10);
+  p->on_insert(3, 10);
+  p->on_hit(1, 10);
+  p->on_hit(1, 10);
+  p->on_hit(3, 10);
+  EXPECT_EQ(p->victim(), 2u);  // freq 1 < freq 2 and 3
+  p->on_hit(2, 10);
+  p->on_hit(2, 10);
+  p->on_hit(2, 10);
+  EXPECT_EQ(p->victim(), 3u);  // now lowest freq (2)
+}
+
+TEST(LfuSemanticsTest, TiebreakPrefersOlderUntouched) {
+  auto p = make_policy(PolicyKind::kLfu);
+  p->on_insert(1, 10);
+  p->on_insert(2, 10);
+  // Both freq 1; doc 1 has the older tick.
+  EXPECT_EQ(p->victim(), 1u);
+}
+
+TEST(SizeSemanticsTest, EvictsLargestFirst) {
+  auto p = make_policy(PolicyKind::kSize);
+  p->on_insert(1, 500);
+  p->on_insert(2, 9000);
+  p->on_insert(3, 100);
+  EXPECT_EQ(p->victim(), 2u);
+  p->on_remove(2);
+  EXPECT_EQ(p->victim(), 1u);
+}
+
+TEST(GdsfSemanticsTest, FrequencyBeatsEqualSize) {
+  auto p = make_policy(PolicyKind::kGdsf);
+  p->on_insert(1, 100);
+  p->on_insert(2, 100);
+  p->on_hit(1, 100);
+  EXPECT_EQ(p->victim(), 2u);
+}
+
+TEST(GdsfSemanticsTest, SmallDocBeatsLargeDocAtEqualFrequency) {
+  auto p = make_policy(PolicyKind::kGdsf);
+  p->on_insert(1, 100);
+  p->on_insert(2, 100000);
+  EXPECT_EQ(p->victim(), 2u);  // 1/100000 < 1/100
+}
+
+TEST(GdsfSemanticsTest, InflationAgesOutFormerlyHotDocs) {
+  auto p = make_policy(PolicyKind::kGdsf);
+  p->on_insert(1, 100);
+  for (int i = 0; i < 5; ++i) p->on_hit(1, 100);  // priority 0.06
+  // Churn one cheap doc through: it is evicted (0.04 < 0.06) and inflates
+  // L to 0.04.
+  p->on_insert(2, 25);
+  EXPECT_EQ(p->victim(), 2u);
+  p->on_remove(2);
+  // A fresh doc now enters at L + 0.04 = 0.08 > 0.06: the formerly hot but
+  // no-longer-touched doc 1 becomes the victim. That is GDSF aging.
+  p->on_insert(3, 25);
+  EXPECT_EQ(p->victim(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Contract properties every policy must satisfy.
+
+class PolicyContract : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyContract, VictimIsAlwaysResident) {
+  auto p = make_policy(GetParam());
+  baps::Xoshiro256 rng(7);
+  std::unordered_set<DocId> resident;
+  DocId next = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const double u = rng.uniform();
+    if (resident.empty() || u < 0.4) {
+      const DocId d = next++;
+      p->on_insert(d, 1 + rng.below(10000));
+      resident.insert(d);
+    } else if (u < 0.7) {
+      // hit a random resident doc
+      auto it = resident.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng.below(resident.size())));
+      p->on_hit(*it, 0);
+    } else {
+      const DocId v = p->victim();
+      EXPECT_TRUE(resident.contains(v)) << policy_name(GetParam());
+      p->on_remove(v);
+      resident.erase(v);
+    }
+  }
+  while (!resident.empty()) {
+    const DocId v = p->victim();
+    ASSERT_TRUE(resident.contains(v));
+    p->on_remove(v);
+    resident.erase(v);
+  }
+}
+
+TEST_P(PolicyContract, DoubleInsertThrows) {
+  auto p = make_policy(GetParam());
+  p->on_insert(1, 10);
+  EXPECT_THROW(p->on_insert(1, 10), baps::InvariantError);
+}
+
+TEST_P(PolicyContract, RemoveOfUntrackedThrows) {
+  auto p = make_policy(GetParam());
+  EXPECT_THROW(p->on_remove(42), baps::InvariantError);
+}
+
+TEST_P(PolicyContract, VictimOnEmptyThrows) {
+  auto p = make_policy(GetParam());
+  EXPECT_THROW(p->victim(), baps::InvariantError);
+}
+
+TEST_P(PolicyContract, HitOnUntrackedThrowsUnlessHitAgnostic) {
+  auto p = make_policy(GetParam());
+  // FIFO and SIZE legitimately ignore hits; the others must detect the bug.
+  if (GetParam() == PolicyKind::kFifo || GetParam() == PolicyKind::kSize) {
+    EXPECT_NO_THROW(p->on_hit(42, 0));
+  } else {
+    EXPECT_THROW(p->on_hit(42, 0), baps::InvariantError);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyContract,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const auto& param_info) {
+                           return policy_name(param_info.param);
+                         });
+
+}  // namespace
+}  // namespace baps::cache

@@ -1,0 +1,94 @@
+#include "cache/switched_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace baps::cache {
+namespace {
+
+TEST(SwitchedCacheTest, RejectsEmptyPartitionList) {
+  EXPECT_THROW(SwitchedCache({}, PolicyKind::kLru), baps::InvariantError);
+}
+
+TEST(SwitchedCacheTest, InsertGoesToActivePartition) {
+  SwitchedCache c({100, 100}, PolicyKind::kLru);
+  EXPECT_EQ(c.active_partition(), 0u);
+  c.insert(1, 50);
+  c.switch_to(1);
+  c.insert(2, 50);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_EQ(c.used_bytes(), 100u);
+  EXPECT_EQ(c.capacity_bytes(), 200u);
+}
+
+TEST(SwitchedCacheTest, LookupsHitInactivePartitions) {
+  SwitchedCache c({100, 100}, PolicyKind::kLru);
+  c.insert(1, 60);
+  c.switch_to(1);
+  EXPECT_EQ(c.touch(1), std::optional<std::uint64_t>(60));
+  EXPECT_EQ(c.peek_size(1), std::optional<std::uint64_t>(60));
+}
+
+TEST(SwitchedCacheTest, InactivePartitionSurvivesChurn) {
+  // The whole point of the switch: the work-cache content outlives a burst
+  // of leisure browsing that would have flushed a unified cache.
+  SwitchedCache switched({300, 300}, PolicyKind::kLru);
+  ObjectCache unified(600, PolicyKind::kLru);
+
+  for (DocId d = 0; d < 3; ++d) {       // "work" docs, 100 B each
+    switched.insert(d, 100);
+    unified.insert(d, 100);
+  }
+  switched.switch_to(1);
+  for (DocId d = 100; d < 110; ++d) {   // leisure burst, 10 × 100 B
+    switched.insert(d, 100);
+    unified.insert(d, 100);
+  }
+  for (DocId d = 0; d < 3; ++d) {
+    EXPECT_TRUE(switched.contains(d)) << d;   // parked partition intact
+    EXPECT_FALSE(unified.contains(d)) << d;   // unified cache lost them
+  }
+}
+
+TEST(SwitchedCacheTest, ReinsertMovesDocToActivePartition) {
+  SwitchedCache c({200, 200}, PolicyKind::kLru);
+  c.insert(7, 50);
+  c.switch_to(1);
+  c.insert(7, 80);  // refreshed copy lands in partition 1, old one dropped
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.peek_size(7), std::optional<std::uint64_t>(80));
+}
+
+TEST(SwitchedCacheTest, EraseFindsAnyPartition) {
+  SwitchedCache c({100, 100}, PolicyKind::kLru);
+  c.insert(1, 50);
+  c.switch_to(1);
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(SwitchedCacheTest, EvictionListenerCoversAllPartitions) {
+  SwitchedCache c({100, 100}, PolicyKind::kLru);
+  std::vector<DocId> evicted;
+  c.set_eviction_listener([&](DocId d, std::uint64_t) {
+    evicted.push_back(d);
+  });
+  c.insert(1, 80);
+  c.insert(2, 80);  // evicts 1 from partition 0
+  c.switch_to(1);
+  c.insert(3, 80);
+  c.insert(4, 80);  // evicts 3 from partition 1
+  EXPECT_EQ(evicted, (std::vector<DocId>{1, 3}));
+}
+
+TEST(SwitchedCacheTest, SwitchToOutOfRangeThrows) {
+  SwitchedCache c({100}, PolicyKind::kLru);
+  EXPECT_THROW(c.switch_to(1), baps::InvariantError);
+}
+
+}  // namespace
+}  // namespace baps::cache

@@ -1,0 +1,133 @@
+#include "crypto/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace baps::crypto {
+namespace {
+
+TEST(BigUIntTest, ZeroProperties) {
+  BigUInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_TRUE(z.to_bytes().empty());
+}
+
+TEST(BigUIntTest, U64RoundTrip) {
+  for (std::uint64_t v : {0ULL, 1ULL, 255ULL, 0x123456789abcdefULL, ~0ULL}) {
+    EXPECT_EQ(BigUInt(v).to_u64(), v);
+  }
+}
+
+TEST(BigUIntTest, HexRoundTrip) {
+  const std::string hex = "deadbeefcafebabe0123456789abcdef";
+  EXPECT_EQ(BigUInt::from_hex(hex).to_hex(), hex);
+}
+
+TEST(BigUIntTest, FromBytesBigEndian) {
+  const std::vector<std::uint8_t> bytes = {0x01, 0x02, 0x03};
+  EXPECT_EQ(BigUInt::from_bytes(bytes).to_u64(), 0x010203u);
+  EXPECT_EQ(BigUInt::from_bytes(bytes).to_bytes(), bytes);
+}
+
+TEST(BigUIntTest, ArithmeticAgainstU64Reference) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng() >> 33;  // keep products in range
+    const std::uint64_t b = rng() >> 33;
+    EXPECT_EQ((BigUInt(a) + BigUInt(b)).to_u64(), a + b);
+    EXPECT_EQ((BigUInt(std::max(a, b)) - BigUInt(std::min(a, b))).to_u64(),
+              std::max(a, b) - std::min(a, b));
+    EXPECT_EQ((BigUInt(a) * BigUInt(b)).to_u64(), a * b);
+    if (b != 0) {
+      EXPECT_EQ((BigUInt(a) / BigUInt(b)).to_u64(), a / b);
+      EXPECT_EQ((BigUInt(a) % BigUInt(b)).to_u64(), a % b);
+    }
+  }
+}
+
+TEST(BigUIntTest, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt(1) - BigUInt(2), baps::InvariantError);
+}
+
+TEST(BigUIntTest, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt::divmod(BigUInt(1), BigUInt()), baps::InvariantError);
+}
+
+TEST(BigUIntTest, DivmodIdentityHoldsOnWideValues) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 200; ++i) {
+    // Build a ~192-bit numerator and ~96-bit denominator.
+    BigUInt num = (BigUInt(rng()) * BigUInt(rng())) * BigUInt(rng());
+    BigUInt den = BigUInt(rng()) * BigUInt(rng() | 1);
+    auto [q, r] = BigUInt::divmod(num, den);
+    EXPECT_TRUE(r < den);
+    EXPECT_EQ(q * den + r, num);
+  }
+}
+
+TEST(BigUIntTest, ShiftsAreInverse) {
+  const BigUInt x = BigUInt::from_hex("123456789abcdef0123456789");
+  for (std::size_t s : {1u, 7u, 32u, 33u, 95u}) {
+    EXPECT_EQ(x.shifted_left(s).shifted_right(s), x) << "shift " << s;
+  }
+}
+
+TEST(BigUIntTest, ShiftLeftMultipliesByPowerOfTwo) {
+  EXPECT_EQ(BigUInt(5).shifted_left(3).to_u64(), 40u);
+  EXPECT_EQ(BigUInt(1).shifted_left(100).shifted_right(100).to_u64(), 1u);
+}
+
+TEST(BigUIntTest, ComparisonOrdersByValue) {
+  EXPECT_TRUE(BigUInt(3) < BigUInt(5));
+  EXPECT_TRUE(BigUInt::from_hex("ffffffffffffffff") <
+              BigUInt::from_hex("10000000000000000"));
+  EXPECT_TRUE(BigUInt() < BigUInt(1));
+}
+
+TEST(BigUIntTest, ModPowSmallCases) {
+  // 4^13 mod 497 = 445 (classic textbook example).
+  EXPECT_EQ(BigUInt::mod_pow(BigUInt(4), BigUInt(13), BigUInt(497)).to_u64(),
+            445u);
+  EXPECT_EQ(BigUInt::mod_pow(BigUInt(2), BigUInt(10), BigUInt(1000)).to_u64(),
+            24u);
+  EXPECT_TRUE(
+      BigUInt::mod_pow(BigUInt(7), BigUInt(0), BigUInt(13)) == BigUInt(1));
+}
+
+TEST(BigUIntTest, ModPowMatchesFermatOnPrimeModulus) {
+  // a^(p-1) ≡ 1 mod p for prime p and a not divisible by p.
+  const BigUInt p(1000000007ULL);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const BigUInt a(rng.below(1000000006ULL) + 1);
+    EXPECT_EQ(BigUInt::mod_pow(a, p - BigUInt(1), p), BigUInt(1));
+  }
+}
+
+TEST(BigUIntTest, GcdMatchesReference) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt(48), BigUInt(18)).to_u64(), 6u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt(17), BigUInt(13)).to_u64(), 1u);
+  EXPECT_EQ(BigUInt::gcd(BigUInt(), BigUInt(5)).to_u64(), 5u);
+}
+
+TEST(BigUIntTest, ModInverseProducesUnitProduct) {
+  Xoshiro256 rng(41);
+  const BigUInt m(1000000007ULL);  // prime modulus: everything invertible
+  for (int i = 0; i < 100; ++i) {
+    const BigUInt a(rng.below(1000000006ULL) + 1);
+    const BigUInt inv = BigUInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigUInt(1));
+  }
+}
+
+TEST(BigUIntTest, ModInverseOfNonInvertibleIsZero) {
+  EXPECT_TRUE(BigUInt::mod_inverse(BigUInt(6), BigUInt(9)).is_zero());
+}
+
+}  // namespace
+}  // namespace baps::crypto

@@ -1,0 +1,58 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace baps::crypto {
+namespace {
+
+// RFC 2202 HMAC-MD5 test vectors.
+TEST(HmacMd5Test, Rfc2202Vector1) {
+  const std::string key(16, '\x0b');
+  EXPECT_EQ(hmac_md5(key, "Hi There").hex(),
+            "9294727a3638bb1c13f48ef8158bfc9d");
+}
+
+TEST(HmacMd5Test, Rfc2202Vector2) {
+  EXPECT_EQ(hmac_md5("Jefe", "what do ya want for nothing?").hex(),
+            "750c783e6ab0b503eaa86e310a5db738");
+}
+
+TEST(HmacMd5Test, Rfc2202Vector3) {
+  const std::string key(16, '\xaa');
+  const std::string msg(50, '\xdd');
+  EXPECT_EQ(hmac_md5(key, msg).hex(), "56be34521d144c88dbb8c733f0e8b3f6");
+}
+
+TEST(HmacMd5Test, Rfc2202Vector6LongKey) {
+  // 80-byte key: exercises the hash-the-key path.
+  const std::string key(80, '\xaa');
+  EXPECT_EQ(hmac_md5(key, "Test Using Larger Than Block-Size Key - Hash Key "
+                          "First")
+                .hex(),
+            "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd");
+}
+
+TEST(HmacMd5Test, KeyAndMessageBothMatter) {
+  EXPECT_NE(hmac_md5("k1", "msg"), hmac_md5("k2", "msg"));
+  EXPECT_NE(hmac_md5("k1", "msg"), hmac_md5("k1", "msh"));
+}
+
+TEST(HmacMd5Test, HmacDiffersFromPlainHash) {
+  EXPECT_NE(hmac_md5("key", "message"), md5("message"));
+}
+
+TEST(DigestEqualTest, ComparesFullWidth) {
+  Md5Digest a = md5("x");
+  Md5Digest b = a;
+  EXPECT_TRUE(digest_equal(a, b));
+  b.bytes[15] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+  b = a;
+  b.bytes[0] ^= 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+}  // namespace
+}  // namespace baps::crypto

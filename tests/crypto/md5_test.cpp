@@ -1,0 +1,90 @@
+#include "crypto/md5.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace baps::crypto {
+namespace {
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(md5("").hex(), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(md5("a").hex(), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(md5("abc").hex(), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(md5("message digest").hex(), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(md5("abcdefghijklmnopqrstuvwxyz").hex(),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      md5("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")
+          .hex(),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(md5("1234567890123456789012345678901234567890123456789012345678"
+                "9012345678901234567890")
+                .hex(),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  const std::string msg(1000, 'x');
+  Md5 h;
+  // Deliberately awkward chunk sizes to cross block boundaries.
+  std::size_t off = 0;
+  for (std::size_t chunk : {1u, 63u, 64u, 65u, 7u, 128u}) {
+    const std::size_t n = std::min(chunk, msg.size() - off);
+    h.update(std::string_view(msg).substr(off, n));
+    off += n;
+  }
+  h.update(std::string_view(msg).substr(off));
+  EXPECT_EQ(h.finish().hex(), md5(msg).hex());
+}
+
+TEST(Md5Test, AllLengthsZeroTo130AgreeWithPaddingRule) {
+  // Property: for every message length around the 64-byte block boundary the
+  // incremental digest (byte at a time) equals the one-shot digest.
+  for (std::size_t len = 0; len <= 130; ++len) {
+    std::string msg(len, static_cast<char>('A' + (len % 26)));
+    Md5 h;
+    for (char c : msg) h.update(std::string_view(&c, 1));
+    EXPECT_EQ(h.finish(), md5(msg)) << "length " << len;
+  }
+}
+
+TEST(Md5Test, DigestDistinguishesNearbyInputs) {
+  EXPECT_NE(md5("hello world"), md5("hello worle"));
+  EXPECT_NE(md5(""), md5(std::string(1, '\0')));
+}
+
+TEST(Md5Test, FinishTwiceThrows) {
+  Md5 h;
+  h.update("abc");
+  (void)h.finish();
+  EXPECT_THROW(h.finish(), InvariantError);
+}
+
+TEST(Md5Test, UpdateAfterFinishThrows) {
+  Md5 h;
+  (void)h.finish();
+  EXPECT_THROW(h.update("x"), InvariantError);
+}
+
+TEST(Md5DigestTest, Prefix64IsLittleEndianOfFirstEightBytes) {
+  Md5Digest d;
+  for (std::size_t i = 0; i < d.bytes.size(); ++i) {
+    d.bytes[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  EXPECT_EQ(d.prefix64(), 0x0807060504030201ULL);
+}
+
+TEST(Md5DigestTest, UsableAsUnorderedMapKey) {
+  std::unordered_map<Md5Digest, int> m;
+  m[md5("a")] = 1;
+  m[md5("b")] = 2;
+  EXPECT_EQ(m.at(md5("a")), 1);
+  EXPECT_EQ(m.at(md5("b")), 2);
+}
+
+}  // namespace
+}  // namespace baps::crypto

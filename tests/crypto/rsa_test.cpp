@@ -1,0 +1,101 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace baps::crypto {
+namespace {
+
+TEST(PrimalityTest, KnownSmallPrimesAndComposites) {
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 97ULL, 7919ULL, 1000000007ULL}) {
+    EXPECT_TRUE(is_probable_prime(BigUInt(p), 20, 1)) << p;
+  }
+  for (std::uint64_t c : {0ULL, 1ULL, 4ULL, 100ULL, 7917ULL, 1000000001ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt(c), 20, 1)) << c;
+  }
+}
+
+TEST(PrimalityTest, CarmichaelNumbersAreRejected) {
+  // Fermat pseudoprimes to every base; Miller–Rabin must still reject.
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 41041ULL, 825265ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigUInt(c), 20, 7)) << c;
+  }
+}
+
+TEST(PrimeGenerationTest, HasExactBitLengthAndIsOdd) {
+  for (std::size_t bits : {64u, 96u, 128u}) {
+    const BigUInt p = generate_prime(bits, 42);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, 30, 99));
+  }
+}
+
+TEST(PrimeGenerationTest, DeterministicInSeed) {
+  EXPECT_EQ(generate_prime(64, 5), generate_prime(64, 5));
+  EXPECT_NE(generate_prime(64, 5), generate_prime(64, 6));
+}
+
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    keys_ = new RsaKeyPair(generate_rsa_keypair(256, 2024));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+  static RsaKeyPair* keys_;
+};
+RsaKeyPair* RsaTest::keys_ = nullptr;
+
+TEST_F(RsaTest, KeypairIsDeterministicInSeed) {
+  const RsaKeyPair again = generate_rsa_keypair(256, 2024);
+  EXPECT_EQ(again.pub.n, keys_->pub.n);
+  EXPECT_EQ(again.priv.d, keys_->priv.d);
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const Md5Digest d = md5("the quick brown fox");
+  const BigUInt sig = rsa_sign_digest(d, keys_->priv);
+  EXPECT_TRUE(rsa_verify_digest(d, sig, keys_->pub));
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongDigest) {
+  const BigUInt sig = rsa_sign_digest(md5("original"), keys_->priv);
+  EXPECT_FALSE(rsa_verify_digest(md5("tampered"), sig, keys_->pub));
+}
+
+TEST_F(RsaTest, VerifyRejectsMangledSignature) {
+  const Md5Digest d = md5("payload");
+  BigUInt sig = rsa_sign_digest(d, keys_->priv);
+  sig = sig + BigUInt(1);
+  EXPECT_FALSE(rsa_verify_digest(d, sig, keys_->pub));
+}
+
+TEST_F(RsaTest, VerifyRejectsSignatureFromOtherKey) {
+  const RsaKeyPair other = generate_rsa_keypair(256, 777);
+  const Md5Digest d = md5("payload");
+  const BigUInt sig = rsa_sign_digest(d, other.priv);
+  EXPECT_FALSE(rsa_verify_digest(d, sig, keys_->pub));
+}
+
+TEST_F(RsaTest, VerifyRejectsOversizedSignature) {
+  const Md5Digest d = md5("payload");
+  EXPECT_FALSE(rsa_verify_digest(d, keys_->pub.n + BigUInt(1), keys_->pub));
+}
+
+TEST_F(RsaTest, TextbookIdentityHolds) {
+  // m^(e*d) ≡ m (mod n) for m below n.
+  const BigUInt m(123456789ULL);
+  const BigUInt c = BigUInt::mod_pow(m, keys_->pub.e, keys_->pub.n);
+  EXPECT_EQ(BigUInt::mod_pow(c, keys_->priv.d, keys_->priv.n), m);
+}
+
+TEST(RsaKeygenTest, RejectsTooSmallModulus) {
+  EXPECT_THROW(generate_rsa_keypair(128, 1), baps::InvariantError);
+}
+
+}  // namespace
+}  // namespace baps::crypto

@@ -1,0 +1,65 @@
+#include "crypto/watermark.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baps::crypto {
+namespace {
+
+class WatermarkTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    keys_ = new RsaKeyPair(generate_rsa_keypair(256, 11));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+  static RsaKeyPair* keys_;
+};
+RsaKeyPair* WatermarkTest::keys_ = nullptr;
+
+TEST_F(WatermarkTest, IntactDocumentVerifies) {
+  const std::string body = "<html>cached page body</html>";
+  const Watermark w = issue_watermark(body, keys_->priv);
+  EXPECT_TRUE(verify_watermark(body, w, keys_->pub));
+}
+
+TEST_F(WatermarkTest, TamperedDocumentIsDetected) {
+  const std::string body = "<html>cached page body</html>";
+  const Watermark w = issue_watermark(body, keys_->priv);
+  EXPECT_FALSE(verify_watermark("<html>cached page bodY</html>", w,
+                                keys_->pub));
+}
+
+TEST_F(WatermarkTest, SingleBitFlipAnywhereIsDetected) {
+  const std::string body = "peer-to-peer shared document";
+  const Watermark w = issue_watermark(body, keys_->priv);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    std::string mutated = body;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    EXPECT_FALSE(verify_watermark(mutated, w, keys_->pub)) << "byte " << i;
+  }
+}
+
+TEST_F(WatermarkTest, ClientCannotForgeWithoutPrivateKey) {
+  // A malicious client who alters the body and re-signs with its *own* key
+  // produces a watermark the proxy's public key rejects.
+  const RsaKeyPair mallory = generate_rsa_keypair(256, 666);
+  const Watermark forged = issue_watermark("evil body", mallory.priv);
+  EXPECT_FALSE(verify_watermark("evil body", forged, keys_->pub));
+}
+
+TEST_F(WatermarkTest, WatermarkIsDeterministicPerDocument) {
+  const Watermark a = issue_watermark("same doc", keys_->priv);
+  const Watermark b = issue_watermark("same doc", keys_->priv);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(WatermarkTest, EmptyDocumentStillProtected) {
+  const Watermark w = issue_watermark("", keys_->priv);
+  EXPECT_TRUE(verify_watermark("", w, keys_->pub));
+  EXPECT_FALSE(verify_watermark("x", w, keys_->pub));
+}
+
+}  // namespace
+}  // namespace baps::crypto

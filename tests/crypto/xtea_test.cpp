@@ -1,0 +1,68 @@
+#include "crypto/xtea.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace baps::crypto {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(XteaBlockTest, EncryptDecryptRoundTrip) {
+  const XteaKey key = {0x01234567, 0x89abcdef, 0xfedcba98, 0x76543210};
+  std::array<std::uint32_t, 2> v = {0xdeadbeef, 0xcafebabe};
+  const auto original = v;
+  xtea_encrypt_block(v, key);
+  EXPECT_NE(v, original);
+  xtea_decrypt_block(v, key);
+  EXPECT_EQ(v, original);
+}
+
+TEST(XteaBlockTest, DifferentKeysGiveDifferentCiphertext) {
+  std::array<std::uint32_t, 2> a = {1, 2}, b = {1, 2};
+  xtea_encrypt_block(a, {1, 2, 3, 4});
+  xtea_encrypt_block(b, {1, 2, 3, 5});
+  EXPECT_NE(a, b);
+}
+
+TEST(XteaCtrTest, RoundTripsArbitraryLengths) {
+  const XteaKey key = xtea_key_from_bytes(bytes_of("shared secret key"));
+  baps::Xoshiro256 rng(404);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 100u, 4096u}) {
+    std::vector<std::uint8_t> msg(len);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng());
+    const auto ct = xtea_ctr_crypt(msg, key, 99);
+    const auto pt = xtea_ctr_crypt(ct, key, 99);
+    EXPECT_EQ(pt, msg) << "length " << len;
+    if (len >= 8) {
+      EXPECT_NE(ct, msg);
+    }
+  }
+}
+
+TEST(XteaCtrTest, DifferentNoncesProduceDifferentStreams) {
+  const XteaKey key = xtea_key_from_bytes(bytes_of("k"));
+  const auto msg = bytes_of("sixteen byte msg");
+  EXPECT_NE(xtea_ctr_crypt(msg, key, 1), xtea_ctr_crypt(msg, key, 2));
+}
+
+TEST(XteaCtrTest, WrongKeyDoesNotDecrypt) {
+  const auto msg = bytes_of("confidential document body");
+  const auto ct = xtea_ctr_crypt(msg, xtea_key_from_bytes(bytes_of("right")), 5);
+  const auto pt = xtea_ctr_crypt(ct, xtea_key_from_bytes(bytes_of("wrong")), 5);
+  EXPECT_NE(pt, msg);
+}
+
+TEST(XteaKeyDerivationTest, FoldsLongInputs) {
+  const XteaKey a = xtea_key_from_bytes(bytes_of("aaaaaaaaaaaaaaaaaaaaaaaa"));
+  const XteaKey b = xtea_key_from_bytes(bytes_of("aaaaaaaaaaaaaaaaaaaaaaab"));
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace baps::crypto

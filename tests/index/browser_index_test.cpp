@@ -1,0 +1,97 @@
+#include "index/browser_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace baps::index {
+namespace {
+
+TEST(BrowserIndexTest, RejectsZeroClients) {
+  EXPECT_THROW(BrowserIndex(0), baps::InvariantError);
+}
+
+TEST(BrowserIndexTest, AddThenHolds) {
+  BrowserIndex idx(4);
+  idx.add(1, 100);
+  EXPECT_TRUE(idx.holds(1, 100));
+  EXPECT_FALSE(idx.holds(2, 100));
+  EXPECT_FALSE(idx.holds(1, 101));
+  EXPECT_EQ(idx.entry_count(), 1u);
+}
+
+TEST(BrowserIndexTest, AddIsIdempotent) {
+  BrowserIndex idx(4);
+  idx.add(1, 100);
+  idx.add(1, 100);
+  EXPECT_EQ(idx.entry_count(), 1u);
+  EXPECT_EQ(idx.holders(100).size(), 1u);
+}
+
+TEST(BrowserIndexTest, RemoveIsIdempotent) {
+  BrowserIndex idx(4);
+  idx.add(1, 100);
+  idx.remove(1, 100);
+  idx.remove(1, 100);
+  EXPECT_FALSE(idx.holds(1, 100));
+  EXPECT_EQ(idx.entry_count(), 0u);
+  EXPECT_TRUE(idx.holders(100).empty());
+}
+
+TEST(BrowserIndexTest, FindHolderExcludesRequester) {
+  BrowserIndex idx(4);
+  idx.add(2, 100);
+  EXPECT_EQ(idx.find_holder(100, 1), std::optional<ClientId>(2));
+  // The only holder is the requester itself → no remote hit.
+  EXPECT_EQ(idx.find_holder(100, 2), std::nullopt);
+}
+
+TEST(BrowserIndexTest, FindHolderOnUnknownDocIsEmpty) {
+  BrowserIndex idx(4);
+  EXPECT_EQ(idx.find_holder(999, 0), std::nullopt);
+}
+
+TEST(BrowserIndexTest, RoundRobinSpreadsAcrossHolders) {
+  BrowserIndex idx(5);
+  idx.add(1, 100);
+  idx.add(2, 100);
+  idx.add(3, 100);
+  std::set<ClientId> seen;
+  for (int i = 0; i < 12; ++i) {
+    const auto h = idx.find_holder(100, 0);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_NE(*h, 0u);
+    seen.insert(*h);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three holders get picked
+}
+
+TEST(BrowserIndexTest, MultiDocMultiClientBookkeeping) {
+  BrowserIndex idx(3);
+  idx.add(0, 1);
+  idx.add(0, 2);
+  idx.add(1, 1);
+  idx.add(2, 3);
+  EXPECT_EQ(idx.entry_count(), 4u);
+  EXPECT_EQ(idx.client_entry_count(0), 2u);
+  EXPECT_EQ(idx.client_entry_count(1), 1u);
+  auto h = idx.holders(1);
+  std::sort(h.begin(), h.end());
+  EXPECT_EQ(h, (std::vector<ClientId>{0, 1}));
+  idx.remove(0, 1);
+  EXPECT_EQ(idx.holders(1), std::vector<ClientId>{1});
+}
+
+TEST(BrowserIndexTest, OutOfRangeClientThrows) {
+  BrowserIndex idx(2);
+  EXPECT_THROW(idx.add(2, 1), baps::InvariantError);
+  EXPECT_THROW(idx.remove(5, 1), baps::InvariantError);
+  EXPECT_THROW(idx.holds(2, 1), baps::InvariantError);
+  EXPECT_THROW(idx.client_entry_count(2), baps::InvariantError);
+}
+
+}  // namespace
+}  // namespace baps::index

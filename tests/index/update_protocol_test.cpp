@@ -1,0 +1,123 @@
+#include "index/update_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace baps::index {
+namespace {
+
+TEST(ImmediateProtocolTest, AppliesEveryEventAtOnce) {
+  BrowserIndex idx(2);
+  ImmediateUpdateProtocol proto(idx);
+  proto.on_cache_insert(0, 7);
+  EXPECT_TRUE(idx.holds(0, 7));
+  proto.on_cache_remove(0, 7);
+  EXPECT_FALSE(idx.holds(0, 7));
+  EXPECT_EQ(proto.messages_sent(), 2u);
+  EXPECT_EQ(proto.updates_applied(), 2u);
+}
+
+TEST(PeriodicProtocolTest, RejectsBadThreshold) {
+  BrowserIndex idx(1);
+  EXPECT_THROW(PeriodicUpdateProtocol(idx, 1, 0.0), baps::InvariantError);
+  EXPECT_THROW(PeriodicUpdateProtocol(idx, 1, 1.5), baps::InvariantError);
+}
+
+TEST(PeriodicProtocolTest, DelaysUntilThreshold) {
+  BrowserIndex idx(1);
+  // Threshold 0.5: with population ~10, a flush needs ~5 changed docs.
+  PeriodicUpdateProtocol proto(idx, 1, 0.5);
+  for (DocId d = 0; d < 10; ++d) proto.on_cache_insert(0, d);
+  proto.flush_all();
+  for (DocId d = 0; d < 10; ++d) EXPECT_TRUE(idx.holds(0, d));
+
+  // Two fresh inserts: 2 < 0.5 * (12+1) → still pending.
+  proto.on_cache_insert(0, 100);
+  proto.on_cache_insert(0, 101);
+  EXPECT_FALSE(idx.holds(0, 100));
+  const auto flushes_before = proto.flush_count();
+  // Enough further churn crosses the threshold (changed ≥ 0.5·(pop+1),
+  // with pop growing alongside) and flushes automatically.
+  for (DocId d = 102; d < 120; ++d) proto.on_cache_insert(0, d);
+  EXPECT_GT(proto.flush_count(), flushes_before);
+  EXPECT_TRUE(idx.holds(0, 100));
+}
+
+TEST(PeriodicProtocolTest, InsertThenRemoveCancelsOut) {
+  BrowserIndex idx(1);
+  PeriodicUpdateProtocol proto(idx, 1, 1.0);
+  proto.on_cache_insert(0, 5);
+  proto.on_cache_remove(0, 5);
+  proto.flush_all();
+  EXPECT_FALSE(idx.holds(0, 5));
+  // The cancelled pair must not have been applied as two updates.
+  EXPECT_EQ(proto.updates_applied(), 0u);
+}
+
+TEST(PeriodicProtocolTest, StaleViewUntilFlush) {
+  BrowserIndex idx(1);
+  PeriodicUpdateProtocol proto(idx, 1, 1.0);  // flush essentially only manually
+  // Build a resident population so single events stay below the threshold.
+  for (DocId d = 0; d < 10; ++d) proto.on_cache_insert(0, d);
+  proto.flush_all();
+  ASSERT_TRUE(idx.holds(0, 0));
+
+  proto.on_cache_insert(0, 50);
+  // The proxy does not yet know about doc 50: a lost remote hit.
+  EXPECT_FALSE(idx.holds(0, 50));
+  proto.on_cache_remove(0, 0);
+  // The proxy still believes client 0 holds doc 0: a false forward.
+  EXPECT_TRUE(idx.holds(0, 0));
+  proto.flush_all();
+  EXPECT_TRUE(idx.holds(0, 50));
+  EXPECT_FALSE(idx.holds(0, 0));
+}
+
+TEST(PeriodicProtocolTest, BatchingSendsFarFewerMessages) {
+  BrowserIndex idx_imm(1), idx_per(1);
+  ImmediateUpdateProtocol imm(idx_imm);
+  PeriodicUpdateProtocol per(idx_per, 1, 0.10);
+  for (DocId d = 0; d < 1000; ++d) {
+    imm.on_cache_insert(0, d);
+    per.on_cache_insert(0, d);
+  }
+  imm.flush_all();
+  per.flush_all();
+  EXPECT_EQ(imm.messages_sent(), 1000u);
+  EXPECT_LT(per.messages_sent(), 100u);
+  // Both end with an identical index.
+  for (DocId d = 0; d < 1000; ++d) {
+    EXPECT_TRUE(idx_per.holds(0, d));
+  }
+}
+
+TEST(PeriodicProtocolTest, RemoveWithoutInsertThrows) {
+  BrowserIndex idx(1);
+  PeriodicUpdateProtocol proto(idx, 1, 0.5);
+  EXPECT_THROW(proto.on_cache_remove(0, 9), baps::InvariantError);
+}
+
+TEST(PeriodicProtocolTest, LowerThresholdTracksMoreClosely) {
+  // Property: after identical event streams (no manual flush), a tighter
+  // threshold leaves fewer discrepancies between truth and the proxy view.
+  const auto discrepancies = [](double threshold) {
+    BrowserIndex idx(1);
+    PeriodicUpdateProtocol proto(idx, 1, threshold);
+    std::uint64_t wrong = 0;
+    // Sliding window of 50 docs: insert d, remove d-50.
+    for (DocId d = 0; d < 500; ++d) {
+      proto.on_cache_insert(0, d);
+      if (d >= 50) proto.on_cache_remove(0, d - 50);
+    }
+    for (DocId d = 0; d < 500; ++d) {
+      const bool truth = d >= 450;
+      if (idx.holds(0, d) != truth) ++wrong;
+    }
+    return wrong;
+  };
+  EXPECT_LE(discrepancies(0.02), discrepancies(0.5));
+}
+
+}  // namespace
+}  // namespace baps::index

@@ -1,0 +1,126 @@
+#include "index/url_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/record.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace baps::index {
+namespace {
+
+std::vector<std::string> sample_urls() {
+  return {
+      "http://www.example.com/index.html",
+      "http://www.example.com/img/logo.gif",
+      "http://www.example.com/img/banner.gif",
+      "http://www.example.com/docs/a.html",
+      "http://www.example.com/docs/b.html",
+      "http://news.example.org/today",
+      "http://news.example.org/yesterday",
+  };
+}
+
+TEST(UrlTableTest, StoresSortedDeduplicated) {
+  auto urls = sample_urls();
+  urls.push_back(urls.front());  // duplicate
+  const UrlTable t(urls);
+  EXPECT_EQ(t.size(), 7u);
+  std::string prev;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const std::string u = t.at(i);
+    EXPECT_GT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(UrlTableTest, AtRoundTripsEveryUrl) {
+  const auto urls = sample_urls();
+  const UrlTable t(urls);
+  auto sorted = urls;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(t.at(i), sorted[i]) << i;
+  }
+  EXPECT_THROW(t.at(sorted.size()), baps::InvariantError);
+}
+
+TEST(UrlTableTest, FindLocatesMembersAndRejectsOthers) {
+  const UrlTable t(sample_urls());
+  for (const std::string& u : sample_urls()) {
+    const auto idx = t.find(u);
+    ASSERT_TRUE(idx.has_value()) << u;
+    EXPECT_EQ(t.at(*idx), u);
+  }
+  EXPECT_FALSE(t.contains("http://www.example.com/"));
+  EXPECT_FALSE(t.contains("http://www.example.com/zzz"));
+  EXPECT_FALSE(t.contains("a"));      // before every head
+  EXPECT_FALSE(t.contains("zzzz"));   // after everything
+  EXPECT_FALSE(t.contains(""));
+}
+
+TEST(UrlTableTest, EmptyTable) {
+  const UrlTable t({});
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.contains("anything"));
+}
+
+TEST(UrlTableTest, CompressesSharedPrefixes) {
+  // 1000 synthetic URLs over ten hosts (synthetic_url assigns host by
+  // doc % 997): plenty of shared prefixes for front coding to exploit.
+  std::vector<std::string> urls;
+  for (trace::DocId host = 0; host < 10; ++host) {
+    for (trace::DocId i = 0; i < 100; ++i) {
+      urls.push_back(trace::synthetic_url(host + 997 * i));
+    }
+  }
+  const UrlTable t(urls);
+  EXPECT_EQ(t.size(), 1000u);
+  EXPECT_LT(t.compressed_bytes(), t.raw_bytes());
+  EXPECT_GT(t.compression_ratio(), 1.5);
+}
+
+TEST(UrlTableTest, BucketSizeSweepPreservesCorrectness) {
+  std::vector<std::string> urls;
+  for (trace::DocId d = 0; d < 257; ++d) {
+    urls.push_back(trace::synthetic_url(d * 3));
+  }
+  auto sorted = urls;
+  std::sort(sorted.begin(), sorted.end());
+  for (const std::size_t bucket : {1u, 2u, 7u, 16u, 64u, 1000u}) {
+    const UrlTable t(urls, bucket);
+    ASSERT_EQ(t.size(), sorted.size());
+    for (std::size_t i = 0; i < sorted.size(); i += 13) {
+      EXPECT_EQ(t.at(i), sorted[i]) << "bucket " << bucket;
+      EXPECT_EQ(t.find(sorted[i]), std::optional<std::size_t>(i))
+          << "bucket " << bucket;
+    }
+    EXPECT_FALSE(t.contains("http://nonexistent.example/"));
+  }
+}
+
+TEST(UrlTableTest, RandomizedFindAgainstLinearScan) {
+  baps::Xoshiro256 rng(15);
+  std::vector<std::string> urls;
+  for (int i = 0; i < 500; ++i) {
+    urls.push_back(trace::synthetic_url(rng.below(10'000)));
+  }
+  const UrlTable t(urls);
+  auto sorted = urls;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (int probe = 0; probe < 500; ++probe) {
+    const std::string u = trace::synthetic_url(rng.below(10'000));
+    const bool expected = std::binary_search(sorted.begin(), sorted.end(), u);
+    EXPECT_EQ(t.contains(u), expected) << u;
+  }
+}
+
+TEST(UrlTableTest, ZeroBucketSizeThrows) {
+  EXPECT_THROW(UrlTable({"a"}, 0), baps::InvariantError);
+}
+
+}  // namespace
+}  // namespace baps::index

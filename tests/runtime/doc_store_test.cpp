@@ -1,0 +1,71 @@
+#include "runtime/doc_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baps::runtime {
+namespace {
+
+Document doc(const std::string& body) { return Document{body, {}}; }
+
+TEST(DocStoreTest, PutGetRoundTrip) {
+  DocStore s(1024);
+  EXPECT_TRUE(s.put(1, doc("hello")));
+  const auto d = s.get(1);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->body, "hello");
+  EXPECT_EQ(s.used_bytes(), 5u);
+}
+
+TEST(DocStoreTest, MissReturnsNullopt) {
+  DocStore s(1024);
+  EXPECT_FALSE(s.get(42).has_value());
+}
+
+TEST(DocStoreTest, PutReplacesExistingBody) {
+  DocStore s(1024);
+  s.put(1, doc("old body"));
+  s.put(1, doc("new"));
+  EXPECT_EQ(s.get(1)->body, "new");
+  EXPECT_EQ(s.used_bytes(), 3u);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(DocStoreTest, OversizedBodyRejected) {
+  DocStore s(4);
+  EXPECT_FALSE(s.put(1, doc("way too large")));
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(DocStoreTest, LruEvictionWithListener) {
+  DocStore s(10);
+  std::vector<DocStore::Key> evicted;
+  s.set_eviction_listener([&](DocStore::Key k) { evicted.push_back(k); });
+  s.put(1, doc("aaaa"));
+  s.put(2, doc("bbbb"));
+  s.get(1);               // heat 1; 2 becomes the victim
+  s.put(3, doc("cccc"));  // evicts 2
+  EXPECT_EQ(evicted, std::vector<DocStore::Key>{2});
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(DocStoreTest, EraseIsSilent) {
+  DocStore s(100);
+  int evictions = 0;
+  s.set_eviction_listener([&](DocStore::Key) { ++evictions; });
+  s.put(1, doc("abc"));
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_EQ(evictions, 0);
+}
+
+TEST(DocStoreTest, CorruptFlipsStoredBody) {
+  DocStore s(100);
+  s.put(1, doc("payload"));
+  EXPECT_TRUE(s.corrupt(1));
+  EXPECT_NE(s.get(1)->body, "payload");
+  EXPECT_FALSE(s.corrupt(99));  // absent key
+}
+
+}  // namespace
+}  // namespace baps::runtime

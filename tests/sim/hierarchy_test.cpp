@@ -1,0 +1,160 @@
+#include "sim/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+#include "util/assert.hpp"
+
+namespace baps::sim {
+namespace {
+
+using trace::Request;
+using trace::Trace;
+
+Trace make(std::uint32_t clients, std::vector<Request> reqs) {
+  trace::DocId max_doc = 0;
+  for (auto& r : reqs) max_doc = std::max(max_doc, r.doc);
+  return Trace("h", clients, max_doc + 1, std::move(reqs));
+}
+
+HierarchyConfig base_config(std::uint32_t clients) {
+  HierarchyConfig cfg;
+  cfg.num_leaf_proxies = 2;
+  cfg.leaf_cache_bytes = 1 << 20;
+  cfg.parent_cache_bytes = 4 << 20;
+  cfg.browser_cache_bytes.assign(clients, 1 << 20);
+  return cfg;
+}
+
+TEST(HierarchyTest, ValidatesConfig) {
+  HierarchyConfig cfg = base_config(2);
+  cfg.num_leaf_proxies = 0;
+  EXPECT_THROW(HierarchySim(cfg, 2), baps::InvariantError);
+  cfg = base_config(3);
+  EXPECT_THROW(HierarchySim(cfg, 2), baps::InvariantError);
+}
+
+TEST(HierarchyTest, ClientsPartitionAcrossLeaves) {
+  const HierarchySim sim(base_config(5), 5);
+  EXPECT_EQ(sim.leaf_of(0), 0u);
+  EXPECT_EQ(sim.leaf_of(1), 1u);
+  EXPECT_EQ(sim.leaf_of(2), 0u);
+}
+
+TEST(HierarchyTest, SameLeafSecondClientHitsLeafProxy) {
+  // Clients 0 and 2 share leaf 0.
+  const Trace t = make(4, {{0, 0, 7, 100}, {1, 2, 7, 100}});
+  const HierarchyMetrics m = run_hierarchy(base_config(4), t);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.leaf_proxy_hits, 1u);
+}
+
+TEST(HierarchyTest, CrossLeafWithoutCooperationGoesToParent) {
+  // Clients 0 (leaf 0) and 1 (leaf 1): without sibling cooperation the
+  // second request finds the doc only at the parent.
+  const Trace t = make(2, {{0, 0, 7, 100}, {1, 1, 7, 100}});
+  const HierarchyMetrics m = run_hierarchy(base_config(2), t);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.parent_proxy_hits, 1u);
+  EXPECT_EQ(m.sibling_proxy_hits, 0u);
+}
+
+TEST(HierarchyTest, SiblingCooperationInterceptsBeforeParent) {
+  HierarchyConfig cfg = base_config(2);
+  cfg.sibling_cooperation = true;
+  cfg.parent_cache_bytes = 1;  // parent can hold nothing
+  const Trace t = make(2, {{0, 0, 7, 100}, {1, 1, 7, 100}});
+  const HierarchyMetrics m = run_hierarchy(cfg, t);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.sibling_proxy_hits, 1u);
+  EXPECT_EQ(m.parent_proxy_hits, 0u);
+}
+
+TEST(HierarchyTest, BrowsersAwareServesFromPeerWithinLeaf) {
+  HierarchyConfig cfg = base_config(4);
+  cfg.browsers_aware = true;
+  cfg.leaf_cache_bytes = 150;   // leaf can hold one small doc
+  cfg.parent_cache_bytes = 150;
+  // Clients 0 and 2 share leaf 0: 0 fetches doc 7; churn doc 8 evicts it
+  // from leaf and parent; client 2 then gets it from client 0's browser.
+  const Trace t = make(4, {{0, 0, 7, 100},
+                           {1, 0, 8, 100},
+                           {2, 2, 7, 100}});
+  const HierarchyMetrics m = run_hierarchy(cfg, t);
+  EXPECT_EQ(m.remote_browser_hits, 1u);
+  EXPECT_EQ(m.misses, 2u);
+}
+
+TEST(HierarchyTest, IndexIsScopedToTheLeaf) {
+  // Client 1 is on leaf 1: client 0's browser copy (leaf 0) must NOT be
+  // visible to it through the browsers-aware index.
+  HierarchyConfig cfg = base_config(2);
+  cfg.browsers_aware = true;
+  cfg.leaf_cache_bytes = 150;
+  cfg.parent_cache_bytes = 150;
+  const Trace t = make(2, {{0, 0, 7, 100},
+                           {1, 0, 8, 100},
+                           {2, 1, 7, 100}});
+  const HierarchyMetrics m = run_hierarchy(cfg, t);
+  EXPECT_EQ(m.remote_browser_hits, 0u);
+  EXPECT_EQ(m.misses, 3u);
+}
+
+TEST(HierarchyTest, SizeChangeIsMissAtEveryLevel) {
+  HierarchyConfig cfg = base_config(2);
+  cfg.sibling_cooperation = true;
+  cfg.browsers_aware = true;
+  const Trace t = make(2, {{0, 0, 7, 100}, {1, 0, 7, 150}, {2, 1, 7, 175}});
+  const HierarchyMetrics m = run_hierarchy(cfg, t);
+  EXPECT_EQ(m.misses, 3u);
+}
+
+TEST(HierarchyTest, AccountingBalances) {
+  trace::GeneratorParams gp;
+  gp.num_requests = 15'000;
+  gp.num_clients = 12;
+  gp.shared_docs = 2'000;
+  gp.private_docs_per_client = 150;
+  const Trace t = trace::generate_trace("hb", gp, 44);
+  HierarchyConfig cfg = base_config(12);
+  cfg.num_leaf_proxies = 3;
+  cfg.leaf_cache_bytes = 128 << 10;
+  cfg.parent_cache_bytes = 512 << 10;
+  cfg.browser_cache_bytes.assign(12, 32 << 10);
+  cfg.sibling_cooperation = true;
+  cfg.browsers_aware = true;
+  const HierarchyMetrics m = run_hierarchy(cfg, t);
+  EXPECT_EQ(m.hits.total(), t.size());
+  EXPECT_EQ(m.local_browser_hits + m.leaf_proxy_hits +
+                m.remote_browser_hits + m.sibling_proxy_hits +
+                m.parent_proxy_hits,
+            m.hits.hits());
+  EXPECT_EQ(m.hits.hits() + m.misses, t.size());
+  EXPECT_GT(m.total_service_time_s, 0.0);
+}
+
+TEST(HierarchyTest, EachMechanismMonotonicallyHelps) {
+  trace::GeneratorParams gp;
+  gp.num_requests = 25'000;
+  gp.num_clients = 16;
+  gp.shared_docs = 6'000;
+  gp.private_docs_per_client = 250;
+  const Trace t = trace::generate_trace("hm", gp, 45);
+  HierarchyConfig cfg = base_config(16);
+  cfg.num_leaf_proxies = 4;
+  cfg.leaf_cache_bytes = 96 << 10;
+  cfg.parent_cache_bytes = 256 << 10;
+  cfg.browser_cache_bytes.assign(16, 48 << 10);
+
+  const double plain = run_hierarchy(cfg, t).hit_ratio();
+  cfg.sibling_cooperation = true;
+  const double with_icp = run_hierarchy(cfg, t).hit_ratio();
+  cfg.browsers_aware = true;
+  const double with_both = run_hierarchy(cfg, t).hit_ratio();
+
+  EXPECT_GE(with_icp, plain);
+  EXPECT_GT(with_both, with_icp);
+}
+
+}  // namespace
+}  // namespace baps::sim

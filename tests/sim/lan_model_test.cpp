@@ -1,0 +1,56 @@
+#include "net/lan_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace baps::net {
+namespace {
+
+TEST(LanModelTest, TransferTimeIsSetupPlusSerialization) {
+  LanModel lan;  // 10 Mbps, 0.1 s setup
+  // 1 MB at 10 Mbps = 0.8388608 s + 0.1 s setup.
+  EXPECT_NEAR(lan.transfer_time(1 << 20), 0.1 + 8.0 * 1048576 / 10e6, 1e-9);
+  EXPECT_NEAR(lan.transfer_time(0), 0.1, 1e-12);
+}
+
+TEST(LanModelTest, NoContentionWhenBusIdle) {
+  LanModel lan;
+  const auto r = lan.transfer(5.0, 12'500);  // 0.01 s serialization
+  EXPECT_DOUBLE_EQ(r.wait_s, 0.0);
+  EXPECT_NEAR(r.transfer_s, 0.11, 1e-9);
+  EXPECT_NEAR(r.finish_time, 5.11, 1e-9);
+}
+
+TEST(LanModelTest, BackToBackTransfersContend) {
+  LanModel lan;
+  lan.transfer(0.0, 1'250'000);  // occupies the bus until 1.1 s
+  const auto r = lan.transfer(0.5, 1'250);
+  EXPECT_NEAR(r.wait_s, 0.6, 1e-9);  // waits from 0.5 to 1.1
+  EXPECT_NEAR(lan.total_contention_time(), 0.6, 1e-9);
+}
+
+TEST(LanModelTest, SpacedTransfersDoNotContend) {
+  LanModel lan;
+  lan.transfer(0.0, 1'250);
+  const auto r = lan.transfer(10.0, 1'250);
+  EXPECT_DOUBLE_EQ(r.wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(lan.total_contention_time(), 0.0);
+}
+
+TEST(LanModelTest, AccumulatesTotals) {
+  LanModel lan;
+  lan.transfer(0.0, 1000);
+  lan.transfer(0.0, 2000);
+  EXPECT_EQ(lan.transfer_count(), 2u);
+  EXPECT_EQ(lan.bytes_moved(), 3000u);
+  EXPECT_GT(lan.total_transfer_time(), 0.2);  // two setups at least
+}
+
+TEST(LanModelTest, RejectsBadParams) {
+  EXPECT_THROW(LanModel(LanParams{0.0, 0.1}), baps::InvariantError);
+  EXPECT_THROW(LanModel(LanParams{10e6, -1.0}), baps::InvariantError);
+}
+
+}  // namespace
+}  // namespace baps::net

@@ -1,0 +1,44 @@
+#include "sim/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baps::sim {
+namespace {
+
+TEST(LatencyModelTest, MemoryReadCountsSixteenByteBlocks) {
+  LatencyModel m;
+  // 100 bytes → ceil(100/16) = 7 blocks × 2 µs.
+  EXPECT_NEAR(m.cache_read(100, cache::HitTier::kMemory), 7 * 2e-6, 1e-12);
+  EXPECT_NEAR(m.cache_read(16, cache::HitTier::kMemory), 2e-6, 1e-12);
+  EXPECT_NEAR(m.cache_read(17, cache::HitTier::kMemory), 4e-6, 1e-12);
+}
+
+TEST(LatencyModelTest, DiskReadCountsFourKilobytePages) {
+  LatencyModel m;
+  EXPECT_NEAR(m.cache_read(4096, cache::HitTier::kDisk), 10e-3, 1e-12);
+  EXPECT_NEAR(m.cache_read(4097, cache::HitTier::kDisk), 20e-3, 1e-12);
+  EXPECT_NEAR(m.cache_read(100, cache::HitTier::kDisk), 10e-3, 1e-12);
+}
+
+TEST(LatencyModelTest, MemoryIsOrdersOfMagnitudeFasterThanDisk) {
+  LatencyModel m;
+  const std::uint64_t size = 8192;
+  EXPECT_LT(m.cache_read(size, cache::HitTier::kMemory) * 10.0,
+            m.cache_read(size, cache::HitTier::kDisk));
+}
+
+TEST(LatencyModelTest, OriginFetchIncludesRttAndBandwidth) {
+  LatencyModel m;  // 1 s RTT, 0.5 Mbps
+  EXPECT_NEAR(m.origin_fetch(0), 1.0, 1e-12);
+  EXPECT_NEAR(m.origin_fetch(62'500), 2.0, 1e-9);  // 0.5 Mb payload → +1 s
+}
+
+TEST(LatencyModelTest, OriginDwarfsLanAndCacheReads) {
+  // The §5 overhead claim only makes sense if origin fetches dominate.
+  LatencyModel m;
+  EXPECT_GT(m.origin_fetch(8192), 10.0 * m.cache_read(8192,
+                                                      cache::HitTier::kDisk));
+}
+
+}  // namespace
+}  // namespace baps::sim

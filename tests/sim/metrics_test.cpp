@@ -1,0 +1,54 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baps::sim {
+namespace {
+
+TEST(MetricsTest, EmptyMetricsAreZero) {
+  const Metrics m;
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.byte_hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.memory_byte_hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.remote_overhead_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(m.contention_fraction_of_comm(), 0.0);
+}
+
+TEST(MetricsTest, MemoryByteHitRatioNormalizesByTotalBytes) {
+  Metrics m;
+  m.byte_hits.hit(600);
+  m.byte_hits.miss(400);  // total = 1000 bytes requested
+  m.memory_hit_bytes = 250;
+  m.disk_hit_bytes = 350;
+  EXPECT_DOUBLE_EQ(m.memory_byte_hit_ratio(), 0.25);
+}
+
+TEST(MetricsTest, OverheadFractionsCompose) {
+  Metrics m;
+  m.total_service_time_s = 100.0;
+  m.remote_transfer_time_s = 0.9;
+  m.remote_contention_time_s = 0.1;
+  EXPECT_DOUBLE_EQ(m.remote_overhead_fraction(), 0.01);
+  EXPECT_DOUBLE_EQ(m.contention_fraction_of_comm(), 0.1);
+}
+
+TEST(MetricsTest, LatencyQuantilesRecoverObservations) {
+  Metrics m;
+  // 99 fast requests (1 ms) and one slow (10 s).
+  for (int i = 0; i < 99; ++i) m.observe_latency(1e-3);
+  m.observe_latency(10.0);
+  EXPECT_NEAR(m.latency_quantile(0.5), 1e-3, 5e-4);
+  EXPECT_GT(m.latency_quantile(0.999), 1.0);
+  EXPECT_EQ(m.log_latency.count(), 100u);
+}
+
+TEST(MetricsTest, ObserveLatencyClampsPathologicalInputs) {
+  Metrics m;
+  m.observe_latency(0.0);       // log10 would blow up without the clamp
+  m.observe_latency(1e9);       // beyond the histogram ceiling
+  EXPECT_EQ(m.log_latency.count(), 2u);
+  EXPECT_GE(m.latency_quantile(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace baps::sim

@@ -1,0 +1,90 @@
+// Parameterized property matrix: every (organization × replacement policy)
+// combination must satisfy the simulator's global invariants on a shared
+// workload. This is the broad-coverage net under the per-organization
+// behavioural tests.
+#include <gtest/gtest.h>
+
+#include "sim/organization.hpp"
+#include "trace/generator.hpp"
+#include "trace/stats.hpp"
+
+namespace baps::sim {
+namespace {
+
+using MatrixParam = std::tuple<OrgKind, cache::PolicyKind>;
+
+class OrgPolicyMatrix : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  static const trace::Trace& shared_trace() {
+    static const trace::Trace t = [] {
+      trace::GeneratorParams p;
+      p.num_requests = 20'000;
+      p.num_clients = 12;
+      p.shared_docs = 4'000;
+      p.private_docs_per_client = 300;
+      p.mutation_prob = 0.01;
+      return trace::generate_trace("matrix", p, 314);
+    }();
+    return t;
+  }
+
+  static Metrics run(OrgKind org, cache::PolicyKind policy) {
+    SimConfig cfg;
+    cfg.policy = policy;
+    cfg.proxy_cache_bytes = 512 << 10;
+    cfg.browser_cache_bytes.assign(12, 64 << 10);
+    return run_organization(org, cfg, shared_trace());
+  }
+};
+
+TEST_P(OrgPolicyMatrix, InvariantsHold) {
+  const auto [org, policy] = GetParam();
+  const Metrics m = run(org, policy);
+  const trace::TraceStats stats = trace::compute_stats(shared_trace());
+
+  // Every request accounted exactly once.
+  EXPECT_EQ(m.hits.total(), shared_trace().size());
+  EXPECT_EQ(m.hits.hits() + m.misses, shared_trace().size());
+  EXPECT_EQ(
+      m.local_browser_hits + m.proxy_hits + m.remote_browser_hits,
+      m.hits.hits());
+  // Byte books balance.
+  EXPECT_EQ(m.byte_hits.total(), stats.total_bytes);
+  EXPECT_EQ(m.memory_hit_bytes + m.disk_hit_bytes, m.byte_hits.hits());
+  // No cache scheme beats the re-reference bound.
+  EXPECT_LE(m.hit_ratio(), stats.max_hit_ratio + 1e-12);
+  EXPECT_LE(m.byte_hit_ratio(), stats.max_byte_hit_ratio + 1e-12);
+  // Latency accounting: every request observed, hit latency ≤ total.
+  EXPECT_EQ(m.log_latency.count(), shared_trace().size());
+  EXPECT_LE(m.total_hit_latency_s, m.total_service_time_s + 1e-9);
+  // With mutations in the workload, size-change misses must appear for any
+  // organization that caches at all.
+  EXPECT_GT(m.size_change_misses, 0u);
+}
+
+TEST_P(OrgPolicyMatrix, DeterministicAcrossRuns) {
+  const auto [org, policy] = GetParam();
+  const Metrics a = run(org, policy);
+  const Metrics b = run(org, policy);
+  EXPECT_EQ(a.hits.hits(), b.hits.hits());
+  EXPECT_EQ(a.byte_hits.hits(), b.byte_hits.hits());
+  EXPECT_EQ(a.remote_browser_hits, b.remote_browser_hits);
+  EXPECT_EQ(a.size_change_misses, b.size_change_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, OrgPolicyMatrix,
+    ::testing::Combine(::testing::ValuesIn(kAllOrganizations),
+                       ::testing::ValuesIn(cache::kAllPolicies)),
+    [](const auto& param_info) {
+      std::string name =
+          org_name(std::get<0>(param_info.param)) + "_" +
+          cache::policy_name(std::get<1>(param_info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace baps::sim

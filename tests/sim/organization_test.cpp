@@ -1,0 +1,300 @@
+// Behavioural tests of the five caching organizations on hand-built traces
+// where every hit/miss can be reasoned out exactly.
+#include "sim/organization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/orgs.hpp"
+#include "trace/generator.hpp"
+#include "util/assert.hpp"
+
+namespace baps::sim {
+namespace {
+
+using trace::Request;
+using trace::Trace;
+
+SimConfig big_caches(std::uint32_t clients) {
+  SimConfig cfg;
+  cfg.proxy_cache_bytes = 1 << 30;
+  cfg.browser_cache_bytes.assign(clients, 1 << 30);
+  return cfg;
+}
+
+Trace make_trace(std::uint32_t clients, std::vector<Request> reqs) {
+  trace::DocId max_doc = 0;
+  for (auto& r : reqs) max_doc = std::max(max_doc, r.doc);
+  return Trace("t", clients, max_doc + 1, std::move(reqs));
+}
+
+TEST(OrgNameTest, AllFiveNamed) {
+  EXPECT_EQ(org_name(OrgKind::kProxyOnly), "proxy-cache-only");
+  EXPECT_EQ(org_name(OrgKind::kBrowsersAware), "browsers-aware-proxy-server");
+}
+
+TEST(SizingTest, MinimumBrowserCacheRule) {
+  // §3.2: C_browser = C_proxy / (10 N).
+  EXPECT_EQ(min_browser_cache_bytes(1000, 10), 10u);
+  EXPECT_EQ(min_browser_caches(1000, 4),
+            std::vector<std::uint64_t>(4, 25u));
+  EXPECT_THROW(min_browser_cache_bytes(1000, 0), baps::InvariantError);
+}
+
+TEST(ProxyOnlyTest, SecondRequestHitsRegardlessOfClient) {
+  const Trace t = make_trace(2, {{0, 0, 7, 100}, {1, 1, 7, 100}});
+  const Metrics m = run_organization(OrgKind::kProxyOnly, big_caches(2), t);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.proxy_hits, 1u);
+  EXPECT_EQ(m.local_browser_hits, 0u);
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.5);
+}
+
+TEST(LocalBrowserOnlyTest, NoCrossClientSharing) {
+  const Trace t = make_trace(2, {{0, 0, 7, 100}, {1, 1, 7, 100}});
+  const Metrics m =
+      run_organization(OrgKind::kLocalBrowserOnly, big_caches(2), t);
+  EXPECT_EQ(m.misses, 2u);  // client 1 cannot see client 0's copy
+  EXPECT_EQ(m.local_browser_hits, 0u);
+}
+
+TEST(LocalBrowserOnlyTest, OwnRereferenceHits) {
+  const Trace t = make_trace(1, {{0, 0, 7, 100}, {1, 0, 7, 100}});
+  const Metrics m =
+      run_organization(OrgKind::kLocalBrowserOnly, big_caches(1), t);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.local_browser_hits, 1u);
+}
+
+TEST(GlobalBrowsersOnlyTest, RemoteHitServedButNotCachedLocally) {
+  const Trace t = make_trace(2, {{0, 0, 7, 100},
+                                 {1, 1, 7, 100},
+                                 {2, 1, 7, 100}});
+  const Metrics m =
+      run_organization(OrgKind::kGlobalBrowsersOnly, big_caches(2), t);
+  // r2: remote hit from client 0. r3: client 1 did NOT cache it (§3.2), so
+  // it is another remote hit, not a local one.
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.remote_browser_hits, 2u);
+  EXPECT_EQ(m.local_browser_hits, 0u);
+}
+
+TEST(ProxyAndLocalTest, BrowserThenProxyHierarchy) {
+  const Trace t = make_trace(2, {{0, 0, 7, 100},   // miss, fills proxy+b0
+                                 {1, 0, 7, 100},   // local browser hit
+                                 {2, 1, 7, 100},   // proxy hit, fills b1
+                                 {3, 1, 7, 100}}); // local browser hit
+  const Metrics m =
+      run_organization(OrgKind::kProxyAndLocalBrowser, big_caches(2), t);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.local_browser_hits, 2u);
+  EXPECT_EQ(m.proxy_hits, 1u);
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.75);
+}
+
+TEST(BrowsersAwareTest, RemoteBrowserHitWhenProxyEvicted) {
+  // Tiny proxy forces the shared copy out of the proxy while client 0's big
+  // browser keeps it: the paper's first "type of miss" that BAPS converts
+  // into a remote-browser hit.
+  SimConfig cfg = big_caches(2);
+  cfg.proxy_cache_bytes = 150;  // holds one 100-byte doc at a time
+  const Trace t = make_trace(2, {{0, 0, 7, 100},   // miss: proxy+b0 cache it
+                                 {1, 0, 8, 100},   // miss: proxy evicts 7
+                                 {2, 1, 7, 100}}); // proxy miss, b0 has it!
+  const Metrics m = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  EXPECT_EQ(m.misses, 2u);
+  EXPECT_EQ(m.remote_browser_hits, 1u);
+  EXPECT_EQ(m.remote_transfer_bytes, 100u);
+  EXPECT_GT(m.remote_transfer_time_s, 0.0);
+}
+
+TEST(BrowsersAwareTest, SameConfigProxyAndLocalMissesThatCase) {
+  SimConfig cfg = big_caches(2);
+  cfg.proxy_cache_bytes = 150;
+  const Trace t = make_trace(2, {{0, 0, 7, 100},
+                                 {1, 0, 8, 100},
+                                 {2, 1, 7, 100}});
+  const Metrics m =
+      run_organization(OrgKind::kProxyAndLocalBrowser, cfg, t);
+  EXPECT_EQ(m.misses, 3u);  // the remote copy is invisible without the index
+}
+
+TEST(BrowsersAwareTest, RequesterCachesRemoteDelivery) {
+  SimConfig cfg = big_caches(2);
+  cfg.proxy_cache_bytes = 150;
+  const Trace t = make_trace(2, {{0, 0, 7, 100},
+                                 {1, 0, 8, 100},
+                                 {2, 1, 7, 100},   // remote hit from b0
+                                 {3, 1, 7, 100}}); // now a LOCAL hit at b1
+  const Metrics m = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  EXPECT_EQ(m.remote_browser_hits, 1u);
+  EXPECT_EQ(m.local_browser_hits, 1u);
+}
+
+TEST(BrowsersAwareTest, RelayViaProxyDoublesLanHops) {
+  SimConfig direct = big_caches(2);
+  direct.proxy_cache_bytes = 150;
+  SimConfig relay = direct;
+  relay.relay_via_proxy = true;
+  const Trace t = make_trace(2, {{0, 0, 7, 100},
+                                 {1, 0, 8, 100},
+                                 {2, 1, 7, 100}});
+  const Metrics md = run_organization(OrgKind::kBrowsersAware, direct, t);
+  const Metrics mr = run_organization(OrgKind::kBrowsersAware, relay, t);
+  EXPECT_EQ(mr.remote_transfer_bytes, 2 * md.remote_transfer_bytes);
+  EXPECT_GT(mr.remote_transfer_time_s, md.remote_transfer_time_s);
+  EXPECT_EQ(mr.remote_browser_hits, md.remote_browser_hits);
+}
+
+TEST(BrowsersAwareTest, OwnCopyIsNeverARemoteHit) {
+  // Client 0 is the only holder; its own re-request after proxy eviction
+  // must not loop back to itself. (Its browser still has it → local hit.)
+  SimConfig cfg = big_caches(1);
+  cfg.proxy_cache_bytes = 150;
+  const Trace t = make_trace(1, {{0, 0, 7, 100}, {1, 0, 7, 100}});
+  const Metrics m = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  EXPECT_EQ(m.remote_browser_hits, 0u);
+  EXPECT_EQ(m.local_browser_hits, 1u);
+}
+
+TEST(SizeChangeRuleTest, ChangedSizeIsMissEverywhere) {
+  for (const OrgKind kind : kAllOrganizations) {
+    const Trace t = make_trace(1, {{0, 0, 7, 100}, {1, 0, 7, 150}});
+    const Metrics m = run_organization(kind, big_caches(1), t);
+    EXPECT_EQ(m.misses, 2u) << org_name(kind);
+    EXPECT_GE(m.size_change_misses, 1u) << org_name(kind);
+  }
+}
+
+TEST(SizeChangeRuleTest, RefreshedCopyHitsAgain) {
+  const Trace t = make_trace(1, {{0, 0, 7, 100},
+                                 {1, 0, 7, 150},
+                                 {2, 0, 7, 150}});
+  const Metrics m =
+      run_organization(OrgKind::kProxyAndLocalBrowser, big_caches(1), t);
+  EXPECT_EQ(m.misses, 2u);
+  EXPECT_EQ(m.local_browser_hits, 1u);
+}
+
+TEST(BrowsersAwareTest, StaleRemoteCopyIsCountedAndMissed) {
+  // Client 0 caches doc at size 100; the proxy then loses it; client 1
+  // requests the doc at size 150 (mutated): the remote copy is stale.
+  SimConfig cfg = big_caches(2);
+  cfg.proxy_cache_bytes = 150;
+  const Trace t = make_trace(2, {{0, 0, 7, 100},
+                                 {1, 0, 8, 100},
+                                 {2, 1, 7, 150}});
+  const Metrics m = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  EXPECT_EQ(m.remote_browser_hits, 0u);
+  EXPECT_EQ(m.stale_remote_probes, 1u);
+  EXPECT_EQ(m.misses, 3u);
+}
+
+TEST(MetricsConsistencyTest, BreakdownsSumToTotals) {
+  // Run every organization over a churny trace and check the books balance.
+  std::vector<Request> reqs;
+  std::uint64_t total_bytes = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto doc = static_cast<trace::DocId>((i * 7) % 120);
+    const std::uint64_t size = 50 + (doc % 11) * 37;
+    reqs.push_back(Request{static_cast<double>(i),
+                           static_cast<trace::ClientId>(i % 5), doc, size});
+    total_bytes += size;
+  }
+  const Trace t = make_trace(5, std::move(reqs));
+  for (const OrgKind kind : kAllOrganizations) {
+    SimConfig cfg = big_caches(5);
+    cfg.proxy_cache_bytes = 4000;   // small: force churn
+    cfg.browser_cache_bytes.assign(5, 1200);
+    const Metrics m = run_organization(kind, cfg, t);
+    EXPECT_EQ(m.hits.total(), 4000u) << org_name(kind);
+    EXPECT_EQ(m.local_browser_hits + m.proxy_hits + m.remote_browser_hits,
+              m.hits.hits())
+        << org_name(kind);
+    EXPECT_EQ(m.hits.hits() + m.misses, 4000u) << org_name(kind);
+    EXPECT_EQ(m.byte_hits.total(), total_bytes) << org_name(kind);
+    EXPECT_EQ(m.local_browser_hit_bytes + m.proxy_hit_bytes +
+                  m.remote_browser_hit_bytes,
+              m.byte_hits.hits())
+        << org_name(kind);
+    EXPECT_EQ(m.memory_hit_bytes + m.disk_hit_bytes, m.byte_hits.hits())
+        << org_name(kind);
+    EXPECT_GT(m.total_service_time_s, 0.0) << org_name(kind);
+    EXPECT_LE(m.total_hit_latency_s, m.total_service_time_s)
+        << org_name(kind);
+  }
+}
+
+TEST(PeriodicIndexTest, StaleIndexCausesFalseForwardsButFewerMessages) {
+  // Churn browser caches hard under a lazy index: expect false forwards > 0
+  // and far fewer index messages than the immediate protocol.
+  // A generator trace gives per-client recency patterns that diverge from
+  // global recency — the precondition for remote-browser lookups at all.
+  trace::GeneratorParams gp;
+  gp.num_requests = 12'000;
+  gp.num_clients = 6;
+  gp.shared_docs = 600;
+  gp.private_docs_per_client = 60;
+  gp.temporal_prob = 0.35;
+  gp.mutation_prob = 0.0;
+  const Trace t = trace::generate_trace("churn", gp, 77);
+  SimConfig cfg;
+  cfg.proxy_cache_bytes = 256 << 10;             // small: heavy proxy churn
+  cfg.browser_cache_bytes.assign(6, 96 << 10);   // small browsers, much churn
+
+  cfg.index_mode = IndexMode::kImmediate;
+  const Metrics imm = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  cfg.index_mode = IndexMode::kPeriodic;
+  cfg.index_threshold = 0.4;
+  const Metrics per = run_organization(OrgKind::kBrowsersAware, cfg, t);
+
+  ASSERT_GT(imm.remote_browser_hits, 0u);  // the scenario must be live
+  EXPECT_EQ(imm.false_forwards, 0u);
+  EXPECT_GT(per.false_forwards, 0u);
+  EXPECT_LT(per.index_messages, imm.index_messages / 2);
+  // Staleness loses remote hits (the tolerable degradation the paper cites
+  // from Fan et al.).
+  EXPECT_LT(per.remote_browser_hits, imm.remote_browser_hits);
+}
+
+TEST(BloomIndexModeTest, TracksExactIndexWithTinyMemoryAndFewFalseForwards) {
+  trace::GeneratorParams gp;
+  gp.num_requests = 12'000;
+  gp.num_clients = 6;
+  gp.shared_docs = 600;
+  gp.private_docs_per_client = 60;
+  gp.temporal_prob = 0.35;
+  gp.mutation_prob = 0.0;
+  const Trace t = trace::generate_trace("bloom", gp, 78);
+  SimConfig cfg;
+  cfg.proxy_cache_bytes = 256 << 10;
+  cfg.browser_cache_bytes.assign(6, 96 << 10);
+
+  cfg.index_kind = IndexKind::kExact;
+  const Metrics exact = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  cfg.index_kind = IndexKind::kBloomSummary;
+  cfg.bloom_expected_docs_per_client = 64;
+  cfg.bloom_target_fp = 0.001;
+  const Metrics bloom = run_organization(OrgKind::kBrowsersAware, cfg, t);
+
+  ASSERT_GT(exact.remote_browser_hits, 0u);
+  // A summary has no false negatives, but candidate order differs from the
+  // exact index's round-robin, so cache trajectories diverge — compare
+  // within a tolerance rather than request-by-request.
+  EXPECT_EQ(bloom.hits.total(), exact.hits.total());
+  EXPECT_NEAR(static_cast<double>(bloom.remote_browser_hits),
+              static_cast<double>(exact.remote_browser_hits),
+              0.05 * static_cast<double>(exact.remote_browser_hits) + 5.0);
+  EXPECT_NEAR(bloom.hit_ratio(), exact.hit_ratio(), 0.01);
+}
+
+TEST(ConfigValidationTest, BrowserVectorMustMatchClients) {
+  SimConfig cfg;
+  cfg.proxy_cache_bytes = 1000;
+  cfg.browser_cache_bytes.assign(3, 100);
+  const Trace t = make_trace(2, {{0, 0, 1, 10}});
+  EXPECT_THROW(run_organization(OrgKind::kProxyAndLocalBrowser, cfg, t),
+               baps::InvariantError);
+}
+
+}  // namespace
+}  // namespace baps::sim

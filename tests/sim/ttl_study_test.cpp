@@ -1,0 +1,157 @@
+#include "sim/ttl_study.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+#include "util/assert.hpp"
+
+namespace baps::sim {
+namespace {
+
+using trace::Request;
+using trace::Trace;
+
+Trace make(std::uint32_t clients, std::vector<Request> reqs) {
+  trace::DocId max_doc = 0;
+  for (auto& r : reqs) max_doc = std::max(max_doc, r.doc);
+  return Trace("ttl", clients, max_doc + 1, std::move(reqs));
+}
+
+TtlStudyConfig big_config(std::uint32_t clients) {
+  TtlStudyConfig cfg;
+  cfg.proxy_cache_bytes = 1 << 20;
+  cfg.browser_cache_bytes.assign(clients, 1 << 20);
+  return cfg;
+}
+
+TEST(TtlStudyTest, ValidatesConfig) {
+  TtlStudyConfig cfg = big_config(1);
+  cfg.ttl_seconds = 0.0;
+  EXPECT_THROW(run_ttl_study(cfg, make(1, {{0, 0, 1, 10}})),
+               baps::InvariantError);
+  cfg = big_config(3);
+  EXPECT_THROW(run_ttl_study(cfg, make(2, {{0, 0, 1, 10}})),
+               baps::InvariantError);
+}
+
+TEST(TtlStudyTest, WithoutOracleStaleCopiesAreServed) {
+  // Doc 7 mutates (size 100 → 150) at t=2; the cached copy keeps being
+  // served: the oracle-less cache cannot see the change.
+  const Trace t = make(1, {{0.0, 0, 7, 100},
+                           {2.0, 0, 7, 150},
+                           {4.0, 0, 7, 150}});
+  const TtlStudyMetrics m = run_ttl_study(big_config(1), t);
+  EXPECT_EQ(m.hits.hits(), 2u);
+  EXPECT_EQ(m.stale_hits, 2u);
+  EXPECT_EQ(m.fresh_hits, 0u);
+}
+
+TEST(TtlStudyTest, TtlBoundsStaleness) {
+  // Same mutation, but a 1-second TTL: by t=2 the copy expired, so the
+  // request refetches the fresh version; t=2.5 hits it fresh.
+  TtlStudyConfig cfg = big_config(1);
+  cfg.ttl_seconds = 1.0;
+  const Trace t = make(1, {{0.0, 0, 7, 100},
+                           {2.0, 0, 7, 150},
+                           {2.5, 0, 7, 150}});
+  const TtlStudyMetrics m = run_ttl_study(cfg, t);
+  EXPECT_EQ(m.stale_hits, 0u);
+  EXPECT_EQ(m.fresh_hits, 1u);
+  EXPECT_EQ(m.hits.hits(), 1u);
+  EXPECT_GT(m.expirations, 0u);
+}
+
+TEST(TtlStudyTest, StaleCopiesPropagatePeerToPeer) {
+  // Client 0 caches doc 7 (size 100); the doc mutates; client 1 gets the
+  // stale copy peer-to-peer after the proxy dropped its own copy — §6's
+  // exact worry about sharing browser data.
+  TtlStudyConfig cfg = big_config(2);
+  cfg.proxy_cache_bytes = 150;  // one small doc at a time
+  const Trace t = make(2, {{0.0, 0, 7, 100},
+                           {1.0, 0, 8, 100},   // proxy evicts 7
+                           {2.0, 1, 7, 150}}); // mutated; remote copy stale
+  const TtlStudyMetrics m = run_ttl_study(cfg, t);
+  EXPECT_EQ(m.remote_hits, 1u);
+  EXPECT_EQ(m.stale_remote_hits, 1u);
+}
+
+TEST(TtlStudyTest, ExpiredRemoteCopyRepairsIndexAndMisses) {
+  TtlStudyConfig cfg = big_config(2);
+  cfg.proxy_cache_bytes = 150;
+  cfg.ttl_seconds = 1.5;
+  const Trace t = make(2, {{0.0, 0, 7, 100},
+                           {1.0, 0, 8, 100},
+                           {3.0, 1, 7, 100}});  // holder's copy expired at 1.5
+  const TtlStudyMetrics m = run_ttl_study(cfg, t);
+  EXPECT_EQ(m.remote_hits, 0u);
+  EXPECT_EQ(m.hits.hits(), 0u);  // everything missed
+}
+
+TEST(TtlStudyTest, TradeoffSweepIsMonotone) {
+  // Property over a mutating workload: shorter TTLs can only reduce both
+  // the stale-hit fraction and the hit ratio.
+  trace::GeneratorParams gp;
+  gp.num_requests = 15'000;
+  gp.num_clients = 8;
+  gp.shared_docs = 1'200;
+  gp.private_docs_per_client = 100;
+  gp.mutation_prob = 0.01;
+  gp.mean_interarrival = 0.25;
+  const Trace t = trace::generate_trace("ttlsweep", gp, 99);
+
+  TtlStudyConfig cfg;
+  cfg.proxy_cache_bytes = 512 << 10;
+  cfg.browser_cache_bytes.assign(8, 64 << 10);
+
+  double prev_hit = 1.0, prev_stale = 1.0;
+  for (const double ttl : {1e9, 600.0, 120.0, 20.0}) {
+    cfg.ttl_seconds = ttl;
+    const TtlStudyMetrics m = run_ttl_study(cfg, t);
+    EXPECT_LE(m.hit_ratio(), prev_hit + 1e-9) << "ttl " << ttl;
+    EXPECT_LE(m.stale_hit_fraction(), prev_stale + 1e-9) << "ttl " << ttl;
+    prev_hit = m.hit_ratio();
+    prev_stale = m.stale_hit_fraction();
+  }
+  // The sweep must actually exercise both regimes.
+  EXPECT_LT(prev_hit, 1.0);
+}
+
+TEST(TtlStudyTest, NoMutationMeansNoStaleHits) {
+  trace::GeneratorParams gp;
+  gp.num_requests = 8'000;
+  gp.num_clients = 6;
+  gp.shared_docs = 800;
+  gp.private_docs_per_client = 80;
+  gp.mutation_prob = 0.0;
+  const Trace t = trace::generate_trace("nostale", gp, 100);
+  TtlStudyConfig cfg;
+  cfg.proxy_cache_bytes = 512 << 10;
+  cfg.browser_cache_bytes.assign(6, 64 << 10);
+  const TtlStudyMetrics m = run_ttl_study(cfg, t);
+  EXPECT_EQ(m.stale_hits, 0u);
+  EXPECT_GT(m.fresh_hits, 0u);
+}
+
+TEST(TtlStudyTest, BrowsersAwareServesMoreButStalenessRidesAlong) {
+  trace::GeneratorParams gp;
+  gp.num_requests = 15'000;
+  gp.num_clients = 8;
+  gp.shared_docs = 1'200;
+  gp.private_docs_per_client = 100;
+  gp.mutation_prob = 0.01;
+  const Trace t = trace::generate_trace("aware", gp, 101);
+  TtlStudyConfig cfg;
+  cfg.proxy_cache_bytes = 256 << 10;
+  cfg.browser_cache_bytes.assign(8, 96 << 10);
+
+  cfg.browsers_aware = false;
+  const TtlStudyMetrics plain = run_ttl_study(cfg, t);
+  cfg.browsers_aware = true;
+  const TtlStudyMetrics aware = run_ttl_study(cfg, t);
+  EXPECT_GT(aware.hit_ratio(), plain.hit_ratio());
+  EXPECT_GT(aware.remote_hits, 0u);
+  EXPECT_EQ(plain.remote_hits, 0u);
+}
+
+}  // namespace
+}  // namespace baps::sim

@@ -1,0 +1,156 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generator.hpp"
+#include "util/assert.hpp"
+
+namespace baps::trace {
+namespace {
+
+Trace make(std::uint32_t clients, std::vector<Request> reqs) {
+  DocId max_doc = 0;
+  for (auto& r : reqs) max_doc = std::max(max_doc, r.doc);
+  return Trace("t", clients, max_doc + 1, std::move(reqs));
+}
+
+TEST(PopularityTest, CountsAndOrder) {
+  const Trace t = make(1, {{0, 0, 5, 1},
+                           {1, 0, 5, 1},
+                           {2, 0, 5, 1},
+                           {3, 0, 7, 1},
+                           {4, 0, 9, 1},
+                           {5, 0, 9, 1}});
+  const PopularityCurve p = popularity_of(t);
+  EXPECT_EQ(p.total_requests, 6u);
+  EXPECT_EQ(p.counts, (std::vector<std::uint64_t>{3, 2, 1}));
+}
+
+TEST(PopularityTest, HeadMassOfUniformIsProportional) {
+  std::vector<Request> reqs;
+  for (DocId d = 0; d < 100; ++d) {
+    reqs.push_back({static_cast<double>(d), 0, d, 1});
+  }
+  const PopularityCurve p = popularity_of(make(1, std::move(reqs)));
+  EXPECT_NEAR(p.head_mass(0.25), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(p.head_mass(1.0), 1.0);
+  EXPECT_THROW(p.head_mass(1.5), baps::InvariantError);
+}
+
+TEST(PopularityTest, FittedAlphaRecoversExactPowerLaw) {
+  // counts[r] = round(C * (r+1)^-0.8): the regression must recover ~0.8.
+  std::vector<Request> reqs;
+  double ts = 0.0;
+  for (DocId d = 0; d < 200; ++d) {
+    const auto n = static_cast<std::uint64_t>(std::max(
+        1.0,
+        std::round(10000.0 *
+                   std::pow(static_cast<double>(d) + 1.0, -0.8))));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      reqs.push_back({ts += 1.0, 0, d, 1});
+    }
+  }
+  const PopularityCurve p = popularity_of(make(1, std::move(reqs)));
+  EXPECT_NEAR(p.fitted_zipf_alpha(100), 0.8, 0.05);
+}
+
+TEST(PopularityTest, GeneratorTraceFitsItsConfiguredAlpha) {
+  GeneratorParams gp;
+  gp.num_requests = 80'000;
+  gp.num_clients = 20;
+  gp.shared_docs = 20'000;
+  gp.private_docs_per_client = 0;   // isolate the shared popularity law
+  gp.temporal_prob = 0.0;           // no stack re-references
+  gp.shared_alpha = 0.75;
+  const PopularityCurve p = popularity_of(generate_trace("z", gp, 3));
+  EXPECT_NEAR(p.fitted_zipf_alpha(300), 0.75, 0.12);
+}
+
+TEST(StackDistanceTest, HandComputedDistances) {
+  // Access pattern: A B C A  →  A's re-reference has distance 2 (B, C).
+  const Trace t = make(1, {{0, 0, 0, 1}, {1, 0, 1, 1}, {2, 0, 2, 1},
+                           {3, 0, 0, 1}});
+  const StackDistanceHistogram h = stack_distances_of(t);
+  EXPECT_EQ(h.cold_misses, 3u);
+  EXPECT_EQ(h.rereferences, 1u);
+  // Distance 2 → distance+1 = 3 → bucket 1 ([2,4)).
+  ASSERT_GE(h.buckets.size(), 2u);
+  EXPECT_EQ(h.buckets[1], 1u);
+}
+
+TEST(StackDistanceTest, ImmediateRereferenceIsDistanceZero) {
+  const Trace t = make(1, {{0, 0, 0, 1}, {1, 0, 0, 1}, {2, 0, 0, 1}});
+  const StackDistanceHistogram h = stack_distances_of(t);
+  EXPECT_EQ(h.cold_misses, 1u);
+  EXPECT_EQ(h.rereferences, 2u);
+  ASSERT_GE(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0], 2u);  // distance 0 → bucket 0
+}
+
+TEST(StackDistanceTest, TotalsBalance) {
+  GeneratorParams gp;
+  gp.num_requests = 20'000;
+  gp.num_clients = 10;
+  gp.shared_docs = 5'000;
+  gp.private_docs_per_client = 200;
+  const Trace t = generate_trace("s", gp, 5);
+  const StackDistanceHistogram h = stack_distances_of(t);
+  EXPECT_EQ(h.cold_misses + h.rereferences, t.size());
+  std::uint64_t bucketed = 0;
+  for (auto b : h.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, h.rereferences);
+}
+
+TEST(StackDistanceTest, TemporalLocalityShrinksMedianDistance) {
+  GeneratorParams cold;
+  cold.num_requests = 30'000;
+  cold.num_clients = 10;
+  cold.shared_docs = 10'000;
+  cold.private_docs_per_client = 0;
+  cold.temporal_prob = 0.0;
+  GeneratorParams warm = cold;
+  warm.temporal_prob = 0.45;
+  const auto hc = stack_distances_of(generate_trace("c", cold, 6));
+  const auto hw = stack_distances_of(generate_trace("w", warm, 6));
+  EXPECT_LT(hw.median_distance(), hc.median_distance());
+}
+
+TEST(SharingTest, HandComputedSharing) {
+  const Trace t = make(3, {{0, 0, 10, 1},   // doc 10: clients {0,1}
+                           {1, 1, 10, 1},
+                           {2, 1, 20, 1},   // doc 20: client {1} only
+                           {3, 2, 10, 1}}); // doc 10 third client
+  const SharingStats s = sharing_of(t);
+  EXPECT_EQ(s.unique_docs, 2u);
+  EXPECT_EQ(s.shared_docs, 1u);
+  EXPECT_EQ(s.requests_to_shared, 3u);
+  EXPECT_DOUBLE_EQ(s.shared_doc_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(s.shared_request_fraction(), 0.75);
+  EXPECT_DOUBLE_EQ(s.mean_clients_per_doc, 2.0);
+}
+
+TEST(SharingTest, PrivateDocsReduceSharing) {
+  GeneratorParams open;
+  open.num_requests = 20'000;
+  open.num_clients = 10;
+  open.shared_docs = 4'000;
+  open.private_docs_per_client = 0;
+  GeneratorParams closed = open;
+  closed.private_docs_per_client = 2'000;
+  closed.shared_prob = 0.3;
+  const SharingStats so = sharing_of(generate_trace("o", open, 7));
+  const SharingStats sc = sharing_of(generate_trace("c", closed, 7));
+  EXPECT_GT(so.shared_request_fraction(), sc.shared_request_fraction());
+}
+
+TEST(SharingTest, EmptyTraceIsZeroed) {
+  const SharingStats s = sharing_of(Trace{});
+  EXPECT_EQ(s.unique_docs, 0u);
+  EXPECT_DOUBLE_EQ(s.shared_doc_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.shared_request_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace baps::trace

@@ -1,0 +1,89 @@
+#include "trace/binary_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+#include "trace/log_parser.hpp"
+#include "util/assert.hpp"
+
+namespace baps::trace {
+namespace {
+
+Trace small_synthetic() {
+  GeneratorParams p;
+  p.num_requests = 2'000;
+  p.num_clients = 8;
+  p.shared_docs = 500;
+  p.private_docs_per_client = 50;
+  return generate_trace("bin", p, 55);
+}
+
+TEST(BinaryIoTest, SyntheticTraceRoundTripsBitExact) {
+  const Trace t = small_synthetic();
+  std::stringstream buf;
+  write_binary(t, buf);
+  const Trace back = read_binary(buf);
+  EXPECT_EQ(back.name(), t.name());
+  EXPECT_EQ(back.num_clients(), t.num_clients());
+  EXPECT_EQ(back.num_docs(), t.num_docs());
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Request& a = t.requests()[i];
+    const Request& b = back.requests()[i];
+    EXPECT_DOUBLE_EQ(a.timestamp, b.timestamp);  // bit-exact, unlike text
+    EXPECT_EQ(a.client, b.client);
+    EXPECT_EQ(a.doc, b.doc);
+    EXPECT_EQ(a.size, b.size);
+  }
+  // Synthetic traces carry no URL table; URLs regenerate identically.
+  EXPECT_EQ(back.url_of(3), t.url_of(3));
+}
+
+TEST(BinaryIoTest, ParsedTraceKeepsItsUrlTable) {
+  std::istringstream log(
+      "1.5 alice http://real.example/a 100\n"
+      "2.5 bob http://real.example/b 200\n");
+  const Trace t = parse_plain_log(log, "parsed").trace;
+  std::stringstream buf;
+  write_binary(t, buf);
+  const Trace back = read_binary(buf);
+  EXPECT_EQ(back.url_of(0), "http://real.example/a");
+  EXPECT_EQ(back.url_of(1), "http://real.example/b");
+}
+
+TEST(BinaryIoTest, EmptyTraceRoundTrips) {
+  std::stringstream buf;
+  write_binary(Trace{}, buf);
+  const Trace back = read_binary(buf);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  std::istringstream junk("definitely not a trace file");
+  EXPECT_THROW(read_binary(junk), baps::InvariantError);
+}
+
+TEST(BinaryIoTest, RejectsTruncation) {
+  const Trace t = small_synthetic();
+  std::stringstream buf;
+  write_binary(t, buf);
+  const std::string full = buf.str();
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{20}, full.size() / 2, full.size() - 3}) {
+    std::istringstream cut(full.substr(0, keep));
+    EXPECT_THROW(read_binary(cut), baps::InvariantError) << keep;
+  }
+}
+
+TEST(BinaryIoTest, BinaryIsSmallerThanText) {
+  const Trace t = small_synthetic();
+  std::stringstream bin, text;
+  write_binary(t, bin);
+  write_plain_log(t, text);
+  EXPECT_LT(bin.str().size(), text.str().size());
+}
+
+}  // namespace
+}  // namespace baps::trace

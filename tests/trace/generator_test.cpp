@@ -1,0 +1,194 @@
+#include "trace/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace baps::trace {
+namespace {
+
+GeneratorParams small_params() {
+  GeneratorParams p;
+  p.num_requests = 20'000;
+  p.num_clients = 10;
+  p.shared_docs = 12'000;
+  p.private_docs_per_client = 600;
+  return p;
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  const Trace a = generate_trace("t", small_params(), 99);
+  const Trace b = generate_trace("t", small_params(), 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.requests()[i].doc, b.requests()[i].doc);
+    EXPECT_EQ(a.requests()[i].client, b.requests()[i].client);
+    EXPECT_EQ(a.requests()[i].size, b.requests()[i].size);
+    EXPECT_DOUBLE_EQ(a.requests()[i].timestamp, b.requests()[i].timestamp);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsProduceDifferentStreams) {
+  const Trace a = generate_trace("t", small_params(), 1);
+  const Trace b = generate_trace("t", small_params(), 2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.requests()[i].doc == b.requests()[i].doc) ++same;
+  }
+  EXPECT_LT(same, a.size() / 2);
+}
+
+TEST(GeneratorTest, TimestampsAreMonotone) {
+  const Trace t = generate_trace("t", small_params(), 3);
+  double prev = -1.0;
+  for (const Request& r : t.requests()) {
+    EXPECT_GE(r.timestamp, prev);
+    prev = r.timestamp;
+  }
+}
+
+TEST(GeneratorTest, AllIdsWithinUniverse) {
+  const GeneratorParams p = small_params();
+  const Trace t = generate_trace("t", p, 4);
+  const DocId universe =
+      p.shared_docs + static_cast<DocId>(p.num_clients) *
+                          p.private_docs_per_client;
+  EXPECT_EQ(t.num_docs(), universe);
+  for (const Request& r : t.requests()) {
+    EXPECT_LT(r.doc, universe);
+    EXPECT_LT(r.client, p.num_clients);
+    EXPECT_GT(r.size, 0u);
+  }
+}
+
+TEST(GeneratorTest, EveryClientIssuesRequests) {
+  const Trace t = generate_trace("t", small_params(), 5);
+  std::unordered_set<ClientId> seen;
+  for (const Request& r : t.requests()) seen.insert(r.client);
+  EXPECT_EQ(seen.size(), small_params().num_clients);
+}
+
+TEST(GeneratorTest, ClientRatesAreSkewed) {
+  GeneratorParams p = small_params();
+  p.client_rate_alpha = 0.8;
+  const Trace t = generate_trace("t", p, 6);
+  std::unordered_map<ClientId, std::uint64_t> counts;
+  for (const Request& r : t.requests()) ++counts[r.client];
+  std::uint64_t lo = ~0ULL, hi = 0;
+  for (const auto& [c, n] : counts) {
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  // Zipf(0.8) over 10 clients: the busiest client is several times busier
+  // than the quietest — the different-replacement-pace effect needs this.
+  EXPECT_GT(hi, 3 * lo);
+}
+
+TEST(GeneratorTest, PrivateDocsStayPrivate) {
+  const GeneratorParams p = small_params();
+  const Trace t = generate_trace("t", p, 7);
+  // A private document (id >= shared_docs) must only ever be requested by
+  // its owning client.
+  for (const Request& r : t.requests()) {
+    if (r.doc >= p.shared_docs) {
+      const auto owner = static_cast<ClientId>(
+          (r.doc - p.shared_docs) / p.private_docs_per_client);
+      EXPECT_EQ(r.client, owner) << "doc " << r.doc;
+    }
+  }
+}
+
+TEST(GeneratorTest, TemporalLocalityRaisesRereferenceRate) {
+  GeneratorParams cold = small_params();
+  cold.temporal_prob = 0.0;
+  GeneratorParams warm = small_params();
+  warm.temporal_prob = 0.5;
+
+  const auto rereference_fraction = [](const Trace& t) {
+    std::unordered_set<DocId> seen;
+    std::uint64_t re = 0;
+    for (const Request& r : t.requests()) {
+      if (!seen.insert(r.doc).second) ++re;
+    }
+    return static_cast<double>(re) / static_cast<double>(t.size());
+  };
+  EXPECT_GT(rereference_fraction(generate_trace("w", warm, 8)),
+            rereference_fraction(generate_trace("c", cold, 8)) + 0.05);
+}
+
+TEST(GeneratorTest, MutationChangesObservedSizes) {
+  GeneratorParams p = small_params();
+  p.mutation_prob = 0.05;
+  const Trace t = generate_trace("t", p, 9);
+  std::unordered_map<DocId, std::uint64_t> last;
+  std::uint64_t changes = 0, revisits = 0;
+  for (const Request& r : t.requests()) {
+    auto [it, inserted] = last.try_emplace(r.doc, r.size);
+    if (!inserted) {
+      ++revisits;
+      if (it->second != r.size) ++changes;
+      it->second = r.size;
+    }
+  }
+  ASSERT_GT(revisits, 0u);
+  const double change_rate =
+      static_cast<double>(changes) / static_cast<double>(revisits);
+  EXPECT_GT(change_rate, 0.01);
+  EXPECT_LT(change_rate, 0.4);
+}
+
+TEST(GeneratorTest, ZeroMutationMeansStableSizes) {
+  GeneratorParams p = small_params();
+  p.mutation_prob = 0.0;
+  const Trace t = generate_trace("t", p, 10);
+  std::unordered_map<DocId, std::uint64_t> last;
+  for (const Request& r : t.requests()) {
+    auto [it, inserted] = last.try_emplace(r.doc, r.size);
+    if (!inserted) {
+      EXPECT_EQ(it->second, r.size);
+    }
+  }
+}
+
+TEST(GeneratorTest, RejectsInvalidParams) {
+  GeneratorParams p = small_params();
+  p.num_clients = 0;
+  EXPECT_THROW(generate_trace("t", p, 1), baps::InvariantError);
+  p = small_params();
+  p.temporal_prob = 1.0;
+  EXPECT_THROW(generate_trace("t", p, 1), baps::InvariantError);
+  p = small_params();
+  p.mean_interarrival = 0.0;
+  EXPECT_THROW(generate_trace("t", p, 1), baps::InvariantError);
+}
+
+TEST(TraceTest, RestrictClientsKeepsPrefixPopulation) {
+  const Trace t = generate_trace("t", small_params(), 11);
+  const Trace half = t.restrict_clients(0.5);
+  EXPECT_EQ(half.num_clients(), 5u);
+  std::size_t expected = 0;
+  for (const Request& r : t.requests()) {
+    if (r.client < 5) ++expected;
+  }
+  EXPECT_EQ(half.size(), expected);
+  for (const Request& r : half.requests()) EXPECT_LT(r.client, 5u);
+}
+
+TEST(TraceTest, RestrictClientsValidatesFraction) {
+  const Trace t = generate_trace("t", small_params(), 12);
+  EXPECT_THROW(t.restrict_clients(0.0), baps::InvariantError);
+  EXPECT_THROW(t.restrict_clients(1.5), baps::InvariantError);
+}
+
+TEST(TraceTest, SyntheticUrlsAreStableAndDistinct) {
+  const Trace t = generate_trace("t", small_params(), 13);
+  EXPECT_EQ(t.url_of(0), t.url_of(0));
+  EXPECT_NE(t.url_of(0), t.url_of(1));
+  EXPECT_NE(t.url_of(0).find("http://"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace baps::trace

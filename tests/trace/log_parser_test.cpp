@@ -1,0 +1,103 @@
+#include "trace/log_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/generator.hpp"
+
+namespace baps::trace {
+namespace {
+
+TEST(SquidParserTest, ParsesNativeFormat) {
+  std::istringstream in(
+      "947891000.123 250 badc0ffee TCP_MISS/200 4312 GET "
+      "http://example.com/a.html - DIRECT/10.0.0.1 text/html\n"
+      "947891001.456 10 badc0ffee TCP_HIT/200 900 GET "
+      "http://example.com/b.gif - NONE/- image/gif\n"
+      "947891002.000 90 feedface TCP_MISS/200 4312 GET "
+      "http://example.com/a.html - DIRECT/10.0.0.1 text/html\n");
+  const ParseResult r = parse_squid_log(in, "squid");
+  EXPECT_EQ(r.lines_parsed, 3u);
+  EXPECT_EQ(r.lines_skipped, 0u);
+  ASSERT_EQ(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace.num_clients(), 2u);
+  EXPECT_EQ(r.trace.num_docs(), 2u);
+  // Same URL from different clients interns to the same doc id.
+  EXPECT_EQ(r.trace.requests()[0].doc, r.trace.requests()[2].doc);
+  EXPECT_NE(r.trace.requests()[0].client, r.trace.requests()[2].client);
+  // Timestamps are rebased to trace start.
+  EXPECT_DOUBLE_EQ(r.trace.requests()[0].timestamp, 0.0);
+  EXPECT_NEAR(r.trace.requests()[1].timestamp, 1.333, 1e-3);
+  EXPECT_EQ(r.trace.requests()[0].size, 4312u);
+  EXPECT_EQ(r.trace.url_of(r.trace.requests()[0].doc),
+            "http://example.com/a.html");
+}
+
+TEST(SquidParserTest, SkipsNonGetAndBodylessEntries) {
+  std::istringstream in(
+      "1.0 1 c TCP_MISS/200 100 GET http://e/a - D/h text/html\n"
+      "2.0 1 c TCP_MISS/200 100 POST http://e/b - D/h text/html\n"
+      "3.0 1 c TCP_MISS/304 0 GET http://e/c - D/h text/html\n"
+      "garbage line\n");
+  const ParseResult r = parse_squid_log(in, "s");
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.lines_skipped, 3u);
+  EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST(SquidParserTest, SkipsCommentsAndBlankLines) {
+  std::istringstream in("# header\n\n1.0 1 c TCP_MISS/200 5 GET u - D/h t\n");
+  const ParseResult r = parse_squid_log(in, "s");
+  EXPECT_EQ(r.trace.size(), 1u);
+  EXPECT_EQ(r.lines_skipped, 0u);
+}
+
+TEST(PlainParserTest, ParsesAndRebasesTimestamps) {
+  std::istringstream in(
+      "# comment\n"
+      "100.5 alice http://a/1 1000\n"
+      "101.0 bob http://a/2 2000\n"
+      "102.5 alice http://a/1 1000\n");
+  const ParseResult r = parse_plain_log(in, "plain");
+  ASSERT_EQ(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace.num_clients(), 2u);
+  EXPECT_EQ(r.trace.num_docs(), 2u);
+  EXPECT_DOUBLE_EQ(r.trace.requests()[0].timestamp, 0.0);
+  EXPECT_DOUBLE_EQ(r.trace.requests()[2].timestamp, 2.0);
+}
+
+TEST(PlainParserTest, SkipsMalformedAndNonPositiveSizes) {
+  std::istringstream in(
+      "1.0 c http://a 100\n"
+      "2.0 c http://b\n"
+      "3.0 c http://d 0\n");
+  const ParseResult r = parse_plain_log(in, "p");
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.lines_skipped, 2u);
+}
+
+TEST(PlainFormatTest, WriteThenParseRoundTrips) {
+  GeneratorParams p;
+  p.num_requests = 500;
+  p.num_clients = 5;
+  p.shared_docs = 100;
+  p.private_docs_per_client = 20;
+  const Trace t = generate_trace("rt", p, 33);
+
+  std::stringstream buf;
+  write_plain_log(t, buf);
+  const ParseResult r = parse_plain_log(buf, "rt2");
+  ASSERT_EQ(r.trace.size(), t.size());
+  EXPECT_EQ(r.trace.num_clients(), t.num_clients());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(r.trace.requests()[i].size, t.requests()[i].size);
+    // URL identity must survive: equal doc ids in the original must map to
+    // equal doc ids in the round-tripped trace.
+    EXPECT_EQ(r.trace.url_of(r.trace.requests()[i].doc),
+              t.url_of(t.requests()[i].doc));
+  }
+}
+
+}  // namespace
+}  // namespace baps::trace

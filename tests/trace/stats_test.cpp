@@ -1,0 +1,89 @@
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/generator.hpp"
+
+namespace baps::trace {
+namespace {
+
+Trace tiny_trace() {
+  // Hand-built trace exercising all the Table-1 accounting rules:
+  //   t=0: c0 requests doc0 (100 B)    — cold miss
+  //   t=1: c1 requests doc0 (100 B)    — infinite-cache hit
+  //   t=2: c0 requests doc1 (200 B)    — cold miss
+  //   t=3: c0 requests doc0 (150 B)    — size changed → miss, refresh
+  //   t=4: c1 requests doc0 (150 B)    — hit at the new size
+  std::vector<Request> reqs = {
+      {0.0, 0, 0, 100}, {1.0, 1, 0, 100}, {2.0, 0, 1, 200},
+      {3.0, 0, 0, 150}, {4.0, 1, 0, 150},
+  };
+  return Trace("tiny", 2, 2, std::move(reqs));
+}
+
+TEST(TraceStatsTest, CountsRequestsAndBytes) {
+  const TraceStats s = compute_stats(tiny_trace());
+  EXPECT_EQ(s.num_requests, 5u);
+  EXPECT_EQ(s.total_bytes, 100u + 100 + 200 + 150 + 150);
+  EXPECT_EQ(s.num_clients, 2u);
+  EXPECT_EQ(s.unique_docs, 2u);
+  EXPECT_DOUBLE_EQ(s.duration_seconds, 4.0);
+}
+
+TEST(TraceStatsTest, InfiniteCacheUsesLastSize) {
+  const TraceStats s = compute_stats(tiny_trace());
+  EXPECT_EQ(s.infinite_cache_bytes, 150u + 200u);
+}
+
+TEST(TraceStatsTest, MaxHitRatioCountsSizeChangeAsMiss) {
+  const TraceStats s = compute_stats(tiny_trace());
+  // Hits: t=1 (same size) and t=4 (same size after refresh). t=3 is a miss
+  // because the size changed.
+  EXPECT_DOUBLE_EQ(s.max_hit_ratio, 2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.max_byte_hit_ratio, (100.0 + 150.0) / 700.0);
+}
+
+TEST(TraceStatsTest, PerClientInfiniteBrowserBytes) {
+  const TraceStats s = compute_stats(tiny_trace());
+  ASSERT_EQ(s.infinite_browser_bytes.size(), 2u);
+  // c0 requested doc0 (final size 150) and doc1 (200).
+  EXPECT_EQ(s.infinite_browser_bytes[0], 350u);
+  // c1 requested doc0 only; its copy refreshed to 150.
+  EXPECT_EQ(s.infinite_browser_bytes[1], 150u);
+  EXPECT_EQ(s.avg_infinite_browser_bytes(), (350u + 150u) / 2);
+}
+
+TEST(TraceStatsTest, EmptyTraceIsAllZero) {
+  const TraceStats s = compute_stats(Trace{});
+  EXPECT_EQ(s.num_requests, 0u);
+  EXPECT_DOUBLE_EQ(s.max_hit_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_byte_hit_ratio, 0.0);
+}
+
+TEST(TraceStatsTest, MaxHitRatioBoundsHoldOnSyntheticTrace) {
+  GeneratorParams p;
+  p.num_requests = 30'000;
+  p.num_clients = 20;
+  p.shared_docs = 15'000;
+  p.private_docs_per_client = 800;
+  const Trace t = generate_trace("g", p, 21);
+  const TraceStats s = compute_stats(t);
+  EXPECT_GT(s.max_hit_ratio, 0.0);
+  EXPECT_LT(s.max_hit_ratio, 1.0);
+  EXPECT_GT(s.max_byte_hit_ratio, 0.0);
+  EXPECT_LT(s.max_byte_hit_ratio, 1.0);
+  // Hit ratio exceeds byte hit ratio for web-like workloads (popular docs
+  // skew small relative to the byte-weighted mix).
+  EXPECT_GT(s.max_hit_ratio, s.max_byte_hit_ratio);
+  // Infinite cache cannot exceed total traffic.
+  EXPECT_LT(s.infinite_cache_bytes, s.total_bytes + 1);
+  // Browser infinite sizes decompose the universe per client: their sum is
+  // at least the global infinite size (shared docs counted once globally,
+  // once per sharing client).
+  std::uint64_t sum = 0;
+  for (auto b : s.infinite_browser_bytes) sum += b;
+  EXPECT_GE(sum, s.infinite_cache_bytes);
+}
+
+}  // namespace
+}  // namespace baps::trace

@@ -1,0 +1,83 @@
+#include "trace/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace baps::trace {
+namespace {
+
+TEST(ZipfTest, RejectsEmptyUniverse) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), baps::InvariantError);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  const ZipfSampler z(1000, 0.8);
+  double sum = 0.0;
+  for (std::uint64_t r = 0; r < z.n(); ++r) sum += z.pmf(r);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfIsMonotoneDecreasing) {
+  const ZipfSampler z(100, 0.7);
+  for (std::uint64_t r = 1; r < z.n(); ++r) {
+    EXPECT_LE(z.pmf(r), z.pmf(r - 1)) << "rank " << r;
+  }
+}
+
+TEST(ZipfTest, AlphaZeroIsUniform) {
+  const ZipfSampler z(10, 0.0);
+  for (std::uint64_t r = 0; r < 10; ++r) EXPECT_NEAR(z.pmf(r), 0.1, 1e-12);
+}
+
+TEST(ZipfTest, PmfRatioMatchesPowerLaw) {
+  const double alpha = 0.75;
+  const ZipfSampler z(1000, alpha);
+  // pmf(r) / pmf(2r+1) should equal ((2r+2)/(r+1))^alpha = 2^alpha.
+  EXPECT_NEAR(z.pmf(0) / z.pmf(1), std::pow(2.0, alpha), 1e-9);
+  EXPECT_NEAR(z.pmf(4) / z.pmf(9), std::pow(2.0, alpha), 1e-9);
+}
+
+TEST(ZipfTest, SamplesStayInRange) {
+  const ZipfSampler z(50, 0.9);
+  baps::Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.sample(rng), 50u);
+}
+
+TEST(ZipfTest, EmpiricalFrequenciesMatchPmf) {
+  const ZipfSampler z(20, 0.8);
+  baps::Xoshiro256 rng(2);
+  constexpr int kN = 200000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kN; ++i) ++counts[z.sample(rng)];
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    const double expected = z.pmf(r) * kN;
+    EXPECT_NEAR(counts[r], expected, 5.0 * std::sqrt(expected) + 5.0)
+        << "rank " << r;
+  }
+}
+
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, HeadMassGrowsWithAlpha) {
+  const double alpha = GetParam();
+  const ZipfSampler z(10000, alpha);
+  // The top-1% ranks must hold at least their uniform share, growing in
+  // alpha; sanity property across the sweep.
+  double head = 0.0;
+  for (std::uint64_t r = 0; r < 100; ++r) head += z.pmf(r);
+  EXPECT_GE(head, 0.01 - 1e-12);
+  if (alpha >= 0.8) {
+    EXPECT_GT(head, 0.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweep,
+                         ::testing::Values(0.0, 0.4, 0.6, 0.8, 1.0, 1.2));
+
+}  // namespace
+}  // namespace baps::trace

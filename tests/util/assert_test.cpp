@@ -1,0 +1,33 @@
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace baps {
+namespace {
+
+TEST(AssertTest, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(BAPS_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(AssertTest, RequireThrowsInvariantErrorOnFalse) {
+  EXPECT_THROW(BAPS_REQUIRE(false, "boom"), InvariantError);
+}
+
+TEST(AssertTest, EnsureThrowsInvariantErrorOnFalse) {
+  EXPECT_THROW(BAPS_ENSURE(false, "boom"), InvariantError);
+}
+
+TEST(AssertTest, MessageMentionsExpressionFileAndText) {
+  try {
+    BAPS_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("assert_test.cpp"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace baps

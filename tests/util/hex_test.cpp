@@ -1,0 +1,34 @@
+#include "util/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace baps {
+namespace {
+
+TEST(HexTest, RoundTrips) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff, 0x7e};
+  EXPECT_EQ(to_hex(bytes), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), bytes);
+}
+
+TEST(HexTest, AcceptsUppercase) {
+  EXPECT_EQ(from_hex("AB"), std::vector<std::uint8_t>{0xab});
+}
+
+TEST(HexTest, EmptyIsEmpty) {
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), InvariantError);
+}
+
+TEST(HexTest, RejectsNonHexCharacters) {
+  EXPECT_THROW(from_hex("zz"), InvariantError);
+}
+
+}  // namespace
+}  // namespace baps

@@ -1,0 +1,73 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace baps {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSameSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, DeterministicForSameSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256Test, UniformIsInUnitInterval) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, UniformMeanIsNearHalf) {
+  Xoshiro256 rng(99);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, BelowRespectsBound) {
+  Xoshiro256 rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256Test, BelowCoversAllResiduesOfSmallBound) {
+  Xoshiro256 rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256Test, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(77);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng.below(kBound)];
+  for (std::uint64_t v = 0; v < kBound; ++v) {
+    EXPECT_NEAR(counts[v], kN / kBound, kN / kBound * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace baps

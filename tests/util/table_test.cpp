@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace baps {
+namespace {
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), InvariantError);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(std::uint64_t{1});
+  t.row().cell("b").cell(std::uint64_t{22});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name   value"), std::string::npos);
+  EXPECT_NE(s.find("alpha  1"), std::string::npos);
+  EXPECT_NE(s.find("b      22"), std::string::npos);
+}
+
+TEST(TableTest, PercentCellFormatsRatio) {
+  Table t({"p"});
+  t.row().cell_percent(0.12345, 2);
+  EXPECT_NE(t.to_string().find("12.35%"), std::string::npos);
+}
+
+TEST(TableTest, DoubleCellRespectsPrecision) {
+  Table t({"x"});
+  t.row().cell(3.14159, 3);
+  EXPECT_NE(t.to_string().find("3.142"), std::string::npos);
+}
+
+TEST(TableTest, CellOverflowThrows) {
+  Table t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), InvariantError);
+}
+
+TEST(TableTest, CellBeforeRowThrows) {
+  Table t({"only"});
+  EXPECT_THROW(t.cell("a"), InvariantError);
+}
+
+TEST(TableTest, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.row().cell("x,y").cell("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(FormatBytesTest, PicksBinaryUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(3u << 20), "3.00 MiB");
+}
+
+TEST(FormatSecondsTest, AdaptsUnits) {
+  EXPECT_EQ(format_seconds(2.5), "2.50 s");
+  EXPECT_EQ(format_seconds(0.0025), "2.50 ms");
+  EXPECT_EQ(format_seconds(2.5e-6), "2.50 us");
+  EXPECT_EQ(format_seconds(2.5e-8), "25.00 ns");
+}
+
+}  // namespace
+}  // namespace baps
