@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_tier.dir/bench_memory_tier.cpp.o"
+  "CMakeFiles/bench_memory_tier.dir/bench_memory_tier.cpp.o.d"
+  "bench_memory_tier"
+  "bench_memory_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

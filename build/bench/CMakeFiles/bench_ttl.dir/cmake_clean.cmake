@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ttl.dir/bench_ttl.cpp.o"
+  "CMakeFiles/bench_ttl.dir/bench_ttl.cpp.o.d"
+  "bench_ttl"
+  "bench_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

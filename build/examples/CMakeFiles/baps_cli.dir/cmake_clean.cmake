@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baps_cli.dir/baps_cli.cpp.o"
+  "CMakeFiles/baps_cli.dir/baps_cli.cpp.o.d"
+  "baps_cli"
+  "baps_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_cache_study.dir/campus_cache_study.cpp.o"
+  "CMakeFiles/campus_cache_study.dir/campus_cache_study.cpp.o.d"
+  "campus_cache_study"
+  "campus_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/expiring_cache.cpp" "src/CMakeFiles/baps.dir/cache/expiring_cache.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/expiring_cache.cpp.o.d"
+  "/root/repo/src/cache/fifo.cpp" "src/CMakeFiles/baps.dir/cache/fifo.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/fifo.cpp.o.d"
+  "/root/repo/src/cache/gdsf.cpp" "src/CMakeFiles/baps.dir/cache/gdsf.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/gdsf.cpp.o.d"
+  "/root/repo/src/cache/lfu.cpp" "src/CMakeFiles/baps.dir/cache/lfu.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/lfu.cpp.o.d"
+  "/root/repo/src/cache/lru.cpp" "src/CMakeFiles/baps.dir/cache/lru.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/lru.cpp.o.d"
+  "/root/repo/src/cache/object_cache.cpp" "src/CMakeFiles/baps.dir/cache/object_cache.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/object_cache.cpp.o.d"
+  "/root/repo/src/cache/policy.cpp" "src/CMakeFiles/baps.dir/cache/policy.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/policy.cpp.o.d"
+  "/root/repo/src/cache/size_policy.cpp" "src/CMakeFiles/baps.dir/cache/size_policy.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/size_policy.cpp.o.d"
+  "/root/repo/src/cache/switched_cache.cpp" "src/CMakeFiles/baps.dir/cache/switched_cache.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/switched_cache.cpp.o.d"
+  "/root/repo/src/cache/tiered_cache.cpp" "src/CMakeFiles/baps.dir/cache/tiered_cache.cpp.o" "gcc" "src/CMakeFiles/baps.dir/cache/tiered_cache.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/baps.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/baps.dir/core/runner.cpp.o.d"
+  "/root/repo/src/crypto/biguint.cpp" "src/CMakeFiles/baps.dir/crypto/biguint.cpp.o" "gcc" "src/CMakeFiles/baps.dir/crypto/biguint.cpp.o.d"
+  "/root/repo/src/crypto/des.cpp" "src/CMakeFiles/baps.dir/crypto/des.cpp.o" "gcc" "src/CMakeFiles/baps.dir/crypto/des.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/baps.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/baps.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "src/CMakeFiles/baps.dir/crypto/md5.cpp.o" "gcc" "src/CMakeFiles/baps.dir/crypto/md5.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/CMakeFiles/baps.dir/crypto/rsa.cpp.o" "gcc" "src/CMakeFiles/baps.dir/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/watermark.cpp" "src/CMakeFiles/baps.dir/crypto/watermark.cpp.o" "gcc" "src/CMakeFiles/baps.dir/crypto/watermark.cpp.o.d"
+  "/root/repo/src/crypto/xtea.cpp" "src/CMakeFiles/baps.dir/crypto/xtea.cpp.o" "gcc" "src/CMakeFiles/baps.dir/crypto/xtea.cpp.o.d"
+  "/root/repo/src/index/bloom.cpp" "src/CMakeFiles/baps.dir/index/bloom.cpp.o" "gcc" "src/CMakeFiles/baps.dir/index/bloom.cpp.o.d"
+  "/root/repo/src/index/browser_index.cpp" "src/CMakeFiles/baps.dir/index/browser_index.cpp.o" "gcc" "src/CMakeFiles/baps.dir/index/browser_index.cpp.o.d"
+  "/root/repo/src/index/footprint.cpp" "src/CMakeFiles/baps.dir/index/footprint.cpp.o" "gcc" "src/CMakeFiles/baps.dir/index/footprint.cpp.o.d"
+  "/root/repo/src/index/summary_index.cpp" "src/CMakeFiles/baps.dir/index/summary_index.cpp.o" "gcc" "src/CMakeFiles/baps.dir/index/summary_index.cpp.o.d"
+  "/root/repo/src/index/update_protocol.cpp" "src/CMakeFiles/baps.dir/index/update_protocol.cpp.o" "gcc" "src/CMakeFiles/baps.dir/index/update_protocol.cpp.o.d"
+  "/root/repo/src/index/url_table.cpp" "src/CMakeFiles/baps.dir/index/url_table.cpp.o" "gcc" "src/CMakeFiles/baps.dir/index/url_table.cpp.o.d"
+  "/root/repo/src/net/lan_model.cpp" "src/CMakeFiles/baps.dir/net/lan_model.cpp.o" "gcc" "src/CMakeFiles/baps.dir/net/lan_model.cpp.o.d"
+  "/root/repo/src/runtime/doc_store.cpp" "src/CMakeFiles/baps.dir/runtime/doc_store.cpp.o" "gcc" "src/CMakeFiles/baps.dir/runtime/doc_store.cpp.o.d"
+  "/root/repo/src/runtime/onion.cpp" "src/CMakeFiles/baps.dir/runtime/onion.cpp.o" "gcc" "src/CMakeFiles/baps.dir/runtime/onion.cpp.o.d"
+  "/root/repo/src/runtime/origin.cpp" "src/CMakeFiles/baps.dir/runtime/origin.cpp.o" "gcc" "src/CMakeFiles/baps.dir/runtime/origin.cpp.o.d"
+  "/root/repo/src/runtime/system.cpp" "src/CMakeFiles/baps.dir/runtime/system.cpp.o" "gcc" "src/CMakeFiles/baps.dir/runtime/system.cpp.o.d"
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/baps.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/baps.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/CMakeFiles/baps.dir/sim/hierarchy.cpp.o" "gcc" "src/CMakeFiles/baps.dir/sim/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/latency_model.cpp" "src/CMakeFiles/baps.dir/sim/latency_model.cpp.o" "gcc" "src/CMakeFiles/baps.dir/sim/latency_model.cpp.o.d"
+  "/root/repo/src/sim/organization.cpp" "src/CMakeFiles/baps.dir/sim/organization.cpp.o" "gcc" "src/CMakeFiles/baps.dir/sim/organization.cpp.o.d"
+  "/root/repo/src/sim/orgs.cpp" "src/CMakeFiles/baps.dir/sim/orgs.cpp.o" "gcc" "src/CMakeFiles/baps.dir/sim/orgs.cpp.o.d"
+  "/root/repo/src/sim/ttl_study.cpp" "src/CMakeFiles/baps.dir/sim/ttl_study.cpp.o" "gcc" "src/CMakeFiles/baps.dir/sim/ttl_study.cpp.o.d"
+  "/root/repo/src/trace/analysis.cpp" "src/CMakeFiles/baps.dir/trace/analysis.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/analysis.cpp.o.d"
+  "/root/repo/src/trace/binary_io.cpp" "src/CMakeFiles/baps.dir/trace/binary_io.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/binary_io.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/CMakeFiles/baps.dir/trace/generator.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/log_parser.cpp" "src/CMakeFiles/baps.dir/trace/log_parser.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/log_parser.cpp.o.d"
+  "/root/repo/src/trace/presets.cpp" "src/CMakeFiles/baps.dir/trace/presets.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/presets.cpp.o.d"
+  "/root/repo/src/trace/record.cpp" "src/CMakeFiles/baps.dir/trace/record.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/record.cpp.o.d"
+  "/root/repo/src/trace/size_model.cpp" "src/CMakeFiles/baps.dir/trace/size_model.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/size_model.cpp.o.d"
+  "/root/repo/src/trace/stats.cpp" "src/CMakeFiles/baps.dir/trace/stats.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/stats.cpp.o.d"
+  "/root/repo/src/trace/zipf.cpp" "src/CMakeFiles/baps.dir/trace/zipf.cpp.o" "gcc" "src/CMakeFiles/baps.dir/trace/zipf.cpp.o.d"
+  "/root/repo/src/util/assert.cpp" "src/CMakeFiles/baps.dir/util/assert.cpp.o" "gcc" "src/CMakeFiles/baps.dir/util/assert.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/CMakeFiles/baps.dir/util/hex.cpp.o" "gcc" "src/CMakeFiles/baps.dir/util/hex.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/baps.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/baps.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/baps.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/baps.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/baps.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/baps.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

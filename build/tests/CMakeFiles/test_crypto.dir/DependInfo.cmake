@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto/biguint_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/biguint_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/biguint_test.cpp.o.d"
+  "/root/repo/tests/crypto/des_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/des_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/des_test.cpp.o.d"
+  "/root/repo/tests/crypto/hmac_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "/root/repo/tests/crypto/md5_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/md5_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/md5_test.cpp.o.d"
+  "/root/repo/tests/crypto/rsa_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o.d"
+  "/root/repo/tests/crypto/watermark_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/watermark_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/watermark_test.cpp.o.d"
+  "/root/repo/tests/crypto/xtea_test.cpp" "tests/CMakeFiles/test_crypto.dir/crypto/xtea_test.cpp.o" "gcc" "tests/CMakeFiles/test_crypto.dir/crypto/xtea_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

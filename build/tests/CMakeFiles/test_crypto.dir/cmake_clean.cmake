@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/biguint_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/biguint_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/des_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/des_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/hmac_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/md5_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/md5_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/rsa_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/watermark_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/watermark_test.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/xtea_test.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/xtea_test.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/index/bloom_test.cpp" "tests/CMakeFiles/test_index.dir/index/bloom_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/bloom_test.cpp.o.d"
+  "/root/repo/tests/index/browser_index_test.cpp" "tests/CMakeFiles/test_index.dir/index/browser_index_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/browser_index_test.cpp.o.d"
+  "/root/repo/tests/index/summary_index_test.cpp" "tests/CMakeFiles/test_index.dir/index/summary_index_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/summary_index_test.cpp.o.d"
+  "/root/repo/tests/index/update_protocol_test.cpp" "tests/CMakeFiles/test_index.dir/index/update_protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/update_protocol_test.cpp.o.d"
+  "/root/repo/tests/index/url_table_test.cpp" "tests/CMakeFiles/test_index.dir/index/url_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/url_table_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/hierarchy_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/hierarchy_test.cpp.o.d"
+  "/root/repo/tests/sim/lan_model_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/lan_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/lan_model_test.cpp.o.d"
+  "/root/repo/tests/sim/latency_model_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/latency_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/latency_model_test.cpp.o.d"
+  "/root/repo/tests/sim/metrics_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o.d"
+  "/root/repo/tests/sim/org_policy_matrix_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/org_policy_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/org_policy_matrix_test.cpp.o.d"
+  "/root/repo/tests/sim/organization_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/organization_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/organization_test.cpp.o.d"
+  "/root/repo/tests/sim/ttl_study_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/ttl_study_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/ttl_study_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/hierarchy_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/hierarchy_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/lan_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/lan_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/latency_model_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/latency_model_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/metrics_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/org_policy_matrix_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/org_policy_matrix_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/organization_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/organization_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/ttl_study_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/ttl_study_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

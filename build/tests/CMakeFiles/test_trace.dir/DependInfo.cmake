@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/analysis_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o.d"
+  "/root/repo/tests/trace/binary_io_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/binary_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/binary_io_test.cpp.o.d"
+  "/root/repo/tests/trace/generator_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/generator_test.cpp.o.d"
+  "/root/repo/tests/trace/log_parser_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/log_parser_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/log_parser_test.cpp.o.d"
+  "/root/repo/tests/trace/presets_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/presets_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/presets_test.cpp.o.d"
+  "/root/repo/tests/trace/size_model_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/size_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/size_model_test.cpp.o.d"
+  "/root/repo/tests/trace/stats_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/stats_test.cpp.o.d"
+  "/root/repo/tests/trace/zipf_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/baps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

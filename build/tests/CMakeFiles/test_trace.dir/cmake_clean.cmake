@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/binary_io_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/binary_io_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/generator_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/generator_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/log_parser_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/log_parser_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/presets_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/presets_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/size_model_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/size_model_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/stats_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/zipf_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/zipf_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
