@@ -4,6 +4,8 @@
 //   --csv          emit CSV instead of an aligned table
 //   --scale <f>    shrink the preset traces by factor f in (0,1] (default 1:
 //                  the full paper-scale runs; use e.g. 0.1 for a quick look)
+//   --metrics-out <file>  write a baps.report.v1 JSON report of the runs
+//   --progress     print sweep progress to stderr
 #pragma once
 
 #include <cstdlib>
@@ -11,24 +13,36 @@
 #include <string>
 
 #include "core/api.hpp"
+#include "obs/report.hpp"
 
 namespace baps::bench {
 
 struct BenchArgs {
   bool csv = false;
   double scale = 1.0;
+  std::string metrics_out;
+  bool progress = false;
+  int argc = 0;
+  char** argv = nullptr;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
+  args.argc = argc;
+  args.argv = argv;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--csv") {
       args.csv = true;
     } else if (a == "--scale" && i + 1 < argc) {
       args.scale = std::atof(argv[++i]);
+    } else if (a == "--metrics-out" && i + 1 < argc) {
+      args.metrics_out = argv[++i];
+    } else if (a == "--progress") {
+      args.progress = true;
     } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: " << argv[0] << " [--csv] [--scale f]\n";
+      std::cout << "usage: " << argv[0]
+                << " [--csv] [--scale f] [--metrics-out file] [--progress]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument: " << a << "\n";
@@ -40,6 +54,37 @@ inline BenchArgs parse_args(int argc, char** argv) {
     std::exit(2);
   }
   return args;
+}
+
+/// stderr progress callback when --progress was given, else a null fn.
+inline core::ProgressFn progress_fn(const BenchArgs& args) {
+  if (!args.progress) return nullptr;
+  return [](std::size_t done, std::size_t total) {
+    std::cerr << "progress: " << done << "/" << total << "\n";
+  };
+}
+
+/// Writes the standard report for a cache-size sweep when --metrics-out was
+/// given. Exits nonzero on I/O failure so CI catches it.
+inline void write_report(const BenchArgs& args, const std::string& tool,
+                         const std::string& title, const trace::Trace& t,
+                         const std::vector<core::CacheSizePoint>& points,
+                         const obs::PhaseTimers& phases) {
+  if (args.metrics_out.empty()) return;
+  std::string error;
+  const bool ok = obs::ReportBuilder(tool)
+                      .set_title(title)
+                      .set_args(args.argc, args.argv)
+                      .set_trace(t)
+                      .add_phases(phases)
+                      .add_sweep(points)
+                      .set_registry(obs::Registry::global().snapshot())
+                      .write(args.metrics_out, &error);
+  if (!ok) {
+    std::cerr << "cannot write " << args.metrics_out << ": " << error << "\n";
+    std::exit(1);
+  }
+  std::cerr << "wrote " << args.metrics_out << "\n";
 }
 
 inline trace::Trace load(trace::Preset preset, const BenchArgs& args) {
@@ -64,15 +109,25 @@ inline const std::vector<double> kRelativeSizes = {0.005, 0.01, 0.05, 0.10,
 /// proxy-and-local-browser across the relative cache sizes, with browser
 /// caches at the §3.2 AVERAGE sizing.
 inline void run_compare_figure(trace::Preset preset, const std::string& title,
-                               const BenchArgs& args) {
-  const trace::Trace t = load(preset, args);
+                               const BenchArgs& args,
+                               const std::string& tool) {
+  obs::PhaseTimers phases;
+  trace::Trace t;
+  {
+    const auto scope = phases.scope("load_trace");
+    t = load(preset, args);
+  }
   core::RunSpec spec;
   spec.sizing = core::BrowserSizing::kAverage;
   ThreadPool pool;
   const std::vector<core::OrgKind> orgs = {
       core::OrgKind::kProxyAndLocalBrowser, core::OrgKind::kBrowsersAware};
-  const auto points =
-      core::sweep_cache_sizes(t, kRelativeSizes, orgs, spec, &pool);
+  std::vector<core::CacheSizePoint> points;
+  {
+    const auto scope = phases.scope("sweep");
+    points = core::sweep_cache_sizes(t, kRelativeSizes, orgs, spec, &pool,
+                                     progress_fn(args));
+  }
 
   for (const bool bytes : {false, true}) {
     Table table({bytes ? "Byte Hit Ratio" : "Hit Ratio", "0.5%", "1%", "5%",
@@ -89,6 +144,7 @@ inline void run_compare_figure(trace::Preset preset, const std::string& title,
               << ", average browser caches\n";
     emit(table, args);
   }
+  write_report(args, tool, title, t, points, phases);
 }
 
 }  // namespace baps::bench

@@ -11,15 +11,24 @@
 int main(int argc, char** argv) {
   using namespace baps;
   const bench::BenchArgs args = bench::parse_args(argc, argv);
-  const trace::Trace t = bench::load(trace::Preset::kNlanrUc, args);
+  obs::PhaseTimers phases;
+  trace::Trace t;
+  {
+    const auto scope = phases.scope("load_trace");
+    t = bench::load(trace::Preset::kNlanrUc, args);
+  }
 
   core::RunSpec spec;
   spec.sizing = core::BrowserSizing::kMinimum;
   ThreadPool pool;
   const std::vector<core::OrgKind> orgs(std::begin(sim::kAllOrganizations),
                                         std::end(sim::kAllOrganizations));
-  const auto points =
-      core::sweep_cache_sizes(t, bench::kRelativeSizes, orgs, spec, &pool);
+  std::vector<core::CacheSizePoint> points;
+  {
+    const auto scope = phases.scope("sweep");
+    points = core::sweep_cache_sizes(t, bench::kRelativeSizes, orgs, spec,
+                                     &pool, bench::progress_fn(args));
+  }
 
   for (const bool bytes : {false, true}) {
     Table table({bytes ? "Byte Hit Ratio" : "Hit Ratio", "0.5%", "1%", "5%",
@@ -35,5 +44,6 @@ int main(int argc, char** argv) {
               << " ratios), NLANR-uc, minimum browser caches\n";
     bench::emit(table, args);
   }
+  bench::write_report(args, "bench_fig2", "Figure 2", t, points, phases);
   return 0;
 }

@@ -6,6 +6,7 @@
 int main(int argc, char** argv) {
   const auto args = baps::bench::parse_args(argc, argv);
   baps::bench::run_compare_figure(baps::trace::Preset::kNlanrBo1, "Figure 4",
-                                  args);
+                                  args,
+                                  "bench_fig4");
   return 0;
 }

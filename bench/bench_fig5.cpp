@@ -5,6 +5,7 @@
 int main(int argc, char** argv) {
   const auto args = baps::bench::parse_args(argc, argv);
   baps::bench::run_compare_figure(baps::trace::Preset::kBu95, "Figure 5",
-                                  args);
+                                  args,
+                                  "bench_fig5");
   return 0;
 }

@@ -5,6 +5,7 @@
 int main(int argc, char** argv) {
   const auto args = baps::bench::parse_args(argc, argv);
   baps::bench::run_compare_figure(baps::trace::Preset::kBu98, "Figure 6",
-                                  args);
+                                  args,
+                                  "bench_fig6");
   return 0;
 }

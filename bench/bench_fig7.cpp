@@ -7,7 +7,8 @@
 int main(int argc, char** argv) {
   using namespace baps;
   const auto args = bench::parse_args(argc, argv);
-  bench::run_compare_figure(trace::Preset::kCanet2, "Figure 7", args);
+  bench::run_compare_figure(trace::Preset::kCanet2, "Figure 7", args,
+                            "bench_fig7");
 
   // Quantify the limit: average increments across the cache sizes.
   const trace::Trace t = bench::load(trace::Preset::kCanet2, args);

@@ -20,11 +20,18 @@ int main(int argc, char** argv) {
   spec.sizing = core::BrowserSizing::kAverage;
   ThreadPool pool;
 
+  obs::PhaseTimers phases;
+  obs::ReportBuilder report("bench_fig8");
+  report.set_title("Figure 8").set_args(args.argc, args.argv);
+
   Table hit({"Hit Ratio Increment (%)", "25%", "50%", "75%", "100%"});
   Table byte({"Byte Hit Ratio Increment (%)", "25%", "50%", "75%", "100%"});
   for (const trace::Preset preset : presets) {
+    const auto scope = phases.scope(trace::preset_name(preset));
     const trace::Trace t = bench::load(preset, args);
-    const auto points = core::client_scaling_sweep(t, fractions, spec, &pool);
+    const auto points = core::client_scaling_sweep(t, fractions, spec, &pool,
+                                                   bench::progress_fn(args));
+    report.add_client_scaling(points, trace::preset_name(preset));
     auto& hrow = hit.row().cell(trace::preset_name(preset));
     auto& brow = byte.row().cell(trace::preset_name(preset));
     for (const auto& p : points) {
@@ -38,5 +45,16 @@ int main(int argc, char** argv) {
   std::cout << "Figure 8 (right): byte hit ratio increment vs relative "
                "number of clients\n";
   bench::emit(byte, args);
+
+  if (!args.metrics_out.empty()) {
+    report.add_phases(phases).set_registry(obs::Registry::global().snapshot());
+    std::string error;
+    if (!report.write(args.metrics_out, &error)) {
+      std::cerr << "cannot write " << args.metrics_out << ": " << error
+                << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << args.metrics_out << "\n";
+  }
   return 0;
 }

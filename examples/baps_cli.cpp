@@ -7,12 +7,14 @@
 //   baps_cli --preset bu95 --orgs baps,hierarchy --sizes 0.01,0.05,0.10
 //   baps_cli --log access.log --format squid --policy gdsf --csv
 //   baps_cli --preset bu98 --index periodic --threshold 0.25
+//   baps_cli --preset bu95 --metrics-out report.json --progress
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "core/api.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -37,7 +39,10 @@ using namespace baps;
       "  --relay             remote hits relayed via the proxy (2 hops)\n"
       "\noutput:\n"
       "  --csv               machine-readable output\n"
-      "  --overheads         include the Section 5 overhead columns\n";
+      "  --overheads         include the Section 5 overhead columns\n"
+      "  --metrics-out FILE  write a baps.report.v1 JSON report (sweep\n"
+      "                      results, per-phase wall times, registry)\n"
+      "  --progress          print sweep progress to stderr\n";
   std::exit(code);
 }
 
@@ -90,6 +95,8 @@ int main(int argc, char** argv) {
   std::vector<double> sizes = {0.10};
   core::RunSpec spec;
   bool csv = false, overheads = false;
+  std::string metrics_out;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -142,6 +149,10 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (a == "--overheads") {
       overheads = true;
+    } else if (a == "--metrics-out") {
+      metrics_out = next();
+    } else if (a == "--progress") {
+      progress = true;
     } else if (a == "--help" || a == "-h") {
       usage(0);
     } else {
@@ -158,31 +169,48 @@ int main(int argc, char** argv) {
     usage(2);
   }
 
+  obs::PhaseTimers phases;
+
   trace::Trace t;
-  if (!preset_name.empty()) {
-    const trace::Preset preset = preset_by_name(preset_name);
-    t = scale >= 1.0 ? trace::load_preset(preset)
-                     : trace::load_preset_scaled(preset, scale);
-  } else {
-    std::ifstream in(log_file);
-    if (!in) {
-      std::cerr << "cannot open " << log_file << "\n";
-      return 1;
+  {
+    const auto load_scope = phases.scope("load_trace");
+    if (!preset_name.empty()) {
+      const trace::Preset preset = preset_by_name(preset_name);
+      t = scale >= 1.0 ? trace::load_preset(preset)
+                       : trace::load_preset_scaled(preset, scale);
+    } else {
+      std::ifstream in(log_file);
+      if (!in) {
+        std::cerr << "cannot open " << log_file << "\n";
+        return 1;
+      }
+      const trace::ParseResult r = format == "plain"
+                                       ? trace::parse_plain_log(in, log_file)
+                                       : trace::parse_squid_log(in, log_file);
+      std::cerr << "parsed " << r.lines_parsed << " requests ("
+                << r.lines_skipped << " lines skipped)\n";
+      t = std::move(r.trace);
     }
-    const trace::ParseResult r = format == "plain"
-                                     ? trace::parse_plain_log(in, log_file)
-                                     : trace::parse_squid_log(in, log_file);
-    std::cerr << "parsed " << r.lines_parsed << " requests ("
-              << r.lines_skipped << " lines skipped)\n";
-    t = std::move(r.trace);
   }
   if (t.empty()) {
     std::cerr << "empty trace\n";
     return 1;
   }
 
+  core::ProgressFn progress_fn;
+  if (progress) {
+    progress_fn = [](std::size_t done, std::size_t total) {
+      std::cerr << "progress: " << done << "/" << total << "\n";
+    };
+  }
+
   ThreadPool pool;
-  const auto points = core::sweep_cache_sizes(t, sizes, orgs, spec, &pool);
+  std::vector<core::CacheSizePoint> points;
+  {
+    const auto sweep_scope = phases.scope("sweep");
+    points = core::sweep_cache_sizes(t, sizes, orgs, spec, &pool,
+                                     std::move(progress_fn));
+  }
 
   std::vector<std::string> header = {"Organization", "Rel.Size", "Hit Ratio",
                                      "Byte Hit Ratio", "Remote Hits"};
@@ -209,5 +237,23 @@ int main(int argc, char** argv) {
     }
   }
   std::cout << (csv ? table.to_csv() : table.to_string());
+
+  if (!metrics_out.empty()) {
+    std::string error;
+    const bool ok = obs::ReportBuilder("baps_cli")
+                        .set_title(preset_name.empty() ? log_file
+                                                       : preset_name)
+                        .set_args(argc, argv)
+                        .set_trace(t)
+                        .add_phases(phases)
+                        .add_sweep(points)
+                        .set_registry(obs::Registry::global().snapshot())
+                        .write(metrics_out, &error);
+    if (!ok) {
+      std::cerr << "cannot write " << metrics_out << ": " << error << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << metrics_out << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-shot gate: configure, build, run the test suite, then exercise the
+# observability pipeline end to end — run a small bench with --metrics-out
+# and validate the emitted baps.report.v1 JSON with report_check.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build)
+# Env:   BAPS_SANITIZE=address scripts/check.sh build-asan
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  ${BAPS_SANITIZE:+-DBAPS_SANITIZE="$BAPS_SANITIZE"}
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+REPORT="$BUILD_DIR/check_fig2_report.json"
+"$BUILD_DIR/bench/bench_fig2" --scale 0.05 --csv --metrics-out "$REPORT" \
+  > /dev/null
+"$BUILD_DIR/tools/report_check" "$REPORT"
+
+echo "check.sh: all good"

@@ -1,11 +1,60 @@
 #include "cache/object_cache.hpp"
 
+#include <utility>
+
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace baps::cache {
 
 ObjectCache::ObjectCache(std::uint64_t capacity_bytes, PolicyKind policy)
     : capacity_(capacity_bytes), kind_(policy), policy_(make_policy(policy)) {}
+
+ObjectCache::~ObjectCache() {
+  // Fold this cache's lifetime totals into the per-policy registry family.
+  // One resolve+bump per cache teardown keeps the per-operation path free of
+  // atomics while sweeps still get exact per-policy accounting.
+  if (stats_.insertions == 0 && stats_.evictions == 0 && stats_.erases == 0 &&
+      stats_.hits == 0 && stats_.rejected_too_large == 0) {
+    return;
+  }
+  auto& reg = obs::Registry::global();
+  const obs::Labels labels = {{"policy", policy_name(kind_)}};
+  reg.counter("cache_insertions_total", labels).inc(stats_.insertions);
+  reg.counter("cache_evictions_total", labels).inc(stats_.evictions);
+  reg.counter("cache_erases_total", labels).inc(stats_.erases);
+  reg.counter("cache_hits_total", labels).inc(stats_.hits);
+  reg.counter("cache_rejected_too_large_total", labels)
+      .inc(stats_.rejected_too_large);
+}
+
+ObjectCache::ObjectCache(ObjectCache&& other) noexcept
+    : capacity_(other.capacity_),
+      kind_(other.kind_),
+      policy_(std::move(other.policy_)),
+      entries_(std::move(other.entries_)),
+      used_(other.used_),
+      on_evict_(std::move(other.on_evict_)),
+      stats_(other.stats_) {
+  other.entries_.clear();
+  other.used_ = 0;
+  other.stats_ = {};
+}
+
+ObjectCache& ObjectCache::operator=(ObjectCache&& other) noexcept {
+  if (this == &other) return *this;
+  capacity_ = other.capacity_;
+  kind_ = other.kind_;
+  policy_ = std::move(other.policy_);
+  entries_ = std::move(other.entries_);
+  used_ = other.used_;
+  on_evict_ = std::move(other.on_evict_);
+  stats_ = other.stats_;
+  other.entries_.clear();
+  other.used_ = 0;
+  other.stats_ = {};
+  return *this;
+}
 
 std::optional<std::uint64_t> ObjectCache::peek_size(DocId doc) const {
   const auto it = entries_.find(doc);
@@ -17,17 +66,22 @@ std::optional<std::uint64_t> ObjectCache::touch(DocId doc) {
   const auto it = entries_.find(doc);
   if (it == entries_.end()) return std::nullopt;
   policy_->on_hit(doc, it->second);
+  ++stats_.hits;
   return it->second;
 }
 
 bool ObjectCache::insert(DocId doc, std::uint64_t size) {
   BAPS_REQUIRE(!entries_.contains(doc),
                "insert of resident doc — erase it first");
-  if (size > capacity_) return false;
+  if (size > capacity_) {
+    ++stats_.rejected_too_large;
+    return false;
+  }
   while (used_ + size > capacity_) evict_one();
   entries_[doc] = size;
   used_ += size;
   policy_->on_insert(doc, size);
+  ++stats_.insertions;
   return true;
 }
 
@@ -37,6 +91,7 @@ bool ObjectCache::erase(DocId doc) {
   used_ -= it->second;
   policy_->on_remove(doc);
   entries_.erase(it);
+  ++stats_.erases;
   return true;
 }
 
@@ -53,6 +108,7 @@ void ObjectCache::evict_one() {
   used_ -= size;
   policy_->on_remove(victim);
   entries_.erase(it);
+  ++stats_.evictions;
   if (on_evict_) on_evict_(victim, size);
 }
 

@@ -26,7 +26,27 @@ class ObjectCache {
  public:
   using EvictionListener = std::function<void(DocId, std::uint64_t size)>;
 
+  /// Per-cache event counters. Plain integers (the cache is single-threaded,
+  /// like the simulations that own it); the destructor folds them into the
+  /// global obs registry as `cache_*_total{policy=...}` counters, so sweeps
+  /// report per-policy insert/eviction totals without hot-path atomics.
+  struct Stats {
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;  ///< capacity evictions only
+    std::uint64_t erases = 0;     ///< explicit invalidations
+    std::uint64_t hits = 0;       ///< recency-touching lookups that hit
+    std::uint64_t rejected_too_large = 0;
+  };
+
   ObjectCache(std::uint64_t capacity_bytes, PolicyKind policy);
+  ~ObjectCache();
+
+  ObjectCache(const ObjectCache&) = delete;
+  ObjectCache& operator=(const ObjectCache&) = delete;
+  // Moves transfer the stats (and zero the source) so each event is flushed
+  // to the registry exactly once.
+  ObjectCache(ObjectCache&& other) noexcept;
+  ObjectCache& operator=(ObjectCache&& other) noexcept;
 
   std::uint64_t capacity_bytes() const { return capacity_; }
   std::uint64_t used_bytes() const { return used_; }
@@ -56,6 +76,8 @@ class ObjectCache {
   /// Called once per capacity-evicted document.
   void set_eviction_listener(EvictionListener listener);
 
+  const Stats& stats() const { return stats_; }
+
   /// Iterates resident documents (order unspecified).
   template <typename Fn>
   void for_each(Fn&& fn) const {
@@ -71,6 +93,7 @@ class ObjectCache {
   std::unordered_map<DocId, std::uint64_t> entries_;  // doc -> cached size
   std::uint64_t used_ = 0;
   EvictionListener on_evict_;
+  Stats stats_;
 };
 
 }  // namespace baps::cache

@@ -10,6 +10,8 @@
 // reference only into joined tasks).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -22,6 +24,10 @@ namespace baps::core {
 
 using sim::Metrics;
 using sim::OrgKind;
+
+/// Invoked after each completed sweep task with (done, total). Called under
+/// the sweep's result lock, so keep it cheap (print a line, bump a bar).
+using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
 
 /// §3.2 browser-cache sizing rules.
 enum class BrowserSizing {
@@ -52,7 +58,10 @@ struct RunSpec {
 sim::SimConfig build_config(const trace::TraceStats& stats,
                             const RunSpec& spec);
 
-/// Runs one organization over the trace.
+/// Runs one organization over the trace. Publishes per-run observability to
+/// the global registry: wall time into `runner_run_seconds{org}` and the
+/// resulting request counts into `sim_requests_total{org}` /
+/// `sim_hits_total{org,location}` / `sim_misses_total{org}`.
 Metrics run_one(OrgKind kind, const trace::Trace& trace,
                 const trace::TraceStats& stats, const RunSpec& spec);
 
@@ -69,7 +78,7 @@ struct CacheSizePoint {
 std::vector<CacheSizePoint> sweep_cache_sizes(
     const trace::Trace& trace, const std::vector<double>& relative_sizes,
     const std::vector<OrgKind>& orgs, const RunSpec& spec,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr, ProgressFn progress = nullptr);
 
 // ---------------------------------------------------------------------------
 // Client-count scaling (Figure 8).
@@ -90,6 +99,7 @@ struct ClientScalingPoint {
 /// cache size of the FULL trace, regardless of the client subset.
 std::vector<ClientScalingPoint> client_scaling_sweep(
     const trace::Trace& trace, const std::vector<double>& client_fractions,
-    const RunSpec& spec, ThreadPool* pool = nullptr);
+    const RunSpec& spec, ThreadPool* pool = nullptr,
+    ProgressFn progress = nullptr);
 
 }  // namespace baps::core

@@ -1,0 +1,66 @@
+#include "obs/events.hpp"
+
+#include <ostream>
+
+namespace baps::obs {
+
+const FieldValue* Event::field(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Event::str(const std::string& key) const {
+  const FieldValue* v = field(key);
+  if (!v) return {};
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  return {};
+}
+
+JsonValue Event::to_json() const {
+  JsonObject o;
+  o.emplace_back("event", JsonValue(name));
+  for (const auto& [k, v] : fields) {
+    o.emplace_back(
+        k, std::visit([](const auto& x) { return JsonValue(x); }, v));
+  }
+  return JsonValue(std::move(o));
+}
+
+void MemorySink::emit(const Event& event) {
+  std::scoped_lock lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<Event> MemorySink::events() const {
+  std::scoped_lock lock(mu_);
+  return events_;
+}
+
+std::vector<Event> MemorySink::named(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.name == name) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t MemorySink::size() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+void MemorySink::clear() {
+  std::scoped_lock lock(mu_);
+  events_.clear();
+}
+
+void JsonlSink::emit(const Event& event) {
+  const std::string line = event.to_json().dump();
+  std::scoped_lock lock(mu_);
+  os_ << line << '\n';
+}
+
+}  // namespace baps::obs

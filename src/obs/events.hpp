@@ -1,0 +1,79 @@
+// Structured event tracing: instrumented components emit typed key/value
+// events into an EventSink. The runtime protocol engine feeds one event per
+// fetch and one per message envelope, so audits (e.g. the §6.2 anonymity
+// property) query records instead of poking at counters.
+//
+// Sinks: MemorySink buffers events for tests and in-process queries;
+// JsonlSink streams one JSON object per line (the standard greppable /
+// jq-able trace format). Both are thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace baps::obs {
+
+using FieldValue =
+    std::variant<bool, std::int64_t, std::uint64_t, double, std::string>;
+
+struct Event {
+  std::string name;
+  std::vector<std::pair<std::string, FieldValue>> fields;
+
+  Event() = default;
+  explicit Event(std::string event_name) : name(std::move(event_name)) {}
+
+  Event& with(std::string key, FieldValue value) {
+    fields.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  /// First field with this key, nullptr if absent.
+  const FieldValue* field(const std::string& key) const;
+  /// String field value, or empty when absent / not a string.
+  std::string str(const std::string& key) const;
+
+  JsonValue to_json() const;
+};
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void emit(const Event& event) = 0;
+};
+
+/// Buffers every event in memory; the query surface for tests.
+class MemorySink final : public EventSink {
+ public:
+  void emit(const Event& event) override;
+
+  std::vector<Event> events() const;
+  /// Events with the given name.
+  std::vector<Event> named(const std::string& name) const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+/// Streams events as JSON Lines to an ostream the caller keeps alive.
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  void emit(const Event& event) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream& os_;
+};
+
+}  // namespace baps::obs

@@ -1,0 +1,32 @@
+#include "obs/timer.hpp"
+
+namespace baps::obs {
+
+void PhaseTimers::add(const std::string& name, double seconds) {
+  std::scoped_lock lock(mu_);
+  for (auto& p : phases_) {
+    if (p.name == name) {
+      p.seconds += seconds;
+      ++p.count;
+      return;
+    }
+  }
+  phases_.push_back({name, seconds, 1});
+}
+
+std::vector<PhaseTimers::Phase> PhaseTimers::snapshot() const {
+  std::scoped_lock lock(mu_);
+  return phases_;
+}
+
+JsonValue PhaseTimers::to_json() const {
+  JsonArray out;
+  for (const auto& p : snapshot()) {
+    out.push_back(json_object({{"name", JsonValue(p.name)},
+                               {"seconds", JsonValue(p.seconds)},
+                               {"count", JsonValue(p.count)}}));
+  }
+  return JsonValue(std::move(out));
+}
+
+}  // namespace baps::obs

@@ -1,0 +1,94 @@
+// Wall-clock timing helpers: a RAII ScopedTimer that reports its elapsed
+// seconds to a histogram / counter / callback, and PhaseTimers — a named
+// accumulator of per-phase wall times that report writers serialize (the
+// "load trace / sweep / write report" breakdown of a CLI or bench run).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace baps::obs {
+
+/// Monotonic seconds-since-some-epoch.
+inline double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Times its own lifetime and reports once from the destructor. Any of the
+/// targets may be null; seconds() reads the running elapsed time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist = nullptr, Gauge* seconds_total = nullptr)
+      : hist_(hist), gauge_(seconds_total), start_(monotonic_seconds()) {}
+  explicit ScopedTimer(std::function<void(double)> on_done)
+      : on_done_(std::move(on_done)), start_(monotonic_seconds()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double seconds() const { return monotonic_seconds() - start_; }
+
+  ~ScopedTimer() {
+    const double s = seconds();
+    if (hist_) hist_->observe(s);
+    if (gauge_) gauge_->add(s);
+    if (on_done_) on_done_(s);
+  }
+
+ private:
+  Histogram* hist_ = nullptr;
+  Gauge* gauge_ = nullptr;
+  std::function<void(double)> on_done_;
+  double start_;
+};
+
+/// Thread-safe named phase accumulator, preserving first-use order.
+class PhaseTimers {
+ public:
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t count = 0;
+  };
+
+  /// RAII scope: adds its elapsed time to `name` when destroyed.
+  class Scope {
+   public:
+    Scope(PhaseTimers& owner, std::string name)
+        : owner_(&owner), name_(std::move(name)),
+          start_(monotonic_seconds()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { owner_->add(name_, monotonic_seconds() - start_); }
+
+   private:
+    PhaseTimers* owner_;
+    std::string name_;
+    double start_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  void add(const std::string& name, double seconds);
+
+  std::vector<Phase> snapshot() const;
+
+  /// `[{"name": ..., "seconds": ..., "count": ...}, ...]`
+  JsonValue to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace baps::obs

@@ -87,6 +87,18 @@ std::string BapsSystem::client_name(ClientId c) const {
   return "client" + std::to_string(c);
 }
 
+void BapsSystem::emit_fetch(ClientId client, DocStore::Key key,
+                            const FetchOutcome& out, bool false_forward) {
+  if (sink_ == nullptr) return;
+  sink_->emit(obs::Event("fetch")
+                  .with("client", client_name(client))
+                  .with("url", key)
+                  .with("source", source_name(out.source))
+                  .with("verified", out.verified)
+                  .with("tamper_recovered", out.tamper_recovered)
+                  .with("false_forward", false_forward));
+}
+
 void BapsSystem::client_store(ClientId client, const Url& url, Document doc) {
   const DocStore::Key key = url_key(url);
   if (clients_[client].browser->put(key, std::move(doc))) {
@@ -100,11 +112,12 @@ BapsSystem::ProxyReply BapsSystem::proxy_handle(ClientId requester,
                                                 const Url& url,
                                                 bool avoid_peers) {
   const DocStore::Key key = url_key(url);
+  bool false_forward = false;
 
   // 1. The proxy's own cache.
   if (auto doc = proxy_cache_.get(key)) {
     ++proxy_hits_;
-    return {std::move(*doc), FetchOutcome::Source::kProxy};
+    return {std::move(*doc), FetchOutcome::Source::kProxy, false};
   }
 
   // 2. The browser index. The peer-fetch message deliberately carries only
@@ -118,10 +131,11 @@ BapsSystem::ProxyReply BapsSystem::proxy_handle(ClientId requester,
         trace_.record(MsgKind::kPeerDeliver, client_name(*holder), "proxy",
                       key);
         ++peer_hits_;
-        return {std::move(*doc), FetchOutcome::Source::kRemoteBrowser};
+        return {std::move(*doc), FetchOutcome::Source::kRemoteBrowser, false};
       }
       // Stale index entry: the peer no longer holds the document.
       ++false_forwards_;
+      false_forward = true;
       index_.remove(*holder, key);
     }
   }
@@ -135,7 +149,7 @@ BapsSystem::ProxyReply BapsSystem::proxy_handle(ClientId requester,
   Document doc{std::move(body), crypto::Watermark{}};
   doc.mark = crypto::issue_watermark(doc.body, keys_.priv);
   proxy_cache_.put(key, doc);
-  return {std::move(doc), FetchOutcome::Source::kOrigin};
+  return {std::move(doc), FetchOutcome::Source::kOrigin, false_forward};
 }
 
 FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
@@ -153,6 +167,7 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
       out.source = FetchOutcome::Source::kLocalBrowser;
       out.verified = true;
       out.body = std::move(doc->body);
+      emit_fetch(client, key, out, /*false_forward=*/false);
       return out;
     }
     ++tamper_detections_;
@@ -165,6 +180,7 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
   trace_.record(MsgKind::kClientRequest, client_name(client), "proxy", key);
   ProxyReply reply = proxy_handle(client, url, /*avoid_peers=*/false);
   trace_.record(MsgKind::kProxyResponse, "proxy", client_name(client), key);
+  bool false_forward = reply.false_forward;
 
   FetchOutcome out;
   out.source = reply.source;
@@ -184,10 +200,12 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
         crypto::verify_watermark(reply.doc.body, reply.doc.mark, keys_.pub);
     out.tamper_recovered = true;
     BAPS_ENSURE(out.verified, "origin-served document must verify");
+    false_forward = false_forward || reply.false_forward;
   }
 
   out.body = reply.doc.body;
   client_store(client, url, std::move(reply.doc));
+  emit_fetch(client, key, out, false_forward);
   return out;
 }
 

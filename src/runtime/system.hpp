@@ -60,6 +60,18 @@ class BapsSystem {
   OriginServer& origin() { return origin_; }
   const MessageTrace& messages() const { return trace_; }
   MessageTrace& messages() { return trace_; }
+
+  /// Streams structured events to `sink` (nullptr detaches; not owned):
+  /// one "fetch" event per browse() with the outcome (source, verified,
+  /// tamper_recovered, false_forward), plus a "message" event per protocol
+  /// envelope, mirroring the MessageTrace. The message events carry exactly
+  /// the envelope fields — in particular a peer-fetch event names only the
+  /// proxy and the holder, never the requester (§6.2), and tests audit the
+  /// emitted stream for that.
+  void set_event_sink(obs::EventSink* sink) {
+    sink_ = sink;
+    trace_.set_sink(sink);
+  }
   const crypto::RsaPublicKey& proxy_public_key() const { return keys_.pub; }
   const index::BrowserIndex& browser_index() const { return index_; }
 
@@ -101,9 +113,13 @@ class BapsSystem {
   struct ProxyReply {
     Document doc;
     FetchOutcome::Source source;
+    bool false_forward = false;  ///< a stale index entry was hit on the way
   };
 
   std::string client_name(ClientId c) const;
+  /// Emits the per-browse "fetch" event (no-op without a sink).
+  void emit_fetch(ClientId client, DocStore::Key key, const FetchOutcome& out,
+                  bool false_forward);
   /// MAC over an index update: HMAC(key_of(sender), op | sender | url key).
   crypto::Md5Digest index_update_mac(ClientId sender, bool is_add,
                                      DocStore::Key key) const;
@@ -125,6 +141,7 @@ class BapsSystem {
   index::BrowserIndex index_;
   std::vector<ClientState> clients_;
   MessageTrace trace_;
+  obs::EventSink* sink_ = nullptr;  ///< optional, not owned
 
   std::uint64_t peer_hits_ = 0;
   std::uint64_t proxy_hits_ = 0;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "crypto/md5.hpp"
+#include "obs/events.hpp"
 
 namespace baps::runtime {
 
@@ -45,11 +46,20 @@ struct MsgRecord {
   std::uint64_t url = 0;  ///< url_key of the subject document (0 if none)
 };
 
-/// Append-only message trace shared by all nodes.
+/// Append-only message trace shared by all nodes. When a sink is attached,
+/// every envelope is also emitted as a structured "message" event — the
+/// JSONL mirror of what the in-memory log holds.
 class MessageTrace {
  public:
   void record(MsgKind kind, std::string from, std::string to,
               std::uint64_t url) {
+    if (sink_ != nullptr) {
+      sink_->emit(obs::Event("message")
+                      .with("kind", msg_kind_name(kind))
+                      .with("from", from)
+                      .with("to", to)
+                      .with("url", url));
+    }
     log_.push_back(MsgRecord{kind, std::move(from), std::move(to), url});
   }
   const std::vector<MsgRecord>& log() const { return log_; }
@@ -62,8 +72,12 @@ class MessageTrace {
   }
   void clear() { log_.clear(); }
 
+  /// Mirrors future envelopes to `sink` (nullptr detaches). Not owned.
+  void set_sink(obs::EventSink* sink) { sink_ = sink; }
+
  private:
   std::vector<MsgRecord> log_;
+  obs::EventSink* sink_ = nullptr;
 };
 
 }  // namespace baps::runtime

@@ -53,9 +53,15 @@ struct Metrics {
   baps::Histogram log_latency{-6.0, 3.0, 90};
 
   void observe_latency(double seconds) {
-    log_latency.add(std::log10(std::max(seconds, 1e-9)));
+    // Sub-µs samples land in the histogram's explicit underflow bucket (the
+    // domain floor is 1 µs = log10 −6); the clamp only keeps log10 finite
+    // for nonpositive inputs, it no longer drops samples below the first
+    // bucket.
+    log_latency.add(std::log10(std::max(seconds, 1e-300)));
   }
-  /// Request-latency quantile in seconds (bucket resolution).
+  /// Request-latency quantile in seconds (bucket resolution). Well-defined
+  /// at the edges: under/overflow mass resolves to the domain bounds, so the
+  /// result is always within [1 µs, 1000 s].
   double latency_quantile(double q) const {
     return std::pow(10.0, log_latency.quantile(q));
   }

@@ -7,7 +7,8 @@ double Histogram::quantile(double q) const {
   if (n_ == 0) return lo_;
   const double target = q * static_cast<double>(n_);
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  double running = 0.0;
+  double running = static_cast<double>(underflow_);
+  if (running >= target) return lo_;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const auto c = static_cast<double>(counts_[i]);
     if (running + c >= target) {

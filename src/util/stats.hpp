@@ -69,8 +69,10 @@ class RatioCounter {
   std::uint64_t total_ = 0;
 };
 
-/// Fixed-width linear histogram over [lo, hi); out-of-range samples clamp to
-/// the edge buckets so totals always balance.
+/// Fixed-width linear histogram over [lo, hi) with explicit under/overflow
+/// buckets: out-of-range samples are counted separately instead of clamped
+/// into the edge buckets, so totals always balance AND the interior
+/// distribution stays honest about its tails.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets)
@@ -80,26 +82,41 @@ class Histogram {
   }
 
   void add(double x) {
-    const double t = (x - lo_) / (hi_ - lo_);
-    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
-    if (idx < 0) idx = 0;
-    if (idx >= static_cast<std::int64_t>(counts_.size())) {
-      idx = static_cast<std::int64_t>(counts_.size()) - 1;
-    }
-    ++counts_[static_cast<std::size_t>(idx)];
     ++n_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(t * static_cast<double>(counts_.size()));
+    // Floating-point rounding can push t*buckets to exactly buckets even
+    // though x < hi; keep such samples in the last interior bucket.
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+    ++counts_[idx];
   }
 
+  /// Total samples, under/overflow included.
   std::uint64_t count() const { return n_; }
+  /// Interior buckets only (under/overflow excluded).
   const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
 
-  /// Linear-interpolated quantile, q in [0,1].
+  /// Linear-interpolated quantile, q in [0,1]. Well-defined at the edges:
+  /// quantile mass in the underflow bucket resolves to lo and overflow mass
+  /// to hi, so the result is always within [lo, hi].
   double quantile(double q) const;
 
  private:
   double lo_;
   double hi_;
   std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
   std::uint64_t n_ = 0;
 };
 

@@ -5,9 +5,20 @@
 namespace baps {
 
 ThreadPool::ThreadPool(std::size_t threads) {
+  auto& reg = obs::Registry::global();
+  tasks_total_ = &reg.counter("threadpool_tasks_total");
+  queue_depth_ = &reg.gauge("threadpool_queue_depth");
+  busy_seconds_ = &reg.gauge("threadpool_busy_seconds_total");
+  // Log10-seconds domains spanning 100 ns .. 1000 s.
+  wait_hist_ = &reg.histogram("threadpool_task_wait_seconds", -7.0, 3.0, 50,
+                              obs::HistScale::kLog10);
+  run_hist_ = &reg.histogram("threadpool_task_run_seconds", -7.0, 3.0, 50,
+                             obs::HistScale::kLog10);
+
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  reg.gauge("threadpool_workers").set(static_cast<double>(threads));
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -25,15 +36,21 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Item item;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and drained
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    queue_depth_->sub(1.0);
+    const double start = obs::monotonic_seconds();
+    wait_hist_->observe(start - item.enqueued_at);
+    item.fn();
+    const double ran = obs::monotonic_seconds() - start;
+    busy_seconds_->add(ran);
+    run_hist_->observe(ran);
   }
 }
 

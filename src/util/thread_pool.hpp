@@ -5,6 +5,16 @@
 // Concurrency discipline (CppCoreGuidelines CP.*): tasks capture either
 // values or shared_ptr<const T>; each worker mutates only its own state. The
 // pool joins all workers in the destructor so no task outlives the pool.
+//
+// Observability: every pool publishes to the global obs registry —
+//   threadpool_tasks_total            tasks submitted
+//   threadpool_queue_depth            currently queued (gauge)
+//   threadpool_busy_seconds_total     summed task execution time (gauge);
+//                                     utilization = busy / (wall × workers)
+//   threadpool_task_wait_seconds      queue-wait distribution (log10 s)
+//   threadpool_task_run_seconds       execution-time distribution (log10 s)
+// Handles are resolved once at construction; the per-task cost is a few
+// relaxed atomics and two clock reads.
 #pragma once
 
 #include <condition_variable>
@@ -16,6 +26,9 @@
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
 
 namespace baps {
 
@@ -30,6 +43,9 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Summed execution seconds across all completed tasks.
+  double busy_seconds() const { return busy_seconds_->value(); }
+
   /// Enqueues a task and returns a future for its result. Exceptions thrown
   /// by the task propagate through the future.
   template <typename F>
@@ -40,8 +56,10 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::scoped_lock lock(mu_);
-      queue_.emplace([task]() { (*task)(); });
+      queue_.push(Item{[task]() { (*task)(); }, obs::monotonic_seconds()});
     }
+    tasks_total_->inc();
+    queue_depth_->add(1.0);
     cv_.notify_one();
     return fut;
   }
@@ -51,13 +69,24 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  struct Item {
+    std::function<void()> fn;
+    double enqueued_at = 0.0;  ///< monotonic_seconds() at submit
+  };
+
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Item> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  obs::Counter* tasks_total_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* busy_seconds_;
+  obs::Histogram* wait_hist_;
+  obs::Histogram* run_hist_;
 };
 
 }  // namespace baps

@@ -1,0 +1,172 @@
+#include "obs/events.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/system.hpp"
+
+namespace baps::obs {
+namespace {
+
+TEST(EventTest, FieldAccessorsAndJson) {
+  const Event e = Event("fetch")
+                      .with("client", std::string("client0"))
+                      .with("verified", true)
+                      .with("url", std::uint64_t{77});
+  EXPECT_EQ(e.str("client"), "client0");
+  EXPECT_EQ(e.str("missing"), "");
+  ASSERT_NE(e.field("verified"), nullptr);
+  EXPECT_TRUE(std::get<bool>(*e.field("verified")));
+
+  const JsonValue j = e.to_json();
+  EXPECT_EQ(j.at("event").as_string(), "fetch");
+  EXPECT_EQ(j.at("url").as_uint(), 77u);
+}
+
+TEST(EventTest, JsonlSinkWritesOneObjectPerLine) {
+  std::ostringstream os;
+  JsonlSink sink(os);
+  sink.emit(Event("a").with("n", std::int64_t{1}));
+  sink.emit(Event("b").with("s", std::string("x")));
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    std::string error;
+    ASSERT_TRUE(json_parse(line, &error).has_value()) << error;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+// --- BapsSystem event stream ----------------------------------------------
+
+class SystemEventsTest : public ::testing::Test {
+ protected:
+  // client0 seeds kUrlX / kUrlY, then filler traffic evicts both from the
+  // proxy cache so later cross-client fetches must go to the peer. The sink
+  // attaches only after this setup: the audited stream holds exactly the
+  // browses each test performs.
+  SystemEventsTest() : system_(params()) {
+    system_.browse(0, kUrlX);
+    system_.browse(0, kUrlY);
+    for (int i = 0; i < 64; ++i) {
+      system_.browse(2, "http://filler.example/" + std::to_string(i));
+    }
+    system_.set_event_sink(&sink_);
+  }
+
+  static runtime::BapsSystem::Params params() {
+    runtime::BapsSystem::Params p;
+    p.num_clients = 3;
+    p.proxy_cache_bytes = 8 << 10;  // small enough to evict under pressure
+    p.browser_cache_bytes = 16 << 10;
+    p.seed = 42;
+    return p;
+  }
+
+  static constexpr const char* kUrlX = "http://a.example/x";
+  static constexpr const char* kUrlY = "http://a.example/y";
+
+  runtime::BapsSystem system_;
+  MemorySink sink_;
+};
+
+TEST_F(SystemEventsTest, OneFetchEventPerBrowseWithOutcome) {
+  ASSERT_TRUE(system_.client_has(0, kUrlX));
+  system_.browse(0, kUrlX);  // local-browser hit
+  const auto peer = system_.browse(1, kUrlX);
+  EXPECT_EQ(peer.source, runtime::FetchOutcome::Source::kRemoteBrowser);
+  system_.browse(1, "http://fresh.example/z");  // origin fetch
+
+  const auto fetches = sink_.named("fetch");
+  ASSERT_EQ(fetches.size(), 3u);
+  EXPECT_EQ(fetches[0].str("source"), "local-browser");
+  EXPECT_EQ(fetches[1].str("source"), "remote-browser");
+  EXPECT_EQ(fetches[2].str("source"), "origin-server");
+  for (const auto& f : fetches) {
+    EXPECT_TRUE(std::get<bool>(*f.field("verified")));
+    EXPECT_FALSE(std::get<bool>(*f.field("tamper_recovered")));
+    EXPECT_FALSE(std::get<bool>(*f.field("false_forward")));
+  }
+  EXPECT_EQ(fetches[0].str("client"), "client0");
+  EXPECT_EQ(fetches[1].str("client"), "client1");
+}
+
+TEST_F(SystemEventsTest, MessageEventsMirrorTheTrace) {
+  const std::size_t already_logged = system_.messages().log().size();
+  system_.browse(1, kUrlX);
+  const auto messages = sink_.named("message");
+  ASSERT_EQ(messages.size(),
+            system_.messages().log().size() - already_logged);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const auto& rec = system_.messages().log()[already_logged + i];
+    EXPECT_EQ(messages[i].str("kind"), runtime::msg_kind_name(rec.kind));
+    EXPECT_EQ(messages[i].str("from"), rec.from);
+    EXPECT_EQ(messages[i].str("to"), rec.to);
+  }
+}
+
+TEST_F(SystemEventsTest, TamperedPeerDeliveryIsFlaggedInTheStream) {
+  system_.set_tampering(0, true);
+  const auto out = system_.browse(1, kUrlX);
+  EXPECT_TRUE(out.tamper_recovered);
+
+  const auto fetches = sink_.named("fetch");
+  ASSERT_EQ(fetches.size(), 1u);
+  EXPECT_TRUE(std::get<bool>(*fetches[0].field("tamper_recovered")));
+  EXPECT_TRUE(std::get<bool>(*fetches[0].field("verified")));
+  EXPECT_EQ(fetches[0].str("source"), "origin-server");
+}
+
+TEST_F(SystemEventsTest, FalseForwardIsFlaggedInTheStream) {
+  system_.drop_silently(0, kUrlX);
+  const auto out = system_.browse(1, kUrlX);
+  EXPECT_EQ(out.source, runtime::FetchOutcome::Source::kOrigin);
+
+  const auto fetches = sink_.named("fetch");
+  ASSERT_EQ(fetches.size(), 1u);
+  EXPECT_TRUE(std::get<bool>(*fetches[0].field("false_forward")));
+}
+
+// The §6.2 anonymity property, audited on the emitted event stream: a
+// peer-fetch names only the proxy and the holder. No field of any peer-fetch
+// event may reference the requester.
+TEST_F(SystemEventsTest, PeerFetchEventsCarryNoRequesterIdentity) {
+  system_.browse(1, kUrlX);  // requester: client1, holder: client0
+  system_.browse(2, kUrlY);  // requester: client2, holder: client0
+
+  std::size_t peer_fetches = 0;
+  for (const auto& m : sink_.named("message")) {
+    if (m.str("kind") != "peer-fetch") continue;
+    ++peer_fetches;
+    EXPECT_EQ(m.str("from"), "proxy");
+    EXPECT_EQ(m.str("to"), "client0");  // the holder
+    // Exactly the envelope fields — nothing that could smuggle the
+    // requester in.
+    ASSERT_EQ(m.fields.size(), 4u);
+    EXPECT_EQ(m.fields[0].first, "kind");
+    EXPECT_EQ(m.fields[1].first, "from");
+    EXPECT_EQ(m.fields[2].first, "to");
+    EXPECT_EQ(m.fields[3].first, "url");
+    for (const auto& [key, value] : m.fields) {
+      if (const auto* s = std::get_if<std::string>(&value)) {
+        EXPECT_NE(*s, "client1") << "peer-fetch leaked the requester";
+        EXPECT_NE(*s, "client2") << "peer-fetch leaked the requester";
+      }
+    }
+  }
+  EXPECT_EQ(peer_fetches, 2u);
+}
+
+TEST_F(SystemEventsTest, DetachingTheSinkStopsTheStream) {
+  system_.browse(0, kUrlX);
+  const std::size_t before = sink_.size();
+  system_.set_event_sink(nullptr);
+  system_.browse(0, "http://fresh.example/z");
+  EXPECT_EQ(sink_.size(), before);
+}
+
+}  // namespace
+}  // namespace baps::obs

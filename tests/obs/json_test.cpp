@@ -1,0 +1,102 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace baps::obs {
+namespace {
+
+TEST(JsonTest, ScalarDump) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(std::int64_t{-42}).dump(), "-42");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ULL}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::nan("")).dump(), "null");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue obj;
+  obj.set("zeta", JsonValue(1));
+  obj.set("alpha", JsonValue(2));
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2}");
+}
+
+TEST(JsonTest, SetReplacesExistingKey) {
+  JsonValue obj;
+  obj.set("k", JsonValue(1));
+  obj.set("k", JsonValue(2));
+  EXPECT_EQ(obj.dump(), "{\"k\":2}");
+  ASSERT_EQ(obj.as_object().size(), 1u);
+}
+
+TEST(JsonTest, ParseRoundTripsStructure) {
+  JsonValue doc;
+  doc.set("name", JsonValue("sweep"));
+  doc.set("count", JsonValue(std::uint64_t{12345678901234567ULL}));
+  doc.set("ratio", JsonValue(0.1));
+  doc.set("list", JsonValue(JsonArray{JsonValue(1), JsonValue("x"),
+                                      JsonValue(nullptr)}));
+  const std::string text = doc.dump(2);
+
+  std::string error;
+  const auto parsed = json_parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->at("name").as_string(), "sweep");
+  EXPECT_EQ(parsed->at("count").as_uint(), 12345678901234567ULL);
+  // %.17g guarantees doubles survive a round trip bit-exactly.
+  EXPECT_EQ(parsed->at("ratio").as_double(), 0.1);
+  ASSERT_EQ(parsed->at("list").as_array().size(), 3u);
+  EXPECT_TRUE(parsed->at("list").as_array()[2].is_null());
+  // Re-dumping the parsed value reproduces the original text.
+  EXPECT_EQ(parsed->dump(2), text);
+}
+
+TEST(JsonTest, ParseHandlesEscapesAndUnicode) {
+  const auto v = json_parse(R"({"s": "a\"\\\n\tAé"})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at("s").as_string(), "a\"\\\n\tA\xc3\xa9");
+}
+
+TEST(JsonTest, ParseNegativeAndOverflowingIntegers) {
+  const auto v =
+      json_parse(R"({"neg": -9223372036854775808, "big": 1e300})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->at("neg").as_int(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(v->at("big").as_double(), 1e300);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(json_parse("{", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(json_parse("", &error).has_value());
+  EXPECT_FALSE(json_parse("{\"a\": 1,}", &error).has_value());
+  EXPECT_FALSE(json_parse("[1 2]", &error).has_value());
+  EXPECT_FALSE(json_parse("nulL", &error).has_value());
+  EXPECT_FALSE(json_parse("{} trailing", &error).has_value());
+}
+
+TEST(JsonTest, FindReturnsNullForMissingKey) {
+  JsonValue obj;
+  obj.set("present", JsonValue(1));
+  EXPECT_NE(obj.find("present"), nullptr);
+  EXPECT_EQ(obj.find("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace baps::obs

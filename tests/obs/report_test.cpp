@@ -1,0 +1,159 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/runner.hpp"
+#include "trace/presets.hpp"
+
+namespace baps::obs {
+namespace {
+
+const trace::Trace& shared_trace() {
+  static const trace::Trace t =
+      trace::load_preset_scaled(trace::Preset::kNlanrUc, 0.05);
+  return t;
+}
+
+std::vector<core::CacheSizePoint> shared_sweep() {
+  core::RunSpec spec;
+  spec.sizing = core::BrowserSizing::kMinimum;
+  return core::sweep_cache_sizes(
+      shared_trace(), {0.05, 0.10},
+      {core::OrgKind::kProxyAndLocalBrowser, core::OrgKind::kBrowsersAware},
+      spec);
+}
+
+TEST(MetricsJsonTest, CountersAreExactAndRatiosConsistent) {
+  sim::Metrics m;
+  m.hits.hit(3);
+  m.hits.miss(1);
+  m.byte_hits.hit(3000);
+  m.byte_hits.miss(500);
+  m.local_browser_hits = 1;
+  m.proxy_hits = 1;
+  m.remote_browser_hits = 1;
+  m.misses = 1;
+
+  const JsonValue j = metrics_to_json(m);
+  EXPECT_EQ(j.at("hits").at("count").as_uint(), 3u);
+  EXPECT_EQ(j.at("hits").at("total").as_uint(), 4u);
+  EXPECT_DOUBLE_EQ(j.at("hits").at("ratio").as_double(), 0.75);
+  EXPECT_EQ(j.at("locations").at("miss").at("count").as_uint(), 1u);
+}
+
+TEST(ReportTest, BuildsValidatesAndRoundTrips) {
+  const auto points = shared_sweep();
+
+  PhaseTimers phases;
+  phases.add("sweep", 0.25);
+
+  const ReportBuilder builder =
+      ReportBuilder("report_test")
+          .set_title("round trip")
+          .set_trace(shared_trace())
+          .add_phases(phases)
+          .add_sweep(points)
+          .set_registry(Registry::global().snapshot());
+  const JsonValue report = builder.build();
+
+  std::string error;
+  EXPECT_TRUE(validate_report(report, &error)) << error;
+
+  // Dump → parse → the emitted hit-ratio fields must match the in-memory
+  // Metrics EXACTLY (%.17g doubles survive the round trip bit-for-bit).
+  const auto parsed = json_parse(report.dump(2), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(validate_report(*parsed, &error)) << error;
+
+  const JsonValue& sweep = *parsed->find("sweep");
+  ASSERT_EQ(sweep.as_array().size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const JsonValue& entry = sweep.as_array()[i];
+    EXPECT_EQ(entry.at("relative_cache_size").as_double(),
+              points[i].relative_cache_size);
+    const auto& orgs = entry.at("orgs").as_array();
+    ASSERT_EQ(orgs.size(), points[i].by_org.size());
+    for (const auto& org_entry : orgs) {
+      const std::string org = org_entry.at("org").as_string();
+      const sim::Metrics* m = nullptr;
+      for (const auto& [kind, metrics] : points[i].by_org) {
+        if (sim::org_name(kind) == org) m = &metrics;
+      }
+      ASSERT_NE(m, nullptr) << "unknown org " << org;
+      const JsonValue& mj = org_entry.at("metrics");
+      EXPECT_EQ(mj.at("hits").at("count").as_uint(), m->hits.hits());
+      EXPECT_EQ(mj.at("hits").at("total").as_uint(), m->hits.total());
+      EXPECT_EQ(mj.at("hits").at("ratio").as_double(), m->hit_ratio());
+      EXPECT_EQ(mj.at("byte_hits").at("ratio").as_double(),
+                m->byte_hit_ratio());
+    }
+  }
+
+  // Phases survived.
+  const JsonValue& ph = *parsed->find("phases");
+  ASSERT_EQ(ph.as_array().size(), 1u);
+  EXPECT_EQ(ph.as_array()[0].at("name").as_string(), "sweep");
+}
+
+TEST(ReportTest, WriteProducesAParseableFile) {
+  const std::string path =
+      ::testing::TempDir() + "/baps_report_test_out.json";
+  std::string error;
+  ASSERT_TRUE(ReportBuilder("report_test")
+                  .add_sweep(shared_sweep())
+                  .write(path, &error))
+      << error;
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto parsed = json_parse(buf.str(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(validate_report(*parsed, &error)) << error;
+  EXPECT_EQ(parsed->at("tool").as_string(), "report_test");
+}
+
+TEST(ReportTest, ClientScalingSectionValidatesWithTraceLabels) {
+  core::RunSpec spec;
+  spec.relative_cache_size = 0.10;
+  const auto points =
+      core::client_scaling_sweep(shared_trace(), {0.5, 1.0}, spec);
+
+  const JsonValue report = ReportBuilder("report_test")
+                               .add_client_scaling(points, "NLANR-uc")
+                               .build();
+  std::string error;
+  EXPECT_TRUE(validate_report(report, &error)) << error;
+  const auto& entries = report.at("client_scaling").as_array();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].at("trace").as_string(), "NLANR-uc");
+  EXPECT_EQ(entries[1].at("num_clients").as_uint(),
+            points[1].num_clients);
+}
+
+TEST(ValidateTest, RejectsCorruptedReports) {
+  std::string error;
+  // Wrong schema id.
+  JsonValue bad;
+  bad.set("schema", JsonValue("nope.v0"));
+  bad.set("tool", JsonValue("x"));
+  EXPECT_FALSE(validate_report(bad, &error));
+
+  // A tampered ratio must be caught by the recompute check.
+  JsonValue report = ReportBuilder("report_test")
+                         .add_sweep(shared_sweep())
+                         .build();
+  JsonValue& sweep = *report.find("sweep");
+  JsonValue& metrics =
+      *sweep.as_array()[0].find("orgs")->as_array()[0].find("metrics");
+  metrics.find("hits")->set("ratio", JsonValue(0.123456));
+  EXPECT_FALSE(validate_report(report, &error));
+  EXPECT_NE(error.find("ratio"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace baps::obs

@@ -50,5 +50,18 @@ TEST(MetricsTest, ObserveLatencyClampsPathologicalInputs) {
   EXPECT_GE(m.latency_quantile(0.0), 0.0);
 }
 
+TEST(MetricsTest, SubMicrosecondLatenciesCountAsUnderflow) {
+  Metrics m;
+  // Below the 1 µs histogram floor: must not be silently folded into the
+  // first interior bucket (the old 1e-9 clamp landed below the domain).
+  m.observe_latency(1e-8);
+  m.observe_latency(1e-7);
+  EXPECT_EQ(m.log_latency.underflow(), 2u);
+  EXPECT_EQ(m.log_latency.count(), 2u);
+  // Quantiles stay pinned to the domain edges, never below 1 µs.
+  EXPECT_DOUBLE_EQ(m.latency_quantile(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(m.latency_quantile(1.0), 1e-6);
+}
+
 }  // namespace
 }  // namespace baps::sim

@@ -76,13 +76,27 @@ TEST(HistogramTest, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), InvariantError);
 }
 
-TEST(HistogramTest, ClampsOutOfRangeToEdges) {
+TEST(HistogramTest, OutOfRangeLandsInUnderOverflowBuckets) {
   Histogram h(0.0, 10.0, 10);
   h.add(-5.0);
   h.add(50.0);
-  EXPECT_EQ(h.buckets().front(), 1u);
-  EXPECT_EQ(h.buckets().back(), 1u);
-  EXPECT_EQ(h.count(), 2u);
+  h.add(10.0);  // hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.buckets().front(), 0u);
+  EXPECT_EQ(h.buckets().back(), 0u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, QuantileWellDefinedWithUnderOverflowMass) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);  // underflow
+  h.add(5.1);   // interior
+  h.add(99.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  // The median sample is the interior one.
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
 }
 
 TEST(HistogramTest, MedianOfUniformIsCenter) {

@@ -1,0 +1,39 @@
+// report_check — validates a baps.report.v1 JSON report.
+//
+// Parses the file, checks the schema structurally, and recomputes every
+// derived ratio from its exact integer counters. Exit 0 when valid, 1 when
+// not (with the first violation on stderr). Used by scripts/check.sh to
+// gate the bench artifacts.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: report_check <report.json>\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  std::string error;
+  const auto doc = baps::obs::json_parse(buf.str(), &error);
+  if (!doc) {
+    std::cerr << argv[1] << ": parse error: " << error << "\n";
+    return 1;
+  }
+  if (!baps::obs::validate_report(*doc, &error)) {
+    std::cerr << argv[1] << ": invalid report: " << error << "\n";
+    return 1;
+  }
+  std::cout << argv[1] << ": valid " << baps::obs::kReportSchema << "\n";
+  return 0;
+}
