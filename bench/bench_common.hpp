@@ -14,6 +14,7 @@
 
 #include "core/api.hpp"
 #include "obs/report.hpp"
+#include "util/args.hpp"
 
 namespace baps::bench {
 
@@ -30,24 +31,21 @@ inline BenchArgs parse_args(int argc, char** argv) {
   BenchArgs args;
   args.argc = argc;
   args.argv = argv;
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--csv") {
-      args.csv = true;
-    } else if (a == "--scale" && i + 1 < argc) {
-      args.scale = std::atof(argv[++i]);
-    } else if (a == "--metrics-out" && i + 1 < argc) {
-      args.metrics_out = argv[++i];
-    } else if (a == "--progress") {
-      args.progress = true;
-    } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: " << argv[0]
-                << " [--csv] [--scale f] [--metrics-out file] [--progress]\n";
-      std::exit(0);
-    } else {
-      std::cerr << "unknown argument: " << a << "\n";
-      std::exit(2);
-    }
+  util::ArgParser parser(argv[0]);
+  parser.flag("--csv", &args.csv, "emit CSV instead of an aligned table")
+      .option("--scale", &args.scale, "F",
+              "shrink the preset traces by F in (0,1]")
+      .option("--metrics-out", &args.metrics_out, "FILE",
+              "write a baps.report.v1 JSON report of the runs")
+      .flag("--progress", &args.progress, "print sweep progress to stderr");
+  std::string error;
+  if (!parser.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << parser.usage();
+    std::exit(2);
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    std::exit(0);
   }
   if (args.scale <= 0.0 || args.scale > 1.0) {
     std::cerr << "--scale must be in (0,1]\n";

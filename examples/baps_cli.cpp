@@ -11,79 +11,41 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
+#include <optional>
 
 #include "core/api.hpp"
 #include "obs/report.hpp"
+#include "util/args.hpp"
 
 namespace {
 
 using namespace baps;
 
-[[noreturn]] void usage(int code) {
-  std::cout <<
-      "usage: baps_cli [options]\n"
-      "\nworkload (pick one):\n"
-      "  --preset NAME       nlanr-uc | nlanr-bo1 | bu95 | bu98 | canet2\n"
-      "  --log FILE          parse a real access log\n"
-      "  --format FMT        squid | plain        (default squid)\n"
-      "  --scale F           shrink a preset by F in (0,1]\n"
-      "\nsimulation:\n"
-      "  --orgs LIST         comma list of: proxy, local, global,\n"
-      "                      hierarchy, baps, all   (default all)\n"
-      "  --sizes LIST        relative proxy sizes   (default 0.10)\n"
-      "  --sizing MODE       min | avg              (default min)\n"
-      "  --policy P          lru|fifo|lfu|size|gdsf (default lru)\n"
-      "  --index MODE        immediate | periodic | bloom\n"
-      "  --threshold F       periodic flush threshold (default 0.1)\n"
-      "  --relay             remote hits relayed via the proxy (2 hops)\n"
-      "\noutput:\n"
-      "  --csv               machine-readable output\n"
-      "  --overheads         include the Section 5 overhead columns\n"
-      "  --metrics-out FILE  write a baps.report.v1 JSON report (sweep\n"
-      "                      results, per-phase wall times, registry)\n"
-      "  --progress          print sweep progress to stderr\n";
-  std::exit(code);
-}
-
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> out;
-  std::istringstream is(s);
-  std::string item;
-  while (std::getline(is, item, sep)) {
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-trace::Preset preset_by_name(const std::string& name) {
+std::optional<trace::Preset> preset_by_name(const std::string& name) {
   if (name == "nlanr-uc") return trace::Preset::kNlanrUc;
   if (name == "nlanr-bo1") return trace::Preset::kNlanrBo1;
   if (name == "bu95") return trace::Preset::kBu95;
   if (name == "bu98") return trace::Preset::kBu98;
   if (name == "canet2") return trace::Preset::kCanet2;
-  std::cerr << "unknown preset: " << name << "\n";
-  usage(2);
+  return std::nullopt;
 }
 
-core::OrgKind org_by_name(const std::string& name) {
+std::optional<core::OrgKind> org_by_name(const std::string& name) {
   if (name == "proxy") return core::OrgKind::kProxyOnly;
   if (name == "local") return core::OrgKind::kLocalBrowserOnly;
   if (name == "global") return core::OrgKind::kGlobalBrowsersOnly;
   if (name == "hierarchy") return core::OrgKind::kProxyAndLocalBrowser;
   if (name == "baps") return core::OrgKind::kBrowsersAware;
-  std::cerr << "unknown organization: " << name << "\n";
-  usage(2);
+  return std::nullopt;
 }
 
-cache::PolicyKind policy_by_name(const std::string& name) {
+std::optional<cache::PolicyKind> policy_by_name(const std::string& name) {
   if (name == "lru") return cache::PolicyKind::kLru;
   if (name == "fifo") return cache::PolicyKind::kFifo;
   if (name == "lfu") return cache::PolicyKind::kLfu;
   if (name == "size") return cache::PolicyKind::kSize;
   if (name == "gdsf") return cache::PolicyKind::kGdsf;
-  std::cerr << "unknown policy: " << name << "\n";
-  usage(2);
+  return std::nullopt;
 }
 
 }  // namespace
@@ -97,76 +59,92 @@ int main(int argc, char** argv) {
   bool csv = false, overheads = false;
   std::string metrics_out;
   bool progress = false;
+  bool relay = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(2);
-      return argv[++i];
-    };
-    if (a == "--preset") {
-      preset_name = next();
-    } else if (a == "--log") {
-      log_file = next();
-    } else if (a == "--format") {
-      format = next();
-    } else if (a == "--scale") {
-      scale = std::atof(next().c_str());
-    } else if (a == "--orgs") {
-      for (const auto& n : split(next(), ',')) {
-        if (n == "all") {
-          orgs.assign(std::begin(sim::kAllOrganizations),
-                      std::end(sim::kAllOrganizations));
-        } else {
-          orgs.push_back(org_by_name(n));
-        }
-      }
-    } else if (a == "--sizes") {
-      sizes.clear();
-      for (const auto& n : split(next(), ',')) {
-        sizes.push_back(std::atof(n.c_str()));
-      }
-    } else if (a == "--sizing") {
-      const std::string m = next();
-      spec.sizing = (m == "avg") ? core::BrowserSizing::kAverage
-                                 : core::BrowserSizing::kMinimum;
-    } else if (a == "--policy") {
-      spec.policy = policy_by_name(next());
-    } else if (a == "--index") {
-      const std::string m = next();
-      if (m == "periodic") {
-        spec.index_mode = sim::IndexMode::kPeriodic;
-      } else if (m == "bloom") {
-        spec.index_kind = sim::IndexKind::kBloomSummary;
-      } else if (m != "immediate") {
-        usage(2);
-      }
-    } else if (a == "--threshold") {
-      spec.index_threshold = std::atof(next().c_str());
-    } else if (a == "--relay") {
-      spec.relay_via_proxy = true;
-    } else if (a == "--csv") {
-      csv = true;
-    } else if (a == "--overheads") {
-      overheads = true;
-    } else if (a == "--metrics-out") {
-      metrics_out = next();
-    } else if (a == "--progress") {
-      progress = true;
-    } else if (a == "--help" || a == "-h") {
-      usage(0);
-    } else {
-      std::cerr << "unknown argument: " << a << "\n";
-      usage(2);
-    }
+  util::ArgParser parser(
+      "baps_cli",
+      "Run caching organizations over a preset or a real log file.");
+  parser.option("--preset", &preset_name, "NAME",
+                "nlanr-uc | nlanr-bo1 | bu95 | bu98 | canet2")
+      .option("--log", &log_file, "FILE", "parse a real access log")
+      .option("--format", &format, "FMT", "squid | plain (default squid)")
+      .option("--scale", &scale, "F", "shrink a preset by F in (0,1]")
+      .custom("--orgs", "LIST",
+              "comma list of: proxy, local, global, hierarchy, baps, all",
+              [&orgs](const std::string& v) {
+                for (const auto& n : util::split(v, ',')) {
+                  if (n == "all") {
+                    orgs.assign(std::begin(sim::kAllOrganizations),
+                                std::end(sim::kAllOrganizations));
+                  } else if (const auto org = org_by_name(n)) {
+                    orgs.push_back(*org);
+                  } else {
+                    return false;
+                  }
+                }
+                return true;
+              })
+      .custom("--sizes", "LIST", "relative proxy sizes (default 0.10)",
+              [&sizes](const std::string& v) {
+                sizes.clear();
+                for (const auto& n : util::split(v, ',')) {
+                  double size = 0.0;
+                  if (!util::parse_number(n, &size)) return false;
+                  sizes.push_back(size);
+                }
+                return !sizes.empty();
+              })
+      .custom("--sizing", "MODE", "min | avg (default min)",
+              [&spec](const std::string& m) {
+                spec.sizing = (m == "avg") ? core::BrowserSizing::kAverage
+                                           : core::BrowserSizing::kMinimum;
+                return true;
+              })
+      .custom("--policy", "P", "lru|fifo|lfu|size|gdsf (default lru)",
+              [&spec](const std::string& p) {
+                const auto policy = policy_by_name(p);
+                if (!policy.has_value()) return false;
+                spec.policy = *policy;
+                return true;
+              })
+      .custom("--index", "MODE", "immediate | periodic | bloom",
+              [&spec](const std::string& m) {
+                if (m == "periodic") {
+                  spec.index_mode = sim::IndexMode::kPeriodic;
+                } else if (m == "bloom") {
+                  spec.index_kind = sim::IndexKind::kBloomSummary;
+                } else if (m != "immediate") {
+                  return false;
+                }
+                return true;
+              })
+      .option("--threshold", &spec.index_threshold, "F",
+              "periodic flush threshold (default 0.1)")
+      .flag("--relay", &relay, "remote hits relayed via the proxy (2 hops)")
+      .flag("--csv", &csv, "machine-readable output")
+      .flag("--overheads", &overheads,
+            "include the Section 5 overhead columns")
+      .option("--metrics-out", &metrics_out, "FILE",
+              "write a baps.report.v1 JSON report")
+      .flag("--progress", &progress, "print sweep progress to stderr");
+
+  std::string parse_error;
+  if (!parser.parse(argc, argv, &parse_error)) {
+    std::cerr << parse_error << "\n" << parser.usage();
+    return 2;
   }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  spec.relay_via_proxy = relay;
   if (orgs.empty()) {
     orgs.assign(std::begin(sim::kAllOrganizations),
                 std::end(sim::kAllOrganizations));
   }
   if (preset_name.empty() == log_file.empty()) {
-    std::cerr << "pick exactly one of --preset / --log\n";
-    usage(2);
+    std::cerr << "pick exactly one of --preset / --log\n" << parser.usage();
+    return 2;
   }
 
   obs::PhaseTimers phases;
@@ -175,9 +153,13 @@ int main(int argc, char** argv) {
   {
     const auto load_scope = phases.scope("load_trace");
     if (!preset_name.empty()) {
-      const trace::Preset preset = preset_by_name(preset_name);
-      t = scale >= 1.0 ? trace::load_preset(preset)
-                       : trace::load_preset_scaled(preset, scale);
+      const auto preset = preset_by_name(preset_name);
+      if (!preset.has_value()) {
+        std::cerr << "unknown preset: " << preset_name << "\n";
+        return 2;
+      }
+      t = scale >= 1.0 ? trace::load_preset(*preset)
+                       : trace::load_preset_scaled(*preset, scale);
     } else {
       std::ifstream in(log_file);
       if (!in) {

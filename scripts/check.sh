@@ -21,4 +21,31 @@ REPORT="$BUILD_DIR/check_fig2_report.json"
   > /dev/null
 "$BUILD_DIR/tools/report_check" "$REPORT"
 
+# Loopback daemon smoke test: a real baps_proxyd on an ephemeral port, a
+# 200-request trace slice over TCP and the same slice in-process — the
+# per-request outcome streams must be byte-identical.
+PROXYD_LOG="$BUILD_DIR/check_proxyd.log"
+"$BUILD_DIR/tools/baps_proxyd" --port 0 --clients 8 --seed 11 \
+  --max-seconds 120 > "$PROXYD_LOG" 2>&1 &
+PROXYD_PID=$!
+trap 'kill "$PROXYD_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  PROXY_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$PROXYD_LOG")
+  [ -n "$PROXY_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PROXY_PORT" ] || { echo "proxyd never came up"; cat "$PROXYD_LOG"; exit 1; }
+"$BUILD_DIR/tools/baps_fetch" --transport tcp --port "$PROXY_PORT" \
+  --clients 8 --seed 11 --preset bu95 --requests 200 \
+  --sources-out "$BUILD_DIR/check_tcp_sources.txt" > /dev/null 2>&1
+"$BUILD_DIR/tools/baps_fetch" --transport loopback \
+  --clients 8 --seed 11 --preset bu95 --requests 200 \
+  --sources-out "$BUILD_DIR/check_loop_sources.txt" > /dev/null 2>&1
+diff "$BUILD_DIR/check_tcp_sources.txt" "$BUILD_DIR/check_loop_sources.txt"
+kill "$PROXYD_PID" 2>/dev/null || true
+wait "$PROXYD_PID" 2>/dev/null || true
+trap - EXIT
+echo "check.sh: tcp/loopback sources identical (200 requests)"
+
 echo "check.sh: all good"

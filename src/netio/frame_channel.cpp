@@ -1,0 +1,102 @@
+#include "netio/frame_channel.hpp"
+
+#include "obs/registry.hpp"
+#include "wire/codec.hpp"
+
+namespace baps::netio {
+
+namespace {
+
+void count_frame(wire::FrameKind kind, const char* dir, std::size_t bytes) {
+  auto& reg = obs::Registry::global();
+  reg.counter("wire_frames_total",
+              {{"kind", wire::frame_kind_name(kind)}, {"dir", dir}})
+      .inc();
+  reg.counter("wire_bytes_total", {{"dir", dir}}).inc(bytes);
+}
+
+void count_timeout(const char* op) {
+  obs::Registry::global()
+      .counter("netio_timeouts_total", {{"op", op}})
+      .inc();
+}
+
+void count_decode_error(const std::string& reason) {
+  obs::Registry::global()
+      .counter("wire_decode_errors_total", {{"reason", reason}})
+      .inc();
+}
+
+}  // namespace
+
+bool FrameChannel::send(wire::FrameKind kind, std::string_view payload,
+                        NetError* err) {
+  const std::string frame = wire::encode_frame(kind, payload);
+  NetError local;
+  NetError* e = (err != nullptr) ? err : &local;
+  if (!conn_.write_all(frame.data(), frame.size(), deadlines_.write_ms, e)) {
+    if (e->status == NetStatus::kTimeout) count_timeout("write");
+    return false;
+  }
+  count_frame(kind, "tx", frame.size());
+  return true;
+}
+
+std::optional<wire::Frame> FrameChannel::recv(NetError* err) {
+  return recv(deadlines_.read_ms, err);
+}
+
+std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
+  NetError local;
+  NetError* e = (err != nullptr) ? err : &local;
+  std::string buf(wire::kHeaderSize, '\0');
+  if (!conn_.read_exact(buf.data(), buf.size(), timeout_ms, e)) {
+    if (e->status == NetStatus::kTimeout) count_timeout("read");
+    return std::nullopt;
+  }
+  // Validate the header before committing to the payload read; a bad header
+  // must not drive a huge allocation or a bottomless read.
+  wire::DecodeResult header = wire::decode_frame(buf, max_payload_);
+  if (header.status != wire::DecodeStatus::kOk &&
+      header.status != wire::DecodeStatus::kNeedMore) {
+    const std::string reason = wire::decode_status_name(header.status);
+    count_decode_error(reason);
+    e->status = NetStatus::kError;
+    e->message = "frame rejected: " + reason;
+    return std::nullopt;
+  }
+  // Header is well-formed; read the payload the length field promises.
+  std::uint32_t payload_len = 0;
+  {
+    wire::Reader r(buf);
+    std::uint32_t magic = 0, skip32 = 0;
+    std::uint16_t skip16 = 0;
+    std::uint8_t skip8 = 0;
+    r.u32(&magic);
+    r.u8(&skip8);
+    r.u8(&skip8);
+    r.u16(&skip16);
+    r.u32(&payload_len);
+    r.u32(&skip32);
+  }
+  buf.resize(wire::kHeaderSize + payload_len);
+  if (payload_len > 0 &&
+      !conn_.read_exact(buf.data() + wire::kHeaderSize, payload_len,
+                        timeout_ms, e)) {
+    if (e->status == NetStatus::kTimeout) count_timeout("read");
+    return std::nullopt;
+  }
+  wire::DecodeResult full = wire::decode_frame(buf, max_payload_);
+  if (full.status != wire::DecodeStatus::kOk) {
+    const std::string reason = wire::decode_status_name(full.status);
+    count_decode_error(reason);
+    e->status = NetStatus::kError;
+    e->message = "frame rejected: " + reason;
+    return std::nullopt;
+  }
+  count_frame(full.frame.kind, "rx", buf.size());
+  *e = {};
+  return std::move(full.frame);
+}
+
+}  // namespace baps::netio

@@ -1,0 +1,83 @@
+// Framed message I/O over one TCP connection: wire frames in, wire frames
+// out, with per-operation deadlines and full obs instrumentation —
+// `wire_frames_total{kind,dir}`, `wire_bytes_total{dir}`, decode-error and
+// timeout counters. A frame that fails validation (bad magic/CRC/size) is a
+// hard error: the caller is expected to drop the connection, which is
+// exactly how tampered traffic is contained.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netio/socket.hpp"
+#include "wire/frame.hpp"
+#include "wire/messages.hpp"
+
+namespace baps::netio {
+
+class FrameChannel {
+ public:
+  FrameChannel(TcpConnection conn, Deadlines deadlines,
+               std::uint64_t max_payload = wire::kDefaultMaxPayload)
+      : conn_(std::move(conn)),
+        deadlines_(deadlines),
+        max_payload_(max_payload) {}
+
+  bool valid() const { return conn_.valid(); }
+  TcpConnection& connection() { return conn_; }
+  const Deadlines& deadlines() const { return deadlines_; }
+
+  /// Sends one frame within the write deadline.
+  bool send(wire::FrameKind kind, std::string_view payload, NetError* err);
+
+  /// Receives one frame within `timeout_ms` (default: the read deadline).
+  /// Frame-validation failures surface as NetStatus::kError with the decode
+  /// status in the message, after bumping `wire_decode_errors_total{reason}`.
+  std::optional<wire::Frame> recv(NetError* err);
+  std::optional<wire::Frame> recv(int timeout_ms, NetError* err);
+
+  /// Encode + send a typed message.
+  template <typename Msg>
+  bool send_msg(const Msg& m, NetError* err) {
+    return send(Msg::kKind, wire::encode(m), err);
+  }
+
+  /// Receives one frame and decodes it as Msg; wrong kind or undecodable
+  /// payload is a protocol error.
+  template <typename Msg>
+  std::optional<Msg> recv_msg(NetError* err) {
+    const auto frame = recv(err);
+    if (!frame.has_value()) return std::nullopt;
+    if (frame->kind != Msg::kKind) {
+      if (err != nullptr) {
+        err->status = NetStatus::kError;
+        err->message = "unexpected frame kind " +
+                       wire::frame_kind_name(frame->kind) + ", wanted " +
+                       wire::frame_kind_name(Msg::kKind);
+      }
+      return std::nullopt;
+    }
+    Msg out;
+    if (!wire::decode(frame->payload, &out)) {
+      if (err != nullptr) {
+        err->status = NetStatus::kError;
+        err->message =
+            "undecodable " + wire::frame_kind_name(Msg::kKind) + " payload";
+      }
+      return std::nullopt;
+    }
+    return out;
+  }
+
+  void shutdown_both() { conn_.shutdown_both(); }
+  void close() { conn_.close(); }
+
+ private:
+  TcpConnection conn_;
+  Deadlines deadlines_;
+  std::uint64_t max_payload_;
+};
+
+}  // namespace baps::netio

@@ -1,0 +1,44 @@
+// Bounded retry with exponential backoff for transient network errors.
+// Only errors NetError::transient() reports (refused / reset — the listener
+// not up yet, a racing close) are retried; timeouts and hard faults surface
+// immediately so a dead peer costs one deadline, not max_attempts of them.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "netio/socket.hpp"
+#include "obs/registry.hpp"
+
+namespace baps::netio {
+
+struct RetryPolicy {
+  int max_attempts = 3;       ///< total tries, including the first
+  int initial_backoff_ms = 10;
+  double multiplier = 2.0;
+  int max_backoff_ms = 250;
+};
+
+/// Runs `op` (signature: bool(NetError*)) until it succeeds, fails
+/// non-transiently, or the attempt budget is spent. Each re-attempt bumps
+/// `netio_retries_total{op=<what>}`.
+template <typename Op>
+bool retry_with_backoff(const RetryPolicy& policy, const char* what, Op&& op,
+                        NetError* err) {
+  NetError local;
+  NetError* e = (err != nullptr) ? err : &local;
+  int backoff_ms = policy.initial_backoff_ms;
+  const int attempts = std::max(1, policy.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    if (op(e)) return true;
+    if (!e->transient() || attempt >= attempts) return false;
+    obs::Registry::global().counter("netio_retries_total", {{"op", what}}).inc();
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(policy.max_backoff_ms,
+                          static_cast<int>(static_cast<double>(backoff_ms) *
+                                           policy.multiplier));
+  }
+}
+
+}  // namespace baps::netio

@@ -1,0 +1,104 @@
+#include "netio/server.hpp"
+
+#include <sys/socket.h>
+
+#include "obs/registry.hpp"
+#include "util/assert.hpp"
+
+namespace baps::netio {
+
+FrameServer::FrameServer(Params params, ConnectionHandler handler)
+    : params_(std::move(params)), handler_(std::move(handler)) {
+  BAPS_REQUIRE(handler_ != nullptr, "FrameServer needs a handler");
+  if (params_.worker_threads == 0) params_.worker_threads = 1;
+}
+
+FrameServer::~FrameServer() { stop(); }
+
+bool FrameServer::start(std::string* error) {
+  BAPS_REQUIRE(!running_.load(), "server already started");
+  NetError err;
+  auto listener = TcpListener::listen(params_.host, params_.port,
+                                      /*backlog=*/64, &err);
+  if (!listener.has_value()) {
+    if (error != nullptr) *error = err.message;
+    return false;
+  }
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  stop_.store(false);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(params_.worker_threads);
+  for (std::size_t i = 0; i < params_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return true;
+}
+
+void FrameServer::stop() {
+  if (!running_.exchange(false)) return;
+  stop_.store(true);
+  {
+    // Unblock in-flight sessions: shutting the socket down makes any
+    // blocked read return immediately with kClosed.
+    std::scoped_lock lock(mu_);
+    for (const int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  cv_.notify_all();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  listener_.close();
+  pending_.clear();
+}
+
+void FrameServer::accept_loop() {
+  while (!stop_.load()) {
+    NetError err;
+    auto conn = listener_.accept(params_.accept_poll_ms, &err);
+    if (!conn.has_value()) {
+      if (err.status == NetStatus::kTimeout) continue;
+      if (stop_.load()) break;
+      // Transient accept failure (e.g. EMFILE); keep serving.
+      obs::Registry::global()
+          .counter("netio_accept_errors_total")
+          .inc();
+      continue;
+    }
+    {
+      std::scoped_lock lock(mu_);
+      pending_.push_back(std::move(*conn));
+    }
+    cv_.notify_one();
+  }
+}
+
+void FrameServer::worker_loop() {
+  for (;;) {
+    TcpConnection conn;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stop_.load() || !pending_.empty(); });
+      if (stop_.load()) return;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+      active_fds_.insert(conn.fd());
+    }
+    const int fd = conn.fd();
+    {
+      FrameChannel channel(std::move(conn), params_.deadlines,
+                           params_.max_frame_payload);
+      handler_(channel, stop_);
+    }
+    {
+      std::scoped_lock lock(mu_);
+      active_fds_.erase(fd);
+    }
+    sessions_handled_.fetch_add(1);
+  }
+}
+
+}  // namespace baps::netio

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <fstream>
+#include <map>
 
 #include "sim/config.hpp"
+#include "wire/frame.hpp"
 
 namespace baps::obs {
 
@@ -299,6 +301,7 @@ bool validate_report(const JsonValue& report, std::string* error) {
       }
     }
   }
+  if (!validate_transport_metrics(report, error)) return false;
   if (const JsonValue* registry = report.find("registry")) {
     if (!registry->is_object() || !registry->find("counters") ||
         !registry->find("gauges") || !registry->find("histograms")) {
@@ -317,6 +320,122 @@ bool validate_report(const JsonValue& report, std::string* error) {
                                  ": instrument needs a name");
         }
       }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+bool is_transport_counter(const std::string& name) {
+  return name.rfind("wire_", 0) == 0 || name.rfind("netio_", 0) == 0;
+}
+
+/// Stable identity of one counter instance: name plus labels in their
+/// serialized order (snapshots emit labels sorted, so this matches across
+/// reports from the same process).
+std::string instance_key(const std::string& name, const JsonValue* labels) {
+  std::string key = name;
+  if (labels != nullptr && labels->is_object()) {
+    for (const auto& [k, v] : labels->as_object()) {
+      key += '|';
+      key += k;
+      key += '=';
+      key += v.is_string() ? v.as_string() : v.dump();
+    }
+  }
+  return key;
+}
+
+/// Collects the wire_*/netio_* counters of a report into key → value.
+/// Returns false on structurally broken entries (missing name/value).
+bool collect_transport_counters(const JsonValue& report,
+                                std::map<std::string, double>* out,
+                                std::string* error) {
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+  const JsonValue* counters = registry->find("counters");
+  if (counters == nullptr || !counters->is_array()) return true;
+  for (const auto& inst : counters->as_array()) {
+    if (!inst.is_object()) continue;
+    const JsonValue* name = inst.find("name");
+    if (name == nullptr || !name->is_string() ||
+        !is_transport_counter(name->as_string())) {
+      continue;
+    }
+    const JsonValue* value = inst.find("value");
+    if (value == nullptr || !value->is_number()) {
+      return fail(error, name->as_string() + ": counter needs a numeric value");
+    }
+    if (value->as_double() < 0.0) {
+      return fail(error, name->as_string() + ": counter is negative");
+    }
+    (*out)[instance_key(name->as_string(), inst.find("labels"))] =
+        value->as_double();
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_transport_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  std::map<std::string, double> counters;
+  if (!collect_transport_counters(report, &counters, error)) return false;
+
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+  const JsonValue* arr = registry->find("counters");
+  if (arr == nullptr || !arr->is_array()) return true;
+
+  std::map<std::string, double> frames_by_dir, bytes_by_dir;
+  for (const auto& inst : arr->as_array()) {
+    if (!inst.is_object()) continue;
+    const JsonValue* name = inst.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const std::string& n = name->as_string();
+    if (n != "wire_frames_total" && n != "wire_bytes_total") continue;
+    const JsonValue* labels = inst.find("labels");
+    const JsonValue* dir =
+        labels != nullptr ? labels->find("dir") : nullptr;
+    if (dir == nullptr || !dir->is_string() ||
+        (dir->as_string() != "tx" && dir->as_string() != "rx")) {
+      return fail(error, n + ": dir label must be tx or rx");
+    }
+    const JsonValue* value = inst.find("value");
+    if (value == nullptr || !value->is_number()) {
+      return fail(error, n + ": counter needs a numeric value");
+    }
+    auto& sums = n == "wire_frames_total" ? frames_by_dir : bytes_by_dir;
+    sums[dir->as_string()] += value->as_double();
+  }
+  for (const auto& [dir, frames] : frames_by_dir) {
+    if (frames == 0.0) continue;
+    const auto it = bytes_by_dir.find(dir);
+    const double bytes = it == bytes_by_dir.end() ? 0.0 : it->second;
+    if (bytes < frames * static_cast<double>(wire::kHeaderSize)) {
+      return fail(error, "wire_bytes_total{dir=" + dir +
+                             "}: fewer bytes than headers for " +
+                             "wire_frames_total frames");
+    }
+  }
+  return true;
+}
+
+bool validate_transport_monotonicity(const JsonValue& earlier,
+                                     const JsonValue& later,
+                                     std::string* error) {
+  if (error) error->clear();
+  std::map<std::string, double> before, after;
+  if (!collect_transport_counters(earlier, &before, error)) return false;
+  if (!collect_transport_counters(later, &after, error)) return false;
+  for (const auto& [key, value] : before) {
+    const auto it = after.find(key);
+    if (it == after.end()) continue;
+    if (it->second < value) {
+      return fail(error, key + ": counter went backwards (" +
+                             std::to_string(value) + " -> " +
+                             std::to_string(it->second) + ")");
     }
   }
   return true;

@@ -80,4 +80,22 @@ class ReportBuilder {
 /// valid; otherwise fills *error with the first violation.
 bool validate_report(const JsonValue& report, std::string* error = nullptr);
 
+/// Family checks for the transport counters in a report's registry section:
+/// every `wire_frames_total` / `wire_bytes_total` instance must carry a
+/// `dir` label of "tx" or "rx", every counter value must be a non-negative
+/// number, and per direction the byte total must be at least the frame
+/// header size times the frame total (a frame can never cost fewer bytes
+/// than its header). Reports without a registry or without wire counters
+/// pass trivially.
+bool validate_transport_metrics(const JsonValue& report,
+                                std::string* error = nullptr);
+
+/// Checks that every `wire_*` / `netio_*` counter present in both reports
+/// (matched by name + labels) is monotone non-decreasing from `earlier` to
+/// `later` — the cross-file invariant for successive snapshots of one
+/// process.
+bool validate_transport_monotonicity(const JsonValue& earlier,
+                                     const JsonValue& later,
+                                     std::string* error = nullptr);
+
 }  // namespace baps::obs

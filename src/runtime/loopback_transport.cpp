@@ -1,0 +1,16 @@
+#include "runtime/loopback_transport.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::runtime {
+
+void LoopbackTransport::bind_peer_host(PeerHost* host) {
+  BAPS_REQUIRE(host != nullptr, "loopback needs a peer host");
+  BAPS_REQUIRE(host->num_clients() == core_.num_clients(),
+               "peer host and proxy disagree on client count");
+  core_.set_peer_fetch([host](ClientId holder, DocStore::Key key) {
+    return host->serve_peer_fetch(holder, key);
+  });
+}
+
+}  // namespace baps::runtime

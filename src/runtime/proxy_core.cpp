@@ -1,0 +1,109 @@
+#include "runtime/proxy_core.hpp"
+
+#include "crypto/watermark.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace baps::runtime {
+
+std::vector<std::string> derive_client_mac_keys(std::uint64_t seed,
+                                                std::uint32_t num_clients) {
+  std::vector<std::string> keys;
+  keys.reserve(num_clients);
+  baps::SplitMix64 key_mixer(seed ^ 0x4D41434B4559ULL);
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    keys.push_back("k" + std::to_string(key_mixer.next()));
+  }
+  return keys;
+}
+
+ProxyCore::ProxyCore(const Params& params)
+    : origin_(params.seed),
+      keys_(crypto::generate_rsa_keypair(params.rsa_modulus_bits,
+                                         params.seed ^ 0x4B455953454544ULL)),
+      proxy_cache_(params.proxy_cache_bytes),
+      index_(params.num_clients),
+      mac_keys_(derive_client_mac_keys(params.seed, params.num_clients)) {
+  BAPS_REQUIRE(params.num_clients > 0, "proxy needs at least one client");
+}
+
+void ProxyCore::record(MsgKind kind, std::string from, std::string to,
+                       DocStore::Key key) {
+  if (trace_ != nullptr) {
+    trace_->record(kind, std::move(from), std::move(to), key);
+  }
+}
+
+crypto::Md5Digest ProxyCore::index_update_mac(ClientId sender, bool is_add,
+                                              DocStore::Key key) const {
+  BAPS_REQUIRE(sender < mac_keys_.size(), "client id out of range");
+  std::string msg = is_add ? "add:" : "remove:";
+  msg += std::to_string(sender);
+  msg += ':';
+  msg += std::to_string(key);
+  return crypto::hmac_md5(mac_keys_[sender], msg);
+}
+
+bool ProxyCore::apply_index_update(ClientId claimed_sender, bool is_add,
+                                   DocStore::Key key,
+                                   const crypto::Md5Digest& mac) {
+  BAPS_REQUIRE(claimed_sender < mac_keys_.size(), "client id out of range");
+  // The proxy recomputes the MAC under the claimed sender's key: only the
+  // real owner of that key can mutate its own index entries.
+  if (!crypto::digest_equal(mac,
+                            index_update_mac(claimed_sender, is_add, key))) {
+    ++stats_.rejected_index_updates;
+    return false;
+  }
+  if (is_add) {
+    index_.add(claimed_sender, key);
+  } else {
+    index_.remove(claimed_sender, key);
+  }
+  return true;
+}
+
+ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
+                                         bool avoid_peers) {
+  BAPS_REQUIRE(requester < mac_keys_.size(), "client id out of range");
+  const DocStore::Key key = url_key(url);
+  bool false_forward = false;
+
+  // 1. The proxy's own cache.
+  if (auto doc = proxy_cache_.get(key)) {
+    ++stats_.proxy_hits;
+    return {std::move(*doc), FetchOutcome::Source::kProxy, false};
+  }
+
+  // 2. The browser index. The peer-fetch message deliberately carries only
+  //    the document key: the holder never learns who asked (§6.2).
+  if (!avoid_peers) {
+    if (const auto holder = index_.find_holder(key, requester)) {
+      record(MsgKind::kPeerFetch, "proxy", client_name(*holder), key);
+      std::optional<Document> doc =
+          peer_fetch_ ? peer_fetch_(*holder, key) : std::nullopt;
+      if (doc.has_value()) {
+        record(MsgKind::kPeerDeliver, client_name(*holder), "proxy", key);
+        ++stats_.peer_hits;
+        return {std::move(*doc), FetchOutcome::Source::kRemoteBrowser, false};
+      }
+      // Stale index entry (or dead peer): no delivery came back.
+      ++stats_.false_forwards;
+      false_forward = true;
+      index_.remove(*holder, key);
+    }
+  }
+
+  // 3. The origin server. The proxy issues the watermark here — the only
+  //    place documents enter the system (§6.1).
+  record(MsgKind::kOriginFetch, "proxy", "origin", key);
+  std::string body = origin_.fetch(url);
+  record(MsgKind::kOriginResponse, "origin", "proxy", key);
+  ++stats_.origin_fetches;
+  Document doc{std::move(body), crypto::Watermark{}};
+  doc.mark = crypto::issue_watermark(doc.body, keys_.priv);
+  proxy_cache_.put(key, doc);
+  return {std::move(doc), FetchOutcome::Source::kOrigin, false_forward};
+}
+
+}  // namespace baps::runtime

@@ -1,0 +1,100 @@
+// The proxy side of the BAPS protocol, independent of any transport: the
+// proxy cache, the browser index, the origin connection, the watermark key
+// pair (§6.1), and HMAC-authenticated index maintenance. BapsSystem embeds
+// one behind the in-process loopback transport; ProxyServer serves the same
+// core over TCP. Behaviour here is the single source of truth — both
+// transports produce identical FetchOutcome streams because they dispatch
+// into the same code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/rsa.hpp"
+#include "index/browser_index.hpp"
+#include "runtime/doc_store.hpp"
+#include "runtime/origin.hpp"
+#include "runtime/types.hpp"
+
+namespace baps::runtime {
+
+/// Proxy-side protocol counters, snapshot-able over any transport.
+struct ProxyStats {
+  std::uint64_t proxy_hits = 0;
+  std::uint64_t peer_hits = 0;
+  std::uint64_t origin_fetches = 0;
+  std::uint64_t false_forwards = 0;
+  std::uint64_t rejected_index_updates = 0;
+};
+
+class ProxyCore {
+ public:
+  struct Params {
+    std::uint32_t num_clients = 4;
+    std::uint64_t proxy_cache_bytes = 256 << 10;
+    std::uint64_t seed = 7;
+    std::size_t rsa_modulus_bits = 256;
+  };
+
+  struct Reply {
+    Document doc;
+    FetchOutcome::Source source = FetchOutcome::Source::kOrigin;
+    bool false_forward = false;  ///< a stale index entry was hit on the way
+  };
+
+  /// Reaches a holder's browser store. Returning nullopt means the holder
+  /// did not serve the document — stale entry, dead peer, or timeout; the
+  /// proxy treats all of them as a false forward and recovers from origin.
+  using PeerFetchFn =
+      std::function<std::optional<Document>(ClientId holder,
+                                            DocStore::Key key)>;
+
+  explicit ProxyCore(const Params& params);
+
+  /// How peer fetches reach holders (in-process call or TCP connection).
+  void set_peer_fetch(PeerFetchFn fn) { peer_fetch_ = std::move(fn); }
+  /// Mirrors proxy-side envelopes into `trace` (nullptr detaches; not owned).
+  void set_trace(MessageTrace* trace) { trace_ = trace; }
+
+  /// Proxy-side request handling; avoid_peers=true skips the index (the
+  /// requester's retry path after a failed watermark, §6.1).
+  Reply handle_fetch(ClientId requester, const Url& url, bool avoid_peers);
+
+  /// Applies an index update iff the MAC verifies under the claimed
+  /// sender's key.
+  bool apply_index_update(ClientId claimed_sender, bool is_add,
+                          DocStore::Key key, const crypto::Md5Digest& mac);
+
+  /// MAC the proxy expects over an index update:
+  /// HMAC(key_of(sender), op | sender | url key).
+  crypto::Md5Digest index_update_mac(ClientId sender, bool is_add,
+                                     DocStore::Key key) const;
+
+  std::uint32_t num_clients() const {
+    return static_cast<std::uint32_t>(mac_keys_.size());
+  }
+  OriginServer& origin() { return origin_; }
+  const index::BrowserIndex& index() const { return index_; }
+  const crypto::RsaPublicKey& public_key() const { return keys_.pub; }
+  const crypto::RsaPrivateKey& private_key() const { return keys_.priv; }
+  const ProxyStats& stats() const { return stats_; }
+
+ private:
+  void record(MsgKind kind, std::string from, std::string to,
+              DocStore::Key key);
+
+  OriginServer origin_;
+  crypto::RsaKeyPair keys_;
+  DocStore proxy_cache_;
+  index::BrowserIndex index_;
+  std::vector<std::string> mac_keys_;
+  PeerFetchFn peer_fetch_;
+  MessageTrace* trace_ = nullptr;  ///< optional, not owned
+  ProxyStats stats_;
+};
+
+}  // namespace baps::runtime

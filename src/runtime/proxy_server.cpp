@@ -1,0 +1,170 @@
+#include "runtime/proxy_server.hpp"
+
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "runtime/wire_bridge.hpp"
+#include "util/assert.hpp"
+
+namespace baps::runtime {
+
+using netio::NetError;
+
+namespace {
+
+obs::Histogram& request_hist(const std::string& op) {
+  // Log10-seconds domain spanning 100 ns .. 1000 s (thread-pool idiom).
+  return obs::Registry::global().histogram("netio_request_seconds", -7.0, 3.0,
+                                           50, obs::HistScale::kLog10,
+                                           {{"op", op}});
+}
+
+}  // namespace
+
+ProxyServer::ProxyServer(const Params& params)
+    : params_(params),
+      core_(params.core),
+      server_(params.net,
+              [this](netio::FrameChannel& channel,
+                     const std::atomic<bool>& stop) { session(channel, stop); }) {
+  core_.set_peer_fetch([this](ClientId holder, DocStore::Key key) {
+    return peer_fetch(holder, key);
+  });
+}
+
+ProxyServer::~ProxyServer() { stop(); }
+
+bool ProxyServer::start(std::string* error) { return server_.start(error); }
+
+void ProxyServer::stop() { server_.stop(); }
+
+std::optional<Document> ProxyServer::peer_fetch(ClientId holder,
+                                                DocStore::Key key) {
+  std::uint16_t port = 0;
+  {
+    std::lock_guard<std::mutex> lock(ports_mu_);
+    const auto it = peer_ports_.find(holder);
+    if (it == peer_ports_.end()) return std::nullopt;
+    port = it->second;
+  }
+  // A fresh connection per peer fetch: any failure — refused (holder died),
+  // timeout (holder wedged), tampered framing — collapses to "no delivery",
+  // which handle_fetch treats as a false forward and recovers from origin.
+  NetError err;
+  auto conn = netio::TcpConnection::connect(
+      params_.net.host, port, params_.peer_deadlines.connect_ms, &err);
+  if (!conn.has_value()) return std::nullopt;
+  netio::FrameChannel channel(std::move(*conn), params_.peer_deadlines,
+                              params_.net.max_frame_payload);
+  wire::PeerFetch request;
+  request.key = key;
+  if (!channel.send_msg(request, &err)) return std::nullopt;
+  auto deliver = channel.recv_msg<wire::PeerDeliver>(&err);
+  if (!deliver.has_value() || !deliver->found) return std::nullopt;
+  return Document{std::move(deliver->body),
+                  watermark_from_bytes(deliver->watermark)};
+}
+
+void ProxyServer::session(netio::FrameChannel& channel,
+                          const std::atomic<bool>& stop) {
+  NetError err;
+  const auto hello = channel.recv_msg<wire::Hello>(&err);
+  if (!hello.has_value()) return;
+
+  wire::HelloAck ack;
+  {
+    std::lock_guard<std::mutex> lock(core_mu_);
+    ack.rsa_n = core_.public_key().n.to_bytes();
+    ack.rsa_e = core_.public_key().e.to_bytes();
+    ack.max_clients = core_.num_clients();
+  }
+  const bool observer = hello->client_id == wire::kObserverClientId;
+  if (!observer && hello->client_id >= ack.max_clients) {
+    channel.send_msg(wire::ErrorMsg{"client id out of range"}, &err);
+    return;
+  }
+  if (!channel.send_msg(ack, &err)) return;
+  if (!observer && hello->peer_port != 0) {
+    std::lock_guard<std::mutex> lock(ports_mu_);
+    peer_ports_[hello->client_id] = hello->peer_port;
+  }
+
+  while (!stop.load()) {
+    NetError recv_err;
+    const auto frame = channel.recv(&recv_err);
+    if (!frame.has_value()) {
+      // Read deadline without traffic: check the stop flag, keep waiting.
+      if (recv_err.status == netio::NetStatus::kTimeout) continue;
+      return;  // closed, reset, or rejected frame — drop the connection
+    }
+    switch (frame->kind) {
+      case wire::FrameKind::kFetchRequest: {
+        wire::FetchRequest request;
+        if (observer || !wire::decode(frame->payload, &request)) {
+          channel.send_msg(wire::ErrorMsg{"bad fetch request"}, &err);
+          return;
+        }
+        const double start = obs::monotonic_seconds();
+        ProxyCore::Reply reply;
+        {
+          std::lock_guard<std::mutex> lock(core_mu_);
+          reply = core_.handle_fetch(hello->client_id, request.url,
+                                     request.avoid_peers);
+        }
+        request_hist("fetch").observe(obs::monotonic_seconds() - start);
+        wire::FetchResponse response;
+        response.source = to_wire_source(reply.source);
+        response.false_forward = reply.false_forward;
+        response.body = std::move(reply.doc.body);
+        response.watermark = watermark_to_bytes(reply.doc.mark);
+        if (!channel.send_msg(response, &err)) return;
+        break;
+      }
+      case wire::FrameKind::kIndexUpdate: {
+        wire::IndexUpdate update;
+        if (observer || !wire::decode(frame->payload, &update)) {
+          channel.send_msg(wire::ErrorMsg{"bad index update"}, &err);
+          return;
+        }
+        const double start = obs::monotonic_seconds();
+        bool accepted = false;
+        {
+          std::lock_guard<std::mutex> lock(core_mu_);
+          // The wire says who the update claims to be from — the session's
+          // own id. Spoofing tests impersonate here and the MAC rejects it.
+          accepted = core_.apply_index_update(hello->client_id, update.is_add,
+                                              update.key,
+                                              mac_from_wire(update.mac));
+        }
+        request_hist("index_update").observe(obs::monotonic_seconds() - start);
+        wire::IndexAck ack_msg;
+        ack_msg.accepted = accepted;
+        if (!channel.send_msg(ack_msg, &err)) return;
+        break;
+      }
+      case wire::FrameKind::kStatsRequest: {
+        wire::StatsResponse response;
+        {
+          std::lock_guard<std::mutex> lock(core_mu_);
+          const ProxyStats& s = core_.stats();
+          response.proxy_hits = s.proxy_hits;
+          response.peer_hits = s.peer_hits;
+          response.origin_fetches = s.origin_fetches;
+          response.false_forwards = s.false_forwards;
+          response.rejected_index_updates = s.rejected_index_updates;
+        }
+        if (!channel.send_msg(response, &err)) return;
+        break;
+      }
+      case wire::FrameKind::kBye:
+        return;
+      default:
+        channel.send_msg(
+            wire::ErrorMsg{"unexpected frame kind " +
+                           wire::frame_kind_name(frame->kind)},
+            &err);
+        return;
+    }
+  }
+}
+
+}  // namespace baps::runtime

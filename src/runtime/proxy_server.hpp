@@ -1,0 +1,66 @@
+// The BAPS proxy daemon core: a ProxyCore served over TCP by a FrameServer.
+// Sessions speak the wire protocol — Hello/HelloAck, FetchRequest/Response,
+// IndexUpdate/Ack, StatsRequest/Response, Bye — and peer fetches go out as
+// fresh TCP connections to the holder's registered peer listener, carrying
+// only the document key (§6.2).
+//
+// Proxy state is serialized under one mutex: requests are handled one at a
+// time, which keeps cache, index, and round-robin evolution identical to the
+// in-process loopback for any serial client workload. A holder that is dead
+// or unreachable costs one bounded peer-deadline wait and then degrades to
+// an origin fetch (a false forward) — never a hang.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "netio/server.hpp"
+#include "runtime/proxy_core.hpp"
+
+namespace baps::runtime {
+
+class ProxyServer {
+ public:
+  struct Params {
+    ProxyCore::Params core;
+    netio::FrameServer::Params net;
+    /// Deadlines for outbound peer fetches — kept short so a dead holder
+    /// degrades to origin quickly.
+    netio::Deadlines peer_deadlines{500, 1000, 1000};
+  };
+
+  explicit ProxyServer(const Params& params);
+  ~ProxyServer();
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+
+  /// Binds and serves. False (with *error) if the listener cannot bind.
+  bool start(std::string* error);
+  void stop();
+
+  bool running() const { return server_.running(); }
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Direct access to the proxy state, for in-process inspection by tests
+  /// and the daemon's shutdown report. Not synchronized with live sessions —
+  /// use while no client traffic is in flight, or go through the wire.
+  ProxyCore& core() { return core_; }
+
+ private:
+  void session(netio::FrameChannel& channel, const std::atomic<bool>& stop);
+  std::optional<Document> peer_fetch(ClientId holder, DocStore::Key key);
+
+  Params params_;
+  ProxyCore core_;
+  std::mutex core_mu_;
+
+  std::mutex ports_mu_;
+  std::unordered_map<ClientId, std::uint16_t> peer_ports_;
+
+  netio::FrameServer server_;
+};
+
+}  // namespace baps::runtime

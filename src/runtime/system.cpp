@@ -1,7 +1,6 @@
 #include "runtime/system.hpp"
 
 #include "util/assert.hpp"
-#include "util/rng.hpp"
 
 namespace baps::runtime {
 
@@ -33,24 +32,44 @@ std::string source_name(FetchOutcome::Source source) {
 
 BapsSystem::BapsSystem(const Params& params)
     : params_(params),
-      origin_(params.seed),
-      keys_(crypto::generate_rsa_keypair(params.rsa_modulus_bits,
-                                         params.seed ^ 0x4B455953454544ULL)),
-      proxy_cache_(params.proxy_cache_bytes),
-      index_(params.num_clients) {
-  BAPS_REQUIRE(params.num_clients > 0, "system needs at least one client");
-  clients_.resize(params.num_clients);
-  baps::SplitMix64 key_mixer(params.seed ^ 0x4D41434B4559ULL);
-  for (ClientId c = 0; c < params.num_clients; ++c) {
+      loopback_(std::make_unique<LoopbackTransport>(ProxyCore::Params{
+          params.num_clients, params.proxy_cache_bytes, params.seed,
+          params.rsa_modulus_bits})),
+      transport_(loopback_.get()) {
+  init_clients();
+  transport_->bind_peer_host(this);
+  // The embedded proxy writes its envelopes into the same trace, so the
+  // in-process log interleaves client- and proxy-side messages exactly as
+  // the synchronous dispatch produces them.
+  loopback_->core().set_trace(&trace_);
+  pub_key_ = transport_->proxy_public_key();
+}
+
+BapsSystem::BapsSystem(const Params& params, Transport& transport)
+    : params_(params), transport_(&transport) {
+  init_clients();
+  transport_->bind_peer_host(this);
+  pub_key_ = transport_->proxy_public_key();
+}
+
+BapsSystem::~BapsSystem() = default;
+
+void BapsSystem::init_clients() {
+  BAPS_REQUIRE(params_.num_clients > 0, "system needs at least one client");
+  clients_.resize(params_.num_clients);
+  // Per-client symmetric keys shared with the proxy (key establishment is
+  // out of band, as the paper's §6 assumes): both ends derive them from the
+  // common seed, so nothing key-shaped ever crosses the transport.
+  std::vector<std::string> mac_keys =
+      derive_client_mac_keys(params_.seed, params_.num_clients);
+  for (ClientId c = 0; c < params_.num_clients; ++c) {
     clients_[c].browser =
-        std::make_unique<DocStore>(params.browser_cache_bytes);
-    // Per-client symmetric key shared with the proxy (key establishment is
-    // out of band, as the paper's §6 assumes).
-    clients_[c].mac_key = "k" + std::to_string(key_mixer.next());
+        std::make_unique<DocStore>(params_.browser_cache_bytes);
+    clients_[c].mac_key = std::move(mac_keys[c]);
     // Browser-cache replacement sends the paper's invalidation message.
     clients_[c].browser->set_eviction_listener([this, c](DocStore::Key key) {
       trace_.record(MsgKind::kIndexRemove, client_name(c), "proxy", key);
-      proxy_apply_index_update(c, /*is_add=*/false, key,
+      transport_->index_update(c, /*is_add=*/false, key,
                                index_update_mac(c, false, key));
     });
   }
@@ -65,26 +84,12 @@ crypto::Md5Digest BapsSystem::index_update_mac(ClientId sender, bool is_add,
   return crypto::hmac_md5(clients_[sender].mac_key, msg);
 }
 
-bool BapsSystem::proxy_apply_index_update(ClientId claimed_sender,
-                                          bool is_add, DocStore::Key key,
-                                          const crypto::Md5Digest& mac) {
-  // The proxy recomputes the MAC under the claimed sender's key: only the
-  // real owner of that key can mutate its own index entries.
-  if (!crypto::digest_equal(mac,
-                            index_update_mac(claimed_sender, is_add, key))) {
-    ++rejected_index_updates_;
-    return false;
-  }
-  if (is_add) {
-    index_.add(claimed_sender, key);
-  } else {
-    index_.remove(claimed_sender, key);
-  }
-  return true;
-}
-
-std::string BapsSystem::client_name(ClientId c) const {
-  return "client" + std::to_string(c);
+std::optional<Document> BapsSystem::serve_peer_fetch(ClientId holder,
+                                                     DocStore::Key key) {
+  BAPS_REQUIRE(holder < clients_.size(), "holder id out of range");
+  ClientState& peer = clients_[holder];
+  if (peer.tampering) peer.browser->corrupt(key);
+  return peer.browser->get(key);
 }
 
 void BapsSystem::emit_fetch(ClientId client, DocStore::Key key,
@@ -103,53 +108,9 @@ void BapsSystem::client_store(ClientId client, const Url& url, Document doc) {
   const DocStore::Key key = url_key(url);
   if (clients_[client].browser->put(key, std::move(doc))) {
     trace_.record(MsgKind::kIndexAdd, client_name(client), "proxy", key);
-    proxy_apply_index_update(client, /*is_add=*/true, key,
+    transport_->index_update(client, /*is_add=*/true, key,
                              index_update_mac(client, true, key));
   }
-}
-
-BapsSystem::ProxyReply BapsSystem::proxy_handle(ClientId requester,
-                                                const Url& url,
-                                                bool avoid_peers) {
-  const DocStore::Key key = url_key(url);
-  bool false_forward = false;
-
-  // 1. The proxy's own cache.
-  if (auto doc = proxy_cache_.get(key)) {
-    ++proxy_hits_;
-    return {std::move(*doc), FetchOutcome::Source::kProxy, false};
-  }
-
-  // 2. The browser index. The peer-fetch message deliberately carries only
-  //    the document key: the holder never learns who asked (§6.2).
-  if (!avoid_peers) {
-    if (const auto holder = index_.find_holder(key, requester)) {
-      trace_.record(MsgKind::kPeerFetch, "proxy", client_name(*holder), key);
-      ClientState& peer = clients_[*holder];
-      if (peer.tampering) peer.browser->corrupt(key);
-      if (auto doc = peer.browser->get(key)) {
-        trace_.record(MsgKind::kPeerDeliver, client_name(*holder), "proxy",
-                      key);
-        ++peer_hits_;
-        return {std::move(*doc), FetchOutcome::Source::kRemoteBrowser, false};
-      }
-      // Stale index entry: the peer no longer holds the document.
-      ++false_forwards_;
-      false_forward = true;
-      index_.remove(*holder, key);
-    }
-  }
-
-  // 3. The origin server. The proxy issues the watermark here — the only
-  //    place documents enter the system (§6.1).
-  trace_.record(MsgKind::kOriginFetch, "proxy", "origin", key);
-  std::string body = origin_.fetch(url);
-  trace_.record(MsgKind::kOriginResponse, "origin", "proxy", key);
-  ++origin_fetches_;
-  Document doc{std::move(body), crypto::Watermark{}};
-  doc.mark = crypto::issue_watermark(doc.body, keys_.priv);
-  proxy_cache_.put(key, doc);
-  return {std::move(doc), FetchOutcome::Source::kOrigin, false_forward};
 }
 
 FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
@@ -161,7 +122,7 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
   // than served: the client tells the proxy it no longer holds the URL and
   // falls through to the normal request path.
   if (auto doc = clients_[client].browser->get(key)) {
-    if (crypto::verify_watermark(doc->body, doc->mark, keys_.pub)) {
+    if (crypto::verify_watermark(doc->body, doc->mark, pub_key_)) {
       ++local_hits_;
       FetchOutcome out;
       out.source = FetchOutcome::Source::kLocalBrowser;
@@ -173,19 +134,20 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
     ++tamper_detections_;
     clients_[client].browser->erase(key);
     trace_.record(MsgKind::kIndexRemove, client_name(client), "proxy", key);
-    proxy_apply_index_update(client, /*is_add=*/false, key,
+    transport_->index_update(client, /*is_add=*/false, key,
                              index_update_mac(client, false, key));
   }
 
   trace_.record(MsgKind::kClientRequest, client_name(client), "proxy", key);
-  ProxyReply reply = proxy_handle(client, url, /*avoid_peers=*/false);
+  ProxyCore::Reply reply = transport_->fetch(client, url,
+                                             /*avoid_peers=*/false);
   trace_.record(MsgKind::kProxyResponse, "proxy", client_name(client), key);
   bool false_forward = reply.false_forward;
 
   FetchOutcome out;
   out.source = reply.source;
   out.verified =
-      crypto::verify_watermark(reply.doc.body, reply.doc.mark, keys_.pub);
+      crypto::verify_watermark(reply.doc.body, reply.doc.mark, pub_key_);
 
   if (!out.verified) {
     // §6.1: a failed watermark means the peer copy was tampered with. The
@@ -193,11 +155,11 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
     // a fresh, correctly watermarked copy from the origin.
     ++tamper_detections_;
     trace_.record(MsgKind::kClientRequest, client_name(client), "proxy", key);
-    reply = proxy_handle(client, url, /*avoid_peers=*/true);
+    reply = transport_->fetch(client, url, /*avoid_peers=*/true);
     trace_.record(MsgKind::kProxyResponse, "proxy", client_name(client), key);
     out.source = reply.source;
     out.verified =
-        crypto::verify_watermark(reply.doc.body, reply.doc.mark, keys_.pub);
+        crypto::verify_watermark(reply.doc.body, reply.doc.mark, pub_key_);
     out.tamper_recovered = true;
     BAPS_ENSURE(out.verified, "origin-served document must verify");
     false_forward = false_forward || reply.false_forward;
@@ -207,6 +169,18 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
   client_store(client, url, std::move(reply.doc));
   emit_fetch(client, key, out, false_forward);
   return out;
+}
+
+OriginServer& BapsSystem::origin() {
+  BAPS_REQUIRE(loopback_ != nullptr,
+               "origin() is only reachable on the loopback transport");
+  return loopback_->core().origin();
+}
+
+const index::BrowserIndex& BapsSystem::browser_index() const {
+  BAPS_REQUIRE(loopback_ != nullptr,
+               "browser_index() is only reachable on the loopback transport");
+  return loopback_->core().index();
 }
 
 void BapsSystem::set_tampering(ClientId client, bool tampering) {
@@ -221,7 +195,7 @@ bool BapsSystem::spoof_index_remove(ClientId attacker, ClientId victim,
   const DocStore::Key key = url_key(url);
   // The attacker claims to be the victim but can only MAC with its own key.
   trace_.record(MsgKind::kIndexRemove, client_name(attacker), "proxy", key);
-  return proxy_apply_index_update(victim, /*is_add=*/false, key,
+  return transport_->index_update(victim, /*is_add=*/false, key,
                                   index_update_mac(attacker, false, key));
 }
 

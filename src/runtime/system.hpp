@@ -1,14 +1,18 @@
-// The runtime BAPS protocol engine: an in-process implementation of the full
-// browsers-aware proxy protocol — clients with real browser caches, a proxy
-// with a cache + browser index, an origin server, integrity watermarks
-// (§6.1), and the anonymizing relay (§6.2).
+// The runtime BAPS protocol engine: the client side of the full
+// browsers-aware proxy protocol — clients with real browser caches talking
+// to a proxy (cache + browser index + origin + watermark issuance, §6.1)
+// through a pluggable Transport.
 //
-// Message passing is synchronous in-process dispatch; every message's
-// envelope (kind, from, to, url digest) is recorded in a MessageTrace so
-// tests can audit exactly what each party could observe. The §6.2 property
-// holds by construction — a kPeerFetch carries no requester identity and a
-// requester only ever talks to the proxy — and the tests verify it against
-// the recorded traffic.
+// By default the transport is the in-process loopback: synchronous dispatch
+// into an embedded ProxyCore, every message envelope (kind, from, to, url
+// digest) recorded in a MessageTrace so tests can audit exactly what each
+// party could observe. Constructed with an external Transport (TcpTransport)
+// the same client logic runs against a proxy daemon over real sockets and
+// produces an identical FetchOutcome stream.
+//
+// The §6.2 property holds by construction — a peer fetch carries only the
+// document key, never the requester — and the tests verify it against both
+// the recorded traffic and the raw frames on the wire.
 //
 // The paper's decentralized anonymity protocols (its reference [17],
 // HPL-2001-204) are out of scope; the proxy-relay mode implemented here is
@@ -23,25 +27,14 @@
 #include "crypto/rsa.hpp"
 #include "index/browser_index.hpp"
 #include "runtime/doc_store.hpp"
+#include "runtime/loopback_transport.hpp"
 #include "runtime/origin.hpp"
+#include "runtime/transport.hpp"
 #include "runtime/types.hpp"
 
 namespace baps::runtime {
 
-using trace::ClientId;
-
-struct FetchOutcome {
-  enum class Source { kLocalBrowser, kProxy, kRemoteBrowser, kOrigin };
-  Source source = Source::kOrigin;
-  bool verified = false;         ///< watermark check passed at the requester
-  bool tamper_recovered = false; ///< a peer delivery failed verification and
-                                 ///< the request was re-served from origin
-  std::string body;
-};
-
-std::string source_name(FetchOutcome::Source source);
-
-class BapsSystem {
+class BapsSystem : private PeerHost {
  public:
   struct Params {
     std::uint32_t num_clients = 4;
@@ -51,13 +44,23 @@ class BapsSystem {
     std::size_t rsa_modulus_bits = 256;
   };
 
+  /// Loopback system: embeds the proxy in-process (deterministic, traced).
   explicit BapsSystem(const Params& params);
+
+  /// Runs the same client engine over an external transport (e.g. TCP to a
+  /// proxy daemon). `transport` must outlive the system and its proxy end
+  /// must be derived from the same seed/params for watermarks and index
+  /// MACs to line up.
+  BapsSystem(const Params& params, Transport& transport);
+
+  ~BapsSystem() override;
 
   /// A full client-side page fetch, end to end.
   FetchOutcome browse(ClientId client, const Url& url);
 
   // --- observability ------------------------------------------------------
-  OriginServer& origin() { return origin_; }
+  /// Loopback-only: the embedded proxy's origin server.
+  OriginServer& origin();
   const MessageTrace& messages() const { return trace_; }
   MessageTrace& messages() { return trace_; }
 
@@ -72,14 +75,19 @@ class BapsSystem {
     sink_ = sink;
     trace_.set_sink(sink);
   }
-  const crypto::RsaPublicKey& proxy_public_key() const { return keys_.pub; }
-  const index::BrowserIndex& browser_index() const { return index_; }
+  const crypto::RsaPublicKey& proxy_public_key() const { return pub_key_; }
+  /// Loopback-only: the embedded proxy's browser index.
+  const index::BrowserIndex& browser_index() const;
 
-  std::uint64_t peer_hits() const { return peer_hits_; }
-  std::uint64_t proxy_hits() const { return proxy_hits_; }
+  std::uint64_t peer_hits() const { return transport_->stats().peer_hits; }
+  std::uint64_t proxy_hits() const { return transport_->stats().proxy_hits; }
   std::uint64_t local_hits() const { return local_hits_; }
-  std::uint64_t origin_fetches() const { return origin_fetches_; }
-  std::uint64_t false_forwards() const { return false_forwards_; }
+  std::uint64_t origin_fetches() const {
+    return transport_->stats().origin_fetches;
+  }
+  std::uint64_t false_forwards() const {
+    return transport_->stats().false_forwards;
+  }
   std::uint64_t tamper_detections() const { return tamper_detections_; }
 
   // --- fault injection ----------------------------------------------------
@@ -96,7 +104,7 @@ class BapsSystem {
   bool spoof_index_remove(ClientId attacker, ClientId victim, const Url& url);
 
   std::uint64_t rejected_index_updates() const {
-    return rejected_index_updates_;
+    return transport_->stats().rejected_index_updates;
   }
 
   bool client_has(ClientId client, const Url& url) const;
@@ -110,46 +118,33 @@ class BapsSystem {
     std::string mac_key;
   };
 
-  struct ProxyReply {
-    Document doc;
-    FetchOutcome::Source source;
-    bool false_forward = false;  ///< a stale index entry was hit on the way
-  };
+  void init_clients();
 
-  std::string client_name(ClientId c) const;
+  // PeerHost: the transport delivers proxy-initiated peer fetches here.
+  std::uint32_t num_clients() const override { return params_.num_clients; }
+  std::optional<Document> serve_peer_fetch(ClientId holder,
+                                           DocStore::Key key) override;
+
   /// Emits the per-browse "fetch" event (no-op without a sink).
   void emit_fetch(ClientId client, DocStore::Key key, const FetchOutcome& out,
                   bool false_forward);
   /// MAC over an index update: HMAC(key_of(sender), op | sender | url key).
   crypto::Md5Digest index_update_mac(ClientId sender, bool is_add,
                                      DocStore::Key key) const;
-  /// Proxy-side handler: applies the update iff the MAC verifies under the
-  /// claimed sender's key.
-  bool proxy_apply_index_update(ClientId claimed_sender, bool is_add,
-                                DocStore::Key key,
-                                const crypto::Md5Digest& mac);
-  /// Proxy-side request handling; avoid_peers=true skips the index (the
-  /// requester's retry path after a failed watermark).
-  ProxyReply proxy_handle(ClientId requester, const Url& url,
-                          bool avoid_peers);
   void client_store(ClientId client, const Url& url, Document doc);
 
   Params params_;
-  OriginServer origin_;
-  crypto::RsaKeyPair keys_;
-  DocStore proxy_cache_;
-  index::BrowserIndex index_;
+  std::unique_ptr<LoopbackTransport> loopback_;  ///< null with an external
+                                                 ///< transport
+  Transport* transport_;                         ///< never null; not owned
+                                                 ///< when external
+  crypto::RsaPublicKey pub_key_;
   std::vector<ClientState> clients_;
   MessageTrace trace_;
   obs::EventSink* sink_ = nullptr;  ///< optional, not owned
 
-  std::uint64_t peer_hits_ = 0;
-  std::uint64_t proxy_hits_ = 0;
   std::uint64_t local_hits_ = 0;
-  std::uint64_t origin_fetches_ = 0;
-  std::uint64_t false_forwards_ = 0;
   std::uint64_t tamper_detections_ = 0;
-  std::uint64_t rejected_index_updates_ = 0;
 };
 
 }  // namespace baps::runtime

@@ -1,0 +1,241 @@
+#include "runtime/tcp_transport.hpp"
+
+#include "runtime/wire_bridge.hpp"
+#include "util/assert.hpp"
+
+namespace baps::runtime {
+
+using netio::NetError;
+
+TcpTransport::TcpTransport(const Params& params) : params_(params) {
+  BAPS_REQUIRE(params.proxy_port != 0, "transport needs the proxy's port");
+}
+
+TcpTransport::~TcpTransport() {
+  for (auto& channel : channels_) {
+    if (channel != nullptr && channel->valid()) {
+      NetError err;
+      channel->send_msg(wire::Bye{}, &err);
+      channel->close();
+    }
+  }
+  for (auto& server : peer_servers_) {
+    if (server != nullptr) server->stop();
+  }
+}
+
+void TcpTransport::bind_peer_host(PeerHost* host) {
+  BAPS_REQUIRE(host != nullptr, "transport needs a peer host");
+  BAPS_REQUIRE(host_ == nullptr, "peer host already bound");
+  host_ = host;
+  const std::uint32_t n = host->num_clients();
+  channels_.resize(n);
+  peer_servers_.resize(n);
+  peer_ports_.resize(n, 0);
+  // One peer listener per client: answers PeerFetch out of that client's
+  // browser store. A single worker suffices — the proxy serializes peer
+  // fetches — and keeps the listener's resource cost trivial.
+  for (std::uint32_t c = 0; c < n; ++c) {
+    netio::FrameServer::Params net;
+    net.host = params_.proxy_host;
+    net.port = 0;
+    net.worker_threads = 1;
+    net.deadlines = params_.deadlines;
+    net.max_frame_payload = params_.max_frame_payload;
+    peer_servers_[c] = std::make_unique<netio::FrameServer>(
+        net, [this, c](netio::FrameChannel& channel,
+                       const std::atomic<bool>& stop) {
+          while (!stop.load()) {
+            NetError err;
+            const auto request = channel.recv_msg<wire::PeerFetch>(&err);
+            if (!request.has_value()) return;
+            wire::PeerDeliver deliver;
+            // The frame carries only the key — this handler cannot know,
+            // and therefore cannot leak, who originally asked (§6.2).
+            if (auto doc = host_->serve_peer_fetch(c, request->key)) {
+              deliver.found = true;
+              deliver.body = std::move(doc->body);
+              deliver.watermark = watermark_to_bytes(doc->mark);
+            }
+            if (!channel.send_msg(deliver, &err)) return;
+          }
+        });
+    std::string error;
+    BAPS_REQUIRE(peer_servers_[c]->start(&error),
+                 "peer listener failed to start: " + error);
+    peer_ports_[c] = peer_servers_[c]->port();
+  }
+}
+
+void TcpTransport::kill_peer_server(ClientId client) {
+  BAPS_REQUIRE(client < peer_servers_.size(), "client id out of range");
+  if (peer_servers_[client] != nullptr) {
+    peer_servers_[client]->stop();
+    peer_servers_[client].reset();
+  }
+}
+
+void TcpTransport::drop_channel(ClientId client) {
+  if (client < channels_.size() && channels_[client] != nullptr) {
+    channels_[client]->close();
+    channels_[client].reset();
+  }
+}
+
+netio::FrameChannel* TcpTransport::channel_for(ClientId client) {
+  BAPS_REQUIRE(host_ != nullptr, "peer host not bound");
+  BAPS_REQUIRE(client < channels_.size(), "client id out of range");
+  if (channels_[client] != nullptr && channels_[client]->valid()) {
+    return channels_[client].get();
+  }
+  NetError err;
+  const bool connected = netio::retry_with_backoff(
+      params_.retry, "connect",
+      [&](NetError* e) {
+        auto conn = netio::TcpConnection::connect(params_.proxy_host,
+                                                  params_.proxy_port,
+                                                  params_.deadlines.connect_ms,
+                                                  e);
+        if (!conn.has_value()) return false;
+        auto channel = std::make_unique<netio::FrameChannel>(
+            std::move(*conn), params_.deadlines, params_.max_frame_payload);
+        wire::Hello hello;
+        hello.client_id = client;
+        hello.peer_port = peer_ports_[client];
+        if (!channel->send_msg(hello, e)) return false;
+        const auto ack = channel->recv_msg<wire::HelloAck>(e);
+        if (!ack.has_value()) return false;
+        BAPS_REQUIRE(client < ack->max_clients,
+                     "proxy rejected client id: out of range");
+        channels_[client] = std::move(channel);
+        return true;
+      },
+      &err);
+  BAPS_REQUIRE(connected, "cannot reach proxy at " + params_.proxy_host + ":" +
+                              std::to_string(params_.proxy_port) + ": " +
+                              err.message);
+  return channels_[client].get();
+}
+
+ProxyCore::Reply TcpTransport::fetch(ClientId client, const Url& url,
+                                     bool avoid_peers) {
+  wire::FetchRequest request;
+  request.url = url;
+  request.avoid_peers = avoid_peers;
+  std::optional<wire::FetchResponse> response;
+  NetError err;
+  const bool ok = netio::retry_with_backoff(
+      params_.retry, "fetch",
+      [&](NetError* e) {
+        netio::FrameChannel* channel = channel_for(client);
+        if (!channel->send_msg(request, e)) {
+          drop_channel(client);  // reconnect on the next attempt
+          return false;
+        }
+        response = channel->recv_msg<wire::FetchResponse>(e);
+        if (!response.has_value()) {
+          drop_channel(client);
+          return false;
+        }
+        return true;
+      },
+      &err);
+  BAPS_REQUIRE(ok, "fetch failed over transport: " + err.message);
+  BAPS_REQUIRE(response.has_value(), "fetch produced no response");
+  ProxyCore::Reply reply;
+  reply.doc.body = std::move(response->body);
+  reply.doc.mark = watermark_from_bytes(response->watermark);
+  reply.source = from_wire_source(response->source);
+  reply.false_forward = response->false_forward;
+  return reply;
+}
+
+bool TcpTransport::index_update(ClientId claimed_sender, bool is_add,
+                                DocStore::Key key,
+                                const crypto::Md5Digest& mac) {
+  // The connection identity IS the claimed sender: an attacker spoofing
+  // another client sends over a session Hello'd with the victim's id, and
+  // only the MAC (which it cannot forge) gives it away.
+  wire::IndexUpdate update;
+  update.is_add = is_add;
+  update.key = key;
+  update.mac = mac_to_wire(mac);
+  std::optional<wire::IndexAck> ack;
+  NetError err;
+  const bool ok = netio::retry_with_backoff(
+      params_.retry, "index_update",
+      [&](NetError* e) {
+        netio::FrameChannel* channel = channel_for(claimed_sender);
+        if (!channel->send_msg(update, e)) {
+          drop_channel(claimed_sender);
+          return false;
+        }
+        ack = channel->recv_msg<wire::IndexAck>(e);
+        if (!ack.has_value()) {
+          drop_channel(claimed_sender);
+          return false;
+        }
+        return true;
+      },
+      &err);
+  BAPS_REQUIRE(ok, "index update failed over transport: " + err.message);
+  return ack->accepted;
+}
+
+bool TcpTransport::observer_session(
+    const std::function<bool(netio::FrameChannel&, wire::HelloAck&)>& op) {
+  NetError err;
+  return netio::retry_with_backoff(
+      params_.retry, "observer",
+      [&](NetError* e) {
+        auto conn = netio::TcpConnection::connect(params_.proxy_host,
+                                                  params_.proxy_port,
+                                                  params_.deadlines.connect_ms,
+                                                  e);
+        if (!conn.has_value()) return false;
+        netio::FrameChannel channel(std::move(*conn), params_.deadlines,
+                                    params_.max_frame_payload);
+        wire::Hello hello;
+        hello.client_id = wire::kObserverClientId;
+        if (!channel.send_msg(hello, e)) return false;
+        auto ack = channel.recv_msg<wire::HelloAck>(e);
+        if (!ack.has_value()) return false;
+        const bool done = op(channel, *ack);
+        channel.send_msg(wire::Bye{}, e);
+        return done;
+      },
+      &err);
+}
+
+crypto::RsaPublicKey TcpTransport::proxy_public_key() {
+  crypto::RsaPublicKey key;
+  const bool ok = observer_session(
+      [&](netio::FrameChannel&, wire::HelloAck& ack) {
+        key.n = crypto::BigUInt::from_bytes(ack.rsa_n);
+        key.e = crypto::BigUInt::from_bytes(ack.rsa_e);
+        return true;
+      });
+  BAPS_REQUIRE(ok, "cannot fetch proxy public key");
+  return key;
+}
+
+ProxyStats TcpTransport::stats() {
+  ProxyStats stats;
+  const bool ok = observer_session(
+      [&](netio::FrameChannel& channel, wire::HelloAck&) {
+        NetError err;
+        if (!channel.send_msg(wire::StatsRequest{}, &err)) return false;
+        const auto response = channel.recv_msg<wire::StatsResponse>(&err);
+        if (!response.has_value()) return false;
+        stats.proxy_hits = response->proxy_hits;
+        stats.peer_hits = response->peer_hits;
+        stats.origin_fetches = response->origin_fetches;
+        stats.false_forwards = response->false_forwards;
+        stats.rejected_index_updates = response->rejected_index_updates;
+        return true;
+      });
+  BAPS_REQUIRE(ok, "cannot fetch proxy stats");
+  return stats;
+}
+
+}  // namespace baps::runtime

@@ -1,0 +1,74 @@
+// The client side of the wire protocol: a Transport that speaks to a
+// ProxyServer over TCP. Each client id gets one persistent proxy connection
+// (established lazily with Hello/HelloAck) and one peer listener — a tiny
+// FrameServer that answers PeerFetch frames out of the client host's browser
+// stores. Observer connections (stats, public key) are transient and
+// identify as kObserverClientId, registering nothing.
+//
+// Failure policy: refused/reset proxy connections are retried with bounded
+// backoff (the daemon may still be starting); timeouts are not retried.
+// A request that cannot complete after the retry budget is an invariant
+// violation — the engine's callers assume fetch() returns a document.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netio/frame_channel.hpp"
+#include "netio/retry.hpp"
+#include "netio/server.hpp"
+#include "runtime/transport.hpp"
+
+namespace baps::runtime {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Params {
+    std::string proxy_host = "127.0.0.1";
+    std::uint16_t proxy_port = 0;
+    netio::Deadlines deadlines;
+    netio::RetryPolicy retry;
+    std::uint64_t max_frame_payload = wire::kDefaultMaxPayload;
+  };
+
+  explicit TcpTransport(const Params& params);
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  void bind_peer_host(PeerHost* host) override;
+  ProxyCore::Reply fetch(ClientId client, const Url& url,
+                         bool avoid_peers) override;
+  bool index_update(ClientId claimed_sender, bool is_add, DocStore::Key key,
+                    const crypto::Md5Digest& mac) override;
+  crypto::RsaPublicKey proxy_public_key() override;
+  ProxyStats stats() override;
+
+  // --- fault injection ----------------------------------------------------
+  /// Kills `client`'s peer listener without telling the proxy: its index
+  /// registration stays, so the next peer fetch routed there finds a dead
+  /// port and must degrade to an origin fetch within the peer deadline.
+  void kill_peer_server(ClientId client);
+
+ private:
+  /// The proxy connection for `client`, dialing + Hello on first use.
+  netio::FrameChannel* channel_for(ClientId client);
+  void drop_channel(ClientId client);
+  /// One-shot observer session: connect, Hello(kObserverClientId), run `op`.
+  bool observer_session(
+      const std::function<bool(netio::FrameChannel&, wire::HelloAck&)>& op);
+
+  Params params_;
+  PeerHost* host_ = nullptr;
+  /// Peer listeners, one per client id; null after kill_peer_server.
+  std::vector<std::unique_ptr<netio::FrameServer>> peer_servers_;
+  std::vector<std::uint16_t> peer_ports_;
+  /// Persistent proxy connections, one per client id.
+  std::vector<std::unique_ptr<netio::FrameChannel>> channels_;
+};
+
+}  // namespace baps::runtime

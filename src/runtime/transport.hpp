@@ -1,0 +1,61 @@
+// The client↔proxy exchange boundary of the runtime engine. BapsSystem's
+// client side speaks only this interface; behind it sits either the
+// deterministic in-process loopback (LoopbackTransport — synchronous
+// dispatch into a ProxyCore, bit-for-bit the pre-transport behaviour) or a
+// real TCP connection to a proxy daemon (TcpTransport ↔ ProxyServer).
+//
+// The peer direction (proxy → holder) flows the other way: the transport
+// reaches back into the client host through PeerHost, which serves a
+// holder's browser-cache contents. A PeerFetch carries only the document
+// key in both implementations (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/md5.hpp"
+#include "crypto/rsa.hpp"
+#include "runtime/proxy_core.hpp"
+#include "runtime/types.hpp"
+
+namespace baps::runtime {
+
+/// The client host's peer-serving surface: lets a transport deliver
+/// peer-fetch requests to the browser stores it fronts.
+class PeerHost {
+ public:
+  virtual ~PeerHost() = default;
+  virtual std::uint32_t num_clients() const = 0;
+  /// Serve `key` from `holder`'s browser cache (tampering clients corrupt
+  /// the copy they serve). nullopt when the holder no longer has it.
+  virtual std::optional<Document> serve_peer_fetch(ClientId holder,
+                                                   DocStore::Key key) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Wires the transport to the client host so proxy-initiated peer fetches
+  /// can reach the browser stores. Called once before any other method.
+  virtual void bind_peer_host(PeerHost* host) = 0;
+
+  /// Client `client` asks the proxy for `url`; avoid_peers is the §6.1
+  /// retry that bypasses the browser index.
+  virtual ProxyCore::Reply fetch(ClientId client, const Url& url,
+                                 bool avoid_peers) = 0;
+
+  /// Index add/remove for `claimed_sender`, authenticated by `mac`.
+  /// Returns whether the proxy accepted it.
+  virtual bool index_update(ClientId claimed_sender, bool is_add,
+                            DocStore::Key key,
+                            const crypto::Md5Digest& mac) = 0;
+
+  /// The proxy's watermark-verification key.
+  virtual crypto::RsaPublicKey proxy_public_key() = 0;
+
+  /// Proxy-side protocol counters.
+  virtual ProxyStats stats() = 0;
+};
+
+}  // namespace baps::runtime

@@ -8,10 +8,12 @@
 
 #include "crypto/md5.hpp"
 #include "obs/events.hpp"
+#include "trace/record.hpp"
 
 namespace baps::runtime {
 
 using Url = std::string;
+using trace::ClientId;
 
 /// Documents are keyed by the first 8 bytes of the URL's MD5 signature —
 /// the paper's index keys entries by a 16-byte MD5 of the URL; the 64-bit
@@ -20,6 +22,30 @@ using Url = std::string;
 inline std::uint64_t url_key(const Url& url) {
   return crypto::md5(url).prefix64();
 }
+
+/// The node name a client appears under in message envelopes.
+inline std::string client_name(ClientId c) {
+  return "client" + std::to_string(c);
+}
+
+/// What a client-side fetch ultimately resolved to.
+struct FetchOutcome {
+  enum class Source { kLocalBrowser, kProxy, kRemoteBrowser, kOrigin };
+  Source source = Source::kOrigin;
+  bool verified = false;         ///< watermark check passed at the requester
+  bool tamper_recovered = false; ///< a peer delivery failed verification and
+                                 ///< the request was re-served from origin
+  std::string body;
+};
+
+std::string source_name(FetchOutcome::Source source);
+
+/// The per-client symmetric keys shared with the proxy that authenticate
+/// index updates (§6 assumes such a channel; establishment is out of band).
+/// Deterministic in the seed so a client daemon and a proxy daemon started
+/// with the same seed agree without any key exchange on the wire.
+std::vector<std::string> derive_client_mac_keys(std::uint64_t seed,
+                                                std::uint32_t num_clients);
 
 /// Every protocol message kind that crosses the simulated wire.
 enum class MsgKind {

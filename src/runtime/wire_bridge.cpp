@@ -1,0 +1,42 @@
+#include "runtime/wire_bridge.hpp"
+
+#include <span>
+
+#include "util/assert.hpp"
+
+namespace baps::runtime {
+
+wire::WireSource to_wire_source(FetchOutcome::Source source) {
+  switch (source) {
+    case FetchOutcome::Source::kProxy: return wire::WireSource::kProxy;
+    case FetchOutcome::Source::kRemoteBrowser:
+      return wire::WireSource::kRemoteBrowser;
+    case FetchOutcome::Source::kOrigin: return wire::WireSource::kOrigin;
+    case FetchOutcome::Source::kLocalBrowser: break;
+  }
+  BAPS_REQUIRE(false, "local-browser hits never cross the wire");
+  return wire::WireSource::kOrigin;
+}
+
+FetchOutcome::Source from_wire_source(wire::WireSource source) {
+  switch (source) {
+    case wire::WireSource::kProxy: return FetchOutcome::Source::kProxy;
+    case wire::WireSource::kRemoteBrowser:
+      return FetchOutcome::Source::kRemoteBrowser;
+    case wire::WireSource::kOrigin: return FetchOutcome::Source::kOrigin;
+  }
+  BAPS_REQUIRE(false, "invalid wire source");
+  return FetchOutcome::Source::kOrigin;
+}
+
+std::vector<std::uint8_t> watermark_to_bytes(const crypto::Watermark& mark) {
+  return mark.signature.to_bytes();
+}
+
+crypto::Watermark watermark_from_bytes(
+    const std::vector<std::uint8_t>& bytes) {
+  return crypto::Watermark{
+      crypto::BigUInt::from_bytes(std::span<const std::uint8_t>(bytes))};
+}
+
+}  // namespace baps::runtime

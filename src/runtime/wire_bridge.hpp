@@ -1,0 +1,35 @@
+// Conversions between runtime protocol types and their wire shapes: document
+// sources, watermark signatures (big-endian magnitude bytes), and index-update
+// MACs. Both TCP endpoints funnel through these, so a document that
+// round-trips the wire verifies against the exact same watermark bytes the
+// proxy issued.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/md5.hpp"
+#include "crypto/watermark.hpp"
+#include "runtime/doc_store.hpp"
+#include "runtime/types.hpp"
+#include "wire/messages.hpp"
+
+namespace baps::runtime {
+
+/// FetchOutcome::Source → wire (kLocalBrowser never crosses the wire).
+wire::WireSource to_wire_source(FetchOutcome::Source source);
+FetchOutcome::Source from_wire_source(wire::WireSource source);
+
+std::vector<std::uint8_t> watermark_to_bytes(const crypto::Watermark& mark);
+crypto::Watermark watermark_from_bytes(const std::vector<std::uint8_t>& bytes);
+
+inline std::array<std::uint8_t, 16> mac_to_wire(const crypto::Md5Digest& mac) {
+  return mac.bytes;
+}
+inline crypto::Md5Digest mac_from_wire(const std::array<std::uint8_t, 16>& w) {
+  crypto::Md5Digest d;
+  d.bytes = w;
+  return d;
+}
+
+}  // namespace baps::runtime

@@ -1,5 +1,6 @@
 #include "trace/log_parser.hpp"
 
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <unordered_map>
@@ -54,6 +55,13 @@ ParseResult assemble(std::vector<RawRecord> raw, const std::string& name,
   return out;
 }
 
+/// Lines from dirty logs that can never be a valid record: embedded NULs
+/// (binary garbage, truncated writes) would silently corrupt interned client
+/// and URL strings, so they are skipped outright.
+bool line_is_binary(const std::string& line) {
+  return line.find('\0') != std::string::npos;
+}
+
 }  // namespace
 
 ParseResult parse_squid_log(std::istream& in, const std::string& trace_name) {
@@ -62,13 +70,18 @@ ParseResult parse_squid_log(std::istream& in, const std::string& trace_name) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (line_is_binary(line)) {
+      ++skipped;
+      continue;
+    }
     std::istringstream ls(line);
     double time_s;
     long long elapsed_ms;
     std::string client, code_status, method, url;
     long long bytes;
     if (!(ls >> time_s >> elapsed_ms >> client >> code_status >> bytes >>
-          method >> url)) {
+          method >> url) ||
+        !std::isfinite(time_s)) {
       ++skipped;
       continue;
     }
@@ -90,11 +103,16 @@ ParseResult parse_plain_log(std::istream& in, const std::string& trace_name) {
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    if (line_is_binary(line)) {
+      ++skipped;
+      continue;
+    }
     std::istringstream ls(line);
     double time_s;
     std::string client, url;
     long long bytes;
-    if (!(ls >> time_s >> client >> url >> bytes) || bytes <= 0) {
+    if (!(ls >> time_s >> client >> url >> bytes) || bytes <= 0 ||
+        !std::isfinite(time_s)) {
       ++skipped;
       continue;
     }

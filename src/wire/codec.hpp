@@ -1,0 +1,108 @@
+// Bounds-checked little-endian payload encoding. Writer appends fixed-width
+// integers and length-prefixed byte strings; Reader is the strict inverse —
+// every read checks the remaining bytes and every variable-length field
+// checks a caller-supplied ceiling, so a truncated or hostile payload decodes
+// to `false`, never to out-of-bounds access.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace baps::wire {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { append_le(v, 2); }
+  void u32(std::uint32_t v) { append_le(v, 4); }
+  void u64(std::uint64_t v) { append_le(v, 8); }
+
+  /// u32 length prefix + raw bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    str({reinterpret_cast<const char*>(b.data()), b.size()});
+  }
+  /// Fixed-width raw bytes, no length prefix (e.g. a 16-byte MAC).
+  void raw(const std::uint8_t* p, std::size_t n) {
+    out_.append(reinterpret_cast<const char*>(p), n);
+  }
+
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  void append_le(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view buf) : buf_(buf) {}
+
+  bool u8(std::uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<std::uint8_t>(buf_[pos_++]);
+    return true;
+  }
+  bool u16(std::uint16_t* v) { return read_le(v, 2); }
+  bool u32(std::uint32_t* v) { return read_le(v, 4); }
+  bool u64(std::uint64_t* v) { return read_le(v, 8); }
+
+  /// Length-prefixed string; rejects lengths beyond `max_len` or the buffer.
+  bool str(std::string* out, std::uint32_t max_len) {
+    std::uint32_t n = 0;
+    if (!u32(&n)) return false;
+    if (n > max_len || n > remaining()) return false;
+    out->assign(buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool bytes(std::vector<std::uint8_t>* out, std::uint32_t max_len) {
+    std::string s;
+    if (!str(&s, max_len)) return false;
+    out->assign(s.begin(), s.end());
+    return true;
+  }
+  bool raw(std::uint8_t* p, std::size_t n) {
+    if (n > remaining()) return false;
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  /// Decoders require the payload to be fully consumed: trailing bytes mean
+  /// a different (newer or corrupted) message shape.
+  bool at_end() const { return pos_ == buf_.size(); }
+
+ private:
+  template <typename T>
+  bool read_le(T* v, int width) {
+    if (remaining() < static_cast<std::size_t>(width)) return false;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < width; ++i) {
+      acc |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(buf_[pos_ + static_cast<std::size_t>(i)]))
+             << (8 * i);
+    }
+    pos_ += static_cast<std::size_t>(width);
+    *v = static_cast<T>(acc);
+    return true;
+  }
+
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace baps::wire

@@ -1,0 +1,42 @@
+#include "wire/crc32.hpp"
+
+#include <array>
+
+namespace baps::wire {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_update(0, data);
+}
+
+std::uint32_t crc32(std::string_view data) {
+  return crc32({reinterpret_cast<const std::uint8_t*>(data.data()),
+                data.size()});
+}
+
+}  // namespace baps::wire

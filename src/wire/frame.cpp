@@ -1,0 +1,122 @@
+#include "wire/frame.hpp"
+
+#include "util/assert.hpp"
+#include "wire/codec.hpp"
+#include "wire/crc32.hpp"
+
+namespace baps::wire {
+
+bool frame_kind_valid(std::uint8_t kind) {
+  return kind >= kMinFrameKind && kind <= kMaxFrameKind;
+}
+
+std::string frame_kind_name(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kHello: return "hello";
+    case FrameKind::kHelloAck: return "hello-ack";
+    case FrameKind::kFetchRequest: return "fetch-request";
+    case FrameKind::kFetchResponse: return "fetch-response";
+    case FrameKind::kIndexUpdate: return "index-update";
+    case FrameKind::kIndexAck: return "index-ack";
+    case FrameKind::kPeerFetch: return "peer-fetch";
+    case FrameKind::kPeerDeliver: return "peer-deliver";
+    case FrameKind::kStatsRequest: return "stats-request";
+    case FrameKind::kStatsResponse: return "stats-response";
+    case FrameKind::kError: return "error";
+    case FrameKind::kBye: return "bye";
+  }
+  BAPS_REQUIRE(false, "unknown frame kind");
+  return {};
+}
+
+std::string decode_status_name(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kNeedMore: return "need-more";
+    case DecodeStatus::kBadMagic: return "bad-magic";
+    case DecodeStatus::kBadVersion: return "bad-version";
+    case DecodeStatus::kBadReserved: return "bad-reserved";
+    case DecodeStatus::kBadKind: return "bad-kind";
+    case DecodeStatus::kOversized: return "oversized";
+    case DecodeStatus::kBadCrc: return "bad-crc";
+  }
+  BAPS_REQUIRE(false, "unknown decode status");
+  return {};
+}
+
+std::string encode_frame(FrameKind kind, std::string_view payload) {
+  Writer w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u16(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  std::string out = w.take();
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+DecodeResult decode_frame(std::span<const std::uint8_t> buf,
+                          std::uint64_t max_payload) {
+  DecodeResult result;
+  if (buf.size() < kHeaderSize) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  Reader r({reinterpret_cast<const char*>(buf.data()), buf.size()});
+  std::uint32_t magic = 0, payload_len = 0, crc = 0;
+  std::uint16_t reserved = 0;
+  std::uint8_t version = 0, kind = 0;
+  // kHeaderSize bytes are present, so the fixed-width reads cannot fail.
+  r.u32(&magic);
+  r.u8(&version);
+  r.u8(&kind);
+  r.u16(&reserved);
+  r.u32(&payload_len);
+  r.u32(&crc);
+  if (magic != kMagic) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  if (version != kVersion) {
+    result.status = DecodeStatus::kBadVersion;
+    return result;
+  }
+  if (reserved != 0) {
+    result.status = DecodeStatus::kBadReserved;
+    return result;
+  }
+  if (!frame_kind_valid(kind)) {
+    result.status = DecodeStatus::kBadKind;
+    return result;
+  }
+  if (payload_len > max_payload) {
+    result.status = DecodeStatus::kOversized;
+    return result;
+  }
+  if (buf.size() - kHeaderSize < payload_len) {
+    result.status = DecodeStatus::kNeedMore;
+    return result;
+  }
+  const std::string_view payload(
+      reinterpret_cast<const char*>(buf.data()) + kHeaderSize, payload_len);
+  if (crc32(payload) != crc) {
+    result.status = DecodeStatus::kBadCrc;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.frame.kind = static_cast<FrameKind>(kind);
+  result.frame.payload.assign(payload);
+  result.consumed = kHeaderSize + payload_len;
+  return result;
+}
+
+DecodeResult decode_frame(std::string_view buf, std::uint64_t max_payload) {
+  return decode_frame(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(buf.data()), buf.size()),
+      max_payload);
+}
+
+}  // namespace baps::wire

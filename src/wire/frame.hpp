@@ -1,0 +1,92 @@
+// The BAPS wire frame: the versioned envelope every protocol message crosses
+// a socket in. Layout (all integers little-endian):
+//
+//   offset  size  field
+//        0     4  magic        0x53504142 ("BAPS" as bytes)
+//        4     1  version      kVersion (1)
+//        5     1  kind         FrameKind
+//        6     2  reserved     must be zero
+//        8     4  payload_len  bytes following the header
+//       12     4  payload_crc  CRC-32 (IEEE) of the payload bytes
+//       16     …  payload      message-specific encoding (wire/messages.hpp)
+//
+// Decoding is bounded and total: any input — truncated, bit-flipped,
+// oversized, or adversarial — yields a typed DecodeStatus, never undefined
+// behaviour. kNeedMore distinguishes "keep reading" from hard rejection so a
+// streaming reader can decode from a growing buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace baps::wire {
+
+inline constexpr std::uint32_t kMagic = 0x53504142u;  // "BAPS"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 16;
+/// Default ceiling on a frame payload; decoders reject anything larger
+/// before allocating. Document bodies are far smaller.
+inline constexpr std::uint64_t kDefaultMaxPayload = 16ull << 20;
+
+/// Every message kind that crosses the wire. Gaps are never reused;
+/// new kinds append.
+enum class FrameKind : std::uint8_t {
+  kHello = 1,          ///< client → proxy: identify + peer listener port
+  kHelloAck = 2,       ///< proxy → client: proxy public key
+  kFetchRequest = 3,   ///< client → proxy: url (+ avoid-peers retry flag)
+  kFetchResponse = 4,  ///< proxy → client: document + watermark + source
+  kIndexUpdate = 5,    ///< client → proxy: MACed index add/remove
+  kIndexAck = 6,       ///< proxy → client: update accepted?
+  kPeerFetch = 7,      ///< proxy → holder: document key — nothing else (§6.2)
+  kPeerDeliver = 8,    ///< holder → proxy: document + watermark
+  kStatsRequest = 9,   ///< observer → proxy: counter snapshot request
+  kStatsResponse = 10, ///< proxy → observer: counter snapshot
+  kError = 11,         ///< either direction: terminal protocol error
+  kBye = 12,           ///< orderly close
+};
+
+inline constexpr std::uint8_t kMinFrameKind = 1;
+inline constexpr std::uint8_t kMaxFrameKind = 12;
+
+bool frame_kind_valid(std::uint8_t kind);
+std::string frame_kind_name(FrameKind kind);
+
+struct Frame {
+  FrameKind kind = FrameKind::kBye;
+  std::string payload;
+};
+
+enum class DecodeStatus {
+  kOk,
+  kNeedMore,     ///< valid so far, frame incomplete
+  kBadMagic,
+  kBadVersion,
+  kBadReserved,
+  kBadKind,
+  kOversized,    ///< payload_len exceeds the decoder's ceiling
+  kBadCrc,
+};
+
+std::string decode_status_name(DecodeStatus status);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kNeedMore;
+  Frame frame;
+  std::size_t consumed = 0;  ///< bytes to drop from the buffer when kOk
+};
+
+/// Serializes one frame (header + payload).
+std::string encode_frame(FrameKind kind, std::string_view payload);
+
+/// Decodes the frame at the front of `buf`. On kOk, `frame` holds the
+/// payload and `consumed` the total frame size; on kNeedMore the buffer is
+/// merely short; every other status is a hard protocol violation and the
+/// connection should be dropped.
+DecodeResult decode_frame(std::span<const std::uint8_t> buf,
+                          std::uint64_t max_payload = kDefaultMaxPayload);
+DecodeResult decode_frame(std::string_view buf,
+                          std::uint64_t max_payload = kDefaultMaxPayload);
+
+}  // namespace baps::wire

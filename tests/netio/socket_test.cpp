@@ -1,0 +1,210 @@
+#include "netio/socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "netio/retry.hpp"
+
+namespace baps::netio {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int elapsed_ms(Clock::time_point since) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - since)
+                              .count());
+}
+
+TEST(TcpListenerTest, BindsEphemeralPortAndReportsIt) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value()) << err.message;
+  EXPECT_NE(listener->port(), 0);
+}
+
+TEST(TcpListenerTest, AcceptTimesOutWhenNobodyConnects) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  const auto start = Clock::now();
+  auto conn = listener->accept(/*timeout_ms=*/50, &err);
+  EXPECT_FALSE(conn.has_value());
+  EXPECT_EQ(err.status, NetStatus::kTimeout);
+  EXPECT_LT(elapsed_ms(start), 2000);
+}
+
+TEST(TcpConnectionTest, ConnectToDeadPortIsRefusedQuickly) {
+  // Bind and immediately close a listener so the port is known-dead.
+  NetError err;
+  std::uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::listen("127.0.0.1", 0, 1, &err);
+    ASSERT_TRUE(listener.has_value());
+    dead_port = listener->port();
+  }
+  const auto start = Clock::now();
+  auto conn = TcpConnection::connect("127.0.0.1", dead_port, 1000, &err);
+  EXPECT_FALSE(conn.has_value());
+  EXPECT_EQ(err.status, NetStatus::kRefused);
+  EXPECT_TRUE(err.transient());
+  EXPECT_LT(elapsed_ms(start), 2000);
+}
+
+TEST(TcpConnectionTest, ConnectRejectsBadAddress) {
+  NetError err;
+  auto conn = TcpConnection::connect("not-an-address", 1, 100, &err);
+  EXPECT_FALSE(conn.has_value());
+  EXPECT_EQ(err.status, NetStatus::kError);
+}
+
+TEST(TcpConnectionTest, WriteReadRoundTrip) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value()) << err.message;
+  auto server = listener->accept(1000, &err);
+  ASSERT_TRUE(server.has_value()) << err.message;
+
+  // Large enough to exercise multiple poll/send rounds on small buffers.
+  std::string sent(256 << 10, '\0');
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>(i * 31 + 1);
+  }
+  std::thread writer([&] {
+    NetError werr;
+    EXPECT_TRUE(client->write_all(sent.data(), sent.size(), 5000, &werr))
+        << werr.message;
+  });
+  std::string received(sent.size(), '\0');
+  EXPECT_TRUE(server->read_exact(received.data(), received.size(), 5000, &err))
+      << err.message;
+  writer.join();
+  EXPECT_EQ(received, sent);
+}
+
+TEST(TcpConnectionTest, ReadTimesOutWithoutData) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener->accept(1000, &err);
+  ASSERT_TRUE(server.has_value());
+
+  char byte = 0;
+  const auto start = Clock::now();
+  EXPECT_FALSE(server->read_exact(&byte, 1, 50, &err));
+  EXPECT_EQ(err.status, NetStatus::kTimeout);
+  EXPECT_LT(elapsed_ms(start), 2000);
+}
+
+TEST(TcpConnectionTest, ReadSeesOrderlyClose) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener->accept(1000, &err);
+  ASSERT_TRUE(server.has_value());
+
+  client->close();
+  char byte = 0;
+  EXPECT_FALSE(server->read_exact(&byte, 1, 1000, &err));
+  EXPECT_EQ(err.status, NetStatus::kClosed);
+}
+
+TEST(TcpConnectionTest, ShutdownUnblocksABlockedReader) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener->accept(1000, &err);
+  ASSERT_TRUE(server.has_value());
+
+  const auto start = Clock::now();
+  std::thread reader([&] {
+    NetError rerr;
+    char byte = 0;
+    EXPECT_FALSE(server->read_exact(&byte, 1, 10000, &rerr));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server->shutdown_both();
+  reader.join();
+  EXPECT_LT(elapsed_ms(start), 5000);
+}
+
+TEST(RetryTest, RetriesTransientFailuresWithBoundedAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 1;
+
+  int calls = 0;
+  NetError err;
+  const bool ok = retry_with_backoff(
+      policy, "test",
+      [&](NetError* e) {
+        ++calls;
+        if (calls < 3) {
+          e->status = NetStatus::kRefused;
+          return false;
+        }
+        e->status = NetStatus::kOk;
+        return true;
+      },
+      &err);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DoesNotRetryTimeouts) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 1;
+
+  int calls = 0;
+  NetError err;
+  const bool ok = retry_with_backoff(
+      policy, "test",
+      [&](NetError* e) {
+        ++calls;
+        e->status = NetStatus::kTimeout;
+        return false;
+      },
+      &err);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 1);  // a dead peer costs one deadline, not five
+  EXPECT_EQ(err.status, NetStatus::kTimeout);
+}
+
+TEST(RetryTest, GivesUpAfterAttemptBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ms = 1;
+
+  int calls = 0;
+  NetError err;
+  const bool ok = retry_with_backoff(
+      policy, "test",
+      [&](NetError* e) {
+        ++calls;
+        e->status = NetStatus::kReset;
+        return false;
+      },
+      &err);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(err.status, NetStatus::kReset);
+}
+
+}  // namespace
+}  // namespace baps::netio

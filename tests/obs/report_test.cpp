@@ -155,5 +155,126 @@ TEST(ValidateTest, RejectsCorruptedReports) {
   EXPECT_NE(error.find("ratio"), std::string::npos) << error;
 }
 
+JsonValue counter_json(const std::string& name, JsonObject labels,
+                       double value) {
+  return json_object({{"name", JsonValue(name)},
+                      {"labels", JsonValue(std::move(labels))},
+                      {"value", JsonValue(value)}});
+}
+
+JsonValue report_with_counters(JsonArray counters) {
+  JsonValue registry;
+  registry.set("counters", JsonValue(std::move(counters)));
+  registry.set("gauges", JsonValue(JsonArray{}));
+  registry.set("histograms", JsonValue(JsonArray{}));
+  JsonValue report;
+  report.set("schema", JsonValue(kReportSchema));
+  report.set("tool", JsonValue("transport_test"));
+  report.set("registry", std::move(registry));
+  return report;
+}
+
+TEST(TransportMetricsTest, AcceptsConsistentWireCounters) {
+  const JsonValue report = report_with_counters({
+      counter_json("wire_frames_total", {{"dir", "tx"}, {"kind", "hello"}},
+                   3),
+      counter_json("wire_frames_total", {{"dir", "tx"}, {"kind", "bye"}}, 2),
+      counter_json("wire_frames_total", {{"dir", "rx"}, {"kind", "hello"}},
+                   5),
+      counter_json("wire_bytes_total", {{"dir", "tx"}}, 5 * 16 + 40),
+      counter_json("wire_bytes_total", {{"dir", "rx"}}, 5 * 16),
+      counter_json("netio_timeouts_total", {{"op", "read"}}, 1),
+  });
+  std::string error;
+  EXPECT_TRUE(validate_transport_metrics(report, &error)) << error;
+  EXPECT_TRUE(validate_report(report, &error)) << error;
+}
+
+TEST(TransportMetricsTest, RejectsBadDirLabel) {
+  const JsonValue report = report_with_counters({
+      counter_json("wire_frames_total", {{"dir", "up"}, {"kind", "hello"}},
+                   1),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_transport_metrics(report, &error));
+  EXPECT_NE(error.find("dir label"), std::string::npos) << error;
+  EXPECT_FALSE(validate_report(report, &error));
+}
+
+TEST(TransportMetricsTest, RejectsFrameBytesBelowTheHeaderFloor) {
+  // 10 frames can never cost fewer than 10 headers of bytes.
+  const JsonValue report = report_with_counters({
+      counter_json("wire_frames_total", {{"dir", "tx"}, {"kind", "hello"}},
+                   10),
+      counter_json("wire_bytes_total", {{"dir", "tx"}}, 100),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_transport_metrics(report, &error));
+  EXPECT_NE(error.find("fewer bytes"), std::string::npos) << error;
+}
+
+TEST(TransportMetricsTest, RejectsNegativeTransportCounters) {
+  const JsonValue report = report_with_counters({
+      counter_json("netio_retries_total", {{"op", "fetch"}}, -1),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_transport_metrics(report, &error));
+  EXPECT_NE(error.find("negative"), std::string::npos) << error;
+}
+
+TEST(TransportMetricsTest, MonotonicityAcceptsGrowthAndNewCounters) {
+  const JsonValue earlier = report_with_counters({
+      counter_json("wire_frames_total", {{"dir", "tx"}, {"kind", "hello"}},
+                   3),
+  });
+  const JsonValue later = report_with_counters({
+      counter_json("wire_frames_total", {{"dir", "tx"}, {"kind", "hello"}},
+                   7),
+      counter_json("netio_timeouts_total", {{"op", "read"}}, 2),
+  });
+  std::string error;
+  EXPECT_TRUE(validate_transport_monotonicity(earlier, later, &error))
+      << error;
+}
+
+TEST(TransportMetricsTest, MonotonicityRejectsACounterGoingBackwards) {
+  const JsonValue earlier = report_with_counters({
+      counter_json("wire_bytes_total", {{"dir", "rx"}}, 640),
+  });
+  const JsonValue later = report_with_counters({
+      counter_json("wire_bytes_total", {{"dir", "rx"}}, 639),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_transport_monotonicity(earlier, later, &error));
+  EXPECT_NE(error.find("backwards"), std::string::npos) << error;
+}
+
+TEST(TransportMetricsTest, MonotonicityDistinguishesLabelSets) {
+  // tx dropping while rx grows must still fail: instances are matched by
+  // their full label set, not just the name.
+  const JsonValue earlier = report_with_counters({
+      counter_json("wire_bytes_total", {{"dir", "tx"}}, 100),
+      counter_json("wire_bytes_total", {{"dir", "rx"}}, 100),
+  });
+  const JsonValue later = report_with_counters({
+      counter_json("wire_bytes_total", {{"dir", "tx"}}, 50),
+      counter_json("wire_bytes_total", {{"dir", "rx"}}, 200),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_transport_monotonicity(earlier, later, &error));
+  EXPECT_NE(error.find("dir=tx"), std::string::npos) << error;
+}
+
+TEST(TransportMetricsTest, ReportsWithoutWireCountersPassTrivially) {
+  const JsonValue report = ReportBuilder("report_test")
+                               .add_sweep(shared_sweep())
+                               .build();
+  std::string error;
+  EXPECT_TRUE(validate_transport_metrics(report, &error)) << error;
+  EXPECT_TRUE(
+      validate_transport_monotonicity(report, report, &error))
+      << error;
+}
+
 }  // namespace
 }  // namespace baps::obs

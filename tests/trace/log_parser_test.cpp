@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "trace/generator.hpp"
 
@@ -75,6 +77,94 @@ TEST(PlainParserTest, SkipsMalformedAndNonPositiveSizes) {
   const ParseResult r = parse_plain_log(in, "p");
   EXPECT_EQ(r.lines_parsed, 1u);
   EXPECT_EQ(r.lines_skipped, 2u);
+}
+
+TEST(SquidParserTest, SkipsTruncatedLines) {
+  // A line cut off before the URL field (the 7th) can never be a record:
+  // each truncation is skipped with the counter bumped, never half-parsed
+  // and never a crash.
+  const std::vector<std::string> fields = {
+      "1.0", "250", "cafe", "TCP_MISS/200", "4312", "GET", "http://e/a"};
+  for (std::size_t k = 1; k < fields.size(); ++k) {
+    std::string line;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i > 0) line += ' ';
+      line += fields[i];
+    }
+    std::istringstream in(line + "\n");
+    const ParseResult r = parse_squid_log(in, "trunc");
+    EXPECT_EQ(r.lines_parsed, 0u) << "first " << k << " fields";
+    EXPECT_EQ(r.lines_skipped, 1u) << "first " << k << " fields";
+  }
+}
+
+TEST(SquidParserTest, SkipsNonNumericFields) {
+  std::istringstream in(
+      "abc 250 c TCP_MISS/200 100 GET http://e/a - D/h t\n"  // time
+      "1.0 xyz c TCP_MISS/200 100 GET http://e/a - D/h t\n"  // elapsed
+      "1.0 250 c TCP_MISS/200 many GET http://e/a - D/h t\n"  // bytes
+      "nan 250 c TCP_MISS/200 100 GET http://e/a - D/h t\n"  // non-finite
+      "inf 250 c TCP_MISS/200 100 GET http://e/a - D/h t\n"
+      "2.0 250 c TCP_MISS/200 100 GET http://e/b - D/h t\n");  // valid
+  const ParseResult r = parse_squid_log(in, "nonnum");
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.lines_skipped, 5u);
+  EXPECT_EQ(r.trace.size(), 1u);
+}
+
+TEST(SquidParserTest, SkipsLinesWithEmbeddedNuls) {
+  std::string log =
+      "1.0 250 cafe TCP_MISS/200 100 GET http://e/a - D/h t\n"
+      "2.0 250 cafe TCP_MISS/200 100 GET http://e/Xb - D/h t\n";
+  const std::size_t nul = log.find('X');
+  ASSERT_NE(nul, std::string::npos);
+  log[nul] = '\0';
+  std::istringstream in(log);
+  const ParseResult r = parse_squid_log(in, "nul");
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.lines_skipped, 1u);
+  // The NUL-bearing URL never reached the intern tables.
+  EXPECT_EQ(r.trace.num_docs(), 1u);
+  EXPECT_EQ(r.trace.url_of(r.trace.requests()[0].doc), "http://e/a");
+}
+
+TEST(PlainParserTest, SkipsTruncatedLines) {
+  const std::vector<std::string> fields = {"100.5", "alice", "http://a/1",
+                                           "1000"};
+  for (std::size_t k = 1; k < fields.size(); ++k) {
+    std::string line;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i > 0) line += ' ';
+      line += fields[i];
+    }
+    std::istringstream in(line + "\n");
+    const ParseResult r = parse_plain_log(in, "trunc");
+    EXPECT_EQ(r.lines_parsed, 0u) << "first " << k << " fields";
+    EXPECT_EQ(r.lines_skipped, 1u) << "first " << k << " fields";
+  }
+}
+
+TEST(PlainParserTest, SkipsNonNumericAndNonFiniteFields) {
+  std::istringstream in(
+      "soon alice http://a/1 1000\n"
+      "1.0 alice http://a/1 lots\n"
+      "nan alice http://a/1 1000\n"
+      "2.0 bob http://a/2 500\n");
+  const ParseResult r = parse_plain_log(in, "nonnum");
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.lines_skipped, 3u);
+}
+
+TEST(PlainParserTest, SkipsLinesWithEmbeddedNuls) {
+  std::string log =
+      "1.0 alice http://a/1 1000\n"
+      "2.0 bXob http://a/2 500\n";
+  log[log.find('X')] = '\0';
+  std::istringstream in(log);
+  const ParseResult r = parse_plain_log(in, "nul");
+  EXPECT_EQ(r.lines_parsed, 1u);
+  EXPECT_EQ(r.lines_skipped, 1u);
+  EXPECT_EQ(r.trace.num_clients(), 1u);
 }
 
 TEST(PlainFormatTest, WriteThenParseRoundTrips) {

@@ -1,0 +1,191 @@
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace baps::util {
+namespace {
+
+// Builds a mutable argv from string literals; the vector keeps the storage
+// alive for the duration of a parse() call.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(prog_.data());
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::string prog_ = "prog";
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(SplitTest, DropsEmptyItems) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,b,", ','), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(split(",,,", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(split("single", ','), (std::vector<std::string>{"single"}));
+}
+
+TEST(ParseNumberTest, DoubleIsWholeStringStrict) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_number("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(parse_number("-3", &v));
+  EXPECT_DOUBLE_EQ(v, -3.0);
+  EXPECT_FALSE(parse_number("", &v));
+  EXPECT_FALSE(parse_number("1.5x", &v));
+  EXPECT_FALSE(parse_number("x1.5", &v));
+}
+
+TEST(ParseNumberTest, Uint64RejectsSignsAndJunk) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_number("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_FALSE(parse_number("-1", &v));
+  EXPECT_FALSE(parse_number("+1", &v));
+  EXPECT_FALSE(parse_number("", &v));
+  EXPECT_FALSE(parse_number("12a", &v));
+}
+
+TEST(ArgParserTest, ParsesFlagsOptionsAndCustoms) {
+  bool verbose = false;
+  std::string name;
+  double ratio = 0.0;
+  std::uint64_t count = 0;
+  std::vector<std::string> items;
+  ArgParser parser("prog");
+  parser.flag("--verbose", &verbose, "talk more")
+      .option("--name", &name, "S", "a string")
+      .option("--ratio", &ratio, "F", "a double")
+      .option("--count", &count, "N", "a counter")
+      .custom("--items", "LIST", "comma list",
+              [&items](const std::string& v) {
+                items = split(v, ',');
+                return !items.empty();
+              });
+
+  Argv argv({"--verbose", "--name", "alice", "--ratio", "0.5", "--count",
+             "42", "--items", "a,b"});
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), &error)) << error;
+  EXPECT_FALSE(parser.help_requested());
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(name, "alice");
+  EXPECT_DOUBLE_EQ(ratio, 0.5);
+  EXPECT_EQ(count, 42u);
+  EXPECT_EQ(items, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ArgParserTest, DefaultsSurviveWhenOptionsAreAbsent) {
+  bool flag_value = false;
+  std::string name = "default";
+  ArgParser parser("prog");
+  parser.flag("--flag", &flag_value, "").option("--name", &name, "S", "");
+  Argv argv({});
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), &error)) << error;
+  EXPECT_FALSE(flag_value);
+  EXPECT_EQ(name, "default");
+}
+
+TEST(ArgParserTest, RejectsUnknownArgument) {
+  ArgParser parser("prog");
+  Argv argv({"--nope"});
+  std::string error;
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv(), &error));
+  EXPECT_NE(error.find("--nope"), std::string::npos);
+}
+
+TEST(ArgParserTest, RejectsMissingValue) {
+  std::string name;
+  ArgParser parser("prog");
+  parser.option("--name", &name, "S", "");
+  Argv argv({"--name"});
+  std::string error;
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv(), &error));
+  EXPECT_NE(error.find("needs a value"), std::string::npos);
+}
+
+TEST(ArgParserTest, RejectsMalformedNumber) {
+  double ratio = 0.0;
+  ArgParser parser("prog");
+  parser.option("--ratio", &ratio, "F", "");
+  Argv argv({"--ratio", "fast"});
+  std::string error;
+  EXPECT_FALSE(parser.parse(argv.argc(), argv.argv(), &error));
+  EXPECT_NE(error.find("--ratio"), std::string::npos);
+}
+
+TEST(ArgParserTest, RejectsCustomValueTheCallbackRefuses) {
+  ArgParser parser("prog");
+  parser.custom("--mode", "M", "", [](const std::string& v) {
+    return v == "good";
+  });
+  Argv bad({"--mode", "bad"});
+  std::string error;
+  EXPECT_FALSE(parser.parse(bad.argc(), bad.argv(), &error));
+  EXPECT_NE(error.find("--mode"), std::string::npos);
+
+  Argv good({"--mode", "good"});
+  EXPECT_TRUE(parser.parse(good.argc(), good.argv(), &error));
+}
+
+TEST(ArgParserTest, BoundedOptionsEnforceTypeRange) {
+  std::uint16_t port = 0;
+  std::uint32_t count = 0;
+  ArgParser parser("prog");
+  parser.option("--port", &port, "P", "").option("--count", &count, "N", "");
+
+  Argv ok({"--port", "65535", "--count", "4294967295"});
+  std::string error;
+  ASSERT_TRUE(parser.parse(ok.argc(), ok.argv(), &error)) << error;
+  EXPECT_EQ(port, 65535u);
+  EXPECT_EQ(count, 4294967295u);
+
+  Argv too_big({"--port", "65536"});
+  EXPECT_FALSE(parser.parse(too_big.argc(), too_big.argv(), &error));
+
+  Argv negative({"--port", "-1"});
+  EXPECT_FALSE(parser.parse(negative.argc(), negative.argv(), &error));
+}
+
+TEST(ArgParserTest, HelpShortCircuitsRemainingArgs) {
+  std::string name;
+  ArgParser parser("prog");
+  parser.option("--name", &name, "S", "");
+  // --help stops parsing, so the bogus argument after it is never seen.
+  Argv argv({"--help", "--bogus"});
+  std::string error;
+  EXPECT_TRUE(parser.parse(argv.argc(), argv.argv(), &error));
+  EXPECT_TRUE(parser.help_requested());
+
+  ArgParser short_form("prog");
+  Argv argv2({"-h"});
+  EXPECT_TRUE(short_form.parse(argv2.argc(), argv2.argv(), &error));
+  EXPECT_TRUE(short_form.help_requested());
+}
+
+TEST(ArgParserTest, UsageListsEveryOptionAndHelp) {
+  bool b = false;
+  std::string s;
+  ArgParser parser("prog", "A one-line summary.");
+  parser.flag("--fast", &b, "go faster").option("--out", &s, "FILE", "where");
+  const std::string usage = parser.usage();
+  EXPECT_NE(usage.find("usage: prog"), std::string::npos);
+  EXPECT_NE(usage.find("A one-line summary."), std::string::npos);
+  EXPECT_NE(usage.find("--fast"), std::string::npos);
+  EXPECT_NE(usage.find("go faster"), std::string::npos);
+  EXPECT_NE(usage.find("--out FILE"), std::string::npos);
+  EXPECT_NE(usage.find("--help, -h"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace baps::util

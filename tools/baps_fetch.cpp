@@ -1,0 +1,206 @@
+// baps_fetch — drive BAPS clients against a proxy, over TCP or in-process.
+//
+// Runs a workload (one URL or a slice of a preset trace) through a
+// BapsSystem whose clients talk to the proxy either over the wire
+// (--transport tcp, against a running baps_proxyd) or through the in-process
+// loopback (--transport loopback, which embeds the proxy). The same seed and
+// client count on both ends derive the same keys, so the two transports must
+// produce byte-identical per-request outcomes: --sources-out writes one
+// "<client> <source>" line per request for exactly that comparison.
+//
+//   baps_proxyd --port 4160 --clients 8 &
+//   baps_fetch --transport tcp --port 4160 --clients 8
+//       --preset bu95 --requests 1000 --sources-out tcp.txt
+//   baps_fetch --transport loopback --clients 8
+//       --preset bu95 --requests 1000 --sources-out loop.txt
+//   diff tcp.txt loop.txt
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/report.hpp"
+#include "runtime/system.hpp"
+#include "runtime/tcp_transport.hpp"
+#include "trace/presets.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace baps;
+
+// Same CLI-style names as baps_cli.
+std::optional<trace::Preset> preset_by_name(const std::string& name) {
+  if (name == "nlanr-uc") return trace::Preset::kNlanrUc;
+  if (name == "nlanr-bo1") return trace::Preset::kNlanrBo1;
+  if (name == "bu95") return trace::Preset::kBu95;
+  if (name == "bu98") return trace::Preset::kBu98;
+  if (name == "canet2") return trace::Preset::kCanet2;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string transport_name = "tcp";
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t clients = 4;
+  std::uint64_t seed = 7;
+  std::uint64_t browser_cache = 64 << 10;
+  std::uint64_t proxy_cache = 256 << 10;
+  std::uint32_t rsa_bits = 256;
+  std::string url;
+  std::uint32_t client = 0;
+  std::string preset_name;
+  std::uint64_t requests = 1000;
+  std::string sources_out, metrics_out;
+
+  util::ArgParser parser("baps_fetch",
+                         "Fetch documents through a BAPS proxy.");
+  parser.option("--transport", &transport_name, "T",
+                "tcp | loopback (default tcp)")
+      .option("--host", &host, "H", "proxy host (default 127.0.0.1)")
+      .option("--port", &port, "P", "proxy port (required for tcp)")
+      .option("--clients", &clients, "N",
+              "number of clients; must match the proxy (default 4)")
+      .option("--seed", &seed, "S",
+              "key-derivation seed; must match the proxy (default 7)")
+      .option("--browser-cache", &browser_cache, "BYTES",
+              "per-client browser cache capacity (default 65536)")
+      .option("--proxy-cache", &proxy_cache, "BYTES",
+              "embedded proxy cache capacity, loopback only (default 262144)")
+      .option("--rsa-bits", &rsa_bits, "B",
+              "embedded proxy RSA bits, loopback only (default 256)")
+      .option("--url", &url, "URL", "fetch one URL and exit")
+      .option("--client", &client, "C", "client id for --url (default 0)")
+      .option("--preset", &preset_name, "NAME",
+              "replay a preset trace slice (nlanr-uc, bu95, ...)")
+      .option("--requests", &requests, "N",
+              "trace slice length for --preset (default 1000)")
+      .option("--sources-out", &sources_out, "FILE",
+              "write one '<client> <source>' line per request")
+      .option("--metrics-out", &metrics_out, "FILE",
+              "write a baps.report.v1 JSON report");
+
+  std::string error;
+  if (!parser.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  const bool use_tcp = transport_name == "tcp";
+  if (!use_tcp && transport_name != "loopback") {
+    std::cerr << "--transport must be tcp or loopback\n";
+    return 2;
+  }
+  if (use_tcp && port == 0) {
+    std::cerr << "--port is required with --transport tcp\n";
+    return 2;
+  }
+  if (url.empty() == preset_name.empty()) {
+    std::cerr << "pick exactly one of --url / --preset\n" << parser.usage();
+    return 2;
+  }
+  if (clients == 0) {
+    std::cerr << "--clients must be at least 1\n";
+    return 2;
+  }
+
+  runtime::BapsSystem::Params params;
+  params.num_clients = clients;
+  params.browser_cache_bytes = browser_cache;
+  params.proxy_cache_bytes = proxy_cache;
+  params.seed = seed;
+  params.rsa_modulus_bits = rsa_bits;
+
+  std::unique_ptr<runtime::TcpTransport> transport;
+  std::unique_ptr<runtime::BapsSystem> sys;
+  if (use_tcp) {
+    runtime::TcpTransport::Params tp;
+    tp.proxy_host = host;
+    tp.proxy_port = port;
+    transport = std::make_unique<runtime::TcpTransport>(tp);
+    sys = std::make_unique<runtime::BapsSystem>(params, *transport);
+  } else {
+    sys = std::make_unique<runtime::BapsSystem>(params);
+  }
+
+  std::ofstream sources;
+  if (!sources_out.empty()) {
+    sources.open(sources_out);
+    if (!sources) {
+      std::cerr << "cannot open " << sources_out << "\n";
+      return 1;
+    }
+  }
+
+  obs::PhaseTimers phases;
+  std::uint64_t done = 0, verified = 0, tampered = 0;
+  const auto run_one = [&](runtime::ClientId c, const std::string& u) {
+    const runtime::FetchOutcome out = sys->browse(c, u);
+    ++done;
+    if (out.verified) ++verified;
+    if (out.tamper_recovered) ++tampered;
+    if (sources.is_open()) {
+      sources << c << " " << runtime::source_name(out.source) << "\n";
+    }
+  };
+
+  if (!url.empty()) {
+    if (client >= clients) {
+      std::cerr << "--client must be below --clients\n";
+      return 2;
+    }
+    const auto fetch_scope = phases.scope("fetch");
+    run_one(client, url);
+  } else {
+    const auto preset = preset_by_name(preset_name);
+    if (!preset.has_value()) {
+      std::cerr << "unknown preset: " << preset_name << "\n";
+      return 2;
+    }
+    trace::Trace t;
+    {
+      const auto load_scope = phases.scope("load_trace");
+      t = trace::load_preset(*preset);
+    }
+    const auto fetch_scope = phases.scope("fetch");
+    for (const trace::Request& req : t.requests()) {
+      if (done >= requests) break;
+      run_one(static_cast<runtime::ClientId>(req.client % clients),
+              t.url_of(req.doc));
+    }
+  }
+
+  std::cout << "requests=" << done << " verified=" << verified
+            << " tamper_recovered=" << tampered
+            << " local_hits=" << sys->local_hits()
+            << " proxy_hits=" << sys->proxy_hits()
+            << " peer_hits=" << sys->peer_hits()
+            << " origin_fetches=" << sys->origin_fetches()
+            << " false_forwards=" << sys->false_forwards() << "\n";
+
+  if (sources.is_open()) {
+    sources.close();
+    std::cerr << "wrote " << sources_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    const bool ok = obs::ReportBuilder("baps_fetch")
+                        .set_title(url.empty() ? preset_name : url)
+                        .set_args(argc, argv)
+                        .add_phases(phases)
+                        .set_registry(obs::Registry::global().snapshot())
+                        .write(metrics_out, &error);
+    if (!ok) {
+      std::cerr << "cannot write " << metrics_out << ": " << error << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << metrics_out << "\n";
+  }
+  return 0;
+}

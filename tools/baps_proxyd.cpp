@@ -1,0 +1,126 @@
+// baps_proxyd — the BAPS proxy as a standalone TCP daemon.
+//
+// Serves the wire protocol (Hello, FetchRequest, IndexUpdate, StatsRequest,
+// Bye) on a TCP port. Clients connect with baps_fetch or any TcpTransport.
+// Runs until SIGINT/SIGTERM (or --max-seconds in scripted runs), then shuts
+// down cleanly and optionally writes a baps.report.v1 JSON report with the
+// final proxy counters and the wire/netio metric registry.
+//
+//   baps_proxyd --port 4160 --clients 8 --seed 7
+//   baps_proxyd --port 0 --max-seconds 30 --metrics-out proxyd.json
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "obs/report.hpp"
+#include "runtime/proxy_server.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace baps;
+
+  runtime::ProxyServer::Params params;
+  std::uint16_t port = 0;
+  std::uint32_t clients = 4;
+  std::uint64_t proxy_cache = 256 << 10;
+  std::uint64_t seed = 7;
+  std::uint32_t rsa_bits = 256;
+  std::uint64_t workers = 0;
+  std::uint64_t max_seconds = 0;
+  std::string metrics_out;
+
+  util::ArgParser parser("baps_proxyd",
+                         "Serve the BAPS proxy over TCP on 127.0.0.1.");
+  parser.option("--port", &port, "P", "listen port (default 0: ephemeral)")
+      .option("--clients", &clients, "N", "number of clients (default 4)")
+      .option("--proxy-cache", &proxy_cache, "BYTES",
+              "proxy cache capacity (default 262144)")
+      .option("--seed", &seed, "S", "key-derivation seed (default 7)")
+      .option("--rsa-bits", &rsa_bits, "B",
+              "watermark RSA modulus bits (default 256)")
+      .option("--workers", &workers, "N",
+              "session worker threads (default 0: clients + 2, so every "
+              "persistent client session gets a worker with spare capacity "
+              "for transient observer sessions)")
+      .option("--max-seconds", &max_seconds, "S",
+              "exit after S seconds (default 0: run until signalled)")
+      .option("--metrics-out", &metrics_out, "FILE",
+              "write a baps.report.v1 JSON report on shutdown");
+
+  std::string error;
+  if (!parser.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  if (clients == 0) {
+    std::cerr << "--clients must be at least 1\n";
+    return 2;
+  }
+
+  params.core.num_clients = clients;
+  params.core.proxy_cache_bytes = proxy_cache;
+  params.core.seed = seed;
+  params.core.rsa_modulus_bits = rsa_bits;
+  params.net.port = port;
+  params.net.worker_threads = workers != 0 ? workers : clients + 2;
+
+  runtime::ProxyServer server(params);
+  if (!server.start(&error)) {
+    std::cerr << "cannot start proxy: " << error << "\n";
+    return 1;
+  }
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  // Scripts parse this line to find the ephemeral port.
+  std::cout << "baps_proxyd listening on 127.0.0.1:" << server.port()
+            << " (clients=" << clients << " seed=" << seed << ")"
+            << std::endl;
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(max_seconds);
+  while (!g_stop.load()) {
+    if (max_seconds != 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  server.stop();
+
+  const runtime::ProxyStats stats = server.core().stats();
+  std::cerr << "proxyd: proxy_hits=" << stats.proxy_hits
+            << " peer_hits=" << stats.peer_hits
+            << " origin_fetches=" << stats.origin_fetches
+            << " false_forwards=" << stats.false_forwards
+            << " rejected_index_updates=" << stats.rejected_index_updates
+            << "\n";
+
+  if (!metrics_out.empty()) {
+    const bool ok = obs::ReportBuilder("baps_proxyd")
+                        .set_title("proxy daemon run")
+                        .set_args(argc, argv)
+                        .set_registry(obs::Registry::global().snapshot())
+                        .write(metrics_out, &error);
+    if (!ok) {
+      std::cerr << "cannot write " << metrics_out << ": " << error << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << metrics_out << "\n";
+  }
+  return 0;
+}

@@ -1,39 +1,71 @@
-// report_check — validates a baps.report.v1 JSON report.
+// report_check — validates baps.report.v1 JSON reports.
 //
-// Parses the file, checks the schema structurally, and recomputes every
-// derived ratio from its exact integer counters. Exit 0 when valid, 1 when
-// not (with the first violation on stderr). Used by scripts/check.sh to
-// gate the bench artifacts.
+// Parses each file, checks the schema structurally, recomputes every derived
+// ratio from its exact integer counters, and validates the transport metric
+// families (wire_*/netio_* counters: dir labels, bytes-vs-frames
+// consistency). Given several files, they are treated as successive
+// snapshots of one process and every shared wire_*/netio_* counter must be
+// monotone non-decreasing in argument order. Exit 0 when valid, 1 when not
+// (with the first violation on stderr). Used by scripts/check.sh to gate
+// the bench artifacts.
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/report.hpp"
 
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: report_check <report.json>\n";
-    return 2;
-  }
-  std::ifstream in(argv[1]);
+namespace {
+
+std::optional<baps::obs::JsonValue> load_report(const std::string& path) {
+  std::ifstream in(path);
   if (!in) {
-    std::cerr << "cannot open " << argv[1] << "\n";
-    return 1;
+    std::cerr << "cannot open " << path << "\n";
+    return std::nullopt;
   }
   std::ostringstream buf;
   buf << in.rdbuf();
-
   std::string error;
-  const auto doc = baps::obs::json_parse(buf.str(), &error);
+  auto doc = baps::obs::json_parse(buf.str(), &error);
   if (!doc) {
-    std::cerr << argv[1] << ": parse error: " << error << "\n";
-    return 1;
+    std::cerr << path << ": parse error: " << error << "\n";
+    return std::nullopt;
   }
-  if (!baps::obs::validate_report(*doc, &error)) {
-    std::cerr << argv[1] << ": invalid report: " << error << "\n";
-    return 1;
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: report_check <report.json> [<later.json> ...]\n";
+    return 2;
   }
-  std::cout << argv[1] << ": valid " << baps::obs::kReportSchema << "\n";
+  std::vector<baps::obs::JsonValue> reports;
+  for (int i = 1; i < argc; ++i) {
+    auto doc = load_report(argv[i]);
+    if (!doc.has_value()) return 1;
+    std::string error;
+    if (!baps::obs::validate_report(*doc, &error)) {
+      std::cerr << argv[i] << ": invalid report: " << error << "\n";
+      return 1;
+    }
+    reports.push_back(std::move(*doc));
+    std::cout << argv[i] << ": valid " << baps::obs::kReportSchema << "\n";
+  }
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    std::string error;
+    if (!baps::obs::validate_transport_monotonicity(reports[i - 1],
+                                                    reports[i], &error)) {
+      std::cerr << argv[i] << " vs " << argv[i + 1] << ": " << error << "\n";
+      return 1;
+    }
+  }
+  if (reports.size() > 1) {
+    std::cout << "transport counters monotone across " << reports.size()
+              << " reports\n";
+  }
   return 0;
 }
