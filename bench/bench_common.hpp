@@ -6,6 +6,7 @@
 //                  the full paper-scale runs; use e.g. 0.1 for a quick look)
 //   --metrics-out <file>  write a baps.report.v1 JSON report of the runs
 //   --progress     print sweep progress to stderr
+//   --threads <n>  sweep worker threads (default 0 = hardware_concurrency)
 #pragma once
 
 #include <cstdlib>
@@ -23,6 +24,8 @@ struct BenchArgs {
   double scale = 1.0;
   std::string metrics_out;
   bool progress = false;
+  /// Sweep worker threads; 0 lets ThreadPool pick hardware_concurrency.
+  std::uint64_t threads = 0;
   int argc = 0;
   char** argv = nullptr;
 };
@@ -37,7 +40,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
               "shrink the preset traces by F in (0,1]")
       .option("--metrics-out", &args.metrics_out, "FILE",
               "write a baps.report.v1 JSON report of the runs")
-      .flag("--progress", &args.progress, "print sweep progress to stderr");
+      .flag("--progress", &args.progress, "print sweep progress to stderr")
+      .option("--threads", &args.threads, "N",
+              "sweep worker threads (0 = hardware_concurrency)");
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << parser.usage();
@@ -117,7 +122,7 @@ inline void run_compare_figure(trace::Preset preset, const std::string& title,
   }
   core::RunSpec spec;
   spec.sizing = core::BrowserSizing::kAverage;
-  ThreadPool pool;
+  ThreadPool pool(args.threads);
   const std::vector<core::OrgKind> orgs = {
       core::OrgKind::kProxyAndLocalBrowser, core::OrgKind::kBrowsersAware};
   std::vector<core::CacheSizePoint> points;

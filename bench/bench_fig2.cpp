@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
 
   core::RunSpec spec;
   spec.sizing = core::BrowserSizing::kMinimum;
-  ThreadPool pool;
+  ThreadPool pool(args.threads);
   const std::vector<core::OrgKind> orgs(std::begin(sim::kAllOrganizations),
                                         std::end(sim::kAllOrganizations));
   std::vector<core::CacheSizePoint> points;

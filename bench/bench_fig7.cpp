@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   const trace::Trace t = bench::load(trace::Preset::kCanet2, args);
   core::RunSpec spec;
   spec.sizing = core::BrowserSizing::kAverage;
-  ThreadPool pool;
+  ThreadPool pool(args.threads);
   const std::vector<core::OrgKind> orgs = {
       core::OrgKind::kProxyAndLocalBrowser, core::OrgKind::kBrowsersAware};
   const auto points =

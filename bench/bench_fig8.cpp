@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   core::RunSpec spec;
   spec.relative_cache_size = 0.10;
   spec.sizing = core::BrowserSizing::kAverage;
-  ThreadPool pool;
+  ThreadPool pool(args.threads);
 
   obs::PhaseTimers phases;
   obs::ReportBuilder report("bench_fig8");

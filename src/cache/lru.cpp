@@ -1,31 +1,3 @@
+// LruPolicy is header-only (see lru.hpp for why); this TU just anchors the
+// header in the library build so misuse shows up as a normal compile error.
 #include "cache/lru.hpp"
-
-#include "util/assert.hpp"
-
-namespace baps::cache {
-
-void LruPolicy::on_insert(DocId doc, std::uint64_t /*size*/) {
-  BAPS_REQUIRE(!where_.contains(doc), "doc already tracked by LRU");
-  order_.push_front(doc);
-  where_[doc] = order_.begin();
-}
-
-void LruPolicy::on_hit(DocId doc, std::uint64_t /*size*/) {
-  const auto it = where_.find(doc);
-  BAPS_REQUIRE(it != where_.end(), "hit on untracked doc");
-  order_.splice(order_.begin(), order_, it->second);
-}
-
-void LruPolicy::on_remove(DocId doc) {
-  const auto it = where_.find(doc);
-  BAPS_REQUIRE(it != where_.end(), "remove of untracked doc");
-  order_.erase(it->second);
-  where_.erase(it);
-}
-
-DocId LruPolicy::victim() const {
-  BAPS_REQUIRE(!order_.empty(), "victim() on empty LRU");
-  return order_.back();
-}
-
-}  // namespace baps::cache

@@ -1,25 +1,125 @@
-// Least-Recently-Used: the paper's replacement policy. O(1) per operation
-// via an intrusive list + hash map of list iterators.
+// Least-Recently-Used: the paper's replacement policy. O(1) per operation.
+//
+// Storage is a slab of intrusive doubly-linked nodes addressed by 32-bit
+// indices instead of a std::list of heap nodes: moving a document to the MRU
+// position rewrites four integers in a contiguous array, and a FlatMap maps
+// doc → slot without per-node allocations. Freed slots are recycled LIFO.
+// The eviction order is bit-identical to the previous std::list
+// implementation (insert → front, hit → splice to front, victim → back);
+// tests/cache/lru_diff_test.cpp locks that contract in.
+//
+// Every method is defined in-class: ObjectCache keeps a concrete LruPolicy*
+// next to its EvictionPolicy pointer and calls these directly on the replay
+// hot path, so they must be visible for inlining at the call site.
 #pragma once
 
-#include <list>
-#include <unordered_map>
+#include <cstdint>
+#include <vector>
 
 #include "cache/policy.hpp"
+#include "util/assert.hpp"
+#include "util/flat_map.hpp"
 
 namespace baps::cache {
 
 class LruPolicy final : public EvictionPolicy {
  public:
-  void on_insert(DocId doc, std::uint64_t size) override;
-  void on_hit(DocId doc, std::uint64_t size) override;
-  void on_remove(DocId doc) override;
-  DocId victim() const override;
+  void reserve(std::size_t docs) override {
+    nodes_.reserve(docs);
+    where_.reserve(docs);
+  }
+
+  void on_insert(DocId doc, std::uint64_t /*size*/) override {
+    const std::uint32_t slot = allocate(doc);
+    if (!where_.insert(doc, slot)) {
+      free_.push_back(slot);  // keep the slab consistent before throwing
+      BAPS_REQUIRE(false, "doc already tracked by LRU");
+    }
+    link_front(slot);
+  }
+
+  void on_hit(DocId doc, std::uint64_t /*size*/) override {
+    const std::uint32_t* slot = where_.find(doc);
+    BAPS_REQUIRE(slot != nullptr, "hit on untracked doc");
+    if (*slot == head_) return;
+    unlink(*slot);
+    link_front(*slot);
+  }
+
+  void on_remove(DocId doc) override {
+    std::uint32_t slot = 0;
+    BAPS_REQUIRE(where_.erase(doc, &slot), "remove of untracked doc");
+    unlink(slot);
+    free_.push_back(slot);
+  }
+
+  DocId victim() const override {
+    BAPS_REQUIRE(tail_ != kNil, "victim() on empty LRU");
+    return nodes_[tail_].doc;
+  }
+
+  DocId pop_victim() override {
+    BAPS_REQUIRE(tail_ != kNil, "pop_victim() on empty LRU");
+    const std::uint32_t slot = tail_;
+    const DocId doc = nodes_[slot].doc;
+    unlink(slot);  // the slot is the tail: no doc -> slot lookup needed
+    free_.push_back(slot);
+    where_.erase(doc);
+    return doc;
+  }
 
  private:
-  // Front = most recently used, back = eviction candidate.
-  std::list<DocId> order_;
-  std::unordered_map<DocId, std::list<DocId>::iterator> where_;
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    DocId doc = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
+
+  std::uint32_t allocate(DocId doc) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      nodes_[slot].doc = doc;
+      return slot;
+    }
+    BAPS_ENSURE(nodes_.size() < kNil, "LRU slab exhausted 32-bit slot space");
+    nodes_.push_back(Node{doc, kNil, kNil});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  void link_front(std::uint32_t slot) {
+    nodes_[slot].prev = kNil;
+    nodes_[slot].next = head_;
+    if (head_ != kNil) {
+      nodes_[head_].prev = slot;
+    } else {
+      tail_ = slot;
+    }
+    head_ = slot;
+  }
+
+  void unlink(std::uint32_t slot) {
+    const Node& n = nodes_[slot];
+    if (n.prev != kNil) {
+      nodes_[n.prev].next = n.next;
+    } else {
+      head_ = n.next;
+    }
+    if (n.next != kNil) {
+      nodes_[n.next].prev = n.prev;
+    } else {
+      tail_ = n.prev;
+    }
+  }
+
+  // head_ = most recently used, tail_ = eviction candidate.
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;  // recycled slots, LIFO
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  util::FlatMap<std::uint32_t> where_;  // doc -> slot
 };
 
 }  // namespace baps::cache

@@ -3,12 +3,15 @@
 #include <utility>
 
 #include "obs/registry.hpp"
-#include "util/assert.hpp"
 
 namespace baps::cache {
 
 ObjectCache::ObjectCache(std::uint64_t capacity_bytes, PolicyKind policy)
-    : capacity_(capacity_bytes), kind_(policy), policy_(make_policy(policy)) {}
+    : capacity_(capacity_bytes),
+      kind_(policy),
+      policy_(make_policy(policy)),
+      lru_(policy == PolicyKind::kLru ? static_cast<LruPolicy*>(policy_.get())
+                                      : nullptr) {}
 
 ObjectCache::~ObjectCache() {
   // Fold this cache's lifetime totals into the per-policy registry family.
@@ -32,12 +35,18 @@ ObjectCache::ObjectCache(ObjectCache&& other) noexcept
     : capacity_(other.capacity_),
       kind_(other.kind_),
       policy_(std::move(other.policy_)),
+      lru_(other.lru_),
       entries_(std::move(other.entries_)),
       used_(other.used_),
       on_evict_(std::move(other.on_evict_)),
+      raw_evict_(other.raw_evict_),
+      raw_evict_ctx_(other.raw_evict_ctx_),
       stats_(other.stats_) {
+  other.lru_ = nullptr;
   other.entries_.clear();
   other.used_ = 0;
+  other.raw_evict_ = nullptr;
+  other.raw_evict_ctx_ = nullptr;
   other.stats_ = {};
 }
 
@@ -46,70 +55,35 @@ ObjectCache& ObjectCache::operator=(ObjectCache&& other) noexcept {
   capacity_ = other.capacity_;
   kind_ = other.kind_;
   policy_ = std::move(other.policy_);
+  lru_ = other.lru_;
   entries_ = std::move(other.entries_);
   used_ = other.used_;
   on_evict_ = std::move(other.on_evict_);
+  raw_evict_ = other.raw_evict_;
+  raw_evict_ctx_ = other.raw_evict_ctx_;
   stats_ = other.stats_;
+  other.lru_ = nullptr;
   other.entries_.clear();
   other.used_ = 0;
+  other.raw_evict_ = nullptr;
+  other.raw_evict_ctx_ = nullptr;
   other.stats_ = {};
   return *this;
 }
 
-std::optional<std::uint64_t> ObjectCache::peek_size(DocId doc) const {
-  const auto it = entries_.find(doc);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
-}
-
-std::optional<std::uint64_t> ObjectCache::touch(DocId doc) {
-  const auto it = entries_.find(doc);
-  if (it == entries_.end()) return std::nullopt;
-  policy_->on_hit(doc, it->second);
-  ++stats_.hits;
-  return it->second;
-}
-
-bool ObjectCache::insert(DocId doc, std::uint64_t size) {
-  BAPS_REQUIRE(!entries_.contains(doc),
-               "insert of resident doc — erase it first");
-  if (size > capacity_) {
-    ++stats_.rejected_too_large;
-    return false;
-  }
-  while (used_ + size > capacity_) evict_one();
-  entries_[doc] = size;
-  used_ += size;
-  policy_->on_insert(doc, size);
-  ++stats_.insertions;
-  return true;
-}
-
-bool ObjectCache::erase(DocId doc) {
-  const auto it = entries_.find(doc);
-  if (it == entries_.end()) return false;
-  used_ -= it->second;
-  policy_->on_remove(doc);
-  entries_.erase(it);
-  ++stats_.erases;
-  return true;
+void ObjectCache::reserve(std::size_t docs) {
+  entries_.reserve(docs);
+  policy_->reserve(docs);
 }
 
 void ObjectCache::set_eviction_listener(EvictionListener listener) {
   on_evict_ = std::move(listener);
 }
 
-void ObjectCache::evict_one() {
-  BAPS_ENSURE(!entries_.empty(), "eviction from empty cache");
-  const DocId victim = policy_->victim();
-  const auto it = entries_.find(victim);
-  BAPS_ENSURE(it != entries_.end(), "policy victim not resident");
-  const std::uint64_t size = it->second;
-  used_ -= size;
-  policy_->on_remove(victim);
-  entries_.erase(it);
-  ++stats_.evictions;
-  if (on_evict_) on_evict_(victim, size);
+void ObjectCache::set_raw_eviction_listener(RawEvictionListener fn,
+                                            void* ctx) {
+  raw_evict_ = fn;
+  raw_evict_ctx_ = ctx;
 }
 
 }  // namespace baps::cache

@@ -16,15 +16,30 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 
+#include "cache/lru.hpp"
 #include "cache/policy.hpp"
+#include "util/assert.hpp"
+#include "util/flat_map.hpp"
 
 namespace baps::cache {
+
+/// Outcome of a single-probe lookup that knows the size the caller expects.
+enum class LookupOutcome : std::uint8_t {
+  kMiss,   ///< not resident
+  kHit,    ///< resident at the expected size (recency touched)
+  kStale,  ///< resident at a different size (recency NOT touched)
+};
 
 class ObjectCache {
  public:
   using EvictionListener = std::function<void(DocId, std::uint64_t size)>;
+
+  /// Allocation-free listener flavour for composing caches (TieredCache):
+  /// a plain function pointer plus a context, so the per-eviction callback
+  /// is a direct call instead of a std::function dispatch.
+  using RawEvictionListener = void (*)(void* ctx, DocId doc,
+                                       std::uint64_t size);
 
   /// Per-cache event counters. Plain integers (the cache is single-threaded,
   /// like the simulations that own it); the destructor folds them into the
@@ -55,44 +70,129 @@ class ObjectCache {
 
   bool contains(DocId doc) const { return entries_.contains(doc); }
 
+  /// Capacity hint: pre-sizes the entry table and the policy's storage for
+  /// up to `docs` resident documents, so trace replay never rehashes
+  /// mid-run. Call before the first insert (typically from TraceStats).
+  void reserve(std::size_t docs);
+
   /// Size the document was cached at, without touching recency state.
-  std::optional<std::uint64_t> peek_size(DocId doc) const;
+  std::optional<std::uint64_t> peek_size(DocId doc) const {
+    const std::uint64_t* size = entries_.find(doc);
+    if (size == nullptr) return std::nullopt;
+    return *size;
+  }
 
   /// Recency-touching lookup: returns the cached size on hit, nullopt on
   /// miss. The *caller* decides whether a size mismatch is a miss (and then
   /// calls erase + insert), because that decision carries metric weight.
-  std::optional<std::uint64_t> touch(DocId doc);
+  std::optional<std::uint64_t> touch(DocId doc) {
+    const std::uint64_t* size = entries_.find(doc);
+    if (size == nullptr) return std::nullopt;
+    policy_on_hit(doc, *size);
+    ++stats_.hits;
+    return *size;
+  }
+
+  /// Single-probe equivalent of peek_size-then-touch for the replay hot
+  /// path: hits at `expected` touch recency, a size mismatch reports kStale
+  /// without touching anything (the caller then erases), misses probe once.
+  LookupOutcome touch_expected(DocId doc, std::uint64_t expected) {
+    const std::uint64_t* size = entries_.find(doc);
+    if (size == nullptr) return LookupOutcome::kMiss;
+    if (*size != expected) return LookupOutcome::kStale;
+    policy_on_hit(doc, expected);
+    ++stats_.hits;
+    return LookupOutcome::kHit;
+  }
 
   /// Inserts (doc, size), evicting victims as needed. Returns false (and
   /// caches nothing) if size exceeds capacity. Re-inserting a resident doc
   /// is a programming error — erase first.
-  bool insert(DocId doc, std::uint64_t size);
+  bool insert(DocId doc, std::uint64_t size) {
+    if (size > capacity_) {
+      ++stats_.rejected_too_large;
+      return false;
+    }
+    while (used_ + size > capacity_) evict_one();
+    BAPS_REQUIRE(entries_.insert(doc, size),
+                 "insert of resident doc — erase it first");
+    used_ += size;
+    if (lru_ != nullptr) {
+      lru_->on_insert(doc, size);
+    } else {
+      policy_->on_insert(doc, size);
+    }
+    ++stats_.insertions;
+    return true;
+  }
 
   /// Removes a document; returns false if absent. The eviction listener is
   /// NOT called for explicit erases (they are invalidations the caller
   /// already knows about), only for capacity evictions.
-  bool erase(DocId doc);
+  bool erase(DocId doc) {
+    std::uint64_t size = 0;
+    if (!entries_.erase(doc, &size)) return false;
+    used_ -= size;
+    if (lru_ != nullptr) {
+      lru_->on_remove(doc);
+    } else {
+      policy_->on_remove(doc);
+    }
+    ++stats_.erases;
+    return true;
+  }
 
   /// Called once per capacity-evicted document.
   void set_eviction_listener(EvictionListener listener);
+
+  /// Function-pointer flavour; wins over the std::function listener when
+  /// both are set. Pass nullptr to clear.
+  void set_raw_eviction_listener(RawEvictionListener fn, void* ctx);
 
   const Stats& stats() const { return stats_; }
 
   /// Iterates resident documents (order unspecified).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [doc, size] : entries_) fn(doc, size);
+    entries_.for_each([&](DocId doc, std::uint64_t size) { fn(doc, size); });
   }
 
  private:
-  void evict_one();
+  // The replay hot path runs LRU caches almost exclusively; lru_ caches the
+  // downcast of policy_ so on_hit/on_insert/pop_victim inline here instead
+  // of going through virtual dispatch. Null for every other policy kind.
+  void policy_on_hit(DocId doc, std::uint64_t size) {
+    if (lru_ != nullptr) {
+      lru_->on_hit(doc, size);
+    } else {
+      policy_->on_hit(doc, size);
+    }
+  }
+
+  void evict_one() {
+    BAPS_ENSURE(!entries_.empty(), "eviction from empty cache");
+    const DocId victim =
+        lru_ != nullptr ? lru_->pop_victim() : policy_->pop_victim();
+    std::uint64_t size = 0;
+    BAPS_ENSURE(entries_.erase(victim, &size), "policy victim not resident");
+    used_ -= size;
+    ++stats_.evictions;
+    if (raw_evict_ != nullptr) {
+      raw_evict_(raw_evict_ctx_, victim, size);
+    } else if (on_evict_) {
+      on_evict_(victim, size);
+    }
+  }
 
   std::uint64_t capacity_;
   PolicyKind kind_;
   std::unique_ptr<EvictionPolicy> policy_;
-  std::unordered_map<DocId, std::uint64_t> entries_;  // doc -> cached size
+  LruPolicy* lru_ = nullptr;  // == policy_.get() iff kind_ == kLru
+  util::FlatMap<std::uint64_t> entries_;  // doc -> cached size
   std::uint64_t used_ = 0;
   EvictionListener on_evict_;
+  RawEvictionListener raw_evict_ = nullptr;
+  void* raw_evict_ctx_ = nullptr;
   Stats stats_;
 };
 

@@ -35,11 +35,26 @@ class EvictionPolicy {
  public:
   virtual ~EvictionPolicy() = default;
 
+  /// Capacity hint: the cache expects up to `docs` resident documents.
+  /// Slab/array-backed policies pre-size their storage; default no-op.
+  virtual void reserve(std::size_t docs) { (void)docs; }
+
   virtual void on_insert(DocId doc, std::uint64_t size) = 0;
   virtual void on_hit(DocId doc, std::uint64_t size) = 0;
   virtual void on_remove(DocId doc) = 0;
   /// The document the policy would evict next. Must be resident.
   virtual DocId victim() const = 0;
+
+  /// Removes and returns the next victim in one step. Equivalent to
+  /// `{ v = victim(); on_remove(v); return v; }` — the default does exactly
+  /// that — but policies that already know the victim's internal position
+  /// (the LRU slab's tail) can skip the doc → position lookup on_remove
+  /// would repeat.
+  virtual DocId pop_victim() {
+    const DocId v = victim();
+    on_remove(v);
+    return v;
+  }
 };
 
 std::unique_ptr<EvictionPolicy> make_policy(PolicyKind kind);

@@ -28,10 +28,22 @@ TieredCache::TieredCache(std::uint64_t capacity_bytes, double memory_fraction,
   // Documents leaving the full cache must leave the memory tier with them,
   // for both capacity evictions (listener) and explicit erases (TieredCache
   // routes those through erase()).
-  full_.set_eviction_listener([this](DocId doc, std::uint64_t size) {
-    memory_.erase(doc);
-    if (user_listener_) user_listener_(doc, size);
-  });
+  full_.set_raw_eviction_listener(&TieredCache::on_full_eviction, this);
+}
+
+void TieredCache::on_full_eviction(void* ctx, DocId doc, std::uint64_t size) {
+  auto* self = static_cast<TieredCache*>(ctx);
+  self->memory_.erase(doc);
+  if (self->user_raw_ != nullptr) {
+    self->user_raw_(self->user_raw_ctx_, doc, size);
+  } else if (self->user_listener_) {
+    self->user_listener_(doc, size);
+  }
+}
+
+void TieredCache::reserve(std::size_t docs) {
+  full_.reserve(docs);
+  memory_.reserve(docs / 4 + 1);
 }
 
 void TieredCache::set_eviction_listener(
@@ -39,30 +51,10 @@ void TieredCache::set_eviction_listener(
   user_listener_ = std::move(listener);
 }
 
-std::optional<TieredLookup> TieredCache::touch(DocId doc) {
-  const auto size = full_.touch(doc);
-  if (!size) return std::nullopt;
-  if (memory_.touch(doc)) {
-    return TieredLookup{*size, HitTier::kMemory};
-  }
-  // Disk hit: stage into RAM (may displace colder memory-tier residents).
-  if (*size <= memory_.capacity_bytes()) {
-    memory_.insert(doc, *size);
-  }
-  return TieredLookup{*size, HitTier::kDisk};
-}
-
-bool TieredCache::insert(DocId doc, std::uint64_t size) {
-  if (!full_.insert(doc, size)) return false;
-  if (size <= memory_.capacity_bytes() && !memory_.contains(doc)) {
-    memory_.insert(doc, size);
-  }
-  return true;
-}
-
-bool TieredCache::erase(DocId doc) {
-  memory_.erase(doc);
-  return full_.erase(doc);
+void TieredCache::set_raw_eviction_listener(
+    ObjectCache::RawEvictionListener fn, void* ctx) {
+  user_raw_ = fn;
+  user_raw_ctx_ = ctx;
 }
 
 }  // namespace baps::cache

@@ -25,6 +25,12 @@ struct TieredLookup {
   HitTier tier = HitTier::kDisk;
 };
 
+/// Result of the single-probe touch_expected path.
+struct TieredProbe {
+  LookupOutcome outcome = LookupOutcome::kMiss;
+  HitTier tier = HitTier::kDisk;  ///< meaningful only when outcome == kHit
+};
+
 class TieredCache {
  public:
   /// memory_fraction of the capacity is RAM (paper: 0.1).
@@ -39,31 +45,88 @@ class TieredCache {
   std::size_t count() const { return full_.count(); }
 
   bool contains(DocId doc) const { return full_.contains(doc); }
+
+  /// Capacity hint (expected resident docs in the full cache): pre-sizes
+  /// both tiers' tables so replay never rehashes. The memory tier holds a
+  /// fraction of the documents; a quarter of the hint is generous.
+  void reserve(std::size_t docs);
   std::optional<std::uint64_t> peek_size(DocId doc) const {
     return full_.peek_size(doc);
   }
 
   /// Lookup with tier attribution; promotes disk hits into the memory tier.
-  std::optional<TieredLookup> touch(DocId doc);
+  std::optional<TieredLookup> touch(DocId doc) {
+    const auto size = full_.touch(doc);
+    if (!size) return std::nullopt;
+    if (memory_.touch(doc)) {
+      return TieredLookup{*size, HitTier::kMemory};
+    }
+    // Disk hit: stage into RAM (may displace colder memory-tier residents).
+    if (*size <= memory_.capacity_bytes()) {
+      memory_.insert(doc, *size);
+    }
+    return TieredLookup{*size, HitTier::kDisk};
+  }
+
+  /// Single-probe lookup for callers that know the size they expect (the
+  /// replay hot path): a hit at `expected` behaves exactly like touch(), a
+  /// size mismatch reports kStale without touching recency in either tier,
+  /// a miss probes the full cache once. Same event sequence as
+  /// peek_size-then-touch, minus the duplicate probe.
+  TieredProbe touch_expected(DocId doc, std::uint64_t expected) {
+    const LookupOutcome outcome = full_.touch_expected(doc, expected);
+    if (outcome != LookupOutcome::kHit) {
+      return TieredProbe{outcome, HitTier::kDisk};
+    }
+    if (memory_.touch(doc)) {
+      return TieredProbe{LookupOutcome::kHit, HitTier::kMemory};
+    }
+    if (expected <= memory_.capacity_bytes()) {
+      memory_.insert(doc, expected);
+    }
+    return TieredProbe{LookupOutcome::kHit, HitTier::kDisk};
+  }
 
   /// Inserts into both tiers (a freshly fetched document passes through RAM).
-  bool insert(DocId doc, std::uint64_t size);
+  bool insert(DocId doc, std::uint64_t size) {
+    if (!full_.insert(doc, size)) return false;
+    if (size <= memory_.capacity_bytes() && !memory_.contains(doc)) {
+      memory_.insert(doc, size);
+    }
+    return true;
+  }
 
-  bool erase(DocId doc);
+  bool erase(DocId doc) {
+    memory_.erase(doc);
+    return full_.erase(doc);
+  }
 
   /// Called once per capacity-evicted document (after memory-tier cleanup).
   /// The internal memory-tier bookkeeping already occupies the full cache's
   /// listener slot, so register here, not on full().
   void set_eviction_listener(ObjectCache::EvictionListener listener);
 
+  /// Function-pointer flavour for per-eviction hot paths (the simulated
+  /// browser caches evict more often than they hit); wins over the
+  /// std::function listener when both are set.
+  void set_raw_eviction_listener(ObjectCache::RawEvictionListener fn,
+                                 void* ctx);
+
   /// Exposes the underlying full cache for iteration.
   ObjectCache& full() { return full_; }
   const ObjectCache& full() const { return full_; }
 
  private:
+  // Registered on full_ as a raw listener (one direct call per eviction,
+  // no std::function dispatch): documents leaving the full cache must leave
+  // the memory tier with them.
+  static void on_full_eviction(void* ctx, DocId doc, std::uint64_t size);
+
   ObjectCache full_;
   ObjectCache memory_;
   ObjectCache::EvictionListener user_listener_;
+  ObjectCache::RawEvictionListener user_raw_ = nullptr;
+  void* user_raw_ctx_ = nullptr;
 };
 
 }  // namespace baps::cache

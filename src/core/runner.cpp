@@ -73,6 +73,11 @@ sim::SimConfig build_config(const trace::TraceStats& stats,
   cfg.relay_via_proxy = spec.relay_via_proxy;
   cfg.lan = spec.lan;
   cfg.latency = spec.latency;
+  // Capacity hints: let every cache table and the browser index reserve up
+  // front instead of rehashing through the replay.
+  cfg.doc_universe = stats.doc_universe;
+  cfg.distinct_docs = stats.unique_docs;
+  cfg.client_distinct_docs = stats.distinct_docs_per_client;
   return cfg;
 }
 

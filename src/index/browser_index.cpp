@@ -6,58 +6,22 @@
 
 namespace baps::index {
 
-BrowserIndex::BrowserIndex(std::uint32_t num_clients)
+BrowserIndex::BrowserIndex(std::uint32_t num_clients, DocId doc_universe,
+                           const std::vector<std::uint32_t>& client_doc_hints)
     : per_client_(num_clients) {
   BAPS_REQUIRE(num_clients > 0, "index needs at least one client");
-}
-
-void BrowserIndex::add(ClientId client, DocId doc) {
-  BAPS_REQUIRE(client < per_client_.size(), "client id out of range");
-  if (!per_client_[client].insert(doc).second) return;  // already indexed
-  by_doc_[doc].push_back(client);
-  ++entries_;
-}
-
-void BrowserIndex::remove(ClientId client, DocId doc) {
-  BAPS_REQUIRE(client < per_client_.size(), "client id out of range");
-  if (per_client_[client].erase(doc) == 0) return;  // not indexed
-  const auto it = by_doc_.find(doc);
-  BAPS_ENSURE(it != by_doc_.end(), "per-client/by-doc views out of sync");
-  auto& holders = it->second;
-  const auto pos = std::find(holders.begin(), holders.end(), client);
-  BAPS_ENSURE(pos != holders.end(), "holder list missing client");
-  // Order within the holder list is not meaningful: swap-erase.
-  *pos = holders.back();
-  holders.pop_back();
-  if (holders.empty()) by_doc_.erase(it);
-  --entries_;
-}
-
-bool BrowserIndex::holds(ClientId client, DocId doc) const {
-  BAPS_REQUIRE(client < per_client_.size(), "client id out of range");
-  return per_client_[client].contains(doc);
-}
-
-std::optional<ClientId> BrowserIndex::find_holder(DocId doc,
-                                                  ClientId requester) const {
-  const auto it = by_doc_.find(doc);
-  if (it == by_doc_.end()) return std::nullopt;
-  const auto& holders = it->second;
-  const std::size_t n = holders.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const ClientId candidate = holders[(rr_ + i) % n];
-    if (candidate != requester) {
-      rr_ = (rr_ + i + 1) % n;
-      return candidate;
-    }
+  if (doc_universe > 0) by_doc_.resize(doc_universe);
+  for (std::uint32_t c = 0;
+       c < std::min<std::size_t>(num_clients, client_doc_hints.size()); ++c) {
+    per_client_[c].reserve(client_doc_hints[c]);
   }
-  return std::nullopt;
 }
 
 std::vector<ClientId> BrowserIndex::holders(DocId doc) const {
-  const auto it = by_doc_.find(doc);
-  if (it == by_doc_.end()) return {};
-  return it->second;
+  const HolderList* holders =
+      doc < by_doc_.size() ? &by_doc_[doc] : sparse_.find(doc);
+  if (holders == nullptr) return {};
+  return std::vector<ClientId>(holders->begin(), holders->end());
 }
 
 std::uint64_t BrowserIndex::client_entry_count(ClientId client) const {

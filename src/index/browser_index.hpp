@@ -13,17 +13,30 @@
 //    stale; the simulator measures the resulting hit-ratio degradation and
 //    false forwards.
 //
+// Memory layout: simulation document ids are dense (the Trace constructor
+// enforces doc < num_docs), so the doc → holders view for ids inside the
+// construction-time universe is a flat table indexed directly by doc id,
+// each slot an inline-capacity-2 SmallVector (most docs have 0–2 holders at
+// any instant — only popular documents spill to the heap). Ids outside the
+// universe — the runtime layer indexes sparse 64-bit URL-digest prefixes,
+// and callers may pass doc_universe = 0 — fall back to an open-addressing
+// FlatMap of holder lists. The per-client doc sets are open-addressing
+// FlatSets. A lookup on the simulation hot path is one array index, no
+// hashing at all; sparse ids cost one mixed hash, same as the sets.
+//
 // This class is the *view* the proxy holds; the update protocols live in
 // index/update_protocol.hpp and feed mutations into it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "trace/record.hpp"
+#include "util/assert.hpp"
+#include "util/flat_map.hpp"
+#include "util/small_vector.hpp"
 
 namespace baps::index {
 
@@ -32,22 +45,77 @@ using trace::DocId;
 
 class BrowserIndex {
  public:
-  explicit BrowserIndex(std::uint32_t num_clients);
+  /// `doc_universe` sizes the flat doc → holders table (pass
+  /// Trace::num_docs()); ids at or above it — including everything when 0 —
+  /// live in the sparse overflow map. `client_doc_hints` pre-sizes each
+  /// client's doc set (pass TraceStats::distinct_docs_per_client; an empty
+  /// vector skips the reservation).
+  explicit BrowserIndex(std::uint32_t num_clients, DocId doc_universe = 0,
+                        const std::vector<std::uint32_t>& client_doc_hints = {});
 
   std::uint32_t num_clients() const {
     return static_cast<std::uint32_t>(per_client_.size());
   }
   std::uint64_t entry_count() const { return entries_; }
 
+  // add/remove/holds/find_holder run once per simulated request in the
+  // index-using organizations; they live here so callers inline them.
+
   /// Records that `client`'s browser cache now holds `doc`. Idempotent.
-  void add(ClientId client, DocId doc);
+  void add(ClientId client, DocId doc) {
+    BAPS_REQUIRE(client < per_client_.size(), "client id out of range");
+    if (!per_client_[client].insert(doc)) return;  // already indexed
+    if (doc < by_doc_.size()) {
+      by_doc_[doc].push_back(client);
+    } else {
+      HolderList* holders = sparse_.find(doc);
+      if (holders == nullptr) {
+        sparse_.insert(doc, HolderList{});
+        holders = sparse_.find(doc);
+      }
+      holders->push_back(client);
+    }
+    ++entries_;
+  }
+
   /// Records that `client` no longer holds `doc`. Idempotent.
-  void remove(ClientId client, DocId doc);
-  bool holds(ClientId client, DocId doc) const;
+  void remove(ClientId client, DocId doc) {
+    BAPS_REQUIRE(client < per_client_.size(), "client id out of range");
+    if (!per_client_[client].erase(doc)) return;  // not indexed
+    HolderList* holders =
+        doc < by_doc_.size() ? &by_doc_[doc] : sparse_.find(doc);
+    BAPS_ENSURE(holders != nullptr, "per-client/by-doc views out of sync");
+    const auto pos = std::find(holders->begin(), holders->end(), client);
+    BAPS_ENSURE(pos != holders->end(), "holder list missing client");
+    // Order within the holder list is not meaningful: swap-erase.
+    *pos = holders->back();
+    holders->pop_back();
+    if (holders->empty() && doc >= by_doc_.size()) sparse_.erase(doc);
+    --entries_;
+  }
+
+  bool holds(ClientId client, DocId doc) const {
+    BAPS_REQUIRE(client < per_client_.size(), "client id out of range");
+    return per_client_[client].contains(doc);
+  }
 
   /// Some client (≠ requester) the index believes holds `doc`. Holders are
   /// chosen round-robin so repeated lookups spread load across peers.
-  std::optional<ClientId> find_holder(DocId doc, ClientId requester) const;
+  std::optional<ClientId> find_holder(DocId doc, ClientId requester) const {
+    const HolderList* holders =
+        doc < by_doc_.size() ? &by_doc_[doc] : sparse_.find(doc);
+    if (holders == nullptr) return std::nullopt;
+    const std::size_t n = holders->size();
+    if (n == 0) return std::nullopt;
+    for (std::size_t i = 0; i < n; ++i) {
+      const ClientId candidate = (*holders)[(rr_ + i) % n];
+      if (candidate != requester) {
+        rr_ = (rr_ + i + 1) % n;
+        return candidate;
+      }
+    }
+    return std::nullopt;
+  }
 
   /// All believed holders of `doc` (unspecified order), for fan-out checks.
   std::vector<ClientId> holders(DocId doc) const;
@@ -56,8 +124,11 @@ class BrowserIndex {
   std::uint64_t client_entry_count(ClientId client) const;
 
  private:
-  std::unordered_map<DocId, std::vector<ClientId>> by_doc_;
-  std::vector<std::unordered_set<DocId>> per_client_;
+  using HolderList = util::SmallVector<ClientId, 2>;
+
+  std::vector<HolderList> by_doc_;  // in-universe docs, indexed by doc id
+  util::FlatMap<HolderList> sparse_;  // out-of-universe docs (runtime keys)
+  std::vector<util::FlatSet> per_client_;
   std::uint64_t entries_ = 0;
   mutable std::uint64_t rr_ = 0;  // round-robin cursor
 };

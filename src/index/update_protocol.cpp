@@ -4,16 +4,6 @@
 
 namespace baps::index {
 
-void ImmediateUpdateProtocol::on_cache_insert(ClientId client, DocId doc) {
-  index_.add(client, doc);
-  ++messages_;
-}
-
-void ImmediateUpdateProtocol::on_cache_remove(ClientId client, DocId doc) {
-  index_.remove(client, doc);
-  ++messages_;
-}
-
 PeriodicUpdateProtocol::PeriodicUpdateProtocol(BrowserIndex& idx,
                                                std::uint32_t num_clients,
                                                double threshold)

@@ -45,8 +45,16 @@ class ImmediateUpdateProtocol final : public UpdateProtocol {
  public:
   explicit ImmediateUpdateProtocol(BrowserIndex& idx) : index_(idx) {}
 
-  void on_cache_insert(ClientId client, DocId doc) override;
-  void on_cache_remove(ClientId client, DocId doc) override;
+  // In-class so the browsers-aware hot path (which keeps a concrete pointer
+  // to this protocol) inlines the one-message-per-event bookkeeping.
+  void on_cache_insert(ClientId client, DocId doc) override {
+    index_.add(client, doc);
+    ++messages_;
+  }
+  void on_cache_remove(ClientId client, DocId doc) override {
+    index_.remove(client, doc);
+    ++messages_;
+  }
   std::uint64_t messages_sent() const override { return messages_; }
   std::uint64_t updates_applied() const override { return messages_; }
   void flush_all() override {}

@@ -1,7 +1,5 @@
 #include "net/lan_model.hpp"
 
-#include <algorithm>
-
 #include "util/assert.hpp"
 
 namespace baps::net {
@@ -10,26 +8,6 @@ LanModel::LanModel(LanParams params) : params_(params) {
   BAPS_REQUIRE(params_.bandwidth_bps > 0.0, "bandwidth must be positive");
   BAPS_REQUIRE(params_.connection_setup_s >= 0.0,
                "setup time cannot be negative");
-}
-
-double LanModel::transfer_time(std::uint64_t bytes) const {
-  return params_.connection_setup_s +
-         static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps;
-}
-
-TransferResult LanModel::transfer(double now, std::uint64_t bytes) {
-  const double start = std::max(now, bus_free_at_);
-  TransferResult r;
-  r.wait_s = start - now;
-  r.transfer_s = transfer_time(bytes);
-  r.finish_time = start + r.transfer_s;
-  bus_free_at_ = r.finish_time;
-
-  ++transfers_;
-  bytes_ += bytes;
-  total_transfer_s_ += r.transfer_s;
-  total_wait_s_ += r.wait_s;
-  return r;
 }
 
 }  // namespace baps::net

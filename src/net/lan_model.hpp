@@ -8,6 +8,7 @@
 // for setup + bytes/bandwidth.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 namespace baps::net {
@@ -28,12 +29,29 @@ class LanModel {
   explicit LanModel(LanParams params = {});
 
   /// Serialization + setup time for a payload, ignoring contention.
-  double transfer_time(std::uint64_t bytes) const;
+  /// Inline: runs once per simulated proxy/remote hit from other TUs.
+  double transfer_time(std::uint64_t bytes) const {
+    return params_.connection_setup_s +
+           static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps;
+  }
 
   /// Performs a transfer requested at absolute time `now`; advances the
   /// bus-busy horizon and accumulates totals. `now` values must be
   /// non-decreasing across calls (the simulator replays in trace order).
-  TransferResult transfer(double now, std::uint64_t bytes);
+  TransferResult transfer(double now, std::uint64_t bytes) {
+    const double start = std::max(now, bus_free_at_);
+    TransferResult r;
+    r.wait_s = start - now;
+    r.transfer_s = transfer_time(bytes);
+    r.finish_time = start + r.transfer_s;
+    bus_free_at_ = r.finish_time;
+
+    ++transfers_;
+    bytes_ += bytes;
+    total_transfer_s_ += r.transfer_s;
+    total_wait_s_ += r.wait_s;
+    return r;
+  }
 
   std::uint64_t transfer_count() const { return transfers_; }
   std::uint64_t bytes_moved() const { return bytes_; }

@@ -302,6 +302,7 @@ bool validate_report(const JsonValue& report, std::string* error) {
     }
   }
   if (!validate_transport_metrics(report, error)) return false;
+  if (!validate_replay_metrics(report, error)) return false;
   if (const JsonValue* registry = report.find("registry")) {
     if (!registry->is_object() || !registry->find("counters") ||
         !registry->find("gauges") || !registry->find("histograms")) {
@@ -417,6 +418,36 @@ bool validate_transport_metrics(const JsonValue& report, std::string* error) {
       return fail(error, "wire_bytes_total{dir=" + dir +
                              "}: fewer bytes than headers for " +
                              "wire_frames_total frames");
+    }
+  }
+  return true;
+}
+
+bool validate_replay_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+  const JsonValue* arr = registry->find("gauges");
+  if (arr == nullptr || !arr->is_array()) return true;
+
+  for (const auto& inst : arr->as_array()) {
+    if (!inst.is_object()) continue;
+    const JsonValue* name = inst.find("name");
+    if (name == nullptr || !name->is_string() ||
+        name->as_string() != "replay_requests_per_second") {
+      continue;
+    }
+    const JsonValue* labels = inst.find("labels");
+    const JsonValue* org = labels != nullptr ? labels->find("org") : nullptr;
+    if (org == nullptr || !org->is_string() || org->as_string().empty()) {
+      return fail(error,
+                  "replay_requests_per_second: needs a non-empty org label");
+    }
+    const JsonValue* value = inst.find("value");
+    if (value == nullptr || !value->is_number() ||
+        !std::isfinite(value->as_double()) || value->as_double() <= 0.0) {
+      return fail(error, "replay_requests_per_second{org=" + org->as_string() +
+                             "}: value must be finite and positive");
     }
   }
   return true;

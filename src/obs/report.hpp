@@ -90,6 +90,13 @@ bool validate_report(const JsonValue& report, std::string* error = nullptr);
 bool validate_transport_metrics(const JsonValue& report,
                                 std::string* error = nullptr);
 
+/// Family check for the replay-throughput gauges bench_replay publishes:
+/// every `replay_requests_per_second` gauge in the registry section must
+/// carry a non-empty `org` label and a finite, strictly positive value.
+/// Reports without a registry or without replay gauges pass trivially.
+bool validate_replay_metrics(const JsonValue& report,
+                             std::string* error = nullptr);
+
 /// Checks that every `wire_*` / `netio_*` counter present in both reports
 /// (matched by name + labels) is monotone non-decreasing from `earlier` to
 /// `later` — the cross-file invariant for successive snapshots of one

@@ -63,6 +63,17 @@ struct SimConfig {
 
   net::LanParams lan{};
   LatencyParams latency{};
+
+  // --- capacity hints (perf only — never change simulated behavior) -------
+  /// Bound on document ids (TraceStats::doc_universe). Pre-sizes the flat
+  /// browser-index table; 0 grows on demand.
+  std::uint64_t doc_universe = 0;
+  /// Distinct documents in the trace (TraceStats::unique_docs). Reserves the
+  /// proxy cache's tables; 0 skips the reservation.
+  std::uint64_t distinct_docs = 0;
+  /// Distinct documents per client (TraceStats::distinct_docs_per_client).
+  /// Reserves each browser cache's tables and index set; empty skips.
+  std::vector<std::uint32_t> client_distinct_docs;
 };
 
 // ---------------------------------------------------------------------------

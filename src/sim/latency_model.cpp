@@ -11,21 +11,4 @@ LatencyModel::LatencyModel(LatencyParams params) : params_(params) {
                "origin bandwidth must be positive");
 }
 
-double LatencyModel::cache_read(std::uint64_t bytes,
-                                cache::HitTier tier) const {
-  if (tier == cache::HitTier::kMemory) {
-    const std::uint64_t blocks =
-        (bytes + params_.memory_block_bytes - 1) / params_.memory_block_bytes;
-    return static_cast<double>(blocks) * params_.memory_block_s;
-  }
-  const std::uint64_t pages =
-      (bytes + params_.disk_page_bytes - 1) / params_.disk_page_bytes;
-  return static_cast<double>(pages) * params_.disk_page_s;
-}
-
-double LatencyModel::origin_fetch(std::uint64_t bytes) const {
-  return params_.origin_rtt_s +
-         static_cast<double>(bytes) * 8.0 / params_.origin_bandwidth_bps;
-}
-
 }  // namespace baps::sim

@@ -31,11 +31,25 @@ class LatencyModel {
  public:
   explicit LatencyModel(LatencyParams params = {});
 
-  /// Time to read `bytes` from the given cache tier.
-  double cache_read(std::uint64_t bytes, cache::HitTier tier) const;
+  /// Time to read `bytes` from the given cache tier. Inline: this runs once
+  /// per simulated hit, and the callers sit in other translation units.
+  double cache_read(std::uint64_t bytes, cache::HitTier tier) const {
+    if (tier == cache::HitTier::kMemory) {
+      const std::uint64_t blocks =
+          (bytes + params_.memory_block_bytes - 1) /
+          params_.memory_block_bytes;
+      return static_cast<double>(blocks) * params_.memory_block_s;
+    }
+    const std::uint64_t pages =
+        (bytes + params_.disk_page_bytes - 1) / params_.disk_page_bytes;
+    return static_cast<double>(pages) * params_.disk_page_s;
+  }
 
   /// Time to fetch `bytes` from the origin server across the WAN.
-  double origin_fetch(std::uint64_t bytes) const;
+  double origin_fetch(std::uint64_t bytes) const {
+    return params_.origin_rtt_s +
+           static_cast<double>(bytes) * 8.0 / params_.origin_bandwidth_bps;
+  }
 
   const LatencyParams& params() const { return params_; }
 

@@ -13,91 +13,6 @@ Organization::Organization(const SimConfig& config, std::uint32_t num_clients)
   BAPS_REQUIRE(num_clients > 0, "simulation needs at least one client");
 }
 
-std::optional<cache::TieredLookup> Organization::lookup_current(
-    cache::TieredCache& cache, const trace::Request& r,
-    const std::function<void(trace::DocId)>& on_stale_erase) {
-  const auto cached_size = cache.peek_size(r.doc);
-  if (!cached_size) return std::nullopt;
-  if (*cached_size != r.size) {
-    // §3.2: a hit on a size-changed document is a miss; drop the stale copy.
-    cache.erase(r.doc);
-    ++metrics_.size_change_misses;
-    if (on_stale_erase) on_stale_erase(r.doc);
-    return std::nullopt;
-  }
-  return cache.touch(r.doc);
-}
-
-void Organization::count_memory_bytes(const trace::Request& r,
-                                      cache::HitTier tier) {
-  if (tier == cache::HitTier::kMemory) {
-    metrics_.memory_hit_bytes += r.size;
-  } else {
-    metrics_.disk_hit_bytes += r.size;
-  }
-}
-
-void Organization::record_local_browser_hit(const trace::Request& r,
-                                            cache::HitTier tier) {
-  metrics_.hits.hit();
-  metrics_.byte_hits.hit(r.size);
-  ++metrics_.local_browser_hits;
-  metrics_.local_browser_hit_bytes += r.size;
-  count_memory_bytes(r, tier);
-  const double t = latency_.cache_read(r.size, tier);
-  metrics_.total_service_time_s += t;
-  metrics_.total_hit_latency_s += t;
-  metrics_.observe_latency(t);
-}
-
-void Organization::record_proxy_hit(const trace::Request& r,
-                                    cache::HitTier tier) {
-  metrics_.hits.hit();
-  metrics_.byte_hits.hit(r.size);
-  ++metrics_.proxy_hits;
-  metrics_.proxy_hit_bytes += r.size;
-  count_memory_bytes(r, tier);
-  // Proxy→client delivery rides the LAN but is not part of the paper's
-  // remote-browser overhead; it is uncontended here.
-  const double t =
-      latency_.cache_read(r.size, tier) + lan_.transfer_time(r.size);
-  metrics_.total_service_time_s += t;
-  metrics_.total_hit_latency_s += t;
-  metrics_.observe_latency(t);
-}
-
-void Organization::record_remote_browser_hit(const trace::Request& r,
-                                             cache::HitTier tier, int hops) {
-  BAPS_REQUIRE(hops == 1 || hops == 2, "remote hits take one or two LAN hops");
-  metrics_.hits.hit();
-  metrics_.byte_hits.hit(r.size);
-  ++metrics_.remote_browser_hits;
-  metrics_.remote_browser_hit_bytes += r.size;
-  count_memory_bytes(r, tier);
-
-  double t = latency_.cache_read(r.size, tier);
-  for (int h = 0; h < hops; ++h) {
-    const net::TransferResult x = lan_.transfer(r.timestamp, r.size);
-    metrics_.remote_transfer_time_s += x.transfer_s;
-    metrics_.remote_contention_time_s += x.wait_s;
-    metrics_.remote_transfer_bytes += r.size;
-    t += x.transfer_s + x.wait_s;
-  }
-  metrics_.total_service_time_s += t;
-  metrics_.total_hit_latency_s += t;
-  metrics_.observe_latency(t);
-}
-
-void Organization::record_miss(const trace::Request& r) {
-  metrics_.hits.miss();
-  metrics_.byte_hits.miss(r.size);
-  ++metrics_.misses;
-  metrics_.miss_bytes += r.size;
-  const double t = latency_.origin_fetch(r.size);
-  metrics_.total_service_time_s += t;
-  metrics_.observe_latency(t);
-}
-
 std::unique_ptr<Organization> Organization::create(OrgKind kind,
                                                    const SimConfig& config,
                                                    std::uint32_t num_clients) {
@@ -115,14 +30,6 @@ std::unique_ptr<Organization> Organization::create(OrgKind kind,
   }
   BAPS_REQUIRE(false, "unknown organization kind");
   return nullptr;
-}
-
-Metrics run_organization(OrgKind kind, const SimConfig& config,
-                         const trace::Trace& trace) {
-  auto org = Organization::create(kind, config, trace.num_clients());
-  for (const trace::Request& r : trace.requests()) org->process(r);
-  org->finish();
-  return org->metrics();
 }
 
 }  // namespace baps::sim

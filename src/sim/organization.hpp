@@ -18,14 +18,15 @@
 //   * miss: WAN origin fetch.
 #pragma once
 
-#include <functional>
 #include <memory>
+#include <optional>
 
 #include "cache/tiered_cache.hpp"
 #include "net/lan_model.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 #include "trace/record.hpp"
+#include "util/assert.hpp"
 
 namespace baps::sim {
 
@@ -54,19 +55,101 @@ class Organization {
   /// copy at a different size is erased and reported as a miss
   /// (metrics_.size_change_misses incremented). `on_stale_erase` fires when
   /// that happens, so index-maintaining organizations can propagate the
-  /// removal.
-  std::optional<cache::TieredLookup> lookup_current(
-      cache::TieredCache& cache, const trace::Request& r,
-      const std::function<void(trace::DocId)>& on_stale_erase = nullptr);
+  /// removal. A template so call-site lambdas inline instead of constructing
+  /// a std::function per request.
+  template <typename OnStale>
+  std::optional<cache::TieredLookup> lookup_current(cache::TieredCache& cache,
+                                                    const trace::Request& r,
+                                                    OnStale&& on_stale_erase) {
+    const cache::TieredProbe probe = cache.touch_expected(r.doc, r.size);
+    if (probe.outcome == cache::LookupOutcome::kMiss) return std::nullopt;
+    if (probe.outcome == cache::LookupOutcome::kStale) {
+      // §3.2: a hit on a size-changed document is a miss; drop the stale
+      // copy.
+      cache.erase(r.doc);
+      ++metrics_.size_change_misses;
+      on_stale_erase(r.doc);
+      return std::nullopt;
+    }
+    return cache::TieredLookup{r.size, probe.tier};
+  }
+  std::optional<cache::TieredLookup> lookup_current(cache::TieredCache& cache,
+                                                    const trace::Request& r) {
+    return lookup_current(cache, r, [](trace::DocId) {});
+  }
 
-  void record_local_browser_hit(const trace::Request& r, cache::HitTier tier);
-  void record_proxy_hit(const trace::Request& r, cache::HitTier tier);
+  // The record_* helpers run once per request; defined here so the org
+  // process() loops in orgs.cpp inline them instead of calling across TUs.
+
+  void record_local_browser_hit(const trace::Request& r,
+                                cache::HitTier tier) {
+    metrics_.hits.hit();
+    metrics_.byte_hits.hit(r.size);
+    ++metrics_.local_browser_hits;
+    metrics_.local_browser_hit_bytes += r.size;
+    count_memory_bytes(r, tier);
+    const double t = latency_.cache_read(r.size, tier);
+    metrics_.total_service_time_s += t;
+    metrics_.total_hit_latency_s += t;
+    metrics_.observe_latency(t);
+  }
+
+  void record_proxy_hit(const trace::Request& r, cache::HitTier tier) {
+    metrics_.hits.hit();
+    metrics_.byte_hits.hit(r.size);
+    ++metrics_.proxy_hits;
+    metrics_.proxy_hit_bytes += r.size;
+    count_memory_bytes(r, tier);
+    // Proxy→client delivery rides the LAN but is not part of the paper's
+    // remote-browser overhead; it is uncontended here.
+    const double t =
+        latency_.cache_read(r.size, tier) + lan_.transfer_time(r.size);
+    metrics_.total_service_time_s += t;
+    metrics_.total_hit_latency_s += t;
+    metrics_.observe_latency(t);
+  }
+
   /// hops: 1 for direct client→client forwarding, 2 for proxy relay.
   void record_remote_browser_hit(const trace::Request& r, cache::HitTier tier,
-                                 int hops);
-  void record_miss(const trace::Request& r);
+                                 int hops) {
+    BAPS_REQUIRE(hops == 1 || hops == 2,
+                 "remote hits take one or two LAN hops");
+    metrics_.hits.hit();
+    metrics_.byte_hits.hit(r.size);
+    ++metrics_.remote_browser_hits;
+    metrics_.remote_browser_hit_bytes += r.size;
+    count_memory_bytes(r, tier);
 
-  void count_memory_bytes(const trace::Request& r, cache::HitTier tier);
+    double t = latency_.cache_read(r.size, tier);
+    for (int h = 0; h < hops; ++h) {
+      const net::TransferResult x = lan_.transfer(r.timestamp, r.size);
+      metrics_.remote_transfer_time_s += x.transfer_s;
+      metrics_.remote_contention_time_s += x.wait_s;
+      metrics_.remote_transfer_bytes += r.size;
+      t += x.transfer_s + x.wait_s;
+    }
+    metrics_.total_service_time_s += t;
+    metrics_.total_hit_latency_s += t;
+    metrics_.observe_latency(t);
+  }
+
+  void record_miss(const trace::Request& r) {
+    metrics_.hits.miss();
+    metrics_.byte_hits.miss(r.size);
+    ++metrics_.misses;
+    metrics_.miss_bytes += r.size;
+    const double t = latency_.origin_fetch(r.size);
+    metrics_.total_service_time_s += t;
+    metrics_.observe_latency(t);
+  }
+
+  void count_memory_bytes(const trace::Request& r, cache::HitTier tier) {
+    if (tier == cache::HitTier::kMemory) {
+      metrics_.memory_hit_bytes += r.size;
+    } else {
+      metrics_.disk_hit_bytes += r.size;
+    }
+  }
 
   SimConfig config_;
   std::uint32_t num_clients_;

@@ -14,6 +14,9 @@ std::vector<cache::TieredCache> make_browsers(const SimConfig& config,
   for (std::uint32_t c = 0; c < num_clients; ++c) {
     browsers.emplace_back(config.browser_cache_bytes[c],
                           config.memory_fraction, config.policy);
+    if (c < config.client_distinct_docs.size()) {
+      browsers.back().reserve(config.client_distinct_docs[c]);
+    }
   }
   return browsers;
 }
@@ -25,7 +28,9 @@ std::vector<cache::TieredCache> make_browsers(const SimConfig& config,
 
 ProxyOnlyOrg::ProxyOnlyOrg(const SimConfig& config, std::uint32_t num_clients)
     : Organization(config, num_clients),
-      proxy_(config.proxy_cache_bytes, config.memory_fraction, config.policy) {}
+      proxy_(config.proxy_cache_bytes, config.memory_fraction, config.policy) {
+  proxy_.reserve(config.distinct_docs);
+}
 
 void ProxyOnlyOrg::process(const trace::Request& r) {
   if (const auto hit = lookup_current(proxy_, r)) {
@@ -61,11 +66,19 @@ GlobalBrowsersOnlyOrg::GlobalBrowsersOnlyOrg(const SimConfig& config,
                                              std::uint32_t num_clients)
     : Organization(config, num_clients),
       browsers_(make_browsers(config, num_clients)),
-      index_(num_clients) {
+      index_(num_clients, config.doc_universe, config.client_distinct_docs) {
+  evict_ctx_.resize(num_clients);
   for (std::uint32_t c = 0; c < num_clients; ++c) {
-    browsers_[c].set_eviction_listener(
-        [this, c](trace::DocId doc, std::uint64_t) { index_.remove(c, doc); });
+    evict_ctx_[c] = EvictCtx{this, c};
+    browsers_[c].set_raw_eviction_listener(
+        &GlobalBrowsersOnlyOrg::on_browser_eviction, &evict_ctx_[c]);
   }
+}
+
+void GlobalBrowsersOnlyOrg::on_browser_eviction(void* ctx, trace::DocId doc,
+                                                std::uint64_t /*size*/) {
+  auto* e = static_cast<EvictCtx*>(ctx);
+  e->org->index_.remove(e->client, doc);
 }
 
 void GlobalBrowsersOnlyOrg::fill_browser(trace::ClientId client,
@@ -85,12 +98,11 @@ void GlobalBrowsersOnlyOrg::process(const trace::Request& r) {
   // Replicated index lookup: one remote probe, direct client→client forward.
   if (const auto holder = index_.find_holder(r.doc, r.client)) {
     cache::TieredCache& remote = browsers_[*holder];
-    const auto remote_size = remote.peek_size(r.doc);
-    BAPS_ENSURE(remote_size.has_value(),
+    const auto probe = remote.touch_expected(r.doc, r.size);
+    BAPS_ENSURE(probe.outcome != cache::LookupOutcome::kMiss,
                 "immediate index out of sync with browser cache");
-    if (*remote_size == r.size) {
-      const auto hit = remote.touch(r.doc);
-      record_remote_browser_hit(r, hit->tier, /*hops=*/1);
+    if (probe.outcome == cache::LookupOutcome::kHit) {
+      record_remote_browser_hit(r, probe.tier, /*hops=*/1);
       // §3.2 item 3: the requester does NOT cache a document fetched from
       // another browser in this organization.
       return;
@@ -108,7 +120,9 @@ ProxyAndLocalBrowserOrg::ProxyAndLocalBrowserOrg(const SimConfig& config,
                                                  std::uint32_t num_clients)
     : Organization(config, num_clients),
       browsers_(make_browsers(config, num_clients)),
-      proxy_(config.proxy_cache_bytes, config.memory_fraction, config.policy) {}
+      proxy_(config.proxy_cache_bytes, config.memory_fraction, config.policy) {
+  proxy_.reserve(config.distinct_docs);
+}
 
 void ProxyAndLocalBrowserOrg::fill_browser(trace::ClientId client,
                                            const trace::Request& r) {
@@ -140,11 +154,15 @@ BrowsersAwareOrg::BrowsersAwareOrg(const SimConfig& config,
       browsers_(make_browsers(config, num_clients)),
       proxy_(config.proxy_cache_bytes, config.memory_fraction,
              config.policy) {
+  proxy_.reserve(config.distinct_docs);
   if (config.index_kind == IndexKind::kExact) {
-    exact_index_ = std::make_unique<index::BrowserIndex>(num_clients);
+    exact_index_ = std::make_unique<index::BrowserIndex>(
+        num_clients, config.doc_universe, config.client_distinct_docs);
     if (config.index_mode == IndexMode::kImmediate) {
-      protocol_ =
+      auto immediate =
           std::make_unique<index::ImmediateUpdateProtocol>(*exact_index_);
+      immediate_ = immediate.get();
+      protocol_ = std::move(immediate);
     } else {
       protocol_ = std::make_unique<index::PeriodicUpdateProtocol>(
           *exact_index_, num_clients, config.index_threshold);
@@ -154,32 +172,18 @@ BrowsersAwareOrg::BrowsersAwareOrg(const SimConfig& config,
         num_clients, config.bloom_expected_docs_per_client,
         config.bloom_target_fp);
   }
+  evict_ctx_.resize(num_clients);
   for (std::uint32_t c = 0; c < num_clients; ++c) {
-    browsers_[c].set_eviction_listener(
-        [this, c](trace::DocId doc, std::uint64_t) {
-          index_remove(c, doc);
-        });
+    evict_ctx_[c] = EvictCtx{this, c};
+    browsers_[c].set_raw_eviction_listener(
+        &BrowsersAwareOrg::on_browser_eviction, &evict_ctx_[c]);
   }
 }
 
-void BrowsersAwareOrg::index_insert(trace::ClientId client,
-                                    trace::DocId doc) {
-  if (protocol_) {
-    protocol_->on_cache_insert(client, doc);
-  } else {
-    summary_index_->add(client, doc);
-    ++summary_messages_;
-  }
-}
-
-void BrowsersAwareOrg::index_remove(trace::ClientId client,
-                                    trace::DocId doc) {
-  if (protocol_) {
-    protocol_->on_cache_remove(client, doc);
-  } else {
-    summary_index_->remove(client, doc);
-    ++summary_messages_;
-  }
+void BrowsersAwareOrg::on_browser_eviction(void* ctx, trace::DocId doc,
+                                           std::uint64_t /*size*/) {
+  auto* e = static_cast<EvictCtx*>(ctx);
+  e->org->index_remove(e->client, doc);
 }
 
 std::optional<trace::ClientId> BrowsersAwareOrg::index_lookup(
@@ -220,15 +224,14 @@ void BrowsersAwareOrg::process(const trace::Request& r) {
   // Proxy and local caches missed: consult the browser index (§2).
   if (const auto holder = index_lookup(r.doc, r.client)) {
     cache::TieredCache& remote = browsers_[*holder];
-    const auto remote_size = remote.peek_size(r.doc);
-    if (!remote_size) {
+    const auto probe = remote.touch_expected(r.doc, r.size);
+    if (probe.outcome == cache::LookupOutcome::kMiss) {
       // Stale index entry (periodic mode) or Bloom false positive: the
       // probe comes back empty.
       ++metrics_.false_forwards;
-    } else if (*remote_size == r.size) {
-      const auto hit = remote.touch(r.doc);
+    } else if (probe.outcome == cache::LookupOutcome::kHit) {
       const int hops = config_.relay_via_proxy ? 2 : 1;
-      record_remote_browser_hit(r, hit->tier, hops);
+      record_remote_browser_hit(r, probe.tier, hops);
       fill_browser(r.client, r);  // the requester's browser keeps a copy
       return;
     } else {
@@ -247,6 +250,41 @@ void BrowsersAwareOrg::finish() {
   } else {
     metrics_.index_messages = summary_messages_;
   }
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One kind dispatch per trace, not one vtable dispatch per request: with the
+// concrete (final) type the per-request process() call is direct and inlines
+// into the replay loop.
+template <typename Org>
+Metrics run_concrete(const SimConfig& config, const trace::Trace& trace) {
+  Org org(config, trace.num_clients());
+  for (const trace::Request& r : trace.requests()) org.process(r);
+  org.finish();
+  return org.metrics();
+}
+
+}  // namespace
+
+Metrics run_organization(OrgKind kind, const SimConfig& config,
+                         const trace::Trace& trace) {
+  switch (kind) {
+    case OrgKind::kProxyOnly:
+      return run_concrete<ProxyOnlyOrg>(config, trace);
+    case OrgKind::kLocalBrowserOnly:
+      return run_concrete<LocalBrowserOnlyOrg>(config, trace);
+    case OrgKind::kGlobalBrowsersOnly:
+      return run_concrete<GlobalBrowsersOnlyOrg>(config, trace);
+    case OrgKind::kProxyAndLocalBrowser:
+      return run_concrete<ProxyAndLocalBrowserOrg>(config, trace);
+    case OrgKind::kBrowsersAware:
+      return run_concrete<BrowsersAwareOrg>(config, trace);
+  }
+  BAPS_REQUIRE(false, "unknown organization kind");
+  return {};
 }
 
 }  // namespace baps::sim

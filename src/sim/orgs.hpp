@@ -43,10 +43,20 @@ class GlobalBrowsersOnlyOrg final : public Organization {
   void process(const trace::Request& r) override;
 
  private:
+  /// Raw eviction-listener context, one per client (stable addresses: the
+  /// vector is sized once in the constructor and never grows).
+  struct EvictCtx {
+    GlobalBrowsersOnlyOrg* org = nullptr;
+    trace::ClientId client = 0;
+  };
+  static void on_browser_eviction(void* ctx, trace::DocId doc,
+                                  std::uint64_t size);
+
   void fill_browser(trace::ClientId client, const trace::Request& r);
 
   std::vector<cache::TieredCache> browsers_;
   index::BrowserIndex index_;
+  std::vector<EvictCtx> evict_ctx_;
 };
 
 /// 4. proxy-and-local-browser: the conventional hierarchy.
@@ -77,9 +87,43 @@ class BrowsersAwareOrg final : public Organization {
   std::uint64_t index_bytes() const;
 
  private:
+  /// Raw eviction-listener context, one per client (stable addresses: the
+  /// vector is sized once in the constructor and never grows).
+  struct EvictCtx {
+    BrowsersAwareOrg* org = nullptr;
+    trace::ClientId client = 0;
+  };
+  static void on_browser_eviction(void* ctx, trace::DocId doc,
+                                  std::uint64_t size);
+
   void fill_browser(trace::ClientId client, const trace::Request& r);
-  void index_insert(trace::ClientId client, trace::DocId doc);
-  void index_remove(trace::ClientId client, trace::DocId doc);
+
+  // The index mutation helpers run on every browser insert/evict; the
+  // immediate-mode protocol (the paper's default and the replay hot path)
+  // is fast-pathed through a concrete pointer so the call inlines instead
+  // of going through the UpdateProtocol vtable.
+  void index_insert(trace::ClientId client, trace::DocId doc) {
+    if (immediate_ != nullptr) {
+      immediate_->on_cache_insert(client, doc);
+    } else if (protocol_) {
+      protocol_->on_cache_insert(client, doc);
+    } else {
+      summary_index_->add(client, doc);
+      ++summary_messages_;
+    }
+  }
+
+  void index_remove(trace::ClientId client, trace::DocId doc) {
+    if (immediate_ != nullptr) {
+      immediate_->on_cache_remove(client, doc);
+    } else if (protocol_) {
+      protocol_->on_cache_remove(client, doc);
+    } else {
+      summary_index_->remove(client, doc);
+      ++summary_messages_;
+    }
+  }
+
   /// The index's best candidate holder for `doc`, or nullopt.
   std::optional<trace::ClientId> index_lookup(trace::DocId doc,
                                               trace::ClientId requester) const;
@@ -89,7 +133,9 @@ class BrowsersAwareOrg final : public Organization {
   // Exactly one of the two indexes is active, per config_.index_kind.
   std::unique_ptr<index::BrowserIndex> exact_index_;
   std::unique_ptr<index::UpdateProtocol> protocol_;  // exact mode only
+  index::ImmediateUpdateProtocol* immediate_ = nullptr;  // == protocol_.get()
   std::unique_ptr<index::SummaryIndex> summary_index_;
+  std::vector<EvictCtx> evict_ctx_;
   std::uint64_t summary_messages_ = 0;
 };
 

@@ -17,7 +17,9 @@ TraceStats compute_stats(const Trace& trace) {
   TraceStats s;
   s.num_requests = trace.size();
   s.num_clients = trace.num_clients();
+  s.doc_universe = trace.num_docs();
   s.infinite_browser_bytes.assign(trace.num_clients(), 0);
+  s.distinct_docs_per_client.assign(trace.num_clients(), 0);
 
   // doc -> last observed size (global, and per client for browser sizing).
   std::unordered_map<DocId, std::uint64_t> last_size;
@@ -52,6 +54,7 @@ TraceStats compute_stats(const Trace& trace) {
                                                          r.size);
     if (cinserted) {
       s.infinite_browser_bytes[r.client] += r.size;
+      ++s.distinct_docs_per_client[r.client];
     } else if (cit->second != r.size) {
       // Replace the stale copy: adjust the byte account to the new size.
       s.infinite_browser_bytes[r.client] += r.size;

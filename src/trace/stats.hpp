@@ -13,7 +13,10 @@ namespace baps::trace {
 struct TraceStats {
   std::uint64_t num_requests = 0;
   std::uint64_t total_bytes = 0;        ///< sum of all response sizes
-  std::uint64_t unique_docs = 0;
+  std::uint64_t unique_docs = 0;        ///< distinct documents referenced
+  /// Bound on document ids (Trace::num_docs()): ids are dense, so flat
+  /// direct-indexed tables of this length cover the whole universe.
+  DocId doc_universe = 0;
   /// "Infinite cache size": bytes to store every unique document (at its
   /// last observed size).
   std::uint64_t infinite_cache_bytes = 0;
@@ -29,6 +32,10 @@ struct TraceStats {
   /// Per-client infinite browser cache size: bytes of documents the client
   /// itself requested (at last observed size), indexed by client id.
   std::vector<std::uint64_t> infinite_browser_bytes;
+
+  /// Distinct documents each client requested — the capacity hint for that
+  /// client's browser-cache tables and index set (reserve, don't rehash).
+  std::vector<std::uint32_t> distinct_docs_per_client;
 
   /// Mean of infinite_browser_bytes (the paper's "average infinite browser
   /// cache size").

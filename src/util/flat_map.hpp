@@ -1,0 +1,200 @@
+// Open-addressing hash containers for the simulation hot path.
+//
+// The per-request path (ObjectCache entries, LRU slot lookup, BrowserIndex
+// per-client sets) was built on node-allocating std::unordered_map /
+// std::unordered_set: every lookup chased a bucket pointer to a heap node.
+// FlatMap stores keys and values in two parallel arrays with linear probing
+// and backward-shift deletion (no tombstones), so a lookup is one mixed hash
+// plus a short scan of contiguous keys — and reserve() pre-sizes the table
+// so trace replay never rehashes mid-run.
+//
+// Contract:
+//  * keys are u64; the value 2^64-1 is reserved as the empty-slot sentinel
+//    (document ids, client ids, and slab indices are all dense small
+//    integers, far below it);
+//  * max load factor 3/4, capacity is a power of two (min 16);
+//  * pointers returned by find() are invalidated by insert/erase/reserve;
+//  * iteration order is unspecified (it is table order) — callers that need
+//    deterministic cross-run behavior must not depend on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace baps::util {
+
+/// splitmix64 finalizer: cheap, well-distributed mixing for dense integer
+/// keys (sequential ids would otherwise probe into the same neighborhood).
+inline std::uint64_t mix_u64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+template <typename V>
+class FlatMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ULL;
+
+  FlatMap() = default;
+  FlatMap(const FlatMap&) = default;
+  FlatMap& operator=(const FlatMap&) = default;
+  // Moves leave the source valid and empty (vector moves already drain the
+  // arrays; the size must follow them).
+  FlatMap(FlatMap&& other) noexcept
+      : keys_(std::move(other.keys_)),
+        vals_(std::move(other.vals_)),
+        size_(other.size_) {
+    other.size_ = 0;
+  }
+  FlatMap& operator=(FlatMap&& other) noexcept {
+    if (this != &other) {
+      keys_ = std::move(other.keys_);
+      vals_ = std::move(other.vals_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Current slot count (for footprint accounting in tests).
+  std::size_t capacity() const { return keys_.size(); }
+
+  /// Pre-sizes the table so `expected` entries fit without rehashing.
+  void reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap * 3 / 4 < expected) cap <<= 1;
+    if (cap > keys_.size()) rehash(cap);
+  }
+
+  void clear() {
+    keys_.assign(keys_.size(), kEmptyKey);
+    for (V& v : vals_) v = V{};  // move-assign: V need not be copyable
+    size_ = 0;
+  }
+
+  V* find(std::uint64_t key) {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = keys_.size() - 1;
+    for (std::size_t i = mix_u64(key) & mask;; i = (i + 1) & mask) {
+      if (keys_[i] == kEmptyKey) return nullptr;
+      if (keys_[i] == key) return &vals_[i];
+    }
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  /// Inserts (key, value); returns false (leaving the map unchanged) if the
+  /// key is already present.
+  bool insert(std::uint64_t key, V value) {
+    BAPS_REQUIRE(key != kEmptyKey, "flat map key sentinel is reserved");
+    if ((size_ + 1) * 4 > keys_.size() * 3) grow();
+    const std::size_t mask = keys_.size() - 1;
+    for (std::size_t i = mix_u64(key) & mask;; i = (i + 1) & mask) {
+      if (keys_[i] == key) return false;
+      if (keys_[i] == kEmptyKey) {
+        keys_[i] = key;
+        vals_[i] = std::move(value);
+        ++size_;
+        return true;
+      }
+    }
+  }
+
+  /// Removes a key via backward-shift deletion; returns false if absent.
+  /// `removed` (when non-null) receives the erased value — one probe where
+  /// find-then-erase would take two.
+  bool erase(std::uint64_t key, V* removed = nullptr) {
+    if (size_ == 0) return false;
+    const std::size_t mask = keys_.size() - 1;
+    std::size_t i = mix_u64(key) & mask;
+    while (true) {
+      if (keys_[i] == kEmptyKey) return false;
+      if (keys_[i] == key) break;
+      i = (i + 1) & mask;
+    }
+    if (removed != nullptr) *removed = std::move(vals_[i]);
+    // Shift the probe chain back over the hole so no tombstone is needed:
+    // any entry displaced at least as far as the hole moves into it.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (keys_[j] == kEmptyKey) break;
+      const std::size_t ideal = mix_u64(keys_[j]) & mask;
+      if (((j - ideal) & mask) >= ((j - i) & mask)) {
+        keys_[i] = keys_[j];
+        vals_[i] = std::move(vals_[j]);
+        i = j;
+      }
+    }
+    keys_[i] = kEmptyKey;
+    vals_[i] = V{};
+    --size_;
+    return true;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmptyKey) fn(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  void grow() { rehash(keys_.empty() ? kMinCapacity : keys_.size() * 2); }
+
+  void rehash(std::size_t new_cap) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    keys_.assign(new_cap, kEmptyKey);
+    vals_ = std::vector<V>(new_cap);  // default-construct: V need not copy
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      std::size_t j = mix_u64(old_keys[i]) & mask;
+      while (keys_[j] != kEmptyKey) j = (j + 1) & mask;
+      keys_[j] = old_keys[i];
+      vals_[j] = std::move(old_vals[i]);
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> vals_;
+  std::size_t size_ = 0;
+};
+
+/// Set view over FlatMap: u64 membership with the same probing and reserve
+/// semantics (the one-byte payload array is never touched on probe).
+class FlatSet {
+ public:
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void reserve(std::size_t expected) { map_.reserve(expected); }
+  void clear() { map_.clear(); }
+  bool insert(std::uint64_t key) { return map_.insert(key, 0); }
+  bool erase(std::uint64_t key) { return map_.erase(key); }
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&](std::uint64_t key, std::uint8_t) { fn(key); });
+  }
+
+ private:
+  FlatMap<std::uint8_t> map_;
+};
+
+}  // namespace baps::util

@@ -1,0 +1,105 @@
+// Inline-storage vector for the browser index's holder lists.
+//
+// Most documents are held by 0–2 browsers at any instant (the paper's §4
+// sharing analysis), so the per-doc holder list almost never needs a heap
+// allocation: N elements live inside the object and only genuinely popular
+// documents spill to a heap block. Restricted to trivially copyable element
+// types — growth and moves are memcpy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "util/assert.hpp"
+
+namespace baps::util {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is memcpy-based");
+  static_assert(N > 0 && N <= 0xFFFF, "inline capacity out of range");
+
+ public:
+  SmallVector() {}
+  ~SmallVector() { release(); }
+
+  SmallVector(SmallVector&& other) noexcept { steal(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  // Holder lists are owned in place by the index; copying one is a bug.
+  SmallVector(const SmallVector&) = delete;
+  SmallVector& operator=(const SmallVector&) = delete;
+
+  std::uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::uint32_t capacity() const { return cap_; }
+  bool on_heap() const { return cap_ != N; }
+
+  T* data() { return on_heap() ? heap_ : inline_; }
+  const T* data() const { return on_heap() ? heap_ : inline_; }
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  void push_back(T value) {
+    if (size_ == cap_) grow();
+    data()[size_++] = value;
+  }
+
+  void pop_back() {
+    BAPS_REQUIRE(size_ > 0, "pop_back on empty SmallVector");
+    --size_;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  void grow() {
+    const std::uint32_t new_cap = cap_ * 2;
+    T* mem = new T[new_cap];
+    std::memcpy(mem, data(), sizeof(T) * size_);
+    release();
+    heap_ = mem;
+    cap_ = new_cap;
+  }
+
+  void release() {
+    if (on_heap()) delete[] heap_;
+    cap_ = static_cast<std::uint32_t>(N);
+  }
+
+  void steal(SmallVector& other) noexcept {
+    size_ = other.size_;
+    cap_ = other.cap_;
+    if (other.on_heap()) {
+      heap_ = other.heap_;
+    } else {
+      std::memcpy(inline_, other.inline_, sizeof(T) * size_);
+    }
+    other.size_ = 0;
+    other.cap_ = static_cast<std::uint32_t>(N);
+  }
+
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = static_cast<std::uint32_t>(N);
+  union {
+    T inline_[N];
+    T* heap_;
+  };
+};
+
+}  // namespace baps::util

@@ -276,5 +276,57 @@ TEST(TransportMetricsTest, ReportsWithoutWireCountersPassTrivially) {
       << error;
 }
 
+JsonValue report_with_gauges(JsonArray gauges) {
+  JsonValue registry;
+  registry.set("counters", JsonValue(JsonArray{}));
+  registry.set("gauges", JsonValue(std::move(gauges)));
+  registry.set("histograms", JsonValue(JsonArray{}));
+  JsonValue report;
+  report.set("schema", JsonValue(kReportSchema));
+  report.set("tool", JsonValue("replay_test"));
+  report.set("registry", std::move(registry));
+  return report;
+}
+
+TEST(ReplayMetricsTest, AcceptsLabeledPositiveGauges) {
+  const JsonValue report = report_with_gauges({
+      counter_json("replay_requests_per_second",
+                   {{"org", "browsers-aware-proxy-server"}}, 2.5e6),
+      counter_json("replay_requests_per_second", {{"org", "proxy-cache-only"}},
+                   7.1e6),
+      counter_json("some_other_gauge", {}, 0.0),  // not the family: ignored
+  });
+  std::string error;
+  EXPECT_TRUE(validate_replay_metrics(report, &error)) << error;
+  EXPECT_TRUE(validate_report(report, &error)) << error;
+}
+
+TEST(ReplayMetricsTest, RejectsMissingOrgLabel) {
+  const JsonValue report = report_with_gauges({
+      counter_json("replay_requests_per_second", {}, 1.0e6),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_replay_metrics(report, &error));
+  EXPECT_NE(error.find("org label"), std::string::npos) << error;
+  EXPECT_FALSE(validate_report(report, &error));
+}
+
+TEST(ReplayMetricsTest, RejectsNonPositiveThroughput) {
+  const JsonValue report = report_with_gauges({
+      counter_json("replay_requests_per_second", {{"org", "proxy-cache-only"}},
+                   0.0),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_replay_metrics(report, &error));
+  EXPECT_NE(error.find("finite and positive"), std::string::npos) << error;
+}
+
+TEST(ReplayMetricsTest, ReportsWithoutReplayGaugesPassTrivially) {
+  const JsonValue report =
+      ReportBuilder("report_test").add_sweep(shared_sweep()).build();
+  std::string error;
+  EXPECT_TRUE(validate_replay_metrics(report, &error)) << error;
+}
+
 }  // namespace
 }  // namespace baps::obs

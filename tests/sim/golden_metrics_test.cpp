@@ -1,0 +1,100 @@
+// Organization-level golden test: all five organizations replayed over the
+// BU-95 preset at --scale 0.05 with the default RunSpec must reproduce the
+// metrics captured before the flat-memory hot-path rewrite. Integer counters
+// are compared exactly — hit/miss/eviction sequences are the simulator's
+// contract, and any change to LRU tie-breaking, index round-robin order, or
+// the size-change rule shows up here. Accumulated latencies are doubles, so
+// they get a tight relative tolerance instead (summation order is part of
+// the contract too, but we leave one knob for future compiler FP changes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "core/runner.hpp"
+#include "sim/orgs.hpp"
+#include "trace/presets.hpp"
+#include "trace/stats.hpp"
+
+namespace baps::sim {
+namespace {
+
+struct Golden {
+  OrgKind kind;
+  std::uint64_t hits, misses;
+  std::uint64_t byte_hits;
+  std::uint64_t local, proxy, remote;
+  std::uint64_t local_b, proxy_b, remote_b, miss_b;
+  std::uint64_t mem_b, disk_b;
+  std::uint64_t size_miss, idx_msgs, false_fwd, stale, remote_xfer_b;
+  double svc, hitlat, rxfer, rcont;
+};
+
+// Captured from the pre-rewrite simulator (BU-95, scale 0.05, defaults).
+constexpr std::uint64_t kRequests = 7500;
+constexpr std::uint64_t kByteTotal = 194421333;
+const Golden kGolden[] = {
+    {OrgKind::kProxyOnly, 4965, 2535, 16581174, 0, 4965, 0, 0, 16581174, 0,
+     177840159, 10585955, 5995219, 6, 0, 0, 0, 0, 5918.5232012000815,
+     538.08065719998979, 0.0, 0.0},
+    {OrgKind::kLocalBrowserOnly, 1806, 5694, 3245285, 1806, 0, 0, 3245285, 0,
+     0, 191176048, 560123, 2685162, 0, 0, 0, 0, 0, 8765.1075080001283,
+     12.290739999999785, 0.0, 0.0},
+    {OrgKind::kGlobalBrowsersOnly, 3117, 4383, 4213384, 1283, 0, 1834,
+     3023853, 0, 1189531, 190207949, 1014436, 3198948, 0, 0, 0, 16, 1189531,
+     7637.88480163451, 211.55761763440356, 184.35162479999804,
+     13.027764834401424},
+    {OrgKind::kProxyAndLocalBrowser, 4967, 2533, 16665490, 1806, 3161, 0,
+     3245285, 13420205, 0, 177755843, 8014636, 8650854, 6, 0, 0, 0, 0,
+     5743.4933400001119, 366.39985199999154, 0.0, 0.0},
+    {OrgKind::kBrowsersAware, 4977, 2523, 16684691, 1804, 3159, 14, 3244796,
+     13411528, 28367, 177736642, 8009156, 8675535, 6, 10279, 0, 1, 28367,
+     5734.5311920001113, 367.74491999999151, 1.4226936000000001, 0.0},
+};
+
+void expect_near_rel(double actual, double expected, const char* what) {
+  const double tol = expected == 0.0 ? 1e-12 : std::abs(expected) * 1e-9;
+  EXPECT_NEAR(actual, expected, tol) << what;
+}
+
+TEST(GoldenMetricsTest, AllFiveOrganizationsMatchSeedCapture) {
+  const trace::Trace t =
+      trace::load_preset_scaled(trace::Preset::kBu95, 0.05);
+  const trace::TraceStats stats = trace::compute_stats(t);
+  const core::RunSpec spec;  // defaults: LRU, minimum sizing, 10%
+
+  for (const Golden& g : kGolden) {
+    SCOPED_TRACE(org_name(g.kind));
+    const Metrics m = run_organization(g.kind, core::build_config(stats, spec), t);
+
+    EXPECT_EQ(m.hits.total(), kRequests);
+    EXPECT_EQ(m.hits.hits(), g.hits);
+    EXPECT_EQ(m.byte_hits.total(), kByteTotal);
+    EXPECT_EQ(m.byte_hits.hits(), g.byte_hits);
+    EXPECT_EQ(m.misses, g.misses);
+    EXPECT_EQ(m.local_browser_hits, g.local);
+    EXPECT_EQ(m.proxy_hits, g.proxy);
+    EXPECT_EQ(m.remote_browser_hits, g.remote);
+    EXPECT_EQ(m.local_browser_hit_bytes, g.local_b);
+    EXPECT_EQ(m.proxy_hit_bytes, g.proxy_b);
+    EXPECT_EQ(m.remote_browser_hit_bytes, g.remote_b);
+    EXPECT_EQ(m.miss_bytes, g.miss_b);
+    EXPECT_EQ(m.memory_hit_bytes, g.mem_b);
+    EXPECT_EQ(m.disk_hit_bytes, g.disk_b);
+    EXPECT_EQ(m.size_change_misses, g.size_miss);
+    EXPECT_EQ(m.index_messages, g.idx_msgs);
+    EXPECT_EQ(m.false_forwards, g.false_fwd);
+    EXPECT_EQ(m.stale_remote_probes, g.stale);
+    EXPECT_EQ(m.remote_transfer_bytes, g.remote_xfer_b);
+
+    expect_near_rel(m.total_service_time_s, g.svc, "total_service_time_s");
+    expect_near_rel(m.total_hit_latency_s, g.hitlat, "total_hit_latency_s");
+    expect_near_rel(m.remote_transfer_time_s, g.rxfer,
+                    "remote_transfer_time_s");
+    expect_near_rel(m.remote_contention_time_s, g.rcont,
+                    "remote_contention_time_s");
+  }
+}
+
+}  // namespace
+}  // namespace baps::sim

@@ -1,0 +1,173 @@
+#include "util/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/small_vector.hpp"
+
+namespace baps::util {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<std::uint64_t> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.insert(1, 100));
+  EXPECT_TRUE(m.insert(2, 200));
+  EXPECT_FALSE(m.insert(1, 999));  // duplicate leaves the map unchanged
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 100u);
+  EXPECT_EQ(m.find(3), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+
+  std::uint64_t removed = 0;
+  EXPECT_TRUE(m.erase(2, &removed));
+  EXPECT_EQ(removed, 200u);
+  EXPECT_FALSE(m.erase(2));
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, SentinelKeyRejected) {
+  FlatMap<int> m;
+  EXPECT_THROW(m.insert(FlatMap<int>::kEmptyKey, 1), InvariantError);
+}
+
+TEST(FlatMapTest, ReserveAvoidsRehash) {
+  FlatMap<int> m;
+  m.reserve(1000);
+  const std::size_t cap = m.capacity();
+  for (std::uint64_t k = 0; k < 1000; ++k) EXPECT_TRUE(m.insert(k, 1));
+  EXPECT_EQ(m.capacity(), cap);  // no growth mid-run
+}
+
+TEST(FlatMapTest, MovedFromMapIsEmptyAndReusable) {
+  FlatMap<int> a;
+  a.insert(7, 70);
+  FlatMap<int> b = std::move(a);
+  ASSERT_NE(b.find(7), nullptr);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+  EXPECT_TRUE(a.insert(8, 80));
+  EXPECT_EQ(*a.find(8), 80);
+}
+
+// The core guarantee: identical observable behavior to std::unordered_map
+// under a random mixed workload. Dense keys stress the backward-shift
+// deletion (long probe chains of adjacent hashes).
+TEST(FlatMapTest, DifferentialAgainstUnorderedMap) {
+  FlatMap<std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Xoshiro256 rng(0xf1a7f1a7u);
+
+  for (int op = 0; op < 100000; ++op) {
+    const std::uint64_t key = rng.below(2048);  // dense: plenty of collisions
+    switch (rng.below(4)) {
+      case 0: {  // insert
+        const std::uint64_t val = rng();
+        const bool inserted = ref.try_emplace(key, val).second;
+        EXPECT_EQ(flat.insert(key, val), inserted);
+        break;
+      }
+      case 1: {  // find
+        const auto it = ref.find(key);
+        const std::uint64_t* p = flat.find(key);
+        ASSERT_EQ(p != nullptr, it != ref.end());
+        if (p != nullptr) {
+          EXPECT_EQ(*p, it->second);
+        }
+        break;
+      }
+      case 2: {  // erase
+        std::uint64_t removed = 0;
+        const auto it = ref.find(key);
+        const bool expect_erased = it != ref.end();
+        const std::uint64_t expect_val = expect_erased ? it->second : 0;
+        if (expect_erased) ref.erase(it);
+        ASSERT_EQ(flat.erase(key, &removed), expect_erased);
+        if (expect_erased) {
+          EXPECT_EQ(removed, expect_val);
+        }
+        break;
+      }
+      default:  // size + full-content audit every so often
+        ASSERT_EQ(flat.size(), ref.size());
+        if (op % 9973 == 0) {
+          std::size_t seen = 0;
+          flat.for_each([&](std::uint64_t k, std::uint64_t v) {
+            const auto it = ref.find(k);
+            ASSERT_NE(it, ref.end());
+            EXPECT_EQ(it->second, v);
+            ++seen;
+          });
+          EXPECT_EQ(seen, ref.size());
+        }
+        break;
+    }
+  }
+}
+
+TEST(FlatSetTest, BasicMembership) {
+  FlatSet s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s.erase(3));
+  EXPECT_FALSE(s.erase(3));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SmallVectorTest, StaysInlineUpToN) {
+  SmallVector<std::uint32_t, 2> v;
+  v.push_back(10);
+  v.push_back(20);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 10u);
+  EXPECT_EQ(v[1], 20u);
+}
+
+TEST(SmallVectorTest, SpillsToHeapAndKeepsContents) {
+  SmallVector<std::uint32_t, 2> v;
+  for (std::uint32_t i = 0; i < 100; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, SwapEraseMatchesVectorSemantics) {
+  SmallVector<std::uint32_t, 2> v;
+  std::vector<std::uint32_t> ref;
+  Xoshiro256 rng(42);
+  for (int op = 0; op < 10000; ++op) {
+    if (ref.empty() || rng.below(3) != 0) {
+      const auto x = static_cast<std::uint32_t>(rng.below(1u << 20));
+      v.push_back(x);
+      ref.push_back(x);
+    } else {
+      const std::size_t i = rng.below(ref.size());
+      // swap-erase: the BrowserIndex holder-list removal idiom
+      v[i] = v[v.size() - 1];
+      v.pop_back();
+      ref[i] = ref.back();
+      ref.pop_back();
+    }
+    ASSERT_EQ(v.size(), ref.size());
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(v[i], ref[i]);
+}
+
+TEST(SmallVectorTest, MoveTransfersHeapStorage) {
+  SmallVector<std::uint32_t, 2> v;
+  for (std::uint32_t i = 0; i < 50; ++i) v.push_back(i);
+  SmallVector<std::uint32_t, 2> w = std::move(v);
+  ASSERT_EQ(w.size(), 50u);
+  EXPECT_EQ(w[49], 49u);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+}  // namespace
+}  // namespace baps::util
