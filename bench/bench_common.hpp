@@ -26,6 +26,9 @@ struct BenchArgs {
   bool progress = false;
   /// Sweep worker threads; 0 lets ThreadPool pick hardware_concurrency.
   std::uint64_t threads = 0;
+  /// Client churn (§5 spirit): per-request churn probability and its seed.
+  double churn_rate = 0.0;
+  std::uint64_t churn_seed = 0;
   int argc = 0;
   char** argv = nullptr;
 };
@@ -42,7 +45,11 @@ inline BenchArgs parse_args(int argc, char** argv) {
               "write a baps.report.v1 JSON report of the runs")
       .flag("--progress", &args.progress, "print sweep progress to stderr")
       .option("--threads", &args.threads, "N",
-              "sweep worker threads (0 = hardware_concurrency)");
+              "sweep worker threads (0 = hardware_concurrency)")
+      .option("--churn-rate", &args.churn_rate, "P",
+              "per-request client churn probability in [0,1] (default 0)")
+      .option("--churn-seed", &args.churn_seed, "S",
+              "seed for the churn event stream");
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << parser.usage();
@@ -54,6 +61,10 @@ inline BenchArgs parse_args(int argc, char** argv) {
   }
   if (args.scale <= 0.0 || args.scale > 1.0) {
     std::cerr << "--scale must be in (0,1]\n";
+    std::exit(2);
+  }
+  if (args.churn_rate < 0.0 || args.churn_rate > 1.0) {
+    std::cerr << "--churn-rate must be in [0,1]\n";
     std::exit(2);
   }
   return args;
@@ -122,6 +133,8 @@ inline void run_compare_figure(trace::Preset preset, const std::string& title,
   }
   core::RunSpec spec;
   spec.sizing = core::BrowserSizing::kAverage;
+  spec.churn_rate = args.churn_rate;
+  spec.churn_seed = args.churn_seed;
   ThreadPool pool(args.threads);
   const std::vector<core::OrgKind> orgs = {
       core::OrgKind::kProxyAndLocalBrowser, core::OrgKind::kBrowsersAware};

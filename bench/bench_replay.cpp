@@ -26,7 +26,11 @@ int main(int argc, char** argv) {
       .option("--metrics-out", &args.metrics_out, "FILE",
               "write a baps.report.v1 JSON report of the runs")
       .option("--reps", &reps, "N",
-              "time N replays per organization and keep the best");
+              "time N replays per organization and keep the best")
+      .option("--churn-rate", &args.churn_rate, "P",
+              "per-request client churn probability in [0,1] (default 0)")
+      .option("--churn-seed", &args.churn_seed, "S",
+              "seed for the churn event stream");
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << parser.usage();
@@ -44,6 +48,10 @@ int main(int argc, char** argv) {
     std::cerr << "--reps must be >= 1\n";
     return 2;
   }
+  if (args.churn_rate < 0.0 || args.churn_rate > 1.0) {
+    std::cerr << "--churn-rate must be in [0,1]\n";
+    return 2;
+  }
 
   obs::PhaseTimers phases;
   trace::Trace t;
@@ -53,6 +61,8 @@ int main(int argc, char** argv) {
   }
   const trace::TraceStats stats = trace::compute_stats(t);
   core::RunSpec spec;  // paper defaults: LRU, minimum browser sizing, 10%
+  spec.churn_rate = args.churn_rate;
+  spec.churn_seed = args.churn_seed;
   const sim::SimConfig cfg = core::build_config(stats, spec);
 
   core::CacheSizePoint point;

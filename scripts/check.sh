@@ -48,4 +48,18 @@ wait "$PROXYD_PID" 2>/dev/null || true
 trap - EXIT
 echo "check.sh: tcp/loopback sources identical (200 requests)"
 
+# Seeded fault smoke: a loopback run with every fault kind enabled must
+# serve all requests correctly (--fault-strict: verified == requests and
+# recovered == injected), and the emitted report's fault_* counter families
+# must validate. The shrunken caches push traffic onto the peer path so the
+# frame/disconnect/slow kinds actually fire, not just the churn kinds.
+FAULT_REPORT="$BUILD_DIR/check_fault_report.json"
+"$BUILD_DIR/tools/baps_fetch" --transport loopback --clients 8 --seed 11 \
+  --preset bu95 --requests 1500 --proxy-cache 16384 --browser-cache 32768 \
+  --fault-seed 42 \
+  --fault-rates "disconnect=0.1,depart=0.02,join=0.5,slow=0.1,drop=0.08,corrupt=0.08,restart=0.002,slow_budget_ms=25" \
+  --fault-strict --metrics-out "$FAULT_REPORT" > /dev/null 2>&1
+"$BUILD_DIR/tools/report_check" "$FAULT_REPORT"
+echo "check.sh: seeded fault run fully recovered (1500 requests)"
+
 echo "check.sh: all good"

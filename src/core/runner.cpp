@@ -73,6 +73,8 @@ sim::SimConfig build_config(const trace::TraceStats& stats,
   cfg.relay_via_proxy = spec.relay_via_proxy;
   cfg.lan = spec.lan;
   cfg.latency = spec.latency;
+  cfg.churn_rate = spec.churn_rate;
+  cfg.churn_seed = spec.churn_seed;
   // Capacity hints: let every cache table and the browser index reserve up
   // front instead of rehashing through the replay.
   cfg.doc_universe = stats.doc_universe;

@@ -52,6 +52,11 @@ struct RunSpec {
   bool relay_via_proxy = false;
   net::LanParams lan{};
   sim::LatencyParams latency{};
+
+  /// Client churn (§5 spirit): per-request probability of a churn event and
+  /// the seed of its stream. 0 disables churn (bit-identical replay).
+  double churn_rate = 0.0;
+  std::uint64_t churn_seed = 0;
 };
 
 /// Materializes a SimConfig from a spec and the trace's statistics.

@@ -1,0 +1,87 @@
+#include "fault/churn.hpp"
+
+#include "util/assert.hpp"
+
+namespace baps::fault {
+
+ChurnModel::ChurnModel(std::uint64_t seed, double rate,
+                       std::uint32_t num_clients)
+    : rng_(seed ^ 0xC4BA9E5EEDULL), rate_(rate) {
+  BAPS_REQUIRE(num_clients > 0, "churn model needs at least one client");
+  BAPS_REQUIRE(rate >= 0.0 && rate <= 1.0, "churn rate must be in [0,1]");
+  departed_.assign(num_clients, 0);
+  present_list_.resize(num_clients);
+  pos_.resize(num_clients);
+  for (std::uint32_t c = 0; c < num_clients; ++c) {
+    present_list_[c] = c;
+    pos_[c] = c;
+  }
+}
+
+void ChurnModel::move_to_departed(std::uint32_t client) {
+  // Swap-remove from the present list, append to the departed list.
+  const std::uint32_t at = pos_[client];
+  const std::uint32_t moved = present_list_.back();
+  present_list_[at] = moved;
+  pos_[moved] = at;
+  present_list_.pop_back();
+  pos_[client] = static_cast<std::uint32_t>(departed_list_.size());
+  departed_list_.push_back(client);
+  departed_[client] = 1;
+}
+
+void ChurnModel::move_to_present(std::uint32_t client) {
+  const std::uint32_t at = pos_[client];
+  const std::uint32_t moved = departed_list_.back();
+  departed_list_[at] = moved;
+  pos_[moved] = at;
+  departed_list_.pop_back();
+  pos_[client] = static_cast<std::uint32_t>(present_list_.size());
+  present_list_.push_back(client);
+  departed_[client] = 0;
+}
+
+bool ChurnModel::ensure_present(std::uint32_t client) {
+  BAPS_REQUIRE(client < departed_.size(), "client id out of range");
+  if (departed_[client] == 0) return false;
+  move_to_present(client);
+  return true;
+}
+
+std::optional<ChurnModel::Event> ChurnModel::tick(std::uint32_t requester) {
+  BAPS_REQUIRE(requester < departed_.size(), "client id out of range");
+  BAPS_REQUIRE(departed_[requester] == 0,
+               "requester must be present (call ensure_present first)");
+  if (rate_ <= 0.0) return std::nullopt;
+  if (rng_.uniform() >= rate_) return std::nullopt;
+
+  // Depart when everyone is present, rejoin when the requester is the only
+  // one left, otherwise an even coin.
+  const std::uint32_t departable =
+      static_cast<std::uint32_t>(present_list_.size()) - 1;  // not requester
+  const bool can_depart = departable > 0;
+  const bool can_rejoin = !departed_list_.empty();
+  if (!can_depart && !can_rejoin) return std::nullopt;
+  bool depart = can_depart;
+  if (can_depart && can_rejoin) depart = rng_.uniform() < 0.5;
+
+  Event ev;
+  if (depart) {
+    // Uniform among present clients excluding the requester: draw over the
+    // list with the requester's slot skipped.
+    std::uint32_t idx = static_cast<std::uint32_t>(rng_.below(departable));
+    if (idx >= pos_[requester]) ++idx;
+    ev.kind = Event::Kind::kDepart;
+    ev.client = present_list_[idx];
+    move_to_departed(ev.client);
+  } else {
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(rng_.below(departed_list_.size()));
+    ev.kind = Event::Kind::kRejoin;
+    ev.client = departed_list_[idx];
+    move_to_present(ev.client);
+  }
+  return ev;
+}
+
+}  // namespace baps::fault

@@ -1,0 +1,61 @@
+// Seeded client-churn model in the spirit of the paper's §5 dynamics:
+// browsers join and leave the organization over the life of a trace, their
+// caches empty on departure, and whatever the proxy believed about them goes
+// stale. Drives the five simulated organizations (sim/orgs.cpp) and is
+// usable standalone by any component with dense client ids.
+//
+// Determinism: one Xoshiro256 stream seeded once; the driver calls
+// ensure_present + tick exactly once per request, so the same
+// (seed, rate, request stream) reproduces the same membership history.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace baps::fault {
+
+class ChurnModel {
+ public:
+  struct Event {
+    enum class Kind : std::uint8_t { kDepart, kRejoin };
+    Kind kind = Kind::kDepart;
+    std::uint32_t client = 0;
+  };
+
+  /// `rate` is the per-request probability of one churn event.
+  ChurnModel(std::uint64_t seed, double rate, std::uint32_t num_clients);
+
+  std::uint32_t num_clients() const {
+    return static_cast<std::uint32_t>(departed_.size());
+  }
+  bool departed(std::uint32_t client) const {
+    return departed_[client] != 0;
+  }
+  std::uint32_t departed_count() const {
+    return static_cast<std::uint32_t>(departed_list_.size());
+  }
+
+  /// A request from a departed client means it came back (cold): rejoins it
+  /// and returns true. Call before tick() for each request.
+  bool ensure_present(std::uint32_t client);
+
+  /// One churn decision: at most one event per request. The requester is
+  /// never chosen to depart (it is mid-request by definition).
+  std::optional<Event> tick(std::uint32_t requester);
+
+ private:
+  void move_to_departed(std::uint32_t client);
+  void move_to_present(std::uint32_t client);
+
+  Xoshiro256 rng_;
+  double rate_;
+  std::vector<std::uint8_t> departed_;       // membership flag per client
+  std::vector<std::uint32_t> present_list_;  // ids, swap-remove maintained
+  std::vector<std::uint32_t> departed_list_;
+  std::vector<std::uint32_t> pos_;  // index of client in its current list
+};
+
+}  // namespace baps::fault

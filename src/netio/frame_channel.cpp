@@ -1,5 +1,8 @@
 #include "netio/frame_channel.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/registry.hpp"
 #include "wire/codec.hpp"
 
@@ -49,6 +52,11 @@ std::optional<wire::Frame> FrameChannel::recv(NetError* err) {
 std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
   NetError local;
   NetError* e = (err != nullptr) ? err : &local;
+  // One deadline for the whole frame: the payload read gets whatever budget
+  // the header read left over, not a fresh timeout_ms — otherwise a
+  // slow-loris peer that trickles the header holds the worker for ~2x the
+  // configured deadline.
+  const auto started = std::chrono::steady_clock::now();
   std::string buf(wire::kHeaderSize, '\0');
   if (!conn_.read_exact(buf.data(), buf.size(), timeout_ms, e)) {
     if (e->status == NetStatus::kTimeout) count_timeout("read");
@@ -80,9 +88,18 @@ std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
     r.u32(&skip32);
   }
   buf.resize(wire::kHeaderSize + payload_len);
+  int payload_timeout_ms = timeout_ms;  // negative = wait forever
+  if (timeout_ms >= 0) {
+    const long long elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+    payload_timeout_ms = static_cast<int>(
+        timeout_ms - std::min<long long>(elapsed, timeout_ms));
+  }
   if (payload_len > 0 &&
       !conn_.read_exact(buf.data() + wire::kHeaderSize, payload_len,
-                        timeout_ms, e)) {
+                        payload_timeout_ms, e)) {
     if (e->status == NetStatus::kTimeout) count_timeout("read");
     return std::nullopt;
   }

@@ -35,9 +35,13 @@ bool retry_with_backoff(const RetryPolicy& policy, const char* what, Op&& op,
     if (!e->transient() || attempt >= attempts) return false;
     obs::Registry::global().counter("netio_retries_total", {{"op", what}}).inc();
     std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min(policy.max_backoff_ms,
-                          static_cast<int>(static_cast<double>(backoff_ms) *
-                                           policy.multiplier));
+    // Clamp the recomputed backoff to >=1ms: initial_backoff_ms = 0 (or a
+    // multiplier < 1 rounding down to 0) must not degenerate into a hot
+    // retry spin that hammers the peer with zero delay.
+    backoff_ms = std::max(
+        1, std::min(policy.max_backoff_ms,
+                    static_cast<int>(static_cast<double>(backoff_ms) *
+                                     policy.multiplier)));
   }
 }
 

@@ -49,6 +49,11 @@ JsonValue metrics_to_json(const sim::Metrics& m) {
        {"p90_s", JsonValue(m.latency_quantile(0.9))},
        {"p99_s", JsonValue(m.latency_quantile(0.99))}});
 
+  const JsonValue churn =
+      json_object({{"departures", JsonValue(m.churn_departures)},
+                   {"rejoins", JsonValue(m.churn_rejoins)},
+                   {"wiped_docs", JsonValue(m.churn_wiped_docs)}});
+
   return json_object(
       {{"hits", ratio_json(m.hits)},
        {"byte_hits", ratio_json(m.byte_hits)},
@@ -63,7 +68,8 @@ JsonValue metrics_to_json(const sim::Metrics& m) {
        {"service_time",
         json_object({{"total_s", JsonValue(m.total_service_time_s)},
                      {"hit_latency_s", JsonValue(m.total_hit_latency_s)}})},
-       {"latency", latency}});
+       {"latency", latency},
+       {"churn", churn}});
 }
 
 JsonValue sweep_to_json(const std::vector<core::CacheSizePoint>& points) {
@@ -303,6 +309,7 @@ bool validate_report(const JsonValue& report, std::string* error) {
   }
   if (!validate_transport_metrics(report, error)) return false;
   if (!validate_replay_metrics(report, error)) return false;
+  if (!validate_fault_metrics(report, error)) return false;
   if (const JsonValue* registry = report.find("registry")) {
     if (!registry->is_object() || !registry->find("counters") ||
         !registry->find("gauges") || !registry->find("histograms")) {
@@ -448,6 +455,55 @@ bool validate_replay_metrics(const JsonValue& report, std::string* error) {
         !std::isfinite(value->as_double()) || value->as_double() <= 0.0) {
       return fail(error, "replay_requests_per_second{org=" + org->as_string() +
                              "}: value must be finite and positive");
+    }
+  }
+  return true;
+}
+
+bool validate_fault_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+  const JsonValue* arr = registry->find("counters");
+  if (arr == nullptr || !arr->is_array()) return true;
+
+  // Per fault kind: injected and recovered totals, summed across instances.
+  std::map<std::string, double> injected, recovered;
+  for (const auto& inst : arr->as_array()) {
+    if (!inst.is_object()) continue;
+    const JsonValue* name = inst.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const std::string& n = name->as_string();
+    const bool is_injected = n == "fault_injected_total";
+    const bool is_recovered = n == "fault_recovered_total";
+    if (!is_injected && !is_recovered && n != "stale_index_hits_total") {
+      continue;
+    }
+    const JsonValue* value = inst.find("value");
+    if (value == nullptr || !value->is_number()) {
+      return fail(error, n + ": counter needs a numeric value");
+    }
+    if (value->as_double() < 0.0) {
+      return fail(error, n + ": counter is negative");
+    }
+    if (!is_injected && !is_recovered) continue;  // stale_index_hits_total
+    const JsonValue* labels = inst.find("labels");
+    const JsonValue* kind =
+        labels != nullptr ? labels->find("kind") : nullptr;
+    if (kind == nullptr || !kind->is_string() || kind->as_string().empty()) {
+      return fail(error, n + ": needs a non-empty kind label");
+    }
+    auto& sums = is_injected ? injected : recovered;
+    sums[kind->as_string()] += value->as_double();
+  }
+  // A fault can only be recovered after it was injected, so per kind
+  // recovered <= injected (injecting is counted even when recovery fails).
+  for (const auto& [kind, rec] : recovered) {
+    const auto it = injected.find(kind);
+    const double inj = it == injected.end() ? 0.0 : it->second;
+    if (rec > inj) {
+      return fail(error, "fault_recovered_total{kind=" + kind +
+                             "}: exceeds fault_injected_total");
     }
   }
   return true;

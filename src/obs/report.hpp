@@ -97,6 +97,15 @@ bool validate_transport_metrics(const JsonValue& report,
 bool validate_replay_metrics(const JsonValue& report,
                              std::string* error = nullptr);
 
+/// Family checks for the fault-injection counters: every
+/// `fault_injected_total` / `fault_recovered_total` instance must carry a
+/// non-empty `kind` label and a non-negative numeric value, per kind the
+/// recovered total must not exceed the injected total, and
+/// `stale_index_hits_total` must be non-negative. Reports without a registry
+/// or without fault counters pass trivially.
+bool validate_fault_metrics(const JsonValue& report,
+                            std::string* error = nullptr);
+
 /// Checks that every `wire_*` / `netio_*` counter present in both reports
 /// (matched by name + labels) is monotone non-decreasing from `earlier` to
 /// `later` — the cross-file invariant for successive snapshots of one

@@ -1,5 +1,7 @@
 #include "runtime/doc_store.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace baps::runtime {
@@ -32,6 +34,21 @@ bool DocStore::put(Key key, Document doc) {
 bool DocStore::erase(Key key) {
   docs_.erase(key);
   return cache_.erase(key);
+}
+
+std::vector<DocStore::Key> DocStore::keys() const {
+  std::vector<Key> out;
+  out.reserve(docs_.size());
+  for (const auto& [key, doc] : docs_) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void DocStore::clear() {
+  // ObjectCache::erase never fires the eviction listener, so nothing
+  // observes the wipe — the silent-departure semantics callers want.
+  for (const auto& [key, doc] : docs_) cache_.erase(key);
+  docs_.clear();
 }
 
 void DocStore::set_eviction_listener(EvictionListener listener) {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/object_cache.hpp"
 #include "crypto/watermark.hpp"
@@ -39,6 +40,14 @@ class DocStore {
   bool put(Key key, Document doc);
 
   bool erase(Key key);
+
+  /// Every stored key, sorted (the map iterates in hash order; callers that
+  /// replay the contents need a deterministic order).
+  std::vector<Key> keys() const;
+
+  /// Drops everything WITHOUT firing the eviction listener — models a crash
+  /// or departure, where no invalidation messages go out.
+  void clear();
 
   /// Fired for capacity evictions only (mirrors ObjectCache semantics).
   void set_eviction_listener(EvictionListener listener);

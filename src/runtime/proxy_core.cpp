@@ -1,6 +1,7 @@
 #include "runtime/proxy_core.hpp"
 
 #include "crypto/watermark.hpp"
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -63,6 +64,11 @@ bool ProxyCore::apply_index_update(ClientId claimed_sender, bool is_add,
   return true;
 }
 
+void ProxyCore::restart() {
+  proxy_cache_.clear();
+  index_.clear();
+}
+
 ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
                                          bool avoid_peers) {
   BAPS_REQUIRE(requester < mac_keys_.size(), "client id out of range");
@@ -90,7 +96,12 @@ ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
       // Stale index entry (or dead peer): no delivery came back.
       ++stats_.false_forwards;
       false_forward = true;
-      index_.remove(*holder, key);
+      obs::Registry::global().counter("stale_index_hits_total").inc();
+      if (drop_failed_holders_) {
+        index_.remove_all(*holder);
+      } else {
+        index_.remove(*holder, key);
+      }
     }
   }
 

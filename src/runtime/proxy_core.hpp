@@ -74,6 +74,17 @@ class ProxyCore {
   crypto::Md5Digest index_update_mac(ClientId sender, bool is_add,
                                      DocStore::Key key) const;
 
+  /// Robustness policy: when a peer fetch fails, drop ALL of the holder's
+  /// index entries rather than just the failed one — a dead peer costs one
+  /// false forward instead of one per stale entry.
+  void set_drop_failed_holders(bool on) { drop_failed_holders_ = on; }
+
+  /// Simulates a proxy crash/restart: the cache and browser index are lost
+  /// (the RSA watermark keys and client MAC keys persist — they are
+  /// provisioned state, not runtime state). Callers rebuild the index by
+  /// replaying the clients' holdings.
+  void restart();
+
   std::uint32_t num_clients() const {
     return static_cast<std::uint32_t>(mac_keys_.size());
   }
@@ -95,6 +106,7 @@ class ProxyCore {
   PeerFetchFn peer_fetch_;
   MessageTrace* trace_ = nullptr;  ///< optional, not owned
   ProxyStats stats_;
+  bool drop_failed_holders_ = false;
 };
 
 }  // namespace baps::runtime

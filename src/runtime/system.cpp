@@ -1,5 +1,8 @@
 #include "runtime/system.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "util/assert.hpp"
 
 namespace baps::runtime {
@@ -88,8 +91,45 @@ std::optional<Document> BapsSystem::serve_peer_fetch(ClientId holder,
                                                      DocStore::Key key) {
   BAPS_REQUIRE(holder < clients_.size(), "holder id out of range");
   ClientState& peer = clients_[holder];
+  // A departed peer serves nothing: the proxy's entry for it is stale and
+  // this fetch becomes a false forward recovered from the origin.
+  if (peer.departed) return std::nullopt;
+  if (plan_ != nullptr) {
+    if (plan_->should_inject(fault::FaultKind::kPeerDisconnect)) {
+      return std::nullopt;  // vanished mid-transfer: no delivery
+    }
+    if (plan_->should_inject(fault::FaultKind::kSlowPeer)) {
+      const fault::FaultRates& rates = plan_->rates();
+      if (loopback_ != nullptr) {
+        // Loopback time is virtual: a delay above the proxy's peer-read
+        // budget counts as an undelivered fetch, anything under it is
+        // tolerated (just recorded).
+        if (rates.slow_peer_budget_ms > 0 &&
+            rates.slow_peer_delay_ms > rates.slow_peer_budget_ms) {
+          return std::nullopt;
+        }
+      } else {
+        // Over a real transport the delay is real; the proxy's peer read
+        // deadline decides whether the delivery still counts.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rates.slow_peer_delay_ms));
+      }
+    }
+  }
   if (peer.tampering) peer.browser->corrupt(key);
-  return peer.browser->get(key);
+  std::optional<Document> doc = peer.browser->get(key);
+  if (plan_ != nullptr && loopback_ != nullptr && doc.has_value()) {
+    // Frame faults: a real transport injects these on the wire (see
+    // TcpTransport); loopback emulates them on the in-flight copy.
+    if (plan_->should_inject(fault::FaultKind::kDropFrame)) {
+      return std::nullopt;
+    }
+    if (plan_->should_inject(fault::FaultKind::kCorruptFrame) &&
+        !doc->body.empty()) {
+      doc->body[0] = static_cast<char>(doc->body[0] ^ 0x20);
+    }
+  }
+  return doc;
 }
 
 void BapsSystem::emit_fetch(ClientId client, DocStore::Key key,
@@ -116,6 +156,7 @@ void BapsSystem::client_store(ClientId client, const Url& url, Document doc) {
 FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
   BAPS_REQUIRE(client < clients_.size(), "client id out of range");
   const DocStore::Key key = url_key(url);
+  if (plan_ != nullptr) fault_tick(client);
 
   // Local browser cache first. A local copy that fails its watermark (e.g.
   // corrupted on disk, or self-tampered) is discarded and refetched rather
@@ -129,6 +170,7 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
       out.verified = true;
       out.body = std::move(doc->body);
       emit_fetch(client, key, out, /*false_forward=*/false);
+      if (plan_ != nullptr) plan_->end_request_ok();
       return out;
     }
     ++tamper_detections_;
@@ -168,6 +210,10 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
   out.body = reply.doc.body;
   client_store(client, url, std::move(reply.doc));
   emit_fetch(client, key, out, false_forward);
+  // The request was served with verified content (the BAPS_ENSURE above
+  // guarantees it on the retry path): every fault injected in its window
+  // was absorbed.
+  if (plan_ != nullptr) plan_->end_request_ok();
   return out;
 }
 
@@ -181,6 +227,97 @@ const index::BrowserIndex& BapsSystem::browser_index() const {
   BAPS_REQUIRE(loopback_ != nullptr,
                "browser_index() is only reachable on the loopback transport");
   return loopback_->core().index();
+}
+
+void BapsSystem::attach_fault_plan(fault::FaultPlan* plan) {
+  plan_ = plan;
+  transport_->set_fault_plan(plan);
+  if (loopback_ != nullptr) {
+    loopback_->core().set_drop_failed_holders(plan != nullptr &&
+                                              plan->rates().drop_failed_holders);
+  }
+}
+
+void BapsSystem::fault_tick(ClientId requester) {
+  plan_->begin_request();
+  // A request from a departed client is that client coming back online;
+  // membership repair, not an injection.
+  if (clients_[requester].departed) rejoin_client(requester);
+  if (loopback_ != nullptr &&
+      plan_->should_inject(fault::FaultKind::kProxyRestart)) {
+    restart_proxy();
+  }
+  if (plan_->decide(fault::FaultKind::kPeerDepart)) {
+    std::vector<ClientId> candidates;
+    for (ClientId c = 0; c < params_.num_clients; ++c) {
+      if (c != requester && !clients_[c].departed) candidates.push_back(c);
+    }
+    if (!candidates.empty()) {
+      plan_->note_injected(fault::FaultKind::kPeerDepart);
+      const ClientId victim = candidates[plan_->pick(
+          fault::FaultKind::kPeerDepart,
+          static_cast<std::uint32_t>(candidates.size()))];
+      depart_client(victim, plan_->rates().polite_departures);
+    }
+  }
+  if (plan_->decide(fault::FaultKind::kPeerJoin)) {
+    std::vector<ClientId> candidates;
+    for (ClientId c = 0; c < params_.num_clients; ++c) {
+      if (clients_[c].departed) candidates.push_back(c);
+    }
+    if (!candidates.empty()) {
+      plan_->note_injected(fault::FaultKind::kPeerJoin);
+      rejoin_client(candidates[plan_->pick(
+          fault::FaultKind::kPeerJoin,
+          static_cast<std::uint32_t>(candidates.size()))]);
+    }
+  }
+}
+
+void BapsSystem::depart_client(ClientId client, bool polite) {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  ClientState& state = clients_[client];
+  BAPS_REQUIRE(!state.departed, "client is already departed");
+  if (polite) {
+    // Clean shutdown: the browser tells the proxy about every copy it is
+    // about to lose, so no stale entries remain.
+    for (const DocStore::Key key : state.browser->keys()) {
+      trace_.record(MsgKind::kIndexRemove, client_name(client), "proxy", key);
+      transport_->index_update(client, /*is_add=*/false, key,
+                               index_update_mac(client, false, key));
+    }
+  }
+  // Crash semantics otherwise: the cache empties with no invalidations, and
+  // the proxy's entries for this client go stale (§5).
+  state.browser->clear();
+  state.departed = true;
+}
+
+void BapsSystem::rejoin_client(ClientId client) {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  BAPS_REQUIRE(clients_[client].departed, "client is not departed");
+  clients_[client].departed = false;  // cold cache: cleared on departure
+}
+
+bool BapsSystem::client_departed(ClientId client) const {
+  BAPS_REQUIRE(client < clients_.size(), "client id out of range");
+  return clients_[client].departed;
+}
+
+void BapsSystem::restart_proxy() {
+  BAPS_REQUIRE(loopback_ != nullptr,
+               "restart_proxy() is only reachable on the loopback transport");
+  loopback_->core().restart();
+  // Index rebuild: every present client re-announces its actual holdings
+  // (sorted keys — deterministic rebuild order).
+  for (ClientId c = 0; c < params_.num_clients; ++c) {
+    if (clients_[c].departed) continue;
+    for (const DocStore::Key key : clients_[c].browser->keys()) {
+      trace_.record(MsgKind::kIndexAdd, client_name(c), "proxy", key);
+      transport_->index_update(c, /*is_add=*/true, key,
+                               index_update_mac(c, true, key));
+    }
+  }
 }
 
 void BapsSystem::set_tampering(ClientId client, bool tampering) {

@@ -25,6 +25,7 @@
 
 #include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
+#include "fault/fault_plan.hpp"
 #include "index/browser_index.hpp"
 #include "runtime/doc_store.hpp"
 #include "runtime/loopback_transport.hpp"
@@ -91,6 +92,25 @@ class BapsSystem : private PeerHost {
   std::uint64_t tamper_detections() const { return tamper_detections_; }
 
   // --- fault injection ----------------------------------------------------
+  /// Attaches a seeded fault plan (nullptr detaches; not owned, must outlive
+  /// its use). Once attached, browse() draws churn/restart decisions from it
+  /// per request, serve_peer_fetch() injects delivery faults, and the
+  /// transport injects frame faults at its own seam. With no plan attached —
+  /// or a zero-rate plan — behaviour is unchanged.
+  void attach_fault_plan(fault::FaultPlan* plan);
+
+  /// A peer departs: its browser cache empties and (impolite departure) the
+  /// proxy keeps believing the stale index entries — the §5 failure shape.
+  /// Polite departure sends authenticated index removes first.
+  void depart_client(ClientId client, bool polite);
+  /// A departed peer rejoins with a cold cache.
+  void rejoin_client(ClientId client);
+  bool client_departed(ClientId client) const;
+
+  /// Loopback-only: crash-restarts the embedded proxy (cache + index lost)
+  /// and rebuilds the index from the present clients' actual holdings.
+  void restart_proxy();
+
   /// A tampering client corrupts every document it serves to peers.
   void set_tampering(ClientId client, bool tampering);
   /// Drops a document from a client's browser WITHOUT telling the proxy —
@@ -113,12 +133,15 @@ class BapsSystem : private PeerHost {
   struct ClientState {
     std::unique_ptr<DocStore> browser;
     bool tampering = false;
+    bool departed = false;  ///< a departed peer serves nothing
     /// Symmetric key shared with the proxy; authenticates index updates
     /// (the §6 protocols assume such a per-client shared-key channel).
     std::string mac_key;
   };
 
   void init_clients();
+  /// Per-request fault decisions: churn (depart/join) and proxy restart.
+  void fault_tick(ClientId requester);
 
   // PeerHost: the transport delivers proxy-initiated peer fetches here.
   std::uint32_t num_clients() const override { return params_.num_clients; }
@@ -142,6 +165,8 @@ class BapsSystem : private PeerHost {
   std::vector<ClientState> clients_;
   MessageTrace trace_;
   obs::EventSink* sink_ = nullptr;  ///< optional, not owned
+
+  fault::FaultPlan* plan_ = nullptr;  ///< optional, not owned
 
   std::uint64_t local_hits_ = 0;
   std::uint64_t tamper_detections_ = 0;

@@ -1,5 +1,6 @@
 #include "runtime/tcp_transport.hpp"
 
+#include "fault/fault_plan.hpp"
 #include "runtime/wire_bridge.hpp"
 #include "util/assert.hpp"
 
@@ -56,6 +57,27 @@ void TcpTransport::bind_peer_host(PeerHost* host) {
               deliver.found = true;
               deliver.body = std::move(doc->body);
               deliver.watermark = watermark_to_bytes(doc->mark);
+            }
+            if (plan_ != nullptr && deliver.found) {
+              if (plan_->should_inject(fault::FaultKind::kDropFrame)) {
+                // The frame is lost in flight: the proxy's peer read
+                // deadline expires and the fetch degrades to origin.
+                continue;
+              }
+              if (plan_->should_inject(fault::FaultKind::kCorruptFrame)) {
+                // Flip one payload byte after encoding so the frame CRC no
+                // longer matches: the proxy rejects it at the wire layer.
+                std::string frame = wire::encode_frame(
+                    wire::PeerDeliver::kKind, wire::encode(deliver));
+                frame.back() = static_cast<char>(frame.back() ^ 0x01);
+                NetError raw_err;
+                if (!channel.connection().write_all(
+                        frame.data(), frame.size(),
+                        channel.deadlines().write_ms, &raw_err)) {
+                  return;
+                }
+                continue;
+              }
             }
             if (!channel.send_msg(deliver, &err)) return;
           }

@@ -54,6 +54,10 @@ class TcpTransport final : public Transport {
   /// port and must degrade to an origin fetch within the peer deadline.
   void kill_peer_server(ClientId client);
 
+  /// Frame faults (drop/corrupt) are injected on real wire frames in the
+  /// peer-deliver path. Attach before traffic flows.
+  void set_fault_plan(fault::FaultPlan* plan) override { plan_ = plan; }
+
  private:
   /// The proxy connection for `client`, dialing + Hello on first use.
   netio::FrameChannel* channel_for(ClientId client);
@@ -64,6 +68,7 @@ class TcpTransport final : public Transport {
 
   Params params_;
   PeerHost* host_ = nullptr;
+  fault::FaultPlan* plan_ = nullptr;  ///< optional, not owned
   /// Peer listeners, one per client id; null after kill_peer_server.
   std::vector<std::unique_ptr<netio::FrameServer>> peer_servers_;
   std::vector<std::uint16_t> peer_ports_;

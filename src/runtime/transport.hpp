@@ -18,6 +18,10 @@
 #include "runtime/proxy_core.hpp"
 #include "runtime/types.hpp"
 
+namespace baps::fault {
+class FaultPlan;
+}
+
 namespace baps::runtime {
 
 /// The client host's peer-serving surface: lets a transport deliver
@@ -56,6 +60,12 @@ class Transport {
 
   /// Proxy-side protocol counters.
   virtual ProxyStats stats() = 0;
+
+  /// Attaches a fault plan so the transport can inject faults at its own
+  /// seam (frame drops/corruption on the wire, delivery delays). nullptr
+  /// detaches; the plan is not owned and must outlive the transport's use
+  /// of it. Transports without an injectable seam ignore it.
+  virtual void set_fault_plan(fault::FaultPlan* plan) { (void)plan; }
 };
 
 }  // namespace baps::runtime

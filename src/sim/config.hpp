@@ -64,6 +64,13 @@ struct SimConfig {
   net::LanParams lan{};
   LatencyParams latency{};
 
+  // --- client churn (§5 spirit: browsers join and leave over the trace) ----
+  /// Per-request probability of one churn event (0 disables churn entirely —
+  /// bit-identical to the pre-churn simulator).
+  double churn_rate = 0.0;
+  /// Seed for the churn event stream (independent of every other stream).
+  std::uint64_t churn_seed = 0;
+
   // --- capacity hints (perf only — never change simulated behavior) -------
   /// Bound on document ids (TraceStats::doc_universe). Pre-sizes the flat
   /// browser-index table; 0 grows on demand.

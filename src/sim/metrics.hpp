@@ -43,6 +43,11 @@ struct Metrics {
   std::uint64_t false_forwards = 0;      ///< index said yes, browser said no
   std::uint64_t stale_remote_probes = 0; ///< remote copy had changed size
 
+  // --- client churn (§5 spirit) -------------------------------------------
+  std::uint64_t churn_departures = 0;  ///< clients that left mid-trace
+  std::uint64_t churn_rejoins = 0;     ///< departed clients that came back
+  std::uint64_t churn_wiped_docs = 0;  ///< browser docs lost to departures
+
   // --- service time (denominator for §5's "portion of total workload
   //     service time") ----------------------------------------------------
   double total_service_time_s = 0.0;

@@ -22,6 +22,7 @@
 #include <optional>
 
 #include "cache/tiered_cache.hpp"
+#include "fault/churn.hpp"
 #include "net/lan_model.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
@@ -45,6 +46,13 @@ class Organization {
 
   /// End-of-trace hook (flush index protocols, close accounting).
   virtual void finish() {}
+
+  /// One churn decision per request, called by the driver BEFORE process().
+  /// With churn disabled (config.churn_rate == 0) this is a null check and
+  /// nothing else — the zero-churn replay stays bit-identical.
+  void churn_step(const trace::Request& r) {
+    if (churn_) churn_step_slow(r);
+  }
 
   const Metrics& metrics() const { return metrics_; }
 
@@ -151,11 +159,22 @@ class Organization {
     }
   }
 
+  /// A churned client's browser cache empties. Each organization decides
+  /// what its directory structures learn about it: the replicated index of
+  /// organization 3 stays synced (every browser sees every departure), the
+  /// browsers-aware proxy of organization 5 is left with stale entries —
+  /// the §5 failure shape the false-forward counter measures.
+  virtual void wipe_client(trace::ClientId client) { (void)client; }
+
   SimConfig config_;
   std::uint32_t num_clients_;
   LatencyModel latency_;
   net::LanModel lan_;
   Metrics metrics_;
+  std::unique_ptr<fault::ChurnModel> churn_;  ///< null when churn is off
+
+ private:
+  void churn_step_slow(const trace::Request& r);
 };
 
 /// Convenience: run a whole trace through a fresh organization.

@@ -1,5 +1,8 @@
 #include "sim/orgs.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/assert.hpp"
 
 namespace baps::sim {
@@ -19,6 +22,25 @@ std::vector<cache::TieredCache> make_browsers(const SimConfig& config,
     }
   }
   return browsers;
+}
+
+/// Empties one browser cache for a churn departure: `fn(doc)` runs before
+/// each erase so callers can propagate the removal to their directory
+/// structures (or not — a silent wipe is the stale-index failure shape).
+/// Docs are wiped in sorted order for cross-run determinism; erase() fires
+/// no eviction listeners, so nothing else observes the wipe.
+template <typename PerDoc>
+std::uint64_t wipe_browser(cache::TieredCache& browser, PerDoc&& fn) {
+  std::vector<trace::DocId> docs;
+  docs.reserve(browser.count());
+  browser.full().for_each(
+      [&docs](trace::DocId doc, std::uint64_t) { docs.push_back(doc); });
+  std::sort(docs.begin(), docs.end());
+  for (const trace::DocId doc : docs) {
+    fn(doc);
+    browser.erase(doc);
+  }
+  return docs.size();
 }
 
 }  // namespace
@@ -48,6 +70,11 @@ LocalBrowserOnlyOrg::LocalBrowserOnlyOrg(const SimConfig& config,
                                          std::uint32_t num_clients)
     : Organization(config, num_clients),
       browsers_(make_browsers(config, num_clients)) {}
+
+void LocalBrowserOnlyOrg::wipe_client(trace::ClientId client) {
+  metrics_.churn_wiped_docs +=
+      wipe_browser(browsers_[client], [](trace::DocId) {});
+}
 
 void LocalBrowserOnlyOrg::process(const trace::Request& r) {
   cache::TieredCache& browser = browsers_[r.client];
@@ -84,6 +111,12 @@ void GlobalBrowsersOnlyOrg::on_browser_eviction(void* ctx, trace::DocId doc,
 void GlobalBrowsersOnlyOrg::fill_browser(trace::ClientId client,
                                          const trace::Request& r) {
   if (browsers_[client].insert(r.doc, r.size)) index_.add(client, r.doc);
+}
+
+void GlobalBrowsersOnlyOrg::wipe_client(trace::ClientId client) {
+  metrics_.churn_wiped_docs += wipe_browser(
+      browsers_[client],
+      [this, client](trace::DocId doc) { index_.remove(client, doc); });
 }
 
 void GlobalBrowsersOnlyOrg::process(const trace::Request& r) {
@@ -127,6 +160,11 @@ ProxyAndLocalBrowserOrg::ProxyAndLocalBrowserOrg(const SimConfig& config,
 void ProxyAndLocalBrowserOrg::fill_browser(trace::ClientId client,
                                            const trace::Request& r) {
   browsers_[client].insert(r.doc, r.size);
+}
+
+void ProxyAndLocalBrowserOrg::wipe_client(trace::ClientId client) {
+  metrics_.churn_wiped_docs +=
+      wipe_browser(browsers_[client], [](trace::DocId) {});
 }
 
 void ProxyAndLocalBrowserOrg::process(const trace::Request& r) {
@@ -207,6 +245,14 @@ void BrowsersAwareOrg::fill_browser(trace::ClientId client,
   }
 }
 
+void BrowsersAwareOrg::wipe_client(trace::ClientId client) {
+  // Silent wipe: no index_remove calls, so the proxy's view of this client
+  // goes stale — its entries are discovered (and counted as false forwards)
+  // only when the next lookup probes the empty browser.
+  metrics_.churn_wiped_docs +=
+      wipe_browser(browsers_[client], [](trace::DocId) {});
+}
+
 void BrowsersAwareOrg::process(const trace::Request& r) {
   cache::TieredCache& browser = browsers_[r.client];
   const auto on_stale = [this, &r](trace::DocId doc) {
@@ -226,9 +272,14 @@ void BrowsersAwareOrg::process(const trace::Request& r) {
     cache::TieredCache& remote = browsers_[*holder];
     const auto probe = remote.touch_expected(r.doc, r.size);
     if (probe.outcome == cache::LookupOutcome::kMiss) {
-      // Stale index entry (periodic mode) or Bloom false positive: the
-      // probe comes back empty.
+      // Stale index entry (periodic mode, or a churn departure) or Bloom
+      // false positive: the probe comes back empty.
       ++metrics_.false_forwards;
+      // Under churn the proxy invalidates the entry it just disproved —
+      // otherwise a departed client's stale entries cost a false forward on
+      // every future lookup. Gated on churn so the zero-churn replay stays
+      // bit-identical (immediate mode never reaches here without churn).
+      if (churn_ && exact_index_) exact_index_->remove(*holder, r.doc);
     } else if (probe.outcome == cache::LookupOutcome::kHit) {
       const int hops = config_.relay_via_proxy ? 2 : 1;
       record_remote_browser_hit(r, probe.tier, hops);
@@ -262,7 +313,10 @@ namespace {
 template <typename Org>
 Metrics run_concrete(const SimConfig& config, const trace::Trace& trace) {
   Org org(config, trace.num_clients());
-  for (const trace::Request& r : trace.requests()) org.process(r);
+  for (const trace::Request& r : trace.requests()) {
+    org.churn_step(r);  // inlines to a null check when churn is off
+    org.process(r);
+  }
   org.finish();
   return org.metrics();
 }

@@ -29,6 +29,9 @@ class LocalBrowserOnlyOrg final : public Organization {
   OrgKind kind() const override { return OrgKind::kLocalBrowserOnly; }
   void process(const trace::Request& r) override;
 
+ protected:
+  void wipe_client(trace::ClientId client) override;
+
  private:
   std::vector<cache::TieredCache> browsers_;
 };
@@ -41,6 +44,12 @@ class GlobalBrowsersOnlyOrg final : public Organization {
   GlobalBrowsersOnlyOrg(const SimConfig& config, std::uint32_t num_clients);
   OrgKind kind() const override { return OrgKind::kGlobalBrowsersOnly; }
   void process(const trace::Request& r) override;
+
+ protected:
+  /// The index is replicated across all browsers here: every one of them
+  /// observes a departure, so the index stays exactly synced (the in-process
+  /// invariant check requires it).
+  void wipe_client(trace::ClientId client) override;
 
  private:
   /// Raw eviction-listener context, one per client (stable addresses: the
@@ -66,6 +75,9 @@ class ProxyAndLocalBrowserOrg final : public Organization {
   OrgKind kind() const override { return OrgKind::kProxyAndLocalBrowser; }
   void process(const trace::Request& r) override;
 
+ protected:
+  void wipe_client(trace::ClientId client) override;
+
  private:
   void fill_browser(trace::ClientId client, const trace::Request& r);
 
@@ -85,6 +97,12 @@ class BrowsersAwareOrg final : public Organization {
   /// footprint comparisons): exact entries at 24 B each, or the summary
   /// filters' actual size.
   std::uint64_t index_bytes() const;
+
+ protected:
+  /// A departing browser wipes silently — no invalidation messages reach
+  /// the proxy, so its index entries go stale (the §5 failure shape; the
+  /// resulting empty probes are counted as false forwards).
+  void wipe_client(trace::ClientId client) override;
 
  private:
   /// Raw eviction-listener context, one per client (stable addresses: the

@@ -71,8 +71,14 @@ class FlatMap {
 
   /// Pre-sizes the table so `expected` entries fit without rehashing.
   void reserve(std::size_t expected) {
+    // `cap <<= 1` would wrap to 0 (and loop forever) before `cap * 3 / 4`
+    // could ever reach an `expected` near SIZE_MAX; reject such sizes up
+    // front. `cap / 4 * 3` is exact (cap is a multiple of 4) and cannot
+    // overflow, unlike the naive `cap * 3 / 4`.
+    BAPS_REQUIRE(expected <= std::size_t{1} << 62,
+                 "flat map reserve size overflows the table");
     std::size_t cap = kMinCapacity;
-    while (cap * 3 / 4 < expected) cap <<= 1;
+    while (cap / 4 * 3 < expected) cap <<= 1;
     if (cap > keys_.size()) rehash(cap);
   }
 

@@ -69,6 +69,9 @@ class SmallVector {
 
  private:
   void grow() {
+    // cap_ is u32: doubling past 2^31 would wrap to 0 and memcpy into a
+    // zero-length allocation.
+    BAPS_REQUIRE(cap_ <= 0x7FFFFFFFu, "SmallVector capacity overflow");
     const std::uint32_t new_cap = cap_ * 2;
     T* mem = new T[new_cap];
     std::memcpy(mem, data(), sizeof(T) * size_);

@@ -328,5 +328,62 @@ TEST(ReplayMetricsTest, ReportsWithoutReplayGaugesPassTrivially) {
   EXPECT_TRUE(validate_replay_metrics(report, &error)) << error;
 }
 
+TEST(FaultMetricsTest, AcceptsKindLabeledFaultCounters) {
+  const JsonValue report = report_with_counters({
+      counter_json("fault_injected_total", {{"kind", "drop_frame"}}, 7),
+      counter_json("fault_recovered_total", {{"kind", "drop_frame"}}, 7),
+      counter_json("fault_injected_total", {{"kind", "peer_depart"}}, 3),
+      counter_json("stale_index_hits_total", {}, 2),
+  });
+  std::string error;
+  EXPECT_TRUE(validate_fault_metrics(report, &error)) << error;
+  EXPECT_TRUE(validate_report(report, &error)) << error;
+}
+
+TEST(FaultMetricsTest, RejectsRecoveredExceedingInjected) {
+  const JsonValue report = report_with_counters({
+      counter_json("fault_injected_total", {{"kind", "corrupt_frame"}}, 2),
+      counter_json("fault_recovered_total", {{"kind", "corrupt_frame"}}, 3),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_fault_metrics(report, &error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+  EXPECT_FALSE(validate_report(report, &error));
+}
+
+TEST(FaultMetricsTest, RejectsRecoveredForAKindNeverInjected) {
+  const JsonValue report = report_with_counters({
+      counter_json("fault_recovered_total", {{"kind", "slow_peer"}}, 1),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_fault_metrics(report, &error));
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(FaultMetricsTest, RejectsMissingKindLabel) {
+  const JsonValue report = report_with_counters({
+      counter_json("fault_injected_total", {}, 1),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_fault_metrics(report, &error));
+  EXPECT_NE(error.find("kind label"), std::string::npos) << error;
+}
+
+TEST(FaultMetricsTest, RejectsNegativeStaleIndexHits) {
+  const JsonValue report = report_with_counters({
+      counter_json("stale_index_hits_total", {}, -1),
+  });
+  std::string error;
+  EXPECT_FALSE(validate_fault_metrics(report, &error));
+  EXPECT_NE(error.find("negative"), std::string::npos) << error;
+}
+
+TEST(FaultMetricsTest, ReportsWithoutFaultCountersPassTrivially) {
+  const JsonValue report =
+      ReportBuilder("report_test").add_sweep(shared_sweep()).build();
+  std::string error;
+  EXPECT_TRUE(validate_fault_metrics(report, &error)) << error;
+}
+
 }  // namespace
 }  // namespace baps::obs

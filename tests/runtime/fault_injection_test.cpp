@@ -1,0 +1,205 @@
+// Fault-injection tests for the runtime protocol engine: deterministic
+// schedules, graceful degradation (every faulted request is still served
+// verified content), the stale-index departure path, and proxy restart with
+// index rebuild.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "obs/registry.hpp"
+#include "runtime/system.hpp"
+
+namespace baps::runtime {
+namespace {
+
+BapsSystem::Params small_params() {
+  BapsSystem::Params p;
+  p.num_clients = 3;
+  p.proxy_cache_bytes = 8 << 10;  // small enough to evict under pressure
+  p.browser_cache_bytes = 16 << 10;
+  p.seed = 42;
+  return p;
+}
+
+fault::FaultRates recoverable_rates() {
+  fault::FaultRates rates;
+  rates.of(fault::FaultKind::kPeerDisconnect) = 0.3;
+  rates.of(fault::FaultKind::kSlowPeer) = 0.3;
+  rates.of(fault::FaultKind::kDropFrame) = 0.2;
+  rates.of(fault::FaultKind::kCorruptFrame) = 0.2;
+  rates.of(fault::FaultKind::kProxyRestart) = 0.05;
+  rates.slow_peer_budget_ms = 25;  // below the 50ms delay: undelivered
+  return rates;
+}
+
+fault::FaultRates all_rates() {
+  fault::FaultRates rates = recoverable_rates();
+  rates.of(fault::FaultKind::kPeerDepart) = 0.1;
+  rates.of(fault::FaultKind::kPeerJoin) = 0.5;
+  return rates;
+}
+
+/// A deterministic request stream with enough rereference across clients to
+/// exercise proxy hits, peer fetches, and origin fallbacks. The 25-doc
+/// universe is coprime to the 3-client round-robin so every client revisits
+/// every document (a multiple of 3 would partition the docs per client and
+/// starve the peer path).
+std::string stream_url(int i) {
+  return "http://stream.example/" + std::to_string((i * 7) % 25);
+}
+
+TEST(FaultInjectionTest, SameSeedReproducesScheduleAndCounters) {
+  BapsSystem a(small_params());
+  BapsSystem b(small_params());
+  fault::FaultPlan plan_a(1234, all_rates());
+  fault::FaultPlan plan_b(1234, all_rates());
+  a.attach_fault_plan(&plan_a);
+  b.attach_fault_plan(&plan_b);
+
+  for (int i = 0; i < 300; ++i) {
+    const auto client = static_cast<ClientId>(i % 3);
+    const FetchOutcome oa = a.browse(client, stream_url(i));
+    const FetchOutcome ob = b.browse(client, stream_url(i));
+    ASSERT_EQ(source_name(oa.source), source_name(ob.source))
+        << "diverged at request " << i;
+    ASSERT_EQ(oa.verified, ob.verified);
+    ASSERT_EQ(oa.body, ob.body);
+  }
+  for (std::size_t k = 0; k < fault::kNumFaultKinds; ++k) {
+    const auto kind = static_cast<fault::FaultKind>(k);
+    EXPECT_EQ(plan_a.injected(kind), plan_b.injected(kind))
+        << fault_kind_name(kind);
+    EXPECT_EQ(plan_a.recovered(kind), plan_b.recovered(kind))
+        << fault_kind_name(kind);
+  }
+  EXPECT_GT(plan_a.injected_total(), 0u);
+  EXPECT_EQ(a.false_forwards(), b.false_forwards());
+  EXPECT_EQ(a.origin_fetches(), b.origin_fetches());
+}
+
+TEST(FaultInjectionTest, ZeroRatePlanIsBehaviourallyTransparent) {
+  BapsSystem bare(small_params());
+  BapsSystem planned(small_params());
+  fault::FaultPlan zero(77, fault::FaultRates{});
+  planned.attach_fault_plan(&zero);
+
+  for (int i = 0; i < 200; ++i) {
+    const auto client = static_cast<ClientId>(i % 3);
+    const FetchOutcome oa = bare.browse(client, stream_url(i));
+    const FetchOutcome ob = planned.browse(client, stream_url(i));
+    ASSERT_EQ(source_name(oa.source), source_name(ob.source))
+        << "zero-rate plan changed request " << i;
+    ASSERT_EQ(oa.body, ob.body);
+  }
+  EXPECT_EQ(bare.local_hits(), planned.local_hits());
+  EXPECT_EQ(bare.proxy_hits(), planned.proxy_hits());
+  EXPECT_EQ(bare.peer_hits(), planned.peer_hits());
+  EXPECT_EQ(bare.origin_fetches(), planned.origin_fetches());
+  EXPECT_EQ(bare.false_forwards(), planned.false_forwards());
+  EXPECT_EQ(zero.injected_total(), 0u);
+}
+
+TEST(FaultInjectionTest, FaultedRunServesEveryRequestAndRecoversAll) {
+  BapsSystem sys(small_params());
+  fault::FaultPlan plan(99, all_rates());
+  sys.attach_fault_plan(&plan);
+
+  for (int i = 0; i < 400; ++i) {
+    const FetchOutcome out =
+        sys.browse(static_cast<ClientId>(i % 3), stream_url(i));
+    ASSERT_TRUE(out.verified) << "request " << i << " served unverified";
+    ASSERT_FALSE(out.body.empty());
+  }
+  EXPECT_GT(plan.injected_total(), 0u);
+  EXPECT_TRUE(plan.fully_recovered())
+      << "injected=" << plan.injected_total()
+      << " recovered=" << plan.recovered_total();
+  // The recoverable kinds each fired at these rates over 400 requests.
+  EXPECT_GT(plan.injected(fault::FaultKind::kPeerDisconnect), 0u);
+  EXPECT_GT(plan.injected(fault::FaultKind::kPeerDepart), 0u);
+}
+
+class DepartureTest : public ::testing::Test {
+ protected:
+  DepartureTest() : sys_(small_params()) {
+    sys_.browse(0, kUrl);
+    // Flood the proxy cache until the shared doc is evicted from it; only
+    // client 0's browser (and the index entry pointing at it) remain.
+    for (int i = 0; i < 64; ++i) {
+      sys_.browse(2, "http://filler.example/" + std::to_string(i));
+    }
+  }
+  static constexpr const char* kUrl = "http://depart.example/doc";
+  BapsSystem sys_;
+};
+
+TEST_F(DepartureTest, ImpoliteDepartureLeavesStaleIndexEntry) {
+  ASSERT_TRUE(sys_.browser_index().holds(0, url_key(kUrl)));
+  const std::uint64_t stale_before =
+      obs::Registry::global().counter("stale_index_hits_total").value();
+
+  sys_.depart_client(0, /*polite=*/false);
+  EXPECT_TRUE(sys_.client_departed(0));
+  // Crash semantics: the proxy still believes client 0 holds the doc.
+  EXPECT_TRUE(sys_.browser_index().holds(0, url_key(kUrl)));
+
+  const FetchOutcome out = sys_.browse(1, kUrl);
+  EXPECT_EQ(out.source, FetchOutcome::Source::kOrigin);
+  EXPECT_TRUE(out.verified);
+  EXPECT_EQ(sys_.false_forwards(), 1u);
+  EXPECT_EQ(obs::Registry::global().counter("stale_index_hits_total").value(),
+            stale_before + 1);
+  // The false forward repaired the index: the stale entry is gone.
+  EXPECT_FALSE(sys_.browser_index().holds(0, url_key(kUrl)));
+}
+
+TEST_F(DepartureTest, PoliteDepartureLeavesNoStaleEntries) {
+  sys_.depart_client(0, /*polite=*/true);
+  EXPECT_FALSE(sys_.browser_index().holds(0, url_key(kUrl)));
+  const FetchOutcome out = sys_.browse(1, kUrl);
+  EXPECT_EQ(out.source, FetchOutcome::Source::kOrigin);
+  EXPECT_EQ(sys_.false_forwards(), 0u);
+}
+
+TEST_F(DepartureTest, RejoinedClientComesBackCold) {
+  sys_.depart_client(0, /*polite=*/false);
+  sys_.rejoin_client(0);
+  EXPECT_FALSE(sys_.client_departed(0));
+  EXPECT_FALSE(sys_.client_has(0, kUrl));  // departure emptied the cache
+  // It participates again: a fresh fetch refills browser and index.
+  sys_.browse(0, kUrl);
+  EXPECT_TRUE(sys_.client_has(0, kUrl));
+}
+
+TEST(ProxyRestartTest, RestartRebuildsIndexFromPresentClients) {
+  BapsSystem sys(small_params());
+  const Url url = "http://restart.example/doc";
+  sys.browse(0, url);
+  ASSERT_TRUE(sys.client_has(0, url));
+
+  sys.restart_proxy();
+  // The crash lost cache and index; the rebuild re-announced client 0's
+  // holdings, so the next request routes to the peer, not the origin.
+  ASSERT_TRUE(sys.browser_index().holds(0, url_key(url)));
+  const FetchOutcome out = sys.browse(1, url);
+  EXPECT_EQ(out.source, FetchOutcome::Source::kRemoteBrowser);
+  EXPECT_TRUE(out.verified);
+}
+
+TEST(ProxyRestartTest, DepartedClientsAreNotRebuilt) {
+  BapsSystem sys(small_params());
+  const Url url = "http://restart.example/gone";
+  sys.browse(0, url);
+  sys.depart_client(0, /*polite=*/false);
+  sys.restart_proxy();
+  EXPECT_FALSE(sys.browser_index().holds(0, url_key(url)));
+  const FetchOutcome out = sys.browse(1, url);
+  EXPECT_EQ(out.source, FetchOutcome::Source::kOrigin);
+  // No stale entry survived the rebuild, so no false forward either.
+  EXPECT_EQ(sys.false_forwards(), 0u);
+}
+
+}  // namespace
+}  // namespace baps::runtime

@@ -1,0 +1,110 @@
+// Churned-replay tests: every organization must survive seeded client churn
+// (§5's join/leave dynamics) serving every request, the churn stream must be
+// deterministic per seed, and zero churn must leave the simulator untouched.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/organization.hpp"
+#include "sim/orgs.hpp"
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+
+namespace baps::sim {
+namespace {
+
+using trace::Request;
+using trace::Trace;
+
+/// A few thousand zipf-ish requests over a small universe: enough rereference
+/// for remote-browser hits, enough requests for churn to fire often.
+Trace churn_trace(std::uint32_t clients, std::size_t n) {
+  Xoshiro256 rng(0xC0FFEE);
+  std::vector<Request> reqs;
+  reqs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Request r;
+    r.timestamp = static_cast<double>(i);
+    r.client = static_cast<trace::ClientId>(rng.below(clients));
+    r.doc = rng.below(40);
+    r.size = 100 + 10 * (r.doc % 7);
+    reqs.push_back(r);
+  }
+  return Trace("churn-synth", clients, 40, std::move(reqs));
+}
+
+SimConfig churn_config(std::uint32_t clients, double rate,
+                       std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.proxy_cache_bytes = 1 << 12;  // small: force index-routed requests
+  cfg.browser_cache_bytes.assign(clients, 1 << 16);
+  cfg.churn_rate = rate;
+  cfg.churn_seed = seed;
+  return cfg;
+}
+
+TEST(ChurnReplayTest, EveryOrganizationServesEveryRequestUnderChurn) {
+  const Trace t = churn_trace(6, 4000);
+  for (const OrgKind kind : kAllOrganizations) {
+    const Metrics m =
+        run_organization(kind, churn_config(6, 0.3, 17), t);
+    EXPECT_EQ(m.hits.total(), t.size()) << org_name(kind);
+    EXPECT_GT(m.churn_departures, 0u) << org_name(kind);
+    EXPECT_GT(m.churn_rejoins, 0u) << org_name(kind);
+  }
+}
+
+TEST(ChurnReplayTest, SameChurnSeedReproducesTheRun) {
+  const Trace t = churn_trace(6, 3000);
+  const SimConfig cfg = churn_config(6, 0.25, 99);
+  const Metrics a = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  const Metrics b = run_organization(OrgKind::kBrowsersAware, cfg, t);
+  EXPECT_EQ(a.churn_departures, b.churn_departures);
+  EXPECT_EQ(a.churn_rejoins, b.churn_rejoins);
+  EXPECT_EQ(a.hits.hits(), b.hits.hits());
+  EXPECT_EQ(a.false_forwards, b.false_forwards);
+  EXPECT_EQ(a.index_messages, b.index_messages);
+  EXPECT_EQ(a.remote_browser_hits, b.remote_browser_hits);
+}
+
+TEST(ChurnReplayTest, ZeroChurnRateMatchesTheChurnFreeSimulator) {
+  const Trace t = churn_trace(4, 2000);
+  SimConfig off = churn_config(4, 0.0, 1);
+  SimConfig never_set = churn_config(4, 0.0, 0);
+  never_set.churn_seed = 12345;  // seed is irrelevant when rate is 0
+  const Metrics a = run_organization(OrgKind::kBrowsersAware, off, t);
+  const Metrics b = run_organization(OrgKind::kBrowsersAware, never_set, t);
+  EXPECT_EQ(a.hits.hits(), b.hits.hits());
+  EXPECT_EQ(a.byte_hits.hits(), b.byte_hits.hits());
+  EXPECT_EQ(a.false_forwards, b.false_forwards);
+  EXPECT_EQ(a.index_messages, b.index_messages);
+  EXPECT_EQ(a.churn_departures, 0u);
+  EXPECT_EQ(a.churn_rejoins, 0u);
+}
+
+TEST(ChurnReplayTest, DeparturesCreateStaleEntriesThatBecomeFalseForwards) {
+  // Browsers-aware with impolite departures: a departed client's index
+  // entries go stale, so a churned run sees false forwards a churn-free run
+  // of the same trace does not need.
+  const Trace t = churn_trace(6, 4000);
+  const Metrics churned =
+      run_organization(OrgKind::kBrowsersAware, churn_config(6, 0.4, 7), t);
+  EXPECT_GT(churned.churn_wiped_docs, 0u);
+  EXPECT_GT(churned.false_forwards, 0u);
+  // Every request is still answered — staleness degrades the hit ratio, not
+  // correctness.
+  EXPECT_EQ(churned.hits.total(), t.size());
+}
+
+TEST(ChurnReplayTest, GlobalBrowsersIndexStaysInSyncUnderChurn) {
+  // GlobalBrowsersOnlyOrg asserts its replicated immediate index never
+  // disagrees with the browser caches; a churn wipe must preserve that.
+  const Trace t = churn_trace(5, 5000);
+  const Metrics m = run_organization(OrgKind::kGlobalBrowsersOnly,
+                                     churn_config(5, 0.5, 3), t);
+  EXPECT_EQ(m.hits.total(), t.size());
+  EXPECT_GT(m.churn_departures, 0u);
+}
+
+}  // namespace
+}  // namespace baps::sim

@@ -46,6 +46,19 @@ TEST(FlatMapTest, ReserveAvoidsRehash) {
   EXPECT_EQ(m.capacity(), cap);  // no growth mid-run
 }
 
+TEST(FlatMapTest, ReserveRejectsSizesThatWouldOverflowCapacity) {
+  // `cap <<= 1` wraps to 0 before 3/4 of it can reach an `expected` near
+  // SIZE_MAX — without the guard, reserve spun forever.
+  FlatMap<int> m;
+  EXPECT_THROW(m.reserve(std::size_t{1} << 63), InvariantError);
+  EXPECT_THROW(m.reserve(~std::size_t{0}), InvariantError);
+  EXPECT_EQ(m.capacity(), 0u);  // rejected reserve left the map untouched
+  // A large-but-sane reserve still works and keeps the 3/4 load headroom.
+  m.reserve(std::size_t{1} << 20);
+  EXPECT_GE(m.capacity() / 4 * 3, std::size_t{1} << 20);
+  EXPECT_TRUE(m.insert(1, 1));
+}
+
 TEST(FlatMapTest, MovedFromMapIsEmptyAndReusable) {
   FlatMap<int> a;
   a.insert(7, 70);

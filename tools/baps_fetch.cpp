@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault_plan.hpp"
 #include "obs/report.hpp"
 #include "runtime/system.hpp"
 #include "runtime/tcp_transport.hpp"
@@ -56,6 +57,9 @@ int main(int argc, char** argv) {
   std::string preset_name;
   std::uint64_t requests = 1000;
   std::string sources_out, metrics_out;
+  std::string fault_rates_spec;
+  std::uint64_t fault_seed = 1;
+  bool fault_strict = false;
 
   util::ArgParser parser("baps_fetch",
                          "Fetch documents through a BAPS proxy.");
@@ -82,7 +86,13 @@ int main(int argc, char** argv) {
       .option("--sources-out", &sources_out, "FILE",
               "write one '<client> <source>' line per request")
       .option("--metrics-out", &metrics_out, "FILE",
-              "write a baps.report.v1 JSON report");
+              "write a baps.report.v1 JSON report")
+      .option("--fault-rates", &fault_rates_spec, "SPEC",
+              "inject faults, e.g. disconnect=0.05,corrupt=0.02,slow=0.1")
+      .option("--fault-seed", &fault_seed, "S",
+              "seed for the fault decision streams (default 1)")
+      .flag("--fault-strict", &fault_strict,
+            "exit 1 unless every injected fault was recovered");
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -110,6 +120,19 @@ int main(int argc, char** argv) {
     std::cerr << "--clients must be at least 1\n";
     return 2;
   }
+  std::unique_ptr<fault::FaultPlan> plan;
+  if (!fault_rates_spec.empty()) {
+    const auto rates = fault::FaultRates::parse(fault_rates_spec, &error);
+    if (!rates.has_value()) {
+      std::cerr << "--fault-rates: " << error << "\n";
+      return 2;
+    }
+    plan = std::make_unique<fault::FaultPlan>(fault_seed, *rates);
+  }
+  if (fault_strict && plan == nullptr) {
+    std::cerr << "--fault-strict requires --fault-rates\n";
+    return 2;
+  }
 
   runtime::BapsSystem::Params params;
   params.num_clients = clients;
@@ -129,6 +152,7 @@ int main(int argc, char** argv) {
   } else {
     sys = std::make_unique<runtime::BapsSystem>(params);
   }
+  if (plan != nullptr) sys->attach_fault_plan(plan.get());
 
   std::ofstream sources;
   if (!sources_out.empty()) {
@@ -183,7 +207,12 @@ int main(int argc, char** argv) {
             << " proxy_hits=" << sys->proxy_hits()
             << " peer_hits=" << sys->peer_hits()
             << " origin_fetches=" << sys->origin_fetches()
-            << " false_forwards=" << sys->false_forwards() << "\n";
+            << " false_forwards=" << sys->false_forwards();
+  if (plan != nullptr) {
+    std::cout << " fault_injected=" << plan->injected_total()
+              << " fault_recovered=" << plan->recovered_total();
+  }
+  std::cout << "\n";
 
   if (sources.is_open()) {
     sources.close();
@@ -201,6 +230,19 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cerr << "wrote " << metrics_out << "\n";
+  }
+  if (fault_strict) {
+    if (!plan->fully_recovered()) {
+      std::cerr << "fault-strict: unrecovered faults (injected="
+                << plan->injected_total()
+                << " recovered=" << plan->recovered_total() << ")\n";
+      return 1;
+    }
+    if (verified != done) {
+      std::cerr << "fault-strict: " << (done - verified) << " of " << done
+                << " requests were not verified\n";
+      return 1;
+    }
   }
   return 0;
 }

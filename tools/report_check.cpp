@@ -3,7 +3,10 @@
 // Parses each file, checks the schema structurally, recomputes every derived
 // ratio from its exact integer counters, and validates the transport metric
 // families (wire_*/netio_* counters: dir labels, bytes-vs-frames
-// consistency). Given several files, they are treated as successive
+// consistency) plus the fault-injection families (fault_injected_total /
+// fault_recovered_total need a kind label, non-negative values, and per-kind
+// recovered <= injected; stale_index_hits_total must be non-negative).
+// Given several files, they are treated as successive
 // snapshots of one process and every shared wire_*/netio_* counter must be
 // monotone non-decreasing in argument order. Exit 0 when valid, 1 when not
 // (with the first violation on stderr). Used by scripts/check.sh to gate
