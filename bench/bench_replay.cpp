@@ -7,11 +7,20 @@
 // interference. The simulated Metrics are emitted as a one-point sweep in
 // the baps.report.v1 report (so report_check recomputes every ratio), and
 // throughput lands in the registry as replay_requests_per_second{org=...}
-// gauges, which report_check validates as a family. BENCH_hotpath.json at
-// the repo root records the committed history of these numbers.
+// gauges plus replay_latency_quantile_seconds{org=...,q=p50|p99} from the
+// simulated latency distribution, which report_check validates as families.
+// BENCH_hotpath.json at the repo root records the committed history of
+// these numbers.
+//
+// --overhead-guard PCT re-times the hot organization with a sampling-off
+// tracer paying one root-span check per request — the exact cost a rate-0
+// tracer adds to the runtime engine — and fails unless the simulated
+// metrics stay bit-identical and the throughput regression stays under
+// PCT percent. CI runs this to keep tracing free when it is off.
 #include <algorithm>
 
 #include "bench_common.hpp"
+#include "obs/span.hpp"
 
 int main(int argc, char** argv) {
   using namespace baps;
@@ -19,8 +28,12 @@ int main(int argc, char** argv) {
   args.argc = argc;
   args.argv = argv;
   std::uint64_t reps = 5;
+  double overhead_guard = 0.0;
   util::ArgParser parser(argv[0]);
   parser.flag("--csv", &args.csv, "emit CSV instead of an aligned table")
+      .option("--overhead-guard", &overhead_guard, "PCT",
+              "fail if a sampling-off tracer costs more than PCT percent "
+              "throughput (default 0: guard off)")
       .option("--scale", &args.scale, "F",
               "shrink the preset trace by F in (0,1]")
       .option("--metrics-out", &args.metrics_out, "FILE",
@@ -90,6 +103,16 @@ int main(int argc, char** argv) {
           .gauge("replay_requests_per_second", {{"org", sim::org_name(kind)}})
           .set(rps);
       const sim::Metrics& m = point.by_org.at(kind);
+      if (m.log_latency.count() > 0) {
+        const std::pair<const char*, double> quantiles[] = {{"p50", 0.5},
+                                                            {"p99", 0.99}};
+        for (const auto& [qname, q] : quantiles) {
+          obs::Registry::global()
+              .gauge("replay_latency_quantile_seconds",
+                     {{"org", sim::org_name(kind)}, {"q", qname}})
+              .set(m.latency_quantile(q));
+        }
+      }
       table.row()
           .cell(sim::org_name(kind))
           .cell(static_cast<std::uint64_t>(t.size()))
@@ -102,6 +125,77 @@ int main(int argc, char** argv) {
   std::cout << "Trace-replay throughput, " << trace::preset_name(trace::Preset::kBu95)
             << ", best of " << reps << " run(s), default RunSpec\n";
   bench::emit(table, args);
+
+  if (overhead_guard > 0.0) {
+    // A/B on the hot organization: a plain replay against the same replay
+    // plus the per-request cost a sampling-off tracer adds to the runtime
+    // engine (one root-span start per request, which collapses to a single
+    // branch when the sampler is off — no id minting, no clock read, no
+    // registry write).
+    const auto scope = phases.scope("overhead_guard");
+    const core::OrgKind kind = core::OrgKind::kBrowsersAware;
+    obs::Tracer::Params tp;
+    tp.seed = 1;
+    tp.sample_rate = 0.0;
+    tp.service = "bench";
+    obs::Tracer tracer(tp);
+    // The percentage budget is tight (default 2%), so each timing sample
+    // must dwarf clock/scheduler noise: batch enough replays per sample to
+    // fill ~100ms, sized from a calibration run (which also provides the
+    // metrics for the bit-identity check below).
+    double start = obs::monotonic_seconds();
+    const sim::Metrics plain_metrics = sim::run_organization(kind, cfg, t);
+    const double calib_secs = obs::monotonic_seconds() - start;
+    const sim::Metrics traced_metrics = sim::run_organization(kind, cfg, t);
+    std::uint64_t iters = 1;
+    if (calib_secs > 0.0 && calib_secs < 0.1) {
+      iters = static_cast<std::uint64_t>(0.1 / calib_secs) + 1;
+    }
+    const std::uint64_t guard_reps = reps < 5 ? 5 : reps;
+    double best_plain = 0.0, best_traced = 0.0;
+    for (std::uint64_t rep = 0; rep < guard_reps; ++rep) {
+      start = obs::monotonic_seconds();
+      for (std::uint64_t it = 0; it < iters; ++it) {
+        sim::run_organization(kind, cfg, t);
+      }
+      const double plain_secs = obs::monotonic_seconds() - start;
+      start = obs::monotonic_seconds();
+      for (std::uint64_t it = 0; it < iters; ++it) {
+        sim::run_organization(kind, cfg, t);
+        for (std::size_t i = 0; i < t.size(); ++i) {
+          obs::Span root = tracer.start_root_span(obs::SpanKind::kClientFetch);
+        }
+      }
+      const double traced_secs = obs::monotonic_seconds() - start;
+      if (rep == 0 || plain_secs < best_plain) best_plain = plain_secs;
+      if (rep == 0 || traced_secs < best_traced) best_traced = traced_secs;
+    }
+    // Bit-identical first: an unsampled tracer must not perturb a single
+    // simulated counter, histogram bucket, or derived ratio.
+    const std::string plain_json = obs::metrics_to_json(plain_metrics).dump();
+    const std::string traced_json =
+        obs::metrics_to_json(traced_metrics).dump();
+    if (plain_json != traced_json) {
+      std::cerr << "overhead-guard: metrics differ with a sampling-off "
+                   "tracer present\n";
+      return 1;
+    }
+    const double regression_pct =
+        best_plain > 0.0 ? (best_traced - best_plain) / best_plain * 100.0
+                         : 0.0;
+    obs::Registry::global()
+        .gauge("replay_tracing_overhead_pct",
+               {{"org", sim::org_name(kind)}})
+        .set(regression_pct);
+    std::cout << "overhead-guard: sampling-off tracer costs "
+              << regression_pct << "% (budget " << overhead_guard << "%)\n";
+    if (regression_pct > overhead_guard) {
+      std::cerr << "overhead-guard: regression " << regression_pct
+                << "% exceeds budget " << overhead_guard << "%\n";
+      return 1;
+    }
+  }
+
   bench::write_report(args, "bench_replay", "Trace-replay throughput, BU-95",
                       t, {point}, phases);
   return 0;

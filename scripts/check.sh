@@ -48,6 +48,39 @@ wait "$PROXYD_PID" 2>/dev/null || true
 trap - EXIT
 echo "check.sh: tcp/loopback sources identical (200 requests)"
 
+# Tracing smoke: run the same daemon with sampling at 1.0 on both sides, then
+# assert the two span logs stitch — shared trace ids whose parent links all
+# resolve across the client/proxy process boundary — and that the live STATS
+# endpoint serves a baps.trace_stats.v1 snapshot while the daemon is up.
+PROXYD_LOG="$BUILD_DIR/check_trace_proxyd.log"
+PROXY_SPANS="$BUILD_DIR/check_trace_proxy_spans.jsonl"
+CLIENT_SPANS="$BUILD_DIR/check_trace_client_spans.jsonl"
+"$BUILD_DIR/tools/baps_proxyd" --port 0 --clients 8 --seed 11 \
+  --trace-sample 1.0 --trace-out "$PROXY_SPANS" \
+  --max-seconds 120 > "$PROXYD_LOG" 2>&1 &
+PROXYD_PID=$!
+trap 'kill "$PROXYD_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  PROXY_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$PROXYD_LOG")
+  [ -n "$PROXY_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PROXY_PORT" ] || { echo "traced proxyd never came up"; cat "$PROXYD_LOG"; exit 1; }
+"$BUILD_DIR/tools/baps_fetch" --transport tcp --port "$PROXY_PORT" \
+  --clients 8 --seed 11 --preset bu95 --requests 200 \
+  --trace-sample 1.0 --trace-out "$CLIENT_SPANS" > /dev/null 2>&1
+STATS=$("$BUILD_DIR/tools/baps_fetch" --transport tcp --port "$PROXY_PORT" \
+  --stats)
+echo "$STATS" | grep -q '"schema": *"baps.trace_stats.v1"' \
+  || { echo "STATS snapshot missing schema"; echo "$STATS"; exit 1; }
+kill "$PROXYD_PID" 2>/dev/null || true
+wait "$PROXYD_PID" 2>/dev/null || true
+trap - EXIT
+"$BUILD_DIR/tools/trace_check" --min-shared 100 \
+  "$CLIENT_SPANS" "$PROXY_SPANS"
+echo "check.sh: traced tcp run stitched across client and proxyd"
+
 # Seeded fault smoke: a loopback run with every fault kind enabled must
 # serve all requests correctly (--fault-strict: verified == requests and
 # recovered == injected), and the emitted report's fault_* counter families

@@ -34,7 +34,21 @@ void count_decode_error(const std::string& reason) {
 
 bool FrameChannel::send(wire::FrameKind kind, std::string_view payload,
                         NetError* err) {
-  const std::string frame = wire::encode_frame(kind, payload);
+  return send(kind, payload, obs::TraceContext{}, err);
+}
+
+bool FrameChannel::send(wire::FrameKind kind, std::string_view payload,
+                        const obs::TraceContext& trace, NetError* err) {
+  const bool traced =
+      tracer_ != nullptr && trace.valid() && trace.sampled;
+  const std::uint64_t t0 = traced ? obs::monotonic_ns() : 0;
+  // Unsampled contexts stay off the wire: nothing downstream would record
+  // them (sampling is decided at the root), and untraced frames must stay
+  // byte-identical to the pre-tracing format.
+  const std::string frame =
+      (trace.valid() && trace.sampled)
+          ? wire::encode_frame(kind, payload, trace)
+          : wire::encode_frame(kind, payload);
   NetError local;
   NetError* e = (err != nullptr) ? err : &local;
   if (!conn_.write_all(frame.data(), frame.size(), deadlines_.write_ms, e)) {
@@ -42,6 +56,10 @@ bool FrameChannel::send(wire::FrameKind kind, std::string_view payload,
     return false;
   }
   count_frame(kind, "tx", frame.size());
+  if (traced) {
+    tracer_->record_span(obs::SpanKind::kFrameSend, trace, t0,
+                         obs::monotonic_ns());
+  }
   return true;
 }
 
@@ -57,6 +75,10 @@ std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
   // slow-loris peer that trickles the header holds the worker for ~2x the
   // configured deadline.
   const auto started = std::chrono::steady_clock::now();
+  // Only pay for a clock read when a tracer could use it; the context (and
+  // whether it is sampled) is only known after the bytes are decoded.
+  const bool may_trace = tracer_ != nullptr && tracer_->enabled();
+  const std::uint64_t t0 = may_trace ? obs::monotonic_ns() : 0;
   std::string buf(wire::kHeaderSize, '\0');
   if (!conn_.read_exact(buf.data(), buf.size(), timeout_ms, e)) {
     if (e->status == NetStatus::kTimeout) count_timeout("read");
@@ -112,6 +134,10 @@ std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
     return std::nullopt;
   }
   count_frame(full.frame.kind, "rx", buf.size());
+  if (may_trace && full.frame.trace.sampled) {
+    tracer_->record_span(obs::SpanKind::kFrameRecv, full.frame.trace, t0,
+                         obs::monotonic_ns());
+  }
   *e = {};
   return std::move(full.frame);
 }

@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "netio/socket.hpp"
+#include "obs/span.hpp"
 #include "wire/frame.hpp"
 #include "wire/messages.hpp"
 
@@ -29,19 +30,34 @@ class FrameChannel {
   TcpConnection& connection() { return conn_; }
   const Deadlines& deadlines() const { return deadlines_; }
 
-  /// Sends one frame within the write deadline.
+  /// Attaches a tracer: sampled frames crossing this channel get
+  /// frame_send / frame_recv spans. nullptr (the default) costs nothing on
+  /// either path.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Sends one frame within the write deadline. The overload taking a
+  /// TraceContext embeds it in the frame (invalid contexts degrade to the
+  /// plain encoding) and records a frame_send span when sampled.
   bool send(wire::FrameKind kind, std::string_view payload, NetError* err);
+  bool send(wire::FrameKind kind, std::string_view payload,
+            const obs::TraceContext& trace, NetError* err);
 
   /// Receives one frame within `timeout_ms` (default: the read deadline).
   /// Frame-validation failures surface as NetStatus::kError with the decode
   /// status in the message, after bumping `wire_decode_errors_total{reason}`.
+  /// A received frame carrying a sampled trace context gets a frame_recv
+  /// span (when a tracer is attached) parented to the sender's span.
   std::optional<wire::Frame> recv(NetError* err);
   std::optional<wire::Frame> recv(int timeout_ms, NetError* err);
 
-  /// Encode + send a typed message.
+  /// Encode + send a typed message, optionally with a trace context.
   template <typename Msg>
   bool send_msg(const Msg& m, NetError* err) {
     return send(Msg::kKind, wire::encode(m), err);
+  }
+  template <typename Msg>
+  bool send_msg(const Msg& m, const obs::TraceContext& trace, NetError* err) {
+    return send(Msg::kKind, wire::encode(m), trace, err);
   }
 
   /// Receives one frame and decodes it as Msg; wrong kind or undecodable
@@ -78,6 +94,7 @@ class FrameChannel {
   TcpConnection conn_;
   Deadlines deadlines_;
   std::uint64_t max_payload_;
+  obs::Tracer* tracer_ = nullptr;  ///< optional, not owned
 };
 
 }  // namespace baps::netio

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "obs/registry.hpp"
+
 namespace baps::obs {
 
 const FieldValue* Event::field(const std::string& key) const {
@@ -29,8 +31,17 @@ JsonValue Event::to_json() const {
 }
 
 void MemorySink::emit(const Event& event) {
-  std::scoped_lock lock(mu_);
-  events_.push_back(event);
+  {
+    std::scoped_lock lock(mu_);
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+      return;
+    }
+    ++dropped_;
+  }
+  // Counter bump outside the sink lock: the registry has its own locking
+  // and an emitter may already hold instrument handles.
+  Registry::global().counter("events_dropped_total").inc();
 }
 
 std::vector<Event> MemorySink::events() const {
@@ -52,15 +63,29 @@ std::size_t MemorySink::size() const {
   return events_.size();
 }
 
+std::uint64_t MemorySink::dropped() const {
+  std::scoped_lock lock(mu_);
+  return dropped_;
+}
+
 void MemorySink::clear() {
   std::scoped_lock lock(mu_);
   events_.clear();
+  dropped_ = 0;
 }
+
+JsonlSink::~JsonlSink() { flush(); }
 
 void JsonlSink::emit(const Event& event) {
   const std::string line = event.to_json().dump();
   std::scoped_lock lock(mu_);
   os_ << line << '\n';
+  if (flush_each_) os_.flush();
+}
+
+void JsonlSink::flush() {
+  std::scoped_lock lock(mu_);
+  os_.flush();
 }
 
 }  // namespace baps::obs

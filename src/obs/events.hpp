@@ -49,31 +49,55 @@ class EventSink {
   virtual void emit(const Event& event) = 0;
 };
 
-/// Buffers every event in memory; the query surface for tests.
+/// Buffers events in memory up to a capacity cap; the query surface for
+/// tests and in-process introspection. Once full, new events are dropped
+/// (oldest retained — the buffer is evidence of how a run started, and
+/// replacing old events would silently rewrite it) and the drop is counted
+/// both locally (dropped()) and in the global `events_dropped_total`
+/// counter so reports surface the truncation.
 class MemorySink final : public EventSink {
  public:
+  /// Default cap fits any test workload while bounding a pathological trace.
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+  explicit MemorySink(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
   void emit(const Event& event) override;
 
   std::vector<Event> events() const;
   /// Events with the given name.
   std::vector<Event> named(const std::string& name) const;
   std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Events rejected because the sink was full.
+  std::uint64_t dropped() const;
   void clear();
 
  private:
+  const std::size_t capacity_;
   mutable std::mutex mu_;
   std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
 };
 
 /// Streams events as JSON Lines to an ostream the caller keeps alive.
+/// Flushes on destruction (and on request) so buffered lines survive an
+/// abnormal daemon exit; set flush_each for crash-proof-per-line logging at
+/// the cost of one flush per event.
 class JsonlSink final : public EventSink {
  public:
-  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  explicit JsonlSink(std::ostream& os, bool flush_each = false)
+      : os_(os), flush_each_(flush_each) {}
+  ~JsonlSink() override;
+
   void emit(const Event& event) override;
+  void flush();
 
  private:
   std::mutex mu_;
   std::ostream& os_;
+  const bool flush_each_;
 };
 
 }  // namespace baps::obs

@@ -63,6 +63,12 @@ const CounterSample* Snapshot::counter(const std::string& name,
 
 namespace {
 
+template <typename Sample>
+bool sample_less(const Sample& a, const Sample& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
 std::string labels_text(const Labels& labels) {
   if (labels.empty()) return {};
   std::string out = "{";
@@ -85,6 +91,40 @@ JsonValue labels_json(const Labels& labels) {
 }
 
 }  // namespace
+
+void sort_snapshot(Snapshot& snapshot) {
+  std::stable_sort(snapshot.counters.begin(), snapshot.counters.end(),
+                   sample_less<CounterSample>);
+  std::stable_sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+                   sample_less<GaugeSample>);
+  std::stable_sort(snapshot.histograms.begin(), snapshot.histograms.end(),
+                   sample_less<HistogramSample>);
+}
+
+double sample_quantile(const HistogramSample& sample, double q) {
+  if (sample.count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(sample.count);
+  const auto value_at = [&](double t) {
+    // t is a position in the bucket domain; undo the scale.
+    return sample.scale == HistScale::kLog10 ? std::pow(10.0, t) : t;
+  };
+  double seen = static_cast<double>(sample.underflow);
+  if (target <= seen) return value_at(sample.lo);
+  const double width = (sample.hi - sample.lo) /
+                       static_cast<double>(sample.buckets.size());
+  for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+    const double n = static_cast<double>(sample.buckets[i]);
+    if (target <= seen + n && n > 0.0) {
+      const double frac = (target - seen) / n;
+      const double t = sample.lo + (static_cast<double>(i) + frac) * width;
+      return value_at(t);
+    }
+    seen += n;
+  }
+  return value_at(sample.hi);
+}
 
 std::string to_text(const Snapshot& snapshot) {
   std::ostringstream os;
@@ -222,6 +262,10 @@ Snapshot Registry::snapshot() const {
     s.sum = h.sum();
     snap.histograms.push_back(std::move(s));
   }
+  // The maps iterate in key_of order, which is already (name, labels) — but
+  // exporters depend on the ordering contract, so enforce it explicitly
+  // rather than leaning on an encoding detail of the key format.
+  sort_snapshot(snap);
   return snap;
 }
 

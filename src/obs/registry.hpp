@@ -143,6 +143,19 @@ struct Snapshot {
                                const Labels& labels = {}) const;
 };
 
+/// Sorts every sample vector by (name, labels). Registry::snapshot() output
+/// is already sorted; call this after appending derived samples so exported
+/// reports stay byte-stable (diffs, federation merges).
+void sort_snapshot(Snapshot& snapshot);
+
+/// Quantile estimate (q in [0,1]) from a histogram sample, with linear
+/// interpolation inside the chosen bucket. Underflow mass resolves to the
+/// domain's low edge and overflow mass to the high edge — tails stay honest
+/// but bounded. kLog10 samples are mapped back to the value domain, so the
+/// result is in the observed units (e.g. seconds), not log-seconds.
+/// Returns 0 for an empty sample.
+double sample_quantile(const HistogramSample& sample, double q);
+
 /// Prometheus-flavoured text exposition (one `name{labels} value` per line).
 std::string to_text(const Snapshot& snapshot);
 

@@ -1,8 +1,10 @@
 #include "obs/report.hpp"
 
+#include <array>
 #include <cmath>
 #include <fstream>
 #include <map>
+#include <optional>
 
 #include "sim/config.hpp"
 #include "wire/frame.hpp"
@@ -310,6 +312,8 @@ bool validate_report(const JsonValue& report, std::string* error) {
   if (!validate_transport_metrics(report, error)) return false;
   if (!validate_replay_metrics(report, error)) return false;
   if (!validate_fault_metrics(report, error)) return false;
+  if (!validate_trace_metrics(report, error)) return false;
+  if (!validate_latency_metrics(report, error)) return false;
   if (const JsonValue* registry = report.find("registry")) {
     if (!registry->is_object() || !registry->find("counters") ||
         !registry->find("gauges") || !registry->find("histograms")) {
@@ -504,6 +508,126 @@ bool validate_fault_metrics(const JsonValue& report, std::string* error) {
     if (rec > inj) {
       return fail(error, "fault_recovered_total{kind=" + kind +
                              "}: exceeds fault_injected_total");
+    }
+  }
+  return true;
+}
+
+bool validate_trace_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+
+  if (const JsonValue* counters = registry->find("counters");
+      counters != nullptr && counters->is_array()) {
+    for (const auto& inst : counters->as_array()) {
+      if (!inst.is_object()) continue;
+      const JsonValue* name = inst.find("name");
+      if (name == nullptr || !name->is_string() ||
+          name->as_string() != "trace_spans_total") {
+        continue;
+      }
+      const JsonValue* labels = inst.find("labels");
+      const JsonValue* kind =
+          labels != nullptr ? labels->find("kind") : nullptr;
+      if (kind == nullptr || !kind->is_string() || kind->as_string().empty()) {
+        return fail(error, "trace_spans_total: needs a non-empty kind label");
+      }
+      const JsonValue* value = inst.find("value");
+      if (value == nullptr || !value->is_number() ||
+          value->as_double() < 0.0) {
+        return fail(error, "trace_spans_total{kind=" + kind->as_string() +
+                               "}: value must be a non-negative number");
+      }
+    }
+  }
+  if (const JsonValue* hists = registry->find("histograms");
+      hists != nullptr && hists->is_array()) {
+    for (const auto& inst : hists->as_array()) {
+      if (!inst.is_object()) continue;
+      const JsonValue* name = inst.find("name");
+      if (name == nullptr || !name->is_string() ||
+          name->as_string() != "trace_stage_seconds") {
+        continue;
+      }
+      const JsonValue* labels = inst.find("labels");
+      const JsonValue* stage =
+          labels != nullptr ? labels->find("stage") : nullptr;
+      if (stage == nullptr || !stage->is_string() ||
+          stage->as_string().empty()) {
+        return fail(error,
+                    "trace_stage_seconds: needs a non-empty stage label");
+      }
+      const JsonValue* count = inst.find("count");
+      if (count == nullptr || !count->is_number() ||
+          count->as_double() < 0.0) {
+        return fail(error, "trace_stage_seconds{stage=" + stage->as_string() +
+                               "}: count must be a non-negative number");
+      }
+    }
+  }
+  return true;
+}
+
+bool validate_latency_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+  const JsonValue* arr = registry->find("gauges");
+  if (arr == nullptr || !arr->is_array()) return true;
+
+  // q label order for the monotonicity check.
+  const auto q_rank = [](const std::string& q) -> int {
+    if (q == "p50") return 0;
+    if (q == "p95") return 1;
+    if (q == "p99") return 2;
+    if (q == "p999") return 3;
+    return -1;
+  };
+  // scope key ("stage=..."/"org=...") -> quantiles seen, indexed by rank.
+  std::map<std::string, std::array<std::optional<double>, 4>> scopes;
+
+  for (const auto& inst : arr->as_array()) {
+    if (!inst.is_object()) continue;
+    const JsonValue* name = inst.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const std::string& n = name->as_string();
+    const bool is_stage = n == "latency_quantile_seconds";
+    const bool is_replay = n == "replay_latency_quantile_seconds";
+    if (!is_stage && !is_replay) continue;
+    const JsonValue* labels = inst.find("labels");
+    const JsonValue* q = labels != nullptr ? labels->find("q") : nullptr;
+    if (q == nullptr || !q->is_string() || q_rank(q->as_string()) < 0) {
+      return fail(error, n + ": q label must be one of p50/p95/p99/p999");
+    }
+    const char* scope_label = is_stage ? "stage" : "org";
+    const JsonValue* scope =
+        labels != nullptr ? labels->find(scope_label) : nullptr;
+    if (scope == nullptr || !scope->is_string() ||
+        scope->as_string().empty()) {
+      return fail(error, n + ": needs a non-empty " +
+                             std::string(scope_label) + " label");
+    }
+    const JsonValue* value = inst.find("value");
+    if (value == nullptr || !value->is_number() ||
+        !std::isfinite(value->as_double()) || value->as_double() < 0.0) {
+      return fail(error, n + "{" + scope_label + "=" + scope->as_string() +
+                             ",q=" + q->as_string() +
+                             "}: value must be finite and non-negative");
+    }
+    scopes[n + "{" + scope_label + "=" + scope->as_string() + "}"]
+          [static_cast<std::size_t>(q_rank(q->as_string()))] =
+        value->as_double();
+  }
+  // Quantiles of one distribution cannot decrease as q grows.
+  for (const auto& [scope, qs] : scopes) {
+    double prev = -1.0;
+    for (const auto& v : qs) {
+      if (!v.has_value()) continue;
+      if (*v < prev) {
+        return fail(error, scope + ": quantiles not monotone in q");
+      }
+      prev = *v;
     }
   }
   return true;

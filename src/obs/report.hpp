@@ -106,6 +106,24 @@ bool validate_replay_metrics(const JsonValue& report,
 bool validate_fault_metrics(const JsonValue& report,
                             std::string* error = nullptr);
 
+/// Family checks for the tracing counters/histograms: every
+/// `trace_spans_total` instance must carry a non-empty `kind` label and a
+/// non-negative value, and every `trace_stage_seconds` histogram must carry
+/// a non-empty `stage` label with a non-negative observation count. Reports
+/// without a registry or without trace instruments pass trivially.
+bool validate_trace_metrics(const JsonValue& report,
+                            std::string* error = nullptr);
+
+/// Family checks for derived latency gauges (`latency_quantile_seconds`,
+/// `replay_latency_quantile_seconds`): each instance must carry a `q` label
+/// in {p50, p95, p99, p999} plus a family-specific scope label (`stage` for
+/// latency_quantile_seconds, `org` for the replay family), every value must
+/// be finite and non-negative, and within one scope the quantiles must be
+/// monotone non-decreasing in q (p50 <= p95 <= p99 <= p999 where present).
+/// Reports without a registry or without latency gauges pass trivially.
+bool validate_latency_metrics(const JsonValue& report,
+                              std::string* error = nullptr);
+
 /// Checks that every `wire_*` / `netio_*` counter present in both reports
 /// (matched by name + labels) is monotone non-decreasing from `earlier` to
 /// `later` — the cross-file invariant for successive snapshots of one

@@ -1,0 +1,58 @@
+#include "obs/snapshot_window.hpp"
+
+#include <utility>
+
+namespace baps::obs {
+
+void SnapshotWindow::capture(Snapshot snapshot, double now_seconds) {
+  std::scoped_lock lock(mu_);
+  entries_.push_back({now_seconds, std::move(snapshot)});
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::size_t SnapshotWindow::size() const {
+  std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+double SnapshotWindow::span_seconds() const {
+  std::scoped_lock lock(mu_);
+  if (entries_.size() < 2) return 0.0;
+  return entries_.back().at_seconds - entries_.front().at_seconds;
+}
+
+JsonValue SnapshotWindow::window_json() const {
+  std::scoped_lock lock(mu_);
+  JsonValue out = json_object({});
+  const double span = entries_.size() < 2
+                          ? 0.0
+                          : entries_.back().at_seconds -
+                                entries_.front().at_seconds;
+  out.set("window_seconds", JsonValue(span));
+  out.set("captures", JsonValue(static_cast<std::uint64_t>(entries_.size())));
+  JsonArray rates;
+  if (entries_.size() >= 2 && span > 0.0) {
+    const Snapshot& oldest = entries_.front().snapshot;
+    const Snapshot& newest = entries_.back().snapshot;
+    for (const CounterSample& now : newest.counters) {
+      std::uint64_t before = 0;
+      if (const CounterSample* c = oldest.counter(now.name, now.labels)) {
+        before = c->value;
+      }
+      // A counter reset mid-window would make this negative; clamp — the
+      // next capture re-baselines.
+      const std::uint64_t delta = now.value >= before ? now.value - before : 0;
+      JsonObject labels;
+      for (const auto& [k, v] : now.labels) labels.emplace_back(k, JsonValue(v));
+      rates.push_back(json_object({
+          {"name", JsonValue(now.name)},
+          {"labels", JsonValue(std::move(labels))},
+          {"per_second", JsonValue(static_cast<double>(delta) / span)},
+      }));
+    }
+  }
+  out.set("rates", JsonValue(std::move(rates)));
+  return out;
+}
+
+}  // namespace baps::obs

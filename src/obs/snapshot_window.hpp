@@ -1,0 +1,45 @@
+// Rolling window of registry snapshots for live introspection. A daemon
+// captures a snapshot every tick; the window keeps the most recent N, and
+// window_json() reports both the current values and per-counter rates over
+// the window span — so "requests per second right now" is queryable from a
+// running process instead of only derivable from a shutdown report.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace baps::obs {
+
+class SnapshotWindow {
+ public:
+  /// Keeps the latest `capacity` captures (>= 2 for rates to exist).
+  explicit SnapshotWindow(std::size_t capacity = 64)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  /// Records one timestamped snapshot; `now_seconds` is monotonic time.
+  void capture(Snapshot snapshot, double now_seconds);
+
+  std::size_t size() const;
+  double span_seconds() const;
+
+  /// {"window_seconds": ..., "captures": N, "rates": [{name, labels,
+  ///  per_second}...]} — counter deltas oldest→newest divided by the window
+  /// span. Empty rates until two captures exist.
+  JsonValue window_json() const;
+
+ private:
+  struct Entry {
+    double at_seconds = 0.0;
+    Snapshot snapshot;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace baps::obs

@@ -1,0 +1,29 @@
+// The cross-process identity of one traced request: a trace id shared by
+// every span the request touches (client, proxy daemon, peer listener), the
+// span id of the caller's span (the parent of whatever the callee records),
+// and the sampling decision made once at the root. The struct is the unit
+// that crosses the wire — src/wire encodes it into an optional frame-header
+// extension — so it stays a plain POD with no obs dependencies.
+#pragma once
+
+#include <cstdint>
+
+namespace baps::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = no trace attached
+  std::uint64_t span_id = 0;   ///< the caller's span; parent of callee spans
+  bool sampled = false;        ///< decided at the root, honored everywhere
+
+  bool valid() const { return trace_id != 0; }
+};
+
+inline bool operator==(const TraceContext& a, const TraceContext& b) {
+  return a.trace_id == b.trace_id && a.span_id == b.span_id &&
+         a.sampled == b.sampled;
+}
+inline bool operator!=(const TraceContext& a, const TraceContext& b) {
+  return !(a == b);
+}
+
+}  // namespace baps::obs

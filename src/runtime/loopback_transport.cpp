@@ -8,7 +8,10 @@ void LoopbackTransport::bind_peer_host(PeerHost* host) {
   BAPS_REQUIRE(host != nullptr, "loopback needs a peer host");
   BAPS_REQUIRE(host->num_clients() == core_.num_clients(),
                "peer host and proxy disagree on client count");
-  core_.set_peer_fetch([host](ClientId holder, DocStore::Key key) {
+  // The trace context stops here: the in-process serve is already inside
+  // the core's peer_transfer span, so there is nothing downstream to stitch.
+  core_.set_peer_fetch([host](ClientId holder, DocStore::Key key,
+                              const obs::TraceContext&) {
     return host->serve_peer_fetch(holder, key);
   });
 }

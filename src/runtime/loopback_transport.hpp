@@ -16,9 +16,9 @@ class LoopbackTransport final : public Transport {
 
   void bind_peer_host(PeerHost* host) override;
 
-  ProxyCore::Reply fetch(ClientId client, const Url& url,
-                         bool avoid_peers) override {
-    return core_.handle_fetch(client, url, avoid_peers);
+  ProxyCore::Reply fetch(ClientId client, const Url& url, bool avoid_peers,
+                         const obs::TraceContext& trace) override {
+    return core_.handle_fetch(client, url, avoid_peers, trace);
   }
 
   bool index_update(ClientId claimed_sender, bool is_add, DocStore::Key key,
@@ -31,6 +31,10 @@ class LoopbackTransport final : public Transport {
   }
 
   ProxyStats stats() override { return core_.stats(); }
+
+  /// In-process: the embedded core records the proxy-side stage spans; no
+  /// frames exist, so client and proxy spans already share one tracer.
+  void set_tracer(obs::Tracer* tracer) override { core_.set_tracer(tracer); }
 
   /// The embedded proxy — loopback-only observability (origin, index).
   ProxyCore& core() { return core_; }

@@ -70,24 +70,43 @@ void ProxyCore::restart() {
 }
 
 ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
-                                         bool avoid_peers) {
+                                         bool avoid_peers,
+                                         const obs::TraceContext& trace) {
   BAPS_REQUIRE(requester < mac_keys_.size(), "client id out of range");
   const DocStore::Key key = url_key(url);
   bool false_forward = false;
+  // One branch on the unsampled path: `traced` is false and every stage()
+  // call below hands back an inert span.
+  const bool traced = tracer_ != nullptr && trace.sampled;
+  const auto stage = [&](obs::SpanKind kind) {
+    return traced ? tracer_->start_span(kind, trace) : obs::Span();
+  };
 
   // 1. The proxy's own cache.
-  if (auto doc = proxy_cache_.get(key)) {
-    ++stats_.proxy_hits;
-    return {std::move(*doc), FetchOutcome::Source::kProxy, false};
+  {
+    const obs::Span probe = stage(obs::SpanKind::kCacheProbe);
+    if (auto doc = proxy_cache_.get(key)) {
+      ++stats_.proxy_hits;
+      return {std::move(*doc), FetchOutcome::Source::kProxy, false};
+    }
   }
 
   // 2. The browser index. The peer-fetch message deliberately carries only
   //    the document key: the holder never learns who asked (§6.2).
   if (!avoid_peers) {
-    if (const auto holder = index_.find_holder(key, requester)) {
+    std::optional<ClientId> holder;
+    {
+      const obs::Span lookup = stage(obs::SpanKind::kIndexLookup);
+      holder = index_.find_holder(key, requester);
+    }
+    if (holder.has_value()) {
       record(MsgKind::kPeerFetch, "proxy", client_name(*holder), key);
-      std::optional<Document> doc =
-          peer_fetch_ ? peer_fetch_(*holder, key) : std::nullopt;
+      std::optional<Document> doc;
+      {
+        const obs::Span transfer = stage(obs::SpanKind::kPeerTransfer);
+        doc = peer_fetch_ ? peer_fetch_(*holder, key, transfer.context())
+                          : std::nullopt;
+      }
       if (doc.has_value()) {
         record(MsgKind::kPeerDeliver, client_name(*holder), "proxy", key);
         ++stats_.peer_hits;
@@ -107,6 +126,7 @@ ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
 
   // 3. The origin server. The proxy issues the watermark here — the only
   //    place documents enter the system (§6.1).
+  const obs::Span origin_span = stage(obs::SpanKind::kOriginFetch);
   record(MsgKind::kOriginFetch, "proxy", "origin", key);
   std::string body = origin_.fetch(url);
   record(MsgKind::kOriginResponse, "origin", "proxy", key);

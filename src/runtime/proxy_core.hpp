@@ -16,6 +16,7 @@
 #include "crypto/hmac.hpp"
 #include "crypto/rsa.hpp"
 #include "index/browser_index.hpp"
+#include "obs/span.hpp"
 #include "runtime/doc_store.hpp"
 #include "runtime/origin.hpp"
 #include "runtime/types.hpp"
@@ -49,9 +50,11 @@ class ProxyCore {
   /// Reaches a holder's browser store. Returning nullopt means the holder
   /// did not serve the document — stale entry, dead peer, or timeout; the
   /// proxy treats all of them as a false forward and recovers from origin.
-  using PeerFetchFn =
-      std::function<std::optional<Document>(ClientId holder,
-                                            DocStore::Key key)>;
+  /// `trace` is the peer_transfer span's context: the TCP path embeds it in
+  /// the PeerFetch frame so the holder's spans stitch into the trace. Note
+  /// the context carries span ids only — never the requester (§6.2).
+  using PeerFetchFn = std::function<std::optional<Document>(
+      ClientId holder, DocStore::Key key, const obs::TraceContext& trace)>;
 
   explicit ProxyCore(const Params& params);
 
@@ -59,10 +62,15 @@ class ProxyCore {
   void set_peer_fetch(PeerFetchFn fn) { peer_fetch_ = std::move(fn); }
   /// Mirrors proxy-side envelopes into `trace` (nullptr detaches; not owned).
   void set_trace(MessageTrace* trace) { trace_ = trace; }
+  /// Records per-stage spans (cache_probe, index_lookup, peer_transfer,
+  /// origin_fetch) for sampled requests (nullptr detaches; not owned).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Proxy-side request handling; avoid_peers=true skips the index (the
-  /// requester's retry path after a failed watermark, §6.1).
-  Reply handle_fetch(ClientId requester, const Url& url, bool avoid_peers);
+  /// requester's retry path after a failed watermark, §6.1). `trace` is the
+  /// requesting span's context; stage spans attach under it when sampled.
+  Reply handle_fetch(ClientId requester, const Url& url, bool avoid_peers,
+                     const obs::TraceContext& trace = {});
 
   /// Applies an index update iff the MAC verifies under the claimed
   /// sender's key.
@@ -104,7 +112,8 @@ class ProxyCore {
   index::BrowserIndex index_;
   std::vector<std::string> mac_keys_;
   PeerFetchFn peer_fetch_;
-  MessageTrace* trace_ = nullptr;  ///< optional, not owned
+  MessageTrace* trace_ = nullptr;   ///< optional, not owned
+  obs::Tracer* tracer_ = nullptr;   ///< optional, not owned
   ProxyStats stats_;
   bool drop_failed_holders_ = false;
 };

@@ -26,8 +26,9 @@ ProxyServer::ProxyServer(const Params& params)
       server_(params.net,
               [this](netio::FrameChannel& channel,
                      const std::atomic<bool>& stop) { session(channel, stop); }) {
-  core_.set_peer_fetch([this](ClientId holder, DocStore::Key key) {
-    return peer_fetch(holder, key);
+  core_.set_peer_fetch([this](ClientId holder, DocStore::Key key,
+                              const obs::TraceContext& trace) {
+    return peer_fetch(holder, key, trace);
   });
 }
 
@@ -37,8 +38,37 @@ bool ProxyServer::start(std::string* error) { return server_.start(error); }
 
 void ProxyServer::stop() { server_.stop(); }
 
-std::optional<Document> ProxyServer::peer_fetch(ClientId holder,
-                                                DocStore::Key key) {
+void ProxyServer::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  core_.set_tracer(tracer);
+}
+
+void ProxyServer::capture_window_snapshot() {
+  window_.capture(obs::Registry::global().snapshot(),
+                  obs::monotonic_seconds());
+}
+
+obs::JsonValue ProxyServer::trace_stats_json(std::uint32_t max_spans) {
+  obs::JsonValue out = obs::json_object({});
+  out.set("schema", obs::JsonValue("baps.trace_stats.v1"));
+  out.set("registry", obs::to_json(obs::with_latency_quantiles(
+                          obs::Registry::global().snapshot())));
+  out.set("window", window_.window_json());
+  if (tracer_ != nullptr) {
+    obs::JsonArray spans;
+    for (const obs::SpanRecord& rec : tracer_->recent_spans(max_spans)) {
+      spans.push_back(rec.to_json());
+    }
+    out.set("spans_recorded", obs::JsonValue(tracer_->spans_recorded()));
+    out.set("spans_evicted", obs::JsonValue(tracer_->spans_evicted()));
+    out.set("recent_spans", obs::JsonValue(std::move(spans)));
+    out.set("slow_traces", tracer_->slow_traces_json());
+  }
+  return out;
+}
+
+std::optional<Document> ProxyServer::peer_fetch(
+    ClientId holder, DocStore::Key key, const obs::TraceContext& trace) {
   std::uint16_t port = 0;
   {
     std::lock_guard<std::mutex> lock(ports_mu_);
@@ -55,9 +85,12 @@ std::optional<Document> ProxyServer::peer_fetch(ClientId holder,
   if (!conn.has_value()) return std::nullopt;
   netio::FrameChannel channel(std::move(*conn), params_.peer_deadlines,
                               params_.net.max_frame_payload);
+  channel.set_tracer(tracer_);
   wire::PeerFetch request;
   request.key = key;
-  if (!channel.send_msg(request, &err)) return std::nullopt;
+  // The context rides the frame so the holder's serve span stitches in; it
+  // carries span ids only, never the requester (§6.2 still holds).
+  if (!channel.send_msg(request, trace, &err)) return std::nullopt;
   auto deliver = channel.recv_msg<wire::PeerDeliver>(&err);
   if (!deliver.has_value() || !deliver->found) return std::nullopt;
   return Document{std::move(deliver->body),
@@ -67,6 +100,7 @@ std::optional<Document> ProxyServer::peer_fetch(ClientId holder,
 void ProxyServer::session(netio::FrameChannel& channel,
                           const std::atomic<bool>& stop) {
   NetError err;
+  channel.set_tracer(tracer_);
   const auto hello = channel.recv_msg<wire::Hello>(&err);
   if (!hello.has_value()) return;
 
@@ -107,8 +141,11 @@ void ProxyServer::session(netio::FrameChannel& channel,
         ProxyCore::Reply reply;
         {
           std::lock_guard<std::mutex> lock(core_mu_);
+          // The frame's context (the client's root span) parents the
+          // core's stage spans — this is where cross-process stitching
+          // happens on the proxy side.
           reply = core_.handle_fetch(hello->client_id, request.url,
-                                     request.avoid_peers);
+                                     request.avoid_peers, frame->trace);
         }
         request_hist("fetch").observe(obs::monotonic_seconds() - start);
         wire::FetchResponse response;
@@ -116,7 +153,7 @@ void ProxyServer::session(netio::FrameChannel& channel,
         response.false_forward = reply.false_forward;
         response.body = std::move(reply.doc.body);
         response.watermark = watermark_to_bytes(reply.doc.mark);
-        if (!channel.send_msg(response, &err)) return;
+        if (!channel.send_msg(response, frame->trace, &err)) return;
         break;
       }
       case wire::FrameKind::kIndexUpdate: {
@@ -152,6 +189,19 @@ void ProxyServer::session(netio::FrameChannel& channel,
           response.false_forwards = s.false_forwards;
           response.rejected_index_updates = s.rejected_index_updates;
         }
+        if (!channel.send_msg(response, &err)) return;
+        break;
+      }
+      case wire::FrameKind::kTraceStatsRequest: {
+        wire::TraceStatsRequest request;
+        if (!wire::decode(frame->payload, &request)) {
+          channel.send_msg(wire::ErrorMsg{"bad trace stats request"}, &err);
+          return;
+        }
+        // Registry and tracer have their own locks — no core_mu_ needed, so
+        // introspection never stalls behind a slow fetch.
+        wire::TraceStatsResponse response;
+        response.json = trace_stats_json(request.max_spans).dump();
         if (!channel.send_msg(response, &err)) return;
         break;
       }

@@ -18,6 +18,8 @@
 #include <unordered_map>
 
 #include "netio/server.hpp"
+#include "obs/snapshot_window.hpp"
+#include "obs/span.hpp"
 #include "runtime/proxy_core.hpp"
 
 namespace baps::runtime {
@@ -49,13 +51,31 @@ class ProxyServer {
   /// use while no client traffic is in flight, or go through the wire.
   ProxyCore& core() { return core_; }
 
+  /// Attaches the proxy-side tracer: sessions record frame spans, the core
+  /// records stage spans, and TraceStatsRequest answers include its recent
+  /// spans. Attach before start(); nullptr detaches; not owned.
+  void set_tracer(obs::Tracer* tracer);
+
+  /// Captures one timestamped registry snapshot into the rolling window
+  /// (the daemon's poll loop calls this ~once a second).
+  void capture_window_snapshot();
+
+  /// The baps.trace_stats.v1 introspection document served to
+  /// TraceStatsRequest: live registry snapshot with latency quantiles,
+  /// windowed counter rates, tracer totals, recent spans (up to
+  /// `max_spans`), and the top-K slowest trace trees.
+  obs::JsonValue trace_stats_json(std::uint32_t max_spans);
+
  private:
   void session(netio::FrameChannel& channel, const std::atomic<bool>& stop);
-  std::optional<Document> peer_fetch(ClientId holder, DocStore::Key key);
+  std::optional<Document> peer_fetch(ClientId holder, DocStore::Key key,
+                                     const obs::TraceContext& trace);
 
   Params params_;
   ProxyCore core_;
   std::mutex core_mu_;
+  obs::Tracer* tracer_ = nullptr;  ///< optional, not owned
+  obs::SnapshotWindow window_;
 
   std::mutex ports_mu_;
   std::unordered_map<ClientId, std::uint16_t> peer_ports_;

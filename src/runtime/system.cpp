@@ -156,6 +156,11 @@ void BapsSystem::client_store(ClientId client, const Url& url, Document doc) {
 FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
   BAPS_REQUIRE(client < clients_.size(), "client id out of range");
   const DocStore::Key key = url_key(url);
+  // Every browse roots a new trace; the sampler decides per trace id whether
+  // anything is recorded. Without a tracer this is a single null check.
+  obs::Span root = tracer_ != nullptr
+                       ? tracer_->start_root_span(obs::SpanKind::kClientFetch)
+                       : obs::Span();
   if (plan_ != nullptr) fault_tick(client);
 
   // Local browser cache first. A local copy that fails its watermark (e.g.
@@ -182,7 +187,8 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
 
   trace_.record(MsgKind::kClientRequest, client_name(client), "proxy", key);
   ProxyCore::Reply reply = transport_->fetch(client, url,
-                                             /*avoid_peers=*/false);
+                                             /*avoid_peers=*/false,
+                                             root.context());
   trace_.record(MsgKind::kProxyResponse, "proxy", client_name(client), key);
   bool false_forward = reply.false_forward;
 
@@ -197,7 +203,8 @@ FetchOutcome BapsSystem::browse(ClientId client, const Url& url) {
     // a fresh, correctly watermarked copy from the origin.
     ++tamper_detections_;
     trace_.record(MsgKind::kClientRequest, client_name(client), "proxy", key);
-    reply = transport_->fetch(client, url, /*avoid_peers=*/true);
+    reply = transport_->fetch(client, url, /*avoid_peers=*/true,
+                              root.context());
     trace_.record(MsgKind::kProxyResponse, "proxy", client_name(client), key);
     out.source = reply.source;
     out.verified =

@@ -76,6 +76,17 @@ class BapsSystem : private PeerHost {
     sink_ = sink;
     trace_.set_sink(sink);
   }
+
+  /// Attaches a tracer (nullptr detaches; not owned, must outlive its use):
+  /// every browse() becomes the root client_fetch span of a new trace, and
+  /// the context flows through the transport — in-process for loopback, on
+  /// the wire for TCP — so proxy- and peer-side spans share its trace_id.
+  /// Attach before traffic flows. With no tracer, or a sample rate of 0,
+  /// behaviour and metrics are unchanged.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    transport_->set_tracer(tracer);
+  }
   const crypto::RsaPublicKey& proxy_public_key() const { return pub_key_; }
   /// Loopback-only: the embedded proxy's browser index.
   const index::BrowserIndex& browser_index() const;
@@ -164,7 +175,8 @@ class BapsSystem : private PeerHost {
   crypto::RsaPublicKey pub_key_;
   std::vector<ClientState> clients_;
   MessageTrace trace_;
-  obs::EventSink* sink_ = nullptr;  ///< optional, not owned
+  obs::EventSink* sink_ = nullptr;    ///< optional, not owned
+  obs::Tracer* tracer_ = nullptr;     ///< optional, not owned
 
   fault::FaultPlan* plan_ = nullptr;  ///< optional, not owned
 

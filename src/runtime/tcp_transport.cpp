@@ -46,17 +46,33 @@ void TcpTransport::bind_peer_host(PeerHost* host) {
     peer_servers_[c] = std::make_unique<netio::FrameServer>(
         net, [this, c](netio::FrameChannel& channel,
                        const std::atomic<bool>& stop) {
+          // Reads tracer_ per connection: the tracer is attached after
+          // construction but before any traffic flows.
+          channel.set_tracer(tracer_);
           while (!stop.load()) {
             NetError err;
-            const auto request = channel.recv_msg<wire::PeerFetch>(&err);
-            if (!request.has_value()) return;
+            // recv (not recv_msg): the holder needs the frame's trace
+            // context to stitch its serve span into the request's trace.
+            const auto frame = channel.recv(&err);
+            if (!frame.has_value()) return;
+            wire::PeerFetch request;
+            if (frame->kind != wire::PeerFetch::kKind ||
+                !wire::decode(frame->payload, &request)) {
+              return;
+            }
             wire::PeerDeliver deliver;
+            const bool traced = tracer_ != nullptr && frame->trace.sampled;
+            const std::uint64_t t0 = traced ? obs::monotonic_ns() : 0;
             // The frame carries only the key — this handler cannot know,
             // and therefore cannot leak, who originally asked (§6.2).
-            if (auto doc = host_->serve_peer_fetch(c, request->key)) {
+            if (auto doc = host_->serve_peer_fetch(c, request.key)) {
               deliver.found = true;
               deliver.body = std::move(doc->body);
               deliver.watermark = watermark_to_bytes(doc->mark);
+            }
+            if (traced) {
+              tracer_->record_span(obs::SpanKind::kPeerTransfer,
+                                   frame->trace, t0, obs::monotonic_ns());
             }
             if (plan_ != nullptr && deliver.found) {
               if (plan_->should_inject(fault::FaultKind::kDropFrame)) {
@@ -79,7 +95,7 @@ void TcpTransport::bind_peer_host(PeerHost* host) {
                 continue;
               }
             }
-            if (!channel.send_msg(deliver, &err)) return;
+            if (!channel.send_msg(deliver, frame->trace, &err)) return;
           }
         });
     std::string error;
@@ -121,6 +137,7 @@ netio::FrameChannel* TcpTransport::channel_for(ClientId client) {
         if (!conn.has_value()) return false;
         auto channel = std::make_unique<netio::FrameChannel>(
             std::move(*conn), params_.deadlines, params_.max_frame_payload);
+        channel->set_tracer(tracer_);
         wire::Hello hello;
         hello.client_id = client;
         hello.peer_port = peer_ports_[client];
@@ -140,7 +157,8 @@ netio::FrameChannel* TcpTransport::channel_for(ClientId client) {
 }
 
 ProxyCore::Reply TcpTransport::fetch(ClientId client, const Url& url,
-                                     bool avoid_peers) {
+                                     bool avoid_peers,
+                                     const obs::TraceContext& trace) {
   wire::FetchRequest request;
   request.url = url;
   request.avoid_peers = avoid_peers;
@@ -150,7 +168,7 @@ ProxyCore::Reply TcpTransport::fetch(ClientId client, const Url& url,
       params_.retry, "fetch",
       [&](NetError* e) {
         netio::FrameChannel* channel = channel_for(client);
-        if (!channel->send_msg(request, e)) {
+        if (!channel->send_msg(request, trace, e)) {
           drop_channel(client);  // reconnect on the next attempt
           return false;
         }
@@ -258,6 +276,23 @@ ProxyStats TcpTransport::stats() {
       });
   BAPS_REQUIRE(ok, "cannot fetch proxy stats");
   return stats;
+}
+
+std::string TcpTransport::trace_stats(std::uint32_t max_spans) {
+  std::string json;
+  const bool ok = observer_session(
+      [&](netio::FrameChannel& channel, wire::HelloAck&) {
+        NetError err;
+        wire::TraceStatsRequest request;
+        request.max_spans = max_spans;
+        if (!channel.send_msg(request, &err)) return false;
+        const auto response = channel.recv_msg<wire::TraceStatsResponse>(&err);
+        if (!response.has_value()) return false;
+        json = std::move(response->json);
+        return true;
+      });
+  BAPS_REQUIRE(ok, "cannot fetch proxy trace stats");
+  return json;
 }
 
 }  // namespace baps::runtime

@@ -41,12 +41,21 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   void bind_peer_host(PeerHost* host) override;
-  ProxyCore::Reply fetch(ClientId client, const Url& url,
-                         bool avoid_peers) override;
+  ProxyCore::Reply fetch(ClientId client, const Url& url, bool avoid_peers,
+                         const obs::TraceContext& trace) override;
   bool index_update(ClientId claimed_sender, bool is_add, DocStore::Key key,
                     const crypto::Md5Digest& mac) override;
   crypto::RsaPublicKey proxy_public_key() override;
   ProxyStats stats() override;
+
+  /// Client-side tracer: request frames carry sampled contexts, proxy and
+  /// peer channels record frame spans, and the peer listeners record a
+  /// peer_transfer span for each serve. Attach before traffic flows.
+  void set_tracer(obs::Tracer* tracer) override { tracer_ = tracer; }
+
+  /// One-shot observer TraceStatsRequest: the proxy's live introspection
+  /// JSON (baps.trace_stats.v1), `max_spans` most recent spans included.
+  std::string trace_stats(std::uint32_t max_spans);
 
   // --- fault injection ----------------------------------------------------
   /// Kills `client`'s peer listener without telling the proxy: its index
@@ -69,6 +78,7 @@ class TcpTransport final : public Transport {
   Params params_;
   PeerHost* host_ = nullptr;
   fault::FaultPlan* plan_ = nullptr;  ///< optional, not owned
+  obs::Tracer* tracer_ = nullptr;     ///< optional, not owned
   /// Peer listeners, one per client id; null after kill_peer_server.
   std::vector<std::unique_ptr<netio::FrameServer>> peer_servers_;
   std::vector<std::uint16_t> peer_ports_;

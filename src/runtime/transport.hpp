@@ -15,11 +15,15 @@
 
 #include "crypto/md5.hpp"
 #include "crypto/rsa.hpp"
+#include "obs/trace_context.hpp"
 #include "runtime/proxy_core.hpp"
 #include "runtime/types.hpp"
 
 namespace baps::fault {
 class FaultPlan;
+}
+namespace baps::obs {
+class Tracer;
 }
 
 namespace baps::runtime {
@@ -45,9 +49,13 @@ class Transport {
   virtual void bind_peer_host(PeerHost* host) = 0;
 
   /// Client `client` asks the proxy for `url`; avoid_peers is the §6.1
-  /// retry that bypasses the browser index.
+  /// retry that bypasses the browser index. `trace` is the caller's span
+  /// context: the loopback hands it to the core directly, the TCP transport
+  /// embeds it in the request frame (sampled traces only) so the proxy's
+  /// spans stitch to the client's.
   virtual ProxyCore::Reply fetch(ClientId client, const Url& url,
-                                 bool avoid_peers) = 0;
+                                 bool avoid_peers,
+                                 const obs::TraceContext& trace) = 0;
 
   /// Index add/remove for `claimed_sender`, authenticated by `mac`.
   /// Returns whether the proxy accepted it.
@@ -66,6 +74,11 @@ class Transport {
   /// detaches; the plan is not owned and must outlive the transport's use
   /// of it. Transports without an injectable seam ignore it.
   virtual void set_fault_plan(fault::FaultPlan* plan) { (void)plan; }
+
+  /// Attaches a tracer for the transport's own spans (frame send/recv,
+  /// peer-serve). nullptr detaches; not owned. Attach before traffic flows.
+  /// Transports with nothing of their own to trace ignore it.
+  virtual void set_tracer(obs::Tracer* tracer) { (void)tracer; }
 };
 
 }  // namespace baps::runtime

@@ -108,6 +108,14 @@ class ArgParser {
     return *this;
   }
 
+  /// Opt in to bare (non-option) arguments; without this they stay errors.
+  /// Collected in order into positionals(). `value_name` is for usage().
+  ArgParser& allow_positionals(const std::string& value_name) {
+    positional_name_ = value_name;
+    allow_positionals_ = true;
+    return *this;
+  }
+
   /// Walks argv. False (with *error) on unknown options, missing or rejected
   /// values. `--help`/`-h` sets help_requested() and stops parsing.
   bool parse(int argc, char** argv, std::string* error) {
@@ -119,6 +127,10 @@ class ArgParser {
       }
       Opt* opt = find(a);
       if (opt == nullptr) {
+        if (allow_positionals_ && a.rfind("--", 0) != 0) {
+          positionals_.push_back(a);
+          continue;
+        }
         if (error != nullptr) *error = "unknown argument: " + a;
         return false;
       }
@@ -139,9 +151,12 @@ class ArgParser {
   }
 
   bool help_requested() const { return help_requested_; }
+  const std::vector<std::string>& positionals() const { return positionals_; }
 
   std::string usage() const {
-    std::string out = "usage: " + program_ + " [options]\n";
+    std::string out = "usage: " + program_ + " [options]";
+    if (allow_positionals_) out += " [" + positional_name_ + " ...]";
+    out += "\n";
     if (!summary_.empty()) out += summary_ + "\n";
     out += "\noptions:\n";
     for (const Opt& opt : opts_) {
@@ -194,6 +209,9 @@ class ArgParser {
   std::string program_;
   std::string summary_;
   std::vector<Opt> opts_;
+  std::vector<std::string> positionals_;
+  std::string positional_name_;
+  bool allow_positionals_ = false;
   bool help_requested_ = false;
 };
 

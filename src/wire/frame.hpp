@@ -5,10 +5,28 @@
 //        0     4  magic        0x53504142 ("BAPS" as bytes)
 //        4     1  version      kVersion (1)
 //        5     1  kind         FrameKind
-//        6     2  reserved     must be zero
-//        8     4  payload_len  bytes following the header
-//       12     4  payload_crc  CRC-32 (IEEE) of the payload bytes
-//       16     …  payload      message-specific encoding (wire/messages.hpp)
+//        6     2  tc_len       trace-context bytes at the payload front
+//        8     4  payload_len  bytes following the header (incl. tc block)
+//       12     4  payload_crc  CRC-32 (IEEE), see below
+//       16     …  [trace ctx]  tc_len bytes (normally 0 or kTraceContextSize)
+//       16+tc  …  payload      message-specific encoding (wire/messages.hpp)
+//
+// Trace context (the distributed-tracing extension) rides in the first
+// tc_len bytes of the payload region. tc_len was the must-be-zero reserved
+// field through v1 of this format, so:
+//   * frames WITHOUT a context (tc_len 0) are byte-identical to the original
+//     format and the CRC covers exactly the payload bytes — full backward
+//     compatibility both ways;
+//   * frames WITH a context are rejected by the original decoder (it
+//     required reserved == 0), so tracing needs both ends at this version —
+//     the tracer only attaches contexts to sampled traces, never by default;
+//   * a NEWER sender may use a larger tc block: this decoder parses the
+//     kTraceContextSize-byte prefix it understands and skips the rest
+//     (tc blocks shorter than kTraceContextSize are skipped entirely).
+// When tc_len > 0 the CRC covers the two tc_len bytes themselves followed by
+// the whole payload region, so a bit flip in tc_len cannot silently re-split
+// the payload; when tc_len == 0 it covers just the payload, bit-identical to
+// the original format.
 //
 // Decoding is bounded and total: any input — truncated, bit-flipped,
 // oversized, or adversarial — yields a typed DecodeStatus, never undefined
@@ -20,6 +38,8 @@
 #include <span>
 #include <string>
 #include <string_view>
+
+#include "obs/trace_context.hpp"
 
 namespace baps::wire {
 
@@ -45,10 +65,16 @@ enum class FrameKind : std::uint8_t {
   kStatsResponse = 10, ///< proxy → observer: counter snapshot
   kError = 11,         ///< either direction: terminal protocol error
   kBye = 12,           ///< orderly close
+  kTraceStatsRequest = 13,   ///< observer → proxy: live snapshot + spans
+  kTraceStatsResponse = 14,  ///< proxy → observer: introspection JSON
 };
 
 inline constexpr std::uint8_t kMinFrameKind = 1;
-inline constexpr std::uint8_t kMaxFrameKind = 12;
+inline constexpr std::uint8_t kMaxFrameKind = 14;
+
+/// Bytes of the trace-context block this version reads and writes:
+/// u64 trace_id, u64 span_id, u8 flags (bit 0 = sampled).
+inline constexpr std::uint16_t kTraceContextSize = 17;
 
 bool frame_kind_valid(std::uint8_t kind);
 std::string frame_kind_name(FrameKind kind);
@@ -56,16 +82,18 @@ std::string frame_kind_name(FrameKind kind);
 struct Frame {
   FrameKind kind = FrameKind::kBye;
   std::string payload;
+  /// Trace context carried by the frame; !valid() when none was attached.
+  obs::TraceContext trace;
 };
 
 enum class DecodeStatus {
   kOk,
-  kNeedMore,     ///< valid so far, frame incomplete
+  kNeedMore,            ///< valid so far, frame incomplete
   kBadMagic,
   kBadVersion,
-  kBadReserved,
+  kBadTraceContext,     ///< tc_len larger than the payload region
   kBadKind,
-  kOversized,    ///< payload_len exceeds the decoder's ceiling
+  kOversized,           ///< payload_len exceeds the decoder's ceiling
   kBadCrc,
 };
 
@@ -77,8 +105,15 @@ struct DecodeResult {
   std::size_t consumed = 0;  ///< bytes to drop from the buffer when kOk
 };
 
-/// Serializes one frame (header + payload).
+/// Serializes one frame (header + payload), with no trace context — the
+/// output is byte-identical to the pre-tracing frame format.
 std::string encode_frame(FrameKind kind, std::string_view payload);
+
+/// Serializes one frame carrying `trace`. An invalid (trace_id 0) context
+/// degrades to the plain encoding, so call sites can pass their context
+/// unconditionally.
+std::string encode_frame(FrameKind kind, std::string_view payload,
+                         const obs::TraceContext& trace);
 
 /// Decodes the frame at the front of `buf`. On kOk, `frame` holds the
 /// payload and `consumed` the total frame size; on kNeedMore the buffer is

@@ -186,4 +186,30 @@ std::string encode(const Bye&) { return {}; }
 
 bool decode(std::string_view payload, Bye*) { return payload.empty(); }
 
+// --- TraceStatsRequest ----------------------------------------------------
+
+std::string encode(const TraceStatsRequest& m) {
+  Writer w;
+  w.u32(m.max_spans);
+  return w.take();
+}
+
+bool decode(std::string_view payload, TraceStatsRequest* out) {
+  Reader r(payload);
+  return r.u32(&out->max_spans) && r.at_end();
+}
+
+// --- TraceStatsResponse ---------------------------------------------------
+
+std::string encode(const TraceStatsResponse& m) {
+  Writer w;
+  w.str(m.json);
+  return w.take();
+}
+
+bool decode(std::string_view payload, TraceStatsResponse* out) {
+  Reader r(payload);
+  return r.str(&out->json, kMaxBodyLen) && r.at_end();
+}
+
 }  // namespace baps::wire

@@ -112,6 +112,23 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// Live-introspection request: the proxy answers with a registry snapshot
+/// (current counters/gauges/histograms + windowed rates) and up to
+/// `max_spans` most recent spans, without interrupting service.
+struct TraceStatsRequest {
+  static constexpr FrameKind kKind = FrameKind::kTraceStatsRequest;
+  /// 0 = no spans, just the metrics snapshot.
+  std::uint32_t max_spans = 0;
+};
+
+/// Introspection payload: one JSON document (schema baps.trace_stats.v1,
+/// produced by the proxy's tracer + snapshot window). JSON rather than a
+/// fixed struct so the snapshot can grow fields without a wire rev.
+struct TraceStatsResponse {
+  static constexpr FrameKind kKind = FrameKind::kTraceStatsResponse;
+  std::string json;
+};
+
 struct Bye {
   static constexpr FrameKind kKind = FrameKind::kBye;
 };
@@ -128,6 +145,8 @@ std::string encode(const StatsRequest& m);
 std::string encode(const StatsResponse& m);
 std::string encode(const ErrorMsg& m);
 std::string encode(const Bye& m);
+std::string encode(const TraceStatsRequest& m);
+std::string encode(const TraceStatsResponse& m);
 
 bool decode(std::string_view payload, Hello* out);
 bool decode(std::string_view payload, HelloAck* out);
@@ -141,5 +160,7 @@ bool decode(std::string_view payload, StatsRequest* out);
 bool decode(std::string_view payload, StatsResponse* out);
 bool decode(std::string_view payload, ErrorMsg* out);
 bool decode(std::string_view payload, Bye* out);
+bool decode(std::string_view payload, TraceStatsRequest* out);
+bool decode(std::string_view payload, TraceStatsResponse* out);
 
 }  // namespace baps::wire

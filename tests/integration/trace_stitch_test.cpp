@@ -1,0 +1,244 @@
+// End-to-end distributed tracing over real sockets: a client-side tracer on
+// the BapsSystem/TcpTransport and a proxy-side tracer on the ProxyServer,
+// both seeded identically with sampling at 1.0. Every browse must produce
+// one root client_fetch span whose trace id reappears in the proxy's spans
+// (the context rode the FetchRequest frame), every parent link must resolve
+// within the union of both sides' spans (the cross-process stitch), and a
+// peer-served request must stitch all three roles — requester, proxy, and
+// holder — into one trace. With sampling at 0 the same setup must record
+// nothing on either side.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "runtime/proxy_server.hpp"
+#include "runtime/system.hpp"
+#include "runtime/tcp_transport.hpp"
+
+namespace baps::runtime {
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+
+ProxyServer::Params proxy_params(std::uint32_t clients,
+                                 std::uint64_t proxy_cache) {
+  ProxyServer::Params p;
+  p.core.num_clients = clients;
+  p.core.proxy_cache_bytes = proxy_cache;
+  p.core.seed = kSeed;
+  p.net.worker_threads = clients + 2;
+  p.net.accept_poll_ms = 10;
+  p.net.deadlines = netio::Deadlines{1000, 100, 1000};
+  p.peer_deadlines = netio::Deadlines{300, 1000, 1000};
+  return p;
+}
+
+obs::Tracer::Params tracer_params(double rate, const std::string& service) {
+  obs::Tracer::Params p;
+  p.seed = kSeed;
+  p.sample_rate = rate;
+  p.service = service;
+  return p;
+}
+
+TEST(TraceStitchTest, OneTraceSpansClientProxyAndHolder) {
+  // Tracers outlive the transport/system (channels keep raw pointers).
+  obs::Registry client_reg, proxy_reg;
+  obs::Tracer client_tracer(tracer_params(1.0, "client"), &client_reg);
+  obs::Tracer proxy_tracer(tracer_params(1.0, "proxyd"), &proxy_reg);
+
+  BapsSystem::Params params;
+  params.num_clients = 3;
+  params.seed = kSeed;
+  // Proxy cache small enough that filler traffic evicts the target, forcing
+  // a peer fetch for the final request.
+  params.proxy_cache_bytes = 8 << 10;
+
+  ProxyServer server(proxy_params(params.num_clients,
+                                  params.proxy_cache_bytes));
+  server.set_tracer(&proxy_tracer);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TcpTransport::Params tp;
+  tp.proxy_port = server.port();
+  TcpTransport transport(tp);
+  BapsSystem sys(params, transport);
+  sys.set_tracer(&client_tracer);
+
+  const std::string url = "http://stitched.test/";
+  sys.browse(0, url);  // origin fetch; client 0 becomes the holder
+  for (int i = 0; i < 64; ++i) {
+    sys.browse(1, "http://filler.test/" + std::to_string(i));
+  }
+  const FetchOutcome out = sys.browse(2, url);
+  ASSERT_EQ(out.source, FetchOutcome::Source::kRemoteBrowser)
+      << "setup failed to force a peer fetch";
+
+  const std::vector<obs::SpanRecord> client_spans =
+      client_tracer.recent_spans();
+  const std::vector<obs::SpanRecord> proxy_spans =
+      proxy_tracer.recent_spans();
+  ASSERT_FALSE(client_spans.empty());
+  ASSERT_FALSE(proxy_spans.empty());
+
+  // One root per browse, all on the client side.
+  std::map<std::uint64_t, std::size_t> roots_by_trace;
+  std::set<std::uint64_t> client_traces;
+  for (const obs::SpanRecord& s : client_spans) {
+    client_traces.insert(s.trace_id);
+    if (s.parent_id == 0) {
+      EXPECT_EQ(s.kind, obs::SpanKind::kClientFetch);
+      ++roots_by_trace[s.trace_id];
+    }
+  }
+  EXPECT_EQ(roots_by_trace.size(), 66u);  // 1 + 64 + 1 browses
+  for (const auto& [trace_id, roots] : roots_by_trace) {
+    EXPECT_EQ(roots, 1u) << "trace " << trace_id;
+  }
+  for (const obs::SpanRecord& s : proxy_spans) {
+    EXPECT_EQ(roots_by_trace.count(s.trace_id), 1u)
+        << "proxy span of a trace no client started";
+    EXPECT_NE(s.parent_id, 0u) << "proxy must never root a trace";
+  }
+
+  // Every browse reached the proxy, so every trace id must appear on both
+  // sides — the wire really carried the context.
+  std::set<std::uint64_t> proxy_traces;
+  for (const obs::SpanRecord& s : proxy_spans) proxy_traces.insert(s.trace_id);
+  EXPECT_EQ(proxy_traces.size(), client_traces.size());
+
+  // Cross-process stitch: within each trace, every parent resolves to a
+  // span recorded on one of the two sides.
+  std::map<std::uint64_t, std::set<std::uint64_t>> span_ids;
+  std::vector<obs::SpanRecord> all = client_spans;
+  all.insert(all.end(), proxy_spans.begin(), proxy_spans.end());
+  for (const obs::SpanRecord& s : all) {
+    span_ids[s.trace_id].insert(s.span_id);
+  }
+  for (const obs::SpanRecord& s : all) {
+    if (s.parent_id == 0) continue;
+    EXPECT_EQ(span_ids[s.trace_id].count(s.parent_id), 1u)
+        << "dangling parent " << s.parent_id << " in trace " << s.trace_id;
+  }
+
+  // The peer-served request stitches all three roles: the proxy recorded a
+  // peer_transfer stage span AND the holder (client process) recorded a
+  // peer_transfer serve span, in the same trace.
+  const std::uint64_t peer_trace = [&] {
+    for (const obs::SpanRecord& s : proxy_spans) {
+      if (s.kind == obs::SpanKind::kPeerTransfer) return s.trace_id;
+    }
+    return std::uint64_t{0};
+  }();
+  ASSERT_NE(peer_trace, 0u) << "proxy recorded no peer_transfer span";
+  bool holder_served = false;
+  for (const obs::SpanRecord& s : client_spans) {
+    if (s.kind == obs::SpanKind::kPeerTransfer && s.trace_id == peer_trace) {
+      holder_served = true;
+    }
+  }
+  EXPECT_TRUE(holder_served)
+      << "holder side did not stitch into the peer-fetch trace";
+
+  // Both registries saw per-stage metrics.
+  EXPECT_NE(client_reg.snapshot().counter("trace_spans_total",
+                                          {{"kind", "client_fetch"}}),
+            nullptr);
+  EXPECT_NE(proxy_reg.snapshot().counter("trace_spans_total",
+                                         {{"kind", "cache_probe"}}),
+            nullptr);
+  server.stop();
+}
+
+TEST(TraceStitchTest, LiveStatsSnapshotServedFromRunningDaemon) {
+  obs::Registry proxy_reg;
+  obs::Tracer proxy_tracer(tracer_params(1.0, "proxyd"), &proxy_reg);
+
+  BapsSystem::Params params;
+  params.num_clients = 2;
+  params.seed = kSeed;
+
+  ProxyServer server(proxy_params(params.num_clients,
+                                  params.proxy_cache_bytes));
+  server.set_tracer(&proxy_tracer);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TcpTransport::Params tp;
+  tp.proxy_port = server.port();
+  TcpTransport transport(tp);
+  BapsSystem sys(params, transport);
+  // Client untraced: the proxy must still serve stats (its own tracer
+  // only roots nothing, but records nothing either without sampled
+  // contexts arriving — so seed traffic with a traced client below).
+  obs::Registry client_reg;
+  obs::Tracer client_tracer(tracer_params(1.0, "client"), &client_reg);
+  sys.set_tracer(&client_tracer);
+
+  sys.browse(0, "http://stats.test/a");
+  sys.browse(1, "http://stats.test/a");
+  server.capture_window_snapshot();
+
+  const std::string json = transport.trace_stats(/*max_spans=*/16);
+  ASSERT_FALSE(json.empty());
+  const auto doc = obs::json_parse(json, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("schema").as_string(), "baps.trace_stats.v1");
+  // Live introspection: the registry section with derived quantile gauges,
+  // the rolling window, and the tracer's own counters.
+  ASSERT_NE(doc->find("registry"), nullptr);
+  ASSERT_NE(doc->find("window"), nullptr);
+  const obs::JsonValue* recorded = doc->find("spans_recorded");
+  ASSERT_NE(recorded, nullptr);
+  EXPECT_GT(recorded->as_uint(), 0u);
+  const obs::JsonValue* spans = doc->find("recent_spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  EXPECT_FALSE(spans->as_array().empty());
+  EXPECT_LE(spans->as_array().size(), 16u);
+  ASSERT_NE(doc->find("slow_traces"), nullptr);
+  server.stop();
+}
+
+TEST(TraceStitchTest, SamplingOffRecordsNothingOnEitherSide) {
+  obs::Registry client_reg, proxy_reg;
+  obs::Tracer client_tracer(tracer_params(0.0, "client"), &client_reg);
+  obs::Tracer proxy_tracer(tracer_params(0.0, "proxyd"), &proxy_reg);
+
+  BapsSystem::Params params;
+  params.num_clients = 2;
+  params.seed = kSeed;
+
+  ProxyServer server(proxy_params(params.num_clients,
+                                  params.proxy_cache_bytes));
+  server.set_tracer(&proxy_tracer);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  TcpTransport::Params tp;
+  tp.proxy_port = server.port();
+  TcpTransport transport(tp);
+  BapsSystem sys(params, transport);
+  sys.set_tracer(&client_tracer);
+
+  for (int i = 0; i < 8; ++i) {
+    sys.browse(static_cast<ClientId>(i % 2),
+               "http://quiet.test/" + std::to_string(i));
+  }
+  EXPECT_EQ(client_tracer.spans_recorded(), 0u);
+  EXPECT_EQ(proxy_tracer.spans_recorded(), 0u);
+  EXPECT_TRUE(client_reg.snapshot().counters.empty());
+  EXPECT_TRUE(proxy_reg.snapshot().counters.empty());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace baps::runtime

@@ -1,0 +1,181 @@
+// FrameChannel under traced and hostile trace-context traffic: sampled
+// contexts must cross a real socket intact (with frame_send/frame_recv spans
+// on both ends), and raw frames with arbitrary fuzzed context bytes must
+// never crash the receiving channel or corrupt the delivered payload.
+#include "netio/frame_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "util/rng.hpp"
+#include "wire/codec.hpp"
+#include "wire/crc32.hpp"
+
+namespace baps::netio {
+namespace {
+
+struct ChannelPair {
+  FrameChannel client;
+  FrameChannel server;
+};
+
+std::optional<ChannelPair> connect_pair() {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  if (!listener.has_value()) return std::nullopt;
+  auto conn = TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  if (!conn.has_value()) return std::nullopt;
+  auto accepted = listener->accept(1000, &err);
+  if (!accepted.has_value()) return std::nullopt;
+  const Deadlines deadlines{1000, 1000, 1000};
+  return ChannelPair{FrameChannel(std::move(*conn), deadlines),
+                     FrameChannel(std::move(*accepted), deadlines)};
+}
+
+obs::Tracer::Params always_on(const std::string& service) {
+  obs::Tracer::Params p;
+  p.seed = 7;
+  p.sample_rate = 1.0;
+  p.service = service;
+  return p;
+}
+
+TEST(FrameChannelTraceTest, SampledContextCrossesTheSocketWithSpans) {
+  auto pair = connect_pair();
+  ASSERT_TRUE(pair.has_value());
+  obs::Registry send_reg, recv_reg;
+  obs::Tracer send_tracer(always_on("client"), &send_reg);
+  obs::Tracer recv_tracer(always_on("proxyd"), &recv_reg);
+  pair->client.set_tracer(&send_tracer);
+  pair->server.set_tracer(&recv_tracer);
+
+  obs::Span root = send_tracer.start_root_span(obs::SpanKind::kClientFetch);
+  NetError err;
+  ASSERT_TRUE(pair->client.send(wire::FrameKind::kFetchRequest, "payload",
+                                root.context(), &err))
+      << err.message;
+  const auto frame = pair->server.recv(&err);
+  ASSERT_TRUE(frame.has_value()) << err.message;
+  EXPECT_EQ(frame->payload, "payload");
+  ASSERT_TRUE(frame->trace.valid());
+  EXPECT_EQ(frame->trace.trace_id, root.context().trace_id);
+  EXPECT_EQ(frame->trace.span_id, root.context().span_id);
+  root.end();
+
+  // Both ends recorded channel spans in the same trace, and the receiver's
+  // frame_recv span is parented to the sender's context.
+  bool sent_span = false, recv_span = false;
+  for (const auto& s : send_tracer.recent_spans()) {
+    if (s.kind == obs::SpanKind::kFrameSend &&
+        s.trace_id == root.context().trace_id) {
+      sent_span = true;
+    }
+  }
+  for (const auto& s : recv_tracer.recent_spans()) {
+    if (s.kind == obs::SpanKind::kFrameRecv &&
+        s.trace_id == root.context().trace_id) {
+      recv_span = true;
+      EXPECT_EQ(s.parent_id, root.context().span_id);
+    }
+  }
+  EXPECT_TRUE(sent_span);
+  EXPECT_TRUE(recv_span);
+}
+
+TEST(FrameChannelTraceTest, UntracedSendRecordsNothing) {
+  auto pair = connect_pair();
+  ASSERT_TRUE(pair.has_value());
+  obs::Registry reg;
+  obs::Tracer tracer(always_on("client"), &reg);
+  pair->client.set_tracer(&tracer);
+  pair->server.set_tracer(&tracer);
+  NetError err;
+  ASSERT_TRUE(pair->client.send(wire::FrameKind::kBye, "", &err));
+  const auto frame = pair->server.recv(&err);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(frame->trace.valid());
+  EXPECT_EQ(tracer.spans_recorded(), 0u);
+}
+
+/// Builds a raw frame whose trace-context region is arbitrary bytes. The CRC
+/// is computed the way the encoder would, so the frame is wire-valid and the
+/// receiver must parse (or skip) the context without ever corrupting the
+/// payload.
+std::string raw_frame(wire::FrameKind kind, std::string_view tc_bytes,
+                      std::string_view payload) {
+  std::string region(tc_bytes);
+  region.append(payload.data(), payload.size());
+  const auto tc_len = static_cast<std::uint16_t>(tc_bytes.size());
+  wire::Writer w;
+  w.u32(wire::kMagic);
+  w.u8(wire::kVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u16(tc_len);
+  w.u32(static_cast<std::uint32_t>(region.size()));
+  std::uint32_t crc = 0;
+  if (tc_len == 0) {
+    crc = wire::crc32(region);
+  } else {
+    const std::uint8_t len_le[2] = {static_cast<std::uint8_t>(tc_len & 0xff),
+                                    static_cast<std::uint8_t>(tc_len >> 8)};
+    crc = wire::crc32_update(
+        wire::crc32({len_le, 2}),
+        {reinterpret_cast<const std::uint8_t*>(region.data()), region.size()});
+  }
+  w.u32(crc);
+  std::string out = w.take();
+  out.append(region);
+  return out;
+}
+
+TEST(FrameChannelTraceTest, FuzzedContextBytesNeverCrashTheChannel) {
+  auto pair = connect_pair();
+  ASSERT_TRUE(pair.has_value());
+  // A tracer on the receiver exercises the full parse-context-and-record
+  // path against the hostile bytes, not just the skip path.
+  obs::Registry reg;
+  obs::Tracer tracer(always_on("proxyd"), &reg);
+  pair->server.set_tracer(&tracer);
+
+  baps::SplitMix64 rng(0xF0221u);
+  for (int iter = 0; iter < 256; ++iter) {
+    const std::size_t tc_len = rng.next() % 48;
+    std::string tc(tc_len, '\0');
+    for (auto& c : tc) c = static_cast<char>(rng.next() & 0xFF);
+    std::string payload(rng.next() % 48, '\0');
+    for (auto& c : payload) c = static_cast<char>(rng.next() & 0xFF);
+    const std::string bytes =
+        raw_frame(wire::FrameKind::kFetchRequest, tc, payload);
+    NetError err;
+    ASSERT_TRUE(pair->client.connection().write_all(bytes.data(), bytes.size(),
+                                                    1000, &err))
+        << err.message;
+    const auto frame = pair->server.recv(&err);
+    ASSERT_TRUE(frame.has_value()) << "iteration " << iter << ": "
+                                   << err.message;
+    EXPECT_EQ(frame->payload, payload) << "iteration " << iter;
+  }
+}
+
+TEST(FrameChannelTraceTest, OversizedContextClaimIsAHardError) {
+  auto pair = connect_pair();
+  ASSERT_TRUE(pair.has_value());
+  // tc_len says one context byte but the payload region is empty: the
+  // receiver must surface a decode error, not hang or misread.
+  std::string bytes = wire::encode_frame(wire::FrameKind::kHello, "");
+  bytes[6] = 1;
+  NetError err;
+  ASSERT_TRUE(pair->client.connection().write_all(bytes.data(), bytes.size(),
+                                                  1000, &err));
+  const auto frame = pair->server.recv(&err);
+  EXPECT_FALSE(frame.has_value());
+  EXPECT_EQ(err.status, NetStatus::kError);
+}
+
+}  // namespace
+}  // namespace baps::netio

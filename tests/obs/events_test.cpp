@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "obs/registry.hpp"
 #include "runtime/system.hpp"
 
 namespace baps::obs {
@@ -72,6 +73,52 @@ class SystemEventsTest : public ::testing::Test {
   runtime::BapsSystem system_;
   MemorySink sink_;
 };
+
+TEST(MemorySinkTest, BoundedCapacityDropsNewestAndCounts) {
+  Registry::global().counter("events_dropped_total").reset();
+  MemorySink sink(/*capacity=*/3);
+  EXPECT_EQ(sink.capacity(), 3u);
+  for (int i = 0; i < 5; ++i) {
+    sink.emit(Event("e").with("i", std::uint64_t(i)));
+  }
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 2u);
+  // Oldest retained: the buffer is evidence of how the run started.
+  const auto events = sink.events();
+  EXPECT_EQ(std::get<std::uint64_t>(*events[0].field("i")), 0u);
+  EXPECT_EQ(std::get<std::uint64_t>(*events[2].field("i")), 2u);
+  // The truncation is also visible in the global registry.
+  const Snapshot snap = Registry::global().snapshot();
+  const CounterSample* dropped = snap.counter("events_dropped_total");
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_EQ(dropped->value, 2u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(MemorySinkTest, ZeroCapacityClampsToOne) {
+  MemorySink sink(0);
+  EXPECT_EQ(sink.capacity(), 1u);
+  sink.emit(Event("a"));
+  sink.emit(Event("b"));
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.dropped(), 1u);
+}
+
+TEST(JsonlSinkTest, FlushesOnDestructionAndOnRequest) {
+  std::ostringstream os;
+  {
+    JsonlSink sink(os);
+    sink.emit(Event("first"));
+    sink.flush();
+    EXPECT_NE(os.str().find("first"), std::string::npos);
+    sink.emit(Event("second"));
+  }  // destructor flushes the second line
+  const std::string out = os.str();
+  EXPECT_NE(out.find("second"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
 
 TEST_F(SystemEventsTest, OneFetchEventPerBrowseWithOutcome) {
   ASSERT_TRUE(system_.client_has(0, kUrlX));

@@ -76,14 +76,17 @@ TEST(FrameTest, RejectsBadVersion) {
   EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::kBadVersion);
 }
 
-TEST(FrameTest, RejectsNonZeroReserved) {
+TEST(FrameTest, RejectsTraceContextLongerThanPayload) {
+  // The once-reserved u16 at offset 6 is now the trace-context length; a
+  // frame whose trace context claims more bytes than the payload region
+  // holds is structurally broken, whatever its CRC says.
   std::string bytes = encode_frame(FrameKind::kBye, "");
   bytes[6] = 1;
-  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::kBadReserved);
+  EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::kBadTraceContext);
 }
 
 TEST(FrameTest, RejectsUnknownKinds) {
-  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{13}, std::uint8_t{255}}) {
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{15}, std::uint8_t{255}}) {
     std::string bytes = encode_frame(FrameKind::kBye, "");
     bytes[5] = static_cast<char>(bad);
     EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::kBadKind)

@@ -189,6 +189,26 @@ TEST(MessagesTest, StatsRoundTrip) {
   expect_strict<StatsResponse>(encode(in));
 }
 
+TEST(MessagesTest, TraceStatsRoundTrip) {
+  TraceStatsRequest req;
+  req.max_spans = 128;
+  TraceStatsRequest req_out;
+  ASSERT_TRUE(decode(encode(req), &req_out));
+  EXPECT_EQ(req_out.max_spans, 128u);
+  expect_strict<TraceStatsRequest>(encode(req));
+
+  TraceStatsResponse in;
+  in.json = "{\"schema\":\"baps.trace_stats.v1\",\"spans_recorded\":42}";
+  TraceStatsResponse out;
+  ASSERT_TRUE(decode(encode(in), &out));
+  EXPECT_EQ(out.json, in.json);
+  expect_strict<TraceStatsResponse>(encode(in));
+
+  TraceStatsResponse empty;
+  ASSERT_TRUE(decode(encode(TraceStatsResponse{}), &empty));
+  EXPECT_TRUE(empty.json.empty());
+}
+
 TEST(MessagesTest, ErrorAndByeRoundTrip) {
   ErrorMsg in{"client id out of range"};
   ErrorMsg out;
@@ -215,6 +235,8 @@ TEST(MessagesTest, MessageKindsMatchFrameKinds) {
   EXPECT_EQ(StatsResponse::kKind, FrameKind::kStatsResponse);
   EXPECT_EQ(ErrorMsg::kKind, FrameKind::kError);
   EXPECT_EQ(Bye::kKind, FrameKind::kBye);
+  EXPECT_EQ(TraceStatsRequest::kKind, FrameKind::kTraceStatsRequest);
+  EXPECT_EQ(TraceStatsResponse::kKind, FrameKind::kTraceStatsResponse);
 }
 
 }  // namespace

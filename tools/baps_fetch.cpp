@@ -14,6 +14,14 @@
 //   baps_fetch --transport loopback --clients 8
 //       --preset bu95 --requests 1000 --sources-out loop.txt
 //   diff tcp.txt loop.txt
+//
+// With --trace-sample the client side of every sampled request is traced
+// (root client_fetch span + frame spans, JSONL to --trace-out) and the
+// sampled trace context rides the wire, so a proxy running with tracing on
+// records spans under the same trace ids. `--stats` asks a running proxyd
+// for its live introspection snapshot (baps.trace_stats.v1) and exits:
+//
+//   baps_fetch --transport tcp --port 4160 --stats
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +30,7 @@
 
 #include "fault/fault_plan.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "runtime/system.hpp"
 #include "runtime/tcp_transport.hpp"
 #include "trace/presets.hpp"
@@ -60,6 +69,10 @@ int main(int argc, char** argv) {
   std::string fault_rates_spec;
   std::uint64_t fault_seed = 1;
   bool fault_strict = false;
+  bool stats = false;
+  std::uint32_t stats_spans = 32;
+  double trace_sample = 0.0;
+  std::string trace_out;
 
   util::ArgParser parser("baps_fetch",
                          "Fetch documents through a BAPS proxy.");
@@ -92,7 +105,15 @@ int main(int argc, char** argv) {
       .option("--fault-seed", &fault_seed, "S",
               "seed for the fault decision streams (default 1)")
       .flag("--fault-strict", &fault_strict,
-            "exit 1 unless every injected fault was recovered");
+            "exit 1 unless every injected fault was recovered")
+      .flag("--stats", &stats,
+            "print the proxy's live trace/metric snapshot and exit (tcp only)")
+      .option("--stats-spans", &stats_spans, "N",
+              "recent spans to include with --stats (default 32)")
+      .option("--trace-sample", &trace_sample, "RATE",
+              "trace sampling rate in [0,1] (default 0: tracing off)")
+      .option("--trace-out", &trace_out, "FILE",
+              "write sampled spans as JSONL (requires --trace-sample)");
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -111,6 +132,27 @@ int main(int argc, char** argv) {
   if (use_tcp && port == 0) {
     std::cerr << "--port is required with --transport tcp\n";
     return 2;
+  }
+  if (trace_sample < 0.0 || trace_sample > 1.0) {
+    std::cerr << "--trace-sample must be in [0, 1]\n";
+    return 2;
+  }
+  if (!trace_out.empty() && trace_sample <= 0.0) {
+    std::cerr << "--trace-out requires --trace-sample > 0\n";
+    return 2;
+  }
+  if (stats) {
+    // Pure observer: connect, ask for the live snapshot, print, exit.
+    if (!use_tcp) {
+      std::cerr << "--stats needs --transport tcp (a running baps_proxyd)\n";
+      return 2;
+    }
+    runtime::TcpTransport::Params tp;
+    tp.proxy_host = host;
+    tp.proxy_port = port;
+    runtime::TcpTransport transport(tp);
+    std::cout << transport.trace_stats(stats_spans) << "\n";
+    return 0;
   }
   if (url.empty() == preset_name.empty()) {
     std::cerr << "pick exactly one of --url / --preset\n" << parser.usage();
@@ -141,6 +183,12 @@ int main(int argc, char** argv) {
   params.seed = seed;
   params.rsa_modulus_bits = rsa_bits;
 
+  // Declared before the transport/system so it outlives them: channels keep
+  // a raw tracer pointer until they are torn down.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::ofstream span_stream;
+  std::unique_ptr<obs::JsonlSink> span_sink;
+
   std::unique_ptr<runtime::TcpTransport> transport;
   std::unique_ptr<runtime::BapsSystem> sys;
   if (use_tcp) {
@@ -153,6 +201,27 @@ int main(int argc, char** argv) {
     sys = std::make_unique<runtime::BapsSystem>(params);
   }
   if (plan != nullptr) sys->attach_fault_plan(plan.get());
+
+  // Client-side tracer: every browse() roots a client_fetch span and the
+  // sampled context rides the wire to the proxy. Seeded from --seed, so the
+  // client and the proxy sample the same trace ids.
+  if (trace_sample > 0.0) {
+    obs::Tracer::Params tp;
+    tp.seed = seed;
+    tp.sample_rate = trace_sample;
+    tp.service = "client";
+    tracer = std::make_unique<obs::Tracer>(tp);
+    if (!trace_out.empty()) {
+      span_stream.open(trace_out);
+      if (!span_stream) {
+        std::cerr << "cannot open " << trace_out << "\n";
+        return 1;
+      }
+      span_sink = std::make_unique<obs::JsonlSink>(span_stream);
+      tracer->set_sink(span_sink.get());
+    }
+    sys->set_tracer(tracer.get());
+  }
 
   std::ofstream sources;
   if (!sources_out.empty()) {
@@ -214,6 +283,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
 
+  if (span_sink != nullptr) {
+    span_sink->flush();
+    if (!trace_out.empty()) std::cerr << "wrote " << trace_out << "\n";
+  }
   if (sources.is_open()) {
     sources.close();
     std::cerr << "wrote " << sources_out << "\n";

@@ -6,16 +6,24 @@
 // down cleanly and optionally writes a baps.report.v1 JSON report with the
 // final proxy counters and the wire/netio metric registry.
 //
+// With --trace-sample the daemon traces its side of every sampled request
+// (span JSONL to --trace-out) and serves live introspection snapshots to
+// `baps_fetch --stats`.
+//
 //   baps_proxyd --port 4160 --clients 8 --seed 7
 //   baps_proxyd --port 0 --max-seconds 30 --metrics-out proxyd.json
+//   baps_proxyd --port 4160 --trace-sample 1.0 --trace-out proxyd.spans.jsonl
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "runtime/proxy_server.hpp"
 #include "util/args.hpp"
 
@@ -39,6 +47,8 @@ int main(int argc, char** argv) {
   std::uint64_t workers = 0;
   std::uint64_t max_seconds = 0;
   std::string metrics_out;
+  double trace_sample = 0.0;
+  std::string trace_out;
 
   util::ArgParser parser("baps_proxyd",
                          "Serve the BAPS proxy over TCP on 127.0.0.1.");
@@ -56,7 +66,11 @@ int main(int argc, char** argv) {
       .option("--max-seconds", &max_seconds, "S",
               "exit after S seconds (default 0: run until signalled)")
       .option("--metrics-out", &metrics_out, "FILE",
-              "write a baps.report.v1 JSON report on shutdown");
+              "write a baps.report.v1 JSON report on shutdown")
+      .option("--trace-sample", &trace_sample, "RATE",
+              "trace sampling rate in [0,1] (default 0: tracing off)")
+      .option("--trace-out", &trace_out, "FILE",
+              "write sampled spans as JSONL (requires --trace-sample)");
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -79,7 +93,41 @@ int main(int argc, char** argv) {
   params.net.port = port;
   params.net.worker_threads = workers != 0 ? workers : clients + 2;
 
+  if (trace_sample < 0.0 || trace_sample > 1.0) {
+    std::cerr << "--trace-sample must be in [0, 1]\n";
+    return 2;
+  }
+
   runtime::ProxyServer server(params);
+
+  // Tracer + span sink live for the whole daemon run; attached before
+  // start() so no request races the wiring. The sampler is seeded from the
+  // same --seed as the proxy keys, so a given (seed, rate) samples the same
+  // trace ids on every run.
+  std::unique_ptr<obs::Tracer> tracer;
+  std::ofstream span_stream;
+  std::unique_ptr<obs::JsonlSink> span_sink;
+  if (trace_sample > 0.0) {
+    obs::Tracer::Params tp;
+    tp.seed = seed;
+    tp.sample_rate = trace_sample;
+    tp.service = "proxyd";
+    tracer = std::make_unique<obs::Tracer>(tp);
+    if (!trace_out.empty()) {
+      span_stream.open(trace_out);
+      if (!span_stream) {
+        std::cerr << "cannot open " << trace_out << "\n";
+        return 1;
+      }
+      span_sink = std::make_unique<obs::JsonlSink>(span_stream);
+      tracer->set_sink(span_sink.get());
+    }
+    server.set_tracer(tracer.get());
+  } else if (!trace_out.empty()) {
+    std::cerr << "--trace-out requires --trace-sample > 0\n";
+    return 2;
+  }
+
   if (!server.start(&error)) {
     std::cerr << "cannot start proxy: " << error << "\n";
     return 1;
@@ -94,13 +142,21 @@ int main(int argc, char** argv) {
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::seconds(max_seconds);
+  // Roughly one registry snapshot per second feeds the rolling window that
+  // STATS responses compute rates from; ten poll ticks ≈ one capture.
+  int ticks_until_capture = 0;
   while (!g_stop.load()) {
     if (max_seconds != 0 && std::chrono::steady_clock::now() >= deadline) {
       break;
     }
+    if (--ticks_until_capture <= 0) {
+      server.capture_window_snapshot();
+      ticks_until_capture = 10;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   server.stop();
+  if (span_sink != nullptr) span_sink->flush();
 
   const runtime::ProxyStats stats = server.core().stats();
   std::cerr << "proxyd: proxy_hits=" << stats.proxy_hits

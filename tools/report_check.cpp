@@ -5,7 +5,12 @@
 // families (wire_*/netio_* counters: dir labels, bytes-vs-frames
 // consistency) plus the fault-injection families (fault_injected_total /
 // fault_recovered_total need a kind label, non-negative values, and per-kind
-// recovered <= injected; stale_index_hits_total must be non-negative).
+// recovered <= injected; stale_index_hits_total must be non-negative), the
+// tracing families (trace_spans_total needs a kind label,
+// trace_stage_seconds a stage label), and the derived latency gauges
+// (latency_quantile_seconds / replay_latency_quantile_seconds need a
+// q label in {p50,p95,p99,p999} plus a stage/org scope label, finite
+// non-negative values, and per-scope monotone quantiles).
 // Given several files, they are treated as successive
 // snapshots of one process and every shared wire_*/netio_* counter must be
 // monotone non-decreasing in argument order. Exit 0 when valid, 1 when not

@@ -1,0 +1,193 @@
+// trace_check — validates that span JSONL logs from the two sides of a
+// traced run stitch into whole traces.
+//
+// Takes two or more span logs (baps_fetch --trace-out on the client side,
+// baps_proxyd --trace-out on the proxy side), parses every "span" event, and
+// checks:
+//   1. every file contains at least one span, every span has a non-zero
+//      trace_id and span_id, and end_ns >= start_ns;
+//   2. at least --min-shared trace ids (default 1) appear in ALL files —
+//      the wire really propagated the context across processes;
+//   3. within each shared trace, every span's parent_id is either 0 (a
+//      root) or the span_id of another span of the same trace, where the
+//      parent may live in a DIFFERENT file — the cross-process stitch;
+//   4. each shared trace has exactly one root span overall.
+//
+// Exit 0 when every check passes (with a summary on stdout), 1 otherwise
+// (first violation on stderr). scripts/check.sh runs this against a live
+// proxyd + fetch pair with --trace-sample 1.0.
+//
+//   trace_check client.spans.jsonl proxyd.spans.jsonl
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using baps::obs::JsonValue;
+
+struct SpanRow {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;
+  std::string kind;
+  std::string file;
+};
+
+bool load_spans(const std::string& path, std::vector<SpanRow>* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t spans = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string error;
+    const auto doc = baps::obs::json_parse(line, &error);
+    if (!doc.has_value()) {
+      std::cerr << path << ":" << line_no << ": parse error: " << error
+                << "\n";
+      return false;
+    }
+    const JsonValue* event = doc->find("event");
+    if (event == nullptr || !event->is_string() ||
+        event->as_string() != "span") {
+      continue;  // other event kinds may share the stream
+    }
+    SpanRow row;
+    row.file = path;
+    const std::pair<const char*, std::uint64_t*> ids[] = {
+        {"trace_id", &row.trace_id},
+        {"span_id", &row.span_id},
+        {"parent_id", &row.parent_id}};
+    for (const auto& [key, field] : ids) {
+      const JsonValue* v = doc->find(key);
+      if (v == nullptr || !v->is_number()) {
+        std::cerr << path << ":" << line_no << ": span needs numeric " << key
+                  << "\n";
+        return false;
+      }
+      *field = v->as_uint();
+    }
+    const JsonValue* kind = doc->find("kind");
+    row.kind = kind != nullptr && kind->is_string() ? kind->as_string() : "";
+    const JsonValue* start = doc->find("start_ns");
+    const JsonValue* end = doc->find("end_ns");
+    if (start == nullptr || end == nullptr || !start->is_number() ||
+        !end->is_number() || end->as_uint() < start->as_uint()) {
+      std::cerr << path << ":" << line_no
+                << ": span needs start_ns <= end_ns\n";
+      return false;
+    }
+    if (row.trace_id == 0 || row.span_id == 0) {
+      std::cerr << path << ":" << line_no
+                << ": span needs non-zero trace_id and span_id\n";
+      return false;
+    }
+    out->push_back(std::move(row));
+    ++spans;
+  }
+  if (spans == 0) {
+    std::cerr << path << ": no spans\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t min_shared = 1;
+  baps::util::ArgParser parser(
+      "trace_check", "Check that span JSONL logs stitch into whole traces.");
+  parser.option("--min-shared", &min_shared, "N",
+                "trace ids that must appear in every file (default 1)");
+  parser.allow_positionals("spans.jsonl");
+  std::string error;
+  if (!parser.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  const std::vector<std::string>& files = parser.positionals();
+  if (files.size() < 2) {
+    std::cerr << "usage: trace_check [--min-shared N] <spans.jsonl> "
+                 "<spans.jsonl> [...]\n";
+    return 2;
+  }
+
+  std::vector<SpanRow> all;
+  // trace ids per file, to intersect.
+  std::vector<std::set<std::uint64_t>> per_file(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::vector<SpanRow> rows;
+    if (!load_spans(files[i], &rows)) return 1;
+    for (const SpanRow& row : rows) per_file[i].insert(row.trace_id);
+    all.insert(all.end(), rows.begin(), rows.end());
+  }
+
+  std::set<std::uint64_t> shared = per_file[0];
+  for (std::size_t i = 1; i < per_file.size(); ++i) {
+    std::set<std::uint64_t> next;
+    for (const std::uint64_t id : shared) {
+      if (per_file[i].count(id) != 0) next.insert(id);
+    }
+    shared = std::move(next);
+  }
+  if (shared.size() < min_shared) {
+    std::cerr << "only " << shared.size() << " trace ids appear in all "
+              << files.size() << " files (need " << min_shared
+              << "): the context did not propagate\n";
+    return 1;
+  }
+
+  // Within each shared trace, every parent link must resolve somewhere in
+  // the union of the files, and exactly one span is the root.
+  std::map<std::uint64_t, std::set<std::uint64_t>> span_ids_by_trace;
+  for (const SpanRow& row : all) {
+    span_ids_by_trace[row.trace_id].insert(row.span_id);
+  }
+  std::size_t stitched_spans = 0;
+  for (const std::uint64_t trace_id : shared) {
+    std::size_t roots = 0;
+    for (const SpanRow& row : all) {
+      if (row.trace_id != trace_id) continue;
+      ++stitched_spans;
+      if (row.parent_id == 0) {
+        ++roots;
+        continue;
+      }
+      if (span_ids_by_trace[trace_id].count(row.parent_id) == 0) {
+        std::cerr << row.file << ": span " << row.span_id << " of trace "
+                  << trace_id << " has dangling parent " << row.parent_id
+                  << "\n";
+        return 1;
+      }
+    }
+    if (roots != 1) {
+      std::cerr << "trace " << trace_id << " has " << roots
+                << " root spans (want exactly 1)\n";
+      return 1;
+    }
+  }
+
+  std::cout << "trace_check: " << all.size() << " spans across "
+            << files.size() << " files, " << shared.size()
+            << " stitched traces (" << stitched_spans
+            << " spans), all parent links resolve\n";
+  return 0;
+}
