@@ -17,10 +17,16 @@
 // tracer adds to the runtime engine — and fails unless the simulated
 // metrics stay bit-identical and the throughput regression stays under
 // PCT percent. CI runs this to keep tracing free when it is off.
+// --store-dir DIR adds a disk-tier replay phase: the same trace pushed
+// through the runtime two-tier object store (RAM DocStore + durable slab
+// segments under DIR), publishing the store_* metric family and a
+// store_replay_requests_per_second gauge so the durable tier's throughput is
+// tracked alongside the simulated organizations.
 #include <algorithm>
 
 #include "bench_common.hpp"
 #include "obs/span.hpp"
+#include "store/tiered_store.hpp"
 
 int main(int argc, char** argv) {
   using namespace baps;
@@ -29,6 +35,9 @@ int main(int argc, char** argv) {
   args.argv = argv;
   std::uint64_t reps = 5;
   double overhead_guard = 0.0;
+  std::string store_dir;
+  std::uint64_t store_capacity = 16 << 20;
+  std::uint64_t store_ram = 256 << 10;
   util::ArgParser parser(argv[0]);
   parser.flag("--csv", &args.csv, "emit CSV instead of an aligned table")
       .option("--overhead-guard", &overhead_guard, "PCT",
@@ -43,7 +52,13 @@ int main(int argc, char** argv) {
       .option("--churn-rate", &args.churn_rate, "P",
               "per-request client churn probability in [0,1] (default 0)")
       .option("--churn-seed", &args.churn_seed, "S",
-              "seed for the churn event stream");
+              "seed for the churn event stream")
+      .option("--store-dir", &store_dir, "DIR",
+              "also replay through the runtime disk tier rooted at DIR")
+      .bytes("--store-capacity", &store_capacity, "BYTES",
+              "disk tier capacity for --store-dir, k/m/g ok (default 16m)")
+      .bytes("--store-ram", &store_ram, "BYTES",
+              "RAM tier in front of --store-dir, k/m/g ok (default 256k)");
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << parser.usage();
@@ -125,6 +140,47 @@ int main(int argc, char** argv) {
   std::cout << "Trace-replay throughput, " << trace::preset_name(trace::Preset::kBu95)
             << ", best of " << reps << " run(s), default RunSpec\n";
   bench::emit(table, args);
+
+  if (!store_dir.empty()) {
+    // Disk-tier replay: every request probes the two-tier store and a miss
+    // installs the document (RAM first, demotions spilling to the slab log).
+    // Bodies are synthetic ('x' * size) — the store times byte movement, not
+    // origin fetches — and the watermark is a cheap stand-in signature; RSA
+    // issuance is benchmarked elsewhere.
+    const auto scope = phases.scope("store_replay");
+    store::TieredObjectStore::Params sp;
+    sp.ram_bytes = store_ram;
+    sp.disk.dir = store_dir;
+    sp.disk.capacity_bytes = store_capacity;
+    store::TieredObjectStore tiered(sp);
+    if (!tiered.open(&error)) {
+      std::cerr << "cannot open store: " << error << "\n";
+      return 1;
+    }
+    std::uint64_t hits = 0;
+    const double start = obs::monotonic_seconds();
+    for (const trace::Request& req : t.requests()) {
+      if (tiered.get(req.doc).has_value()) {
+        ++hits;
+        continue;
+      }
+      runtime::Document doc;
+      doc.body.assign(req.size, 'x');
+      doc.mark.signature = crypto::BigUInt(req.doc);
+      tiered.put(req.doc, std::move(doc));
+    }
+    tiered.sync();
+    const double secs = obs::monotonic_seconds() - start;
+    const double rps =
+        secs > 0.0 ? static_cast<double>(t.size()) / secs : 0.0;
+    obs::Registry::global()
+        .gauge("store_replay_requests_per_second")
+        .set(rps);
+    std::cout << "store replay: requests=" << t.size() << " hits=" << hits
+              << " seconds=" << secs << " requests/s=" << rps
+              << " segments=" << tiered.disk()->segment_count()
+              << " disk_bytes=" << tiered.disk()->total_bytes() << "\n";
+  }
 
   if (overhead_guard > 0.0) {
     // A/B on the hot organization: a plain replay against the same replay

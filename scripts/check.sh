@@ -95,4 +95,34 @@ FAULT_REPORT="$BUILD_DIR/check_fault_report.json"
 "$BUILD_DIR/tools/report_check" "$FAULT_REPORT"
 echo "check.sh: seeded fault run fully recovered (1500 requests)"
 
+# Crash-recovery smoke: the same seeded loopback run with proxy restarts,
+# once cold (RAM only) and once warm (--store-dir). The durable tier must
+# recover proxy hits the restarts destroy, and must never serve a damaged
+# object (store_integrity_failures_total stays 0 in the emitted report).
+STORE_DIR="$BUILD_DIR/check_store"
+STORE_REPORT="$BUILD_DIR/check_store_report.json"
+rm -rf "$STORE_DIR"
+COLD_HITS=$("$BUILD_DIR/tools/baps_fetch" --transport loopback --clients 8 \
+  --seed 11 --preset bu95 --requests 1200 \
+  --proxy-cache 16384 --browser-cache 4096 \
+  --fault-seed 42 --fault-rates "restart=0.01" 2>/dev/null \
+  | sed -n 's/.*proxy_hits=\([0-9]*\).*/\1/p')
+WARM_HITS=$("$BUILD_DIR/tools/baps_fetch" --transport loopback --clients 8 \
+  --seed 11 --preset bu95 --requests 1200 \
+  --proxy-cache 16384 --browser-cache 4096 \
+  --fault-seed 42 --fault-rates "restart=0.01" \
+  --store-dir "$STORE_DIR" --store-capacity 64m \
+  --metrics-out "$STORE_REPORT" 2>/dev/null \
+  | sed -n 's/.*proxy_hits=\([0-9]*\).*/\1/p')
+[ -n "$COLD_HITS" ] && [ -n "$WARM_HITS" ] \
+  || { echo "store smoke: could not parse proxy_hits"; exit 1; }
+[ "$WARM_HITS" -gt "$COLD_HITS" ] \
+  || { echo "store smoke: warm restart did not recover hits" \
+       "(warm=$WARM_HITS cold=$COLD_HITS)"; exit 1; }
+"$BUILD_DIR/tools/report_check" "$STORE_REPORT"
+grep -A2 '"store_integrity_failures_total"' "$STORE_REPORT" \
+  | grep -q '"value": 0' \
+  || { echo "store smoke: integrity failures reported"; exit 1; }
+echo "check.sh: warm restart recovered hits (warm=$WARM_HITS cold=$COLD_HITS, 0 integrity failures)"
+
 echo "check.sh: all good"

@@ -314,6 +314,7 @@ bool validate_report(const JsonValue& report, std::string* error) {
   if (!validate_fault_metrics(report, error)) return false;
   if (!validate_trace_metrics(report, error)) return false;
   if (!validate_latency_metrics(report, error)) return false;
+  if (!validate_store_metrics(report, error)) return false;
   if (const JsonValue* registry = report.find("registry")) {
     if (!registry->is_object() || !registry->find("counters") ||
         !registry->find("gauges") || !registry->find("histograms")) {
@@ -340,7 +341,10 @@ bool validate_report(const JsonValue& report, std::string* error) {
 namespace {
 
 bool is_transport_counter(const std::string& name) {
-  return name.rfind("wire_", 0) == 0 || name.rfind("netio_", 0) == 0;
+  // store_* rides along: the durable tier's counters are cumulative across
+  // restarts by design, so successive snapshots must be monotone too.
+  return name.rfind("wire_", 0) == 0 || name.rfind("netio_", 0) == 0 ||
+         name.rfind("store_", 0) == 0;
 }
 
 /// Stable identity of one counter instance: name plus labels in their
@@ -628,6 +632,82 @@ bool validate_latency_metrics(const JsonValue& report, std::string* error) {
         return fail(error, scope + ": quantiles not monotone in q");
       }
       prev = *v;
+    }
+  }
+  return true;
+}
+
+bool validate_store_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+
+  double probes = 0.0, hits = 0.0, misses = 0.0;
+  bool have_probe_family = false;
+  if (const JsonValue* counters = registry->find("counters");
+      counters != nullptr && counters->is_array()) {
+    for (const auto& inst : counters->as_array()) {
+      if (!inst.is_object()) continue;
+      const JsonValue* name = inst.find("name");
+      if (name == nullptr || !name->is_string()) continue;
+      const std::string& n = name->as_string();
+      if (n.rfind("store_", 0) != 0) continue;
+      const JsonValue* value = inst.find("value");
+      if (value == nullptr || !value->is_number()) {
+        return fail(error, n + ": counter needs a numeric value");
+      }
+      if (value->as_double() < 0.0) {
+        return fail(error, n + ": counter is negative");
+      }
+      if (n == "store_bytes_total") {
+        const JsonValue* labels = inst.find("labels");
+        const JsonValue* dir =
+            labels != nullptr ? labels->find("dir") : nullptr;
+        if (dir == nullptr || !dir->is_string() ||
+            (dir->as_string() != "read" && dir->as_string() != "written")) {
+          return fail(error,
+                      "store_bytes_total: dir label must be read or written");
+        }
+      }
+      if (n == "store_probes_total") {
+        probes += value->as_double();
+        have_probe_family = true;
+      } else if (n == "store_hits_total") {
+        hits += value->as_double();
+        have_probe_family = true;
+      } else if (n == "store_misses_total") {
+        misses += value->as_double();
+        have_probe_family = true;
+      }
+    }
+  }
+  // Every disk probe resolves to exactly one of hit or miss (a quarantined
+  // corrupt record counts as a miss — nothing was served).
+  if (have_probe_family && hits + misses != probes) {
+    return fail(error,
+                "store_hits_total + store_misses_total != store_probes_total");
+  }
+
+  if (const JsonValue* hists = registry->find("histograms");
+      hists != nullptr && hists->is_array()) {
+    for (const auto& inst : hists->as_array()) {
+      if (!inst.is_object()) continue;
+      const JsonValue* name = inst.find("name");
+      if (name == nullptr || !name->is_string() ||
+          name->as_string() != "store_stage_seconds") {
+        continue;
+      }
+      const JsonValue* labels = inst.find("labels");
+      const JsonValue* op = labels != nullptr ? labels->find("op") : nullptr;
+      if (op == nullptr || !op->is_string() || op->as_string().empty()) {
+        return fail(error, "store_stage_seconds: needs a non-empty op label");
+      }
+      const JsonValue* count = inst.find("count");
+      if (count == nullptr || !count->is_number() ||
+          count->as_double() < 0.0) {
+        return fail(error, "store_stage_seconds{op=" + op->as_string() +
+                               "}: count must be a non-negative number");
+      }
     }
   }
   return true;

@@ -124,10 +124,22 @@ bool validate_trace_metrics(const JsonValue& report,
 bool validate_latency_metrics(const JsonValue& report,
                               std::string* error = nullptr);
 
-/// Checks that every `wire_*` / `netio_*` counter present in both reports
-/// (matched by name + labels) is monotone non-decreasing from `earlier` to
-/// `later` — the cross-file invariant for successive snapshots of one
-/// process.
+/// Family checks for the durable-store instruments: every `store_*` counter
+/// must be a non-negative number, `store_bytes_total` must carry a `dir`
+/// label of "read" or "written", every `store_stage_seconds` histogram must
+/// carry a non-empty `op` label with a non-negative count, and summed across
+/// instances `store_hits_total + store_misses_total` must equal
+/// `store_probes_total` (every disk probe resolves to exactly one of the
+/// two). Reports without a registry or without store instruments pass
+/// trivially.
+bool validate_store_metrics(const JsonValue& report,
+                            std::string* error = nullptr);
+
+/// Checks that every `wire_*` / `netio_*` / `store_*` counter present in
+/// both reports (matched by name + labels) is monotone non-decreasing from
+/// `earlier` to `later` — the cross-file invariant for successive snapshots
+/// of one process (store counters are cumulative across warm restarts by
+/// design).
 bool validate_transport_monotonicity(const JsonValue& earlier,
                                      const JsonValue& later,
                                      std::string* error = nullptr);

@@ -9,8 +9,11 @@ namespace baps::runtime {
 DocStore::DocStore(std::uint64_t capacity_bytes)
     : cache_(capacity_bytes, cache::PolicyKind::kLru) {
   cache_.set_eviction_listener([this](trace::DocId key, std::uint64_t) {
-    docs_.erase(key);
-    if (on_evict_) on_evict_(key);
+    const auto it = docs_.find(key);
+    BAPS_ENSURE(it != docs_.end(), "cache and body map out of sync");
+    // Listener first, erase second: demotion needs the body alive.
+    if (on_evict_) on_evict_(key, it->second);
+    docs_.erase(it);
   });
 }
 

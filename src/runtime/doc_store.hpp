@@ -25,7 +25,9 @@ struct Document {
 class DocStore {
  public:
   using Key = std::uint64_t;  ///< URL-digest prefix (see runtime/types.hpp)
-  using EvictionListener = std::function<void(Key)>;
+  /// Receives the evicted document while it is still intact — the disk tier
+  /// demotes the body instead of letting it vanish.
+  using EvictionListener = std::function<void(Key, const Document&)>;
 
   explicit DocStore(std::uint64_t capacity_bytes);
 

@@ -22,10 +22,14 @@ ProxyCore::ProxyCore(const Params& params)
     : origin_(params.seed),
       keys_(crypto::generate_rsa_keypair(params.rsa_modulus_bits,
                                          params.seed ^ 0x4B455953454544ULL)),
-      proxy_cache_(params.proxy_cache_bytes),
+      proxy_cache_(store::TieredObjectStore::Params{params.proxy_cache_bytes,
+                                                    params.store}),
       index_(params.num_clients),
       mac_keys_(derive_client_mac_keys(params.seed, params.num_clients)) {
   BAPS_REQUIRE(params.num_clients > 0, "proxy needs at least one client");
+  std::string store_error;
+  BAPS_REQUIRE(proxy_cache_.open(&store_error),
+               "cannot open object store: " + store_error);
 }
 
 void ProxyCore::record(MsgKind kind, std::string from, std::string to,
@@ -65,7 +69,12 @@ bool ProxyCore::apply_index_update(ClientId claimed_sender, bool is_add,
 }
 
 void ProxyCore::restart() {
-  proxy_cache_.clear();
+  // RAM tier and browser index are lost; the disk tier reopens and rebuilds
+  // its index from the segment files — that surviving index is the warm
+  // start.
+  std::string store_error;
+  BAPS_ENSURE(proxy_cache_.restart(&store_error),
+              "cannot reopen object store: " + store_error);
   index_.clear();
 }
 

@@ -20,6 +20,7 @@
 #include "runtime/doc_store.hpp"
 #include "runtime/origin.hpp"
 #include "runtime/types.hpp"
+#include "store/tiered_store.hpp"
 
 namespace baps::runtime {
 
@@ -39,6 +40,10 @@ class ProxyCore {
     std::uint64_t proxy_cache_bytes = 256 << 10;
     std::uint64_t seed = 7;
     std::size_t rsa_modulus_bits = 256;
+    /// Durable second cache tier. store.dir empty (the default) keeps the
+    /// proxy RAM-only with behaviour and metrics bit-identical to a build
+    /// without the tier.
+    store::DiskStoreConfig store;
   };
 
   struct Reply {
@@ -87,16 +92,22 @@ class ProxyCore {
   /// false forward instead of one per stale entry.
   void set_drop_failed_holders(bool on) { drop_failed_holders_ = on; }
 
-  /// Simulates a proxy crash/restart: the cache and browser index are lost
-  /// (the RSA watermark keys and client MAC keys persist — they are
-  /// provisioned state, not runtime state). Callers rebuild the index by
-  /// replaying the clients' holdings.
+  /// Simulates a proxy crash/restart: the RAM cache and browser index are
+  /// lost (the RSA watermark keys and client MAC keys persist — they are
+  /// provisioned state, not runtime state). With a disk tier configured the
+  /// store reopens and rebuilds its index from the segment files, so the
+  /// restarted proxy warm-starts instead of going back to the origin for
+  /// everything. Callers rebuild the browser index by replaying the clients'
+  /// holdings.
   void restart();
 
   std::uint32_t num_clients() const {
     return static_cast<std::uint32_t>(mac_keys_.size());
   }
   OriginServer& origin() { return origin_; }
+  /// The proxy's two-tier object store (RAM DocStore + optional disk tier).
+  store::TieredObjectStore& object_store() { return proxy_cache_; }
+  const store::TieredObjectStore& object_store() const { return proxy_cache_; }
   const index::BrowserIndex& index() const { return index_; }
   const crypto::RsaPublicKey& public_key() const { return keys_.pub; }
   const crypto::RsaPrivateKey& private_key() const { return keys_.priv; }
@@ -108,7 +119,7 @@ class ProxyCore {
 
   OriginServer origin_;
   crypto::RsaKeyPair keys_;
-  DocStore proxy_cache_;
+  store::TieredObjectStore proxy_cache_;
   index::BrowserIndex index_;
   std::vector<std::string> mac_keys_;
   PeerFetchFn peer_fetch_;

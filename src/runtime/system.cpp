@@ -37,7 +37,7 @@ BapsSystem::BapsSystem(const Params& params)
     : params_(params),
       loopback_(std::make_unique<LoopbackTransport>(ProxyCore::Params{
           params.num_clients, params.proxy_cache_bytes, params.seed,
-          params.rsa_modulus_bits})),
+          params.rsa_modulus_bits, params.store})),
       transport_(loopback_.get()) {
   init_clients();
   transport_->bind_peer_host(this);
@@ -70,11 +70,12 @@ void BapsSystem::init_clients() {
         std::make_unique<DocStore>(params_.browser_cache_bytes);
     clients_[c].mac_key = std::move(mac_keys[c]);
     // Browser-cache replacement sends the paper's invalidation message.
-    clients_[c].browser->set_eviction_listener([this, c](DocStore::Key key) {
-      trace_.record(MsgKind::kIndexRemove, client_name(c), "proxy", key);
-      transport_->index_update(c, /*is_add=*/false, key,
-                               index_update_mac(c, false, key));
-    });
+    clients_[c].browser->set_eviction_listener(
+        [this, c](DocStore::Key key, const Document&) {
+          trace_.record(MsgKind::kIndexRemove, client_name(c), "proxy", key);
+          transport_->index_update(c, /*is_add=*/false, key,
+                                   index_update_mac(c, false, key));
+        });
   }
 }
 

@@ -32,6 +32,7 @@
 #include "runtime/origin.hpp"
 #include "runtime/transport.hpp"
 #include "runtime/types.hpp"
+#include "store/disk_store.hpp"
 
 namespace baps::runtime {
 
@@ -43,6 +44,8 @@ class BapsSystem : private PeerHost {
     std::uint64_t browser_cache_bytes = 64 << 10;
     std::uint64_t seed = 7;
     std::size_t rsa_modulus_bits = 256;
+    /// Embedded proxy's durable cache tier (loopback only; dir empty ⇒ off).
+    store::DiskStoreConfig store;
   };
 
   /// Loopback system: embeds the proxy in-process (deterministic, traced).

@@ -1,0 +1,158 @@
+// Disk tier of the proxy cache: append-only slab segment files plus a flat
+// in-RAM index (DESIGN.md §14).
+//
+// Documents are appended to the active segment as watermarked records
+// (store/segment.hpp); the index maps key → (segment, offset, length,
+// generation) and is rebuilt by scanning segment headers when a store opens,
+// so a restarted proxy warm-starts from whatever survived on disk. Reads are
+// pread() at the indexed offset, and every read re-verifies the record's MD5
+// storage watermark — a record that fails is quarantined (dropped from the
+// index, counted, never returned). A crash mid-append loses at most the tail
+// record of the active segment: the open-time scan detects it by length or
+// checksum and truncates it away.
+//
+// Capacity is reclaimed at segment granularity, oldest sealed segment first:
+// the disk tier is a cache, so dropping a slab's surviving records is an
+// eviction, not data loss. Single-threaded like the ProxyCore that owns it
+// (the daemon serializes requests under one mutex).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/doc_store.hpp"
+#include "util/flat_map.hpp"
+
+namespace baps::store {
+
+struct DiskStoreConfig {
+  std::string dir;
+  std::uint64_t capacity_bytes = 64ULL << 20;
+  /// A segment seals (fsync + new active segment) once it holds this many
+  /// bytes; also the largest record the store accepts. Clamped to
+  /// capacity_bytes.
+  std::uint64_t segment_bytes = 4ULL << 20;
+};
+
+/// Cumulative event counters, never reset by reopen() — the deltas across a
+/// crash/restart are exactly what the recovery tests assert on.
+struct DiskStoreStats {
+  std::uint64_t appends = 0;
+  std::uint64_t append_bytes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Records dropped because their storage watermark failed: at load time or
+  /// by the open-time scan (bad header mid-segment, checksum-failed tail).
+  std::uint64_t integrity_failures = 0;
+  /// Torn tails truncated by the open-time scan (a subset of recoveries,
+  /// not of integrity_failures: a clean shutdown never produces one).
+  std::uint64_t truncated_tails = 0;
+  std::uint64_t segments_created = 0;
+  std::uint64_t segments_reclaimed = 0;
+  std::uint64_t reclaimed_records = 0;
+  std::uint64_t rejected_too_large = 0;
+  std::uint64_t syncs = 0;
+};
+
+class DiskStore {
+ public:
+  using Key = runtime::DocStore::Key;
+
+  enum class Load : std::uint8_t {
+    kHit,      ///< record read and watermark-verified
+    kMiss,     ///< key not indexed
+    kCorrupt,  ///< record damaged on disk; quarantined, nothing returned
+  };
+
+  explicit DiskStore(DiskStoreConfig config);
+  ~DiskStore();
+  DiskStore(const DiskStore&) = delete;
+  DiskStore& operator=(const DiskStore&) = delete;
+
+  /// Creates the directory if needed, scans every segment's record headers
+  /// to rebuild the index (newest generation wins), truncates a torn tail,
+  /// and opens an active segment. False (with *error) on I/O failure.
+  bool open(std::string* error);
+
+  /// fsync + close. The store is unusable until open()ed again.
+  void close();
+
+  /// Crash-restart simulation and warm start in one: drops every in-RAM
+  /// structure (index, segment table) without a clean sync, then open()s
+  /// again so the index is rebuilt purely from what the files say.
+  bool reopen(std::string* error);
+
+  bool is_open() const { return open_; }
+
+  /// pread + verify. kCorrupt quarantines the record (index drop) so a
+  /// damaged object is returned to no caller, ever; intact records are
+  /// unaffected.
+  Load get(Key key, runtime::Document* out);
+
+  bool contains(Key key) const { return index_.contains(key); }
+
+  /// Appends a record for `key`, superseding any older generation, sealing
+  /// the active segment and reclaiming the oldest segments as capacity
+  /// demands. False if the record alone exceeds the segment size.
+  bool put(Key key, const runtime::Document& doc);
+
+  /// Drops the index entry (the record's bytes stay until its segment is
+  /// reclaimed). False if absent.
+  bool erase(Key key);
+
+  /// fsyncs the active segment — the explicit durability point.
+  void sync();
+
+  std::size_t count() const { return index_.size(); }
+  /// Bytes of indexed (servable) records.
+  std::uint64_t live_bytes() const { return live_bytes_; }
+  /// Bytes of segment files on disk, stale records included.
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::size_t segment_count() const { return segments_.size(); }
+  std::uint64_t capacity_bytes() const { return config_.capacity_bytes; }
+  const DiskStoreStats& stats() const { return stats_; }
+  const std::string& dir() const { return config_.dir; }
+
+  /// Every indexed key, sorted (FlatMap iterates in table order; recovery
+  /// tests need determinism).
+  std::vector<Key> keys() const;
+
+ private:
+  struct IndexEntry {
+    std::uint32_t segment_id = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;  ///< full record footprint on disk
+    std::uint64_t generation = 0;
+  };
+
+  struct Segment {
+    std::uint32_t id = 0;
+    int fd = -1;
+    std::uint64_t file_bytes = 0;
+    std::uint64_t live_bytes = 0;
+    std::uint64_t live_records = 0;
+  };
+
+  std::string segment_path(std::uint32_t id) const;
+  Segment* find_segment(std::uint32_t id);
+  bool scan_segment(Segment* seg, std::string* error);
+  bool start_segment(std::string* error);
+  void seal_active();
+  void reclaim_oldest();
+  void quarantine(Key key, const IndexEntry& entry);
+  /// Replaces/creates the index entry for key, keeping live accounting.
+  void index_put(Key key, const IndexEntry& entry);
+
+  DiskStoreConfig config_;
+  bool open_ = false;
+  std::vector<Segment> segments_;  ///< ascending id; back() is active
+  util::FlatMap<IndexEntry> index_;
+  std::uint64_t live_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t next_generation_ = 1;
+  std::uint32_t next_segment_id_ = 0;
+  DiskStoreStats stats_;
+};
+
+}  // namespace baps::store

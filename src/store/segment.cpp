@@ -1,0 +1,78 @@
+#include "store/segment.hpp"
+
+#include <cstring>
+
+namespace baps::store {
+
+namespace {
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_record(std::uint64_t key, std::uint64_t generation,
+                          std::string_view body, std::string_view mark) {
+  std::string out;
+  out.reserve(record_size(body.size(), mark.size()));
+  put_u32(&out, kRecordMagic);
+  put_u32(&out, static_cast<std::uint32_t>(body.size()));
+  put_u32(&out, static_cast<std::uint32_t>(mark.size()));
+  put_u32(&out, 0);  // reserved
+  put_u64(&out, key);
+  put_u64(&out, generation);
+  out.append(body);
+  out.append(mark);
+  const crypto::Md5Digest digest = crypto::md5(out);
+  out.append(reinterpret_cast<const char*>(digest.bytes.data()),
+             digest.bytes.size());
+  return out;
+}
+
+std::optional<RecordHeader> decode_record_header(std::string_view bytes) {
+  if (bytes.size() < kRecordHeaderSize) return std::nullopt;
+  const char* p = bytes.data();
+  if (get_u32(p) != kRecordMagic) return std::nullopt;
+  if (get_u32(p + 12) != 0) return std::nullopt;  // reserved must be zero
+  RecordHeader h;
+  h.body_len = get_u32(p + 4);
+  h.mark_len = get_u32(p + 8);
+  h.key = get_u64(p + 16);
+  h.generation = get_u64(p + 24);
+  return h;
+}
+
+bool verify_record(std::string_view record) {
+  if (record.size() < kRecordHeaderSize + kRecordDigestSize) return false;
+  const std::size_t payload = record.size() - kRecordDigestSize;
+  const crypto::Md5Digest digest = crypto::md5(record.substr(0, payload));
+  return std::memcmp(digest.bytes.data(), record.data() + payload,
+                     kRecordDigestSize) == 0;
+}
+
+}  // namespace baps::store

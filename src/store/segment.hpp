@@ -1,0 +1,60 @@
+// On-disk record format of the durable proxy-cache tier (DESIGN.md §14).
+//
+// A segment file is a pure append-only sequence of records; a record is a
+// fixed 32-byte header, the document body, the proxy's RSA watermark
+// signature bytes, and a 16-byte MD5 storage watermark computed over
+// everything before it. The header alone is enough to walk a segment
+// (lengths are explicit), so reopening a store is one sequential header scan
+// per segment; the MD5 watermark is what load-time verification and
+// torn-tail detection check, so no corrupted record is ever served.
+//
+// All integers are little-endian. The format is versioned through the magic
+// word: readers reject records whose magic they do not recognize, which
+// doubles as the "scan hit garbage" signal that truncates a damaged tail.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "crypto/md5.hpp"
+
+namespace baps::store {
+
+/// Record magic, "BPS1" on disk. Bump the trailing digit on layout changes.
+inline constexpr std::uint32_t kRecordMagic = 0x31535042;
+
+/// magic u32 | body_len u32 | mark_len u32 | reserved u32 | key u64 |
+/// generation u64.
+inline constexpr std::size_t kRecordHeaderSize = 32;
+inline constexpr std::size_t kRecordDigestSize = 16;
+
+struct RecordHeader {
+  std::uint64_t key = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t body_len = 0;
+  std::uint32_t mark_len = 0;
+};
+
+/// Total on-disk footprint of a record with these payload lengths.
+inline std::uint64_t record_size(std::uint64_t body_len,
+                                 std::uint64_t mark_len) {
+  return kRecordHeaderSize + body_len + mark_len + kRecordDigestSize;
+}
+
+/// Serializes one record: header, body, watermark signature bytes, then the
+/// MD5 storage watermark over all preceding bytes.
+std::string encode_record(std::uint64_t key, std::uint64_t generation,
+                          std::string_view body, std::string_view mark);
+
+/// Parses a header from at least kRecordHeaderSize bytes. nullopt when the
+/// magic does not match or the reserved word is nonzero — the caller treats
+/// the rest of the segment as unreachable damage.
+std::optional<RecordHeader> decode_record_header(std::string_view bytes);
+
+/// Verifies the trailing MD5 watermark of a complete record (header
+/// included). `record` must be exactly record_size(...) bytes long.
+bool verify_record(std::string_view record);
+
+}  // namespace baps::store

@@ -1,0 +1,120 @@
+#include "store/tiered_store.hpp"
+
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+
+namespace baps::store {
+
+namespace {
+
+// Same log10 domain as trace_stage_seconds so stage timings across the
+// report line up on one axis.
+constexpr double kStageLo = -7.0;
+constexpr double kStageHi = 3.0;
+constexpr std::size_t kStageBuckets = 50;
+
+obs::Histogram& stage_hist(const char* op) {
+  return obs::Registry::global().histogram("store_stage_seconds", kStageLo,
+                                           kStageHi, kStageBuckets,
+                                           obs::HistScale::kLog10,
+                                           {{"op", op}});
+}
+
+std::uint64_t doc_bytes(const runtime::Document& doc) {
+  return doc.body.size();
+}
+
+}  // namespace
+
+TieredObjectStore::TieredObjectStore(const Params& params)
+    : ram_(params.ram_bytes) {
+  if (!params.disk.dir.empty()) {
+    disk_ = std::make_unique<DiskStore>(params.disk);
+    // Demotion hook: a RAM capacity eviction hands the dying document to the
+    // disk tier. Installed only when the tier exists, so the store-off path
+    // keeps DocStore's no-listener fast path (and its metrics silence).
+    ram_.set_eviction_listener(
+        [this](Key key, const runtime::Document& doc) { demote(key, doc); });
+  }
+}
+
+bool TieredObjectStore::open(std::string* error) {
+  if (disk_ == nullptr) return true;
+  return disk_->open(error);
+}
+
+void TieredObjectStore::demote(Key key, const runtime::Document& doc) {
+  auto& reg = obs::Registry::global();
+  const obs::ScopedTimer timer(&stage_hist("demote"));
+  if (disk_->put(key, doc)) {
+    reg.counter("store_demotions_total").inc();
+    reg.counter("store_bytes_total", {{"dir", "written"}}).inc(doc_bytes(doc));
+  }
+}
+
+std::optional<runtime::Document> TieredObjectStore::get(Key key) {
+  if (auto doc = ram_.get(key)) return doc;
+  if (disk_ == nullptr) return std::nullopt;
+
+  auto& reg = obs::Registry::global();
+  reg.counter("store_probes_total").inc();
+  runtime::Document doc;
+  DiskStore::Load load = DiskStore::Load::kMiss;
+  {
+    const obs::ScopedTimer timer(&stage_hist("probe"));
+    load = disk_->get(key, &doc);
+  }
+  if (load != DiskStore::Load::kHit) {
+    // kCorrupt quarantined inside DiskStore; either way nothing was served.
+    reg.counter("store_misses_total").inc();
+    return std::nullopt;
+  }
+  reg.counter("store_hits_total").inc();
+  reg.counter("store_bytes_total", {{"dir", "read"}}).inc(doc_bytes(doc));
+  {
+    // Promote so the next access is a RAM hit. The insertion may evict the
+    // RAM LRU tail, which demotes in turn — one hop, no recursion.
+    const obs::ScopedTimer timer(&stage_hist("promote"));
+    if (ram_.put(key, doc)) {
+      reg.counter("store_promotions_total").inc();
+    }
+  }
+  return doc;
+}
+
+bool TieredObjectStore::put(Key key, runtime::Document doc) {
+  if (disk_ == nullptr) return ram_.put(key, std::move(doc));
+  if (ram_.put(key, doc)) return true;
+  // Too large for the RAM tier: straight to disk.
+  auto& reg = obs::Registry::global();
+  const obs::ScopedTimer timer(&stage_hist("demote"));
+  if (!disk_->put(key, doc)) return false;
+  reg.counter("store_demotions_total").inc();
+  reg.counter("store_bytes_total", {{"dir", "written"}}).inc(doc_bytes(doc));
+  return true;
+}
+
+bool TieredObjectStore::contains(Key key) const {
+  if (ram_.contains(key)) return true;
+  return disk_ != nullptr && disk_->contains(key);
+}
+
+bool TieredObjectStore::erase(Key key) {
+  const bool from_ram = ram_.erase(key);
+  const bool from_disk = disk_ != nullptr && disk_->erase(key);
+  return from_ram || from_disk;
+}
+
+void TieredObjectStore::sync() {
+  if (disk_ != nullptr) disk_->sync();
+}
+
+bool TieredObjectStore::restart(std::string* error) {
+  // clear() (not erase) loses the RAM tier without firing demotions: a
+  // crashing proxy writes nothing on its way down.
+  ram_.clear();
+  if (disk_ == nullptr) return true;
+  return disk_->reopen(error);
+}
+
+}  // namespace baps::store

@@ -6,6 +6,7 @@
 // usage() renders the registered options in registration order.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
@@ -45,9 +46,34 @@ inline bool parse_number(const std::string& s, double* out) {
 inline bool parse_number(const std::string& s, std::uint64_t* out) {
   if (s.empty() || s[0] == '-' || s[0] == '+') return false;
   char* end = nullptr;
+  errno = 0;
   const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end != s.c_str() + s.size()) return false;
+  // strtoull saturates to ULLONG_MAX with ERANGE on overflow; reject rather
+  // than silently clamp.
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
   *out = v;
+  return true;
+}
+
+/// Byte sizes with optional binary suffix: "4096", "512k", "64M", "2g"
+/// (case-insensitive; k/m/g are powers of 1024). Overflow-checked — a value
+/// whose scaled result would wrap uint64_t is rejected, not truncated.
+inline bool parse_byte_size(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  std::uint64_t mult = 1;
+  std::size_t digits = s.size();
+  switch (s.back() | 0x20) {  // ASCII tolower; leaves digits unchanged
+    case 'k': mult = 1ULL << 10; --digits; break;
+    case 'm': mult = 1ULL << 20; --digits; break;
+    case 'g': mult = 1ULL << 30; --digits; break;
+    default: break;
+  }
+  std::uint64_t v = 0;
+  if (!parse_number(s.substr(0, digits), &v)) return false;
+  if (mult != 1 && v > std::numeric_limits<std::uint64_t>::max() / mult) {
+    return false;
+  }
+  *out = v * mult;
   return true;
 }
 
@@ -85,6 +111,17 @@ class ArgParser {
                     const std::string& value_name, const std::string& help) {
     add(name, value_name, help, [out](const std::string& v) {
       return parse_number(v, out);
+    }, /*takes_value=*/true);
+    return *this;
+  }
+
+  /// uint64 byte quantity accepting the k/m/g suffixes of parse_byte_size
+  /// ("--store-capacity 512m"). Plain digit strings parse identically to
+  /// option(uint64_t*).
+  ArgParser& bytes(const std::string& name, std::uint64_t* out,
+                   const std::string& value_name, const std::string& help) {
+    add(name, value_name, help, [out](const std::string& v) {
+      return parse_byte_size(v, out);
     }, /*takes_value=*/true);
     return *this;
   }

@@ -385,5 +385,111 @@ TEST(FaultMetricsTest, ReportsWithoutFaultCountersPassTrivially) {
   EXPECT_TRUE(validate_fault_metrics(report, &error)) << error;
 }
 
+JsonValue store_stage_json(const std::string& op, double count) {
+  JsonObject labels;
+  if (!op.empty()) labels.emplace_back("op", JsonValue(op));
+  return json_object({{"name", JsonValue("store_stage_seconds")},
+                      {"labels", JsonValue(std::move(labels))},
+                      {"count", JsonValue(count)}});
+}
+
+JsonValue report_with_store_registry(JsonArray counters,
+                                     JsonArray histograms) {
+  JsonValue registry;
+  registry.set("counters", JsonValue(std::move(counters)));
+  registry.set("gauges", JsonValue(JsonArray{}));
+  registry.set("histograms", JsonValue(std::move(histograms)));
+  JsonValue report;
+  report.set("schema", JsonValue(kReportSchema));
+  report.set("tool", JsonValue("store_test"));
+  report.set("registry", std::move(registry));
+  return report;
+}
+
+TEST(StoreMetricsTest, AcceptsConsistentStoreFamily) {
+  const JsonValue report = report_with_store_registry(
+      {
+          counter_json("store_probes_total", {}, 10),
+          counter_json("store_hits_total", {}, 7),
+          counter_json("store_misses_total", {}, 3),
+          counter_json("store_demotions_total", {}, 12),
+          counter_json("store_promotions_total", {}, 7),
+          counter_json("store_integrity_failures_total", {}, 0),
+          counter_json("store_bytes_total", {{"dir", "read"}}, 9000),
+          counter_json("store_bytes_total", {{"dir", "written"}}, 15000),
+      },
+      {
+          store_stage_json("probe", 10),
+          store_stage_json("demote", 12),
+          store_stage_json("promote", 7),
+      });
+  std::string error;
+  EXPECT_TRUE(validate_store_metrics(report, &error)) << error;
+  EXPECT_TRUE(validate_report(report, &error)) << error;
+}
+
+TEST(StoreMetricsTest, RejectsProbesNotSplittingIntoHitsAndMisses) {
+  const JsonValue report = report_with_store_registry(
+      {
+          counter_json("store_probes_total", {}, 10),
+          counter_json("store_hits_total", {}, 7),
+          counter_json("store_misses_total", {}, 2),  // one probe unaccounted
+      },
+      {});
+  std::string error;
+  EXPECT_FALSE(validate_store_metrics(report, &error));
+  EXPECT_NE(error.find("store_probes_total"), std::string::npos) << error;
+  EXPECT_FALSE(validate_report(report, &error));
+}
+
+TEST(StoreMetricsTest, RejectsBytesWithoutReadOrWrittenDir) {
+  const JsonValue report = report_with_store_registry(
+      {
+          counter_json("store_bytes_total", {{"dir", "sideways"}}, 100),
+      },
+      {});
+  std::string error;
+  EXPECT_FALSE(validate_store_metrics(report, &error));
+  EXPECT_NE(error.find("read or written"), std::string::npos) << error;
+}
+
+TEST(StoreMetricsTest, RejectsNegativeStoreCounter) {
+  const JsonValue report = report_with_store_registry(
+      {
+          counter_json("store_integrity_failures_total", {}, -1),
+      },
+      {});
+  std::string error;
+  EXPECT_FALSE(validate_store_metrics(report, &error));
+  EXPECT_NE(error.find("negative"), std::string::npos) << error;
+}
+
+TEST(StoreMetricsTest, RejectsStageHistogramWithoutOpLabel) {
+  const JsonValue report =
+      report_with_store_registry({}, {store_stage_json("", 3)});
+  std::string error;
+  EXPECT_FALSE(validate_store_metrics(report, &error));
+  EXPECT_NE(error.find("op label"), std::string::npos) << error;
+}
+
+TEST(StoreMetricsTest, StoreCountersJoinMonotonicityChecks) {
+  const JsonValue earlier = report_with_store_registry(
+      {counter_json("store_hits_total", {}, 5)}, {});
+  const JsonValue later = report_with_store_registry(
+      {counter_json("store_hits_total", {}, 4)}, {});
+  std::string error;
+  EXPECT_FALSE(validate_transport_monotonicity(earlier, later, &error));
+  EXPECT_NE(error.find("store_hits_total"), std::string::npos) << error;
+  EXPECT_TRUE(validate_transport_monotonicity(later, earlier, &error))
+      << error;
+}
+
+TEST(StoreMetricsTest, ReportsWithoutStoreInstrumentsPassTrivially) {
+  const JsonValue report =
+      ReportBuilder("report_test").add_sweep(shared_sweep()).build();
+  std::string error;
+  EXPECT_TRUE(validate_store_metrics(report, &error)) << error;
+}
+
 }  // namespace
 }  // namespace baps::obs

@@ -39,12 +39,17 @@ TEST(DocStoreTest, OversizedBodyRejected) {
 TEST(DocStoreTest, LruEvictionWithListener) {
   DocStore s(10);
   std::vector<DocStore::Key> evicted;
-  s.set_eviction_listener([&](DocStore::Key k) { evicted.push_back(k); });
+  std::vector<std::string> bodies;
+  s.set_eviction_listener([&](DocStore::Key k, const Document& d) {
+    evicted.push_back(k);
+    bodies.push_back(d.body);  // the listener sees the body pre-erase
+  });
   s.put(1, doc("aaaa"));
   s.put(2, doc("bbbb"));
   s.get(1);               // heat 1; 2 becomes the victim
   s.put(3, doc("cccc"));  // evicts 2
   EXPECT_EQ(evicted, std::vector<DocStore::Key>{2});
+  EXPECT_EQ(bodies, std::vector<std::string>{"bbbb"});
   EXPECT_TRUE(s.contains(1));
   EXPECT_FALSE(s.contains(2));
 }
@@ -52,7 +57,7 @@ TEST(DocStoreTest, LruEvictionWithListener) {
 TEST(DocStoreTest, EraseIsSilent) {
   DocStore s(100);
   int evictions = 0;
-  s.set_eviction_listener([&](DocStore::Key) { ++evictions; });
+  s.set_eviction_listener([&](DocStore::Key, const Document&) { ++evictions; });
   s.put(1, doc("abc"));
   EXPECT_TRUE(s.erase(1));
   EXPECT_FALSE(s.erase(1));

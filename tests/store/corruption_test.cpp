@@ -1,0 +1,193 @@
+// Crash-recovery corruption drills for the disk tier: bit-flipped records
+// are quarantined (counted, never served), damaged tails are truncated at
+// the open-time scan, truncated files recover their intact prefix, and a
+// quarantined key heals on the next put.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "store/disk_store.hpp"
+#include "store/segment.hpp"
+#include "store_test_util.hpp"
+
+namespace baps::store {
+namespace {
+
+using store_test::TempDir;
+using store_test::flip_file_byte;
+using store_test::make_doc;
+using store_test::mark_bytes_of;
+using store_test::segment_files;
+
+DiskStoreConfig config_for(const TempDir& dir) {
+  DiskStoreConfig config;
+  config.dir = dir.str();
+  config.capacity_bytes = 1 << 20;
+  config.segment_bytes = 256 << 10;
+  return config;
+}
+
+std::uint64_t footprint(const std::string& body, std::uint64_t sig) {
+  return record_size(body.size(), mark_bytes_of(sig));
+}
+
+std::uint64_t global_integrity_failures() {
+  return obs::Registry::global()
+      .counter("store_integrity_failures_total")
+      .value();
+}
+
+TEST(CorruptionTest, BitFlippedRecordQuarantinedAtLoad) {
+  TempDir dir("baps-corrupt-load");
+  DiskStore store(config_for(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  const std::string bodies[] = {"alpha-record-one", "bravo-record-two",
+                                "charlie-record-three"};
+  for (std::uint64_t key = 1; key <= 3; ++key) {
+    ASSERT_TRUE(store.put(key, make_doc(bodies[key - 1], 0x0100 + key)));
+  }
+  store.sync();
+
+  // Flip one body byte of record 2, in place, while the store is open (the
+  // descriptors read the same inode).
+  const std::uint64_t rec2_body =
+      footprint(bodies[0], 0x0101) + kRecordHeaderSize + 3;
+  ASSERT_TRUE(flip_file_byte(segment_files(dir.path()).front(), rec2_body));
+
+  const std::uint64_t failures_before = global_integrity_failures();
+  runtime::Document out;
+  EXPECT_EQ(store.get(2, &out), DiskStore::Load::kCorrupt);
+  EXPECT_EQ(store.stats().integrity_failures, 1u);
+  EXPECT_EQ(global_integrity_failures(), failures_before + 1);
+
+  // Quarantined: the key is gone from the index and never served again.
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_EQ(store.get(2, &out), DiskStore::Load::kMiss);
+
+  // The neighbours are untouched.
+  ASSERT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, bodies[0]);
+  ASSERT_EQ(store.get(3, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, bodies[2]);
+}
+
+TEST(CorruptionTest, MidSegmentDamageSurvivesScanButNeverServes) {
+  TempDir dir("baps-corrupt-midscan");
+  std::string error;
+  const std::string bodies[] = {"first-doc-body", "second-doc-body",
+                                "third-doc-body"};
+  {
+    DiskStore store(config_for(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    for (std::uint64_t key = 1; key <= 3; ++key) {
+      ASSERT_TRUE(store.put(key, make_doc(bodies[key - 1], 0x0200 + key)));
+    }
+    store.close();
+  }
+  const std::uint64_t rec2_body =
+      footprint(bodies[0], 0x0201) + kRecordHeaderSize + 1;
+  ASSERT_TRUE(flip_file_byte(segment_files(dir.path()).front(), rec2_body));
+
+  // The open-time scan walks headers only, so a mid-segment body flip is
+  // invisible to it: the record stays indexed...
+  DiskStore store(config_for(dir));
+  ASSERT_TRUE(store.open(&error)) << error;
+  EXPECT_EQ(store.count(), 3u);
+  EXPECT_EQ(store.stats().truncated_tails, 0u);
+  EXPECT_TRUE(store.contains(2));
+
+  // ...but the load-time watermark check refuses to serve it.
+  runtime::Document out;
+  EXPECT_EQ(store.get(2, &out), DiskStore::Load::kCorrupt);
+  EXPECT_FALSE(store.contains(2));
+  ASSERT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, bodies[0]);
+  ASSERT_EQ(store.get(3, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, bodies[2]);
+}
+
+TEST(CorruptionTest, DamagedFinalRecordTruncatedAtScan) {
+  TempDir dir("baps-corrupt-tail");
+  std::string error;
+  {
+    DiskStore store(config_for(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    ASSERT_TRUE(store.put(1, make_doc("survivor", 0x0301)));
+    ASSERT_TRUE(store.put(2, make_doc("torn-victim", 0x0302)));
+    store.close();
+  }
+  // Flip a body byte of the FINAL record: a crash that landed exactly on a
+  // plausible record length. The scan verifies the final record and cuts it.
+  const std::uint64_t rec2_body =
+      footprint("survivor", 0x0301) + kRecordHeaderSize + 2;
+  ASSERT_TRUE(flip_file_byte(segment_files(dir.path()).front(), rec2_body));
+
+  DiskStore store(config_for(dir));
+  ASSERT_TRUE(store.open(&error)) << error;
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_FALSE(store.contains(2));
+  EXPECT_EQ(store.stats().truncated_tails, 1u);
+  EXPECT_EQ(store.stats().integrity_failures, 1u);
+  EXPECT_EQ(std::filesystem::file_size(segment_files(dir.path()).front()),
+            footprint("survivor", 0x0301));
+
+  runtime::Document out;
+  ASSERT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "survivor");
+}
+
+TEST(CorruptionTest, TruncatedFileRecoversIntactPrefix) {
+  TempDir dir("baps-corrupt-truncate");
+  std::string error;
+  {
+    DiskStore store(config_for(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    ASSERT_TRUE(store.put(1, make_doc("intact-prefix", 0x0401)));
+    ASSERT_TRUE(store.put(2, make_doc("lost-to-the-crash", 0x0402)));
+    store.close();
+  }
+  const std::uint64_t rec1 = footprint("intact-prefix", 0x0401);
+  std::filesystem::resize_file(segment_files(dir.path()).front(), rec1 + 20);
+
+  DiskStore store(config_for(dir));
+  ASSERT_TRUE(store.open(&error)) << error;
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.stats().truncated_tails, 1u);
+  EXPECT_EQ(store.stats().integrity_failures, 0u);  // torn, not damaged
+  EXPECT_EQ(std::filesystem::file_size(segment_files(dir.path()).front()),
+            rec1);
+  runtime::Document out;
+  ASSERT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "intact-prefix");
+  EXPECT_EQ(store.get(2, &out), DiskStore::Load::kMiss);
+}
+
+TEST(CorruptionTest, QuarantinedKeyHealsOnNextPut) {
+  TempDir dir("baps-corrupt-heal");
+  DiskStore store(config_for(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  ASSERT_TRUE(store.put(1, make_doc("damaged-soon", 0x0501)));
+  store.sync();
+  ASSERT_TRUE(
+      flip_file_byte(segment_files(dir.path()).front(), kRecordHeaderSize));
+
+  runtime::Document out;
+  EXPECT_EQ(store.get(1, &out), DiskStore::Load::kCorrupt);
+  EXPECT_EQ(store.get(1, &out), DiskStore::Load::kMiss);
+
+  // A fresh copy re-enters under a newer generation and serves cleanly.
+  ASSERT_TRUE(store.put(1, make_doc("healed", 0x0502)));
+  ASSERT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "healed");
+  EXPECT_EQ(out.mark.signature, crypto::BigUInt(0x0502));
+}
+
+}  // namespace
+}  // namespace baps::store

@@ -1,0 +1,282 @@
+// DiskStore behaviour on a healthy disk: round-trips, generation supersede,
+// index rebuild across clean and crash reopens, torn-tail truncation, FIFO
+// segment reclamation under capacity, and the small-print (oversized
+// records, erase, empty-segment hygiene).
+#include "store/disk_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "crypto/biguint.hpp"
+#include "store/segment.hpp"
+#include "store_test_util.hpp"
+
+namespace baps::store {
+namespace {
+
+using store_test::TempDir;
+using store_test::make_doc;
+using store_test::segment_files;
+
+DiskStoreConfig small_config(const TempDir& dir,
+                             std::uint64_t capacity = 1 << 20,
+                             std::uint64_t segment = 256 << 10) {
+  DiskStoreConfig config;
+  config.dir = dir.str();
+  config.capacity_bytes = capacity;
+  config.segment_bytes = segment;
+  return config;
+}
+
+TEST(DiskStoreTest, PutGetRoundTripWithWatermark) {
+  TempDir dir("baps-store-roundtrip");
+  DiskStore store(small_config(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  ASSERT_TRUE(store.put(1, make_doc("the body", 0xdeadbeefULL)));
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_EQ(store.count(), 1u);
+
+  runtime::Document out;
+  EXPECT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "the body");
+  EXPECT_EQ(out.mark.signature, crypto::BigUInt(0xdeadbeefULL));
+
+  EXPECT_EQ(store.get(99, &out), DiskStore::Load::kMiss);
+  EXPECT_FALSE(store.contains(99));
+
+  store.sync();
+  EXPECT_EQ(store.stats().appends, 1u);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_GE(store.stats().syncs, 1u);
+}
+
+TEST(DiskStoreTest, ZeroWatermarkSignatureRoundTrips) {
+  TempDir dir("baps-store-zeromark");
+  DiskStore store(small_config(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  // BigUInt(0).to_bytes() is empty: the record carries no mark bytes at all.
+  ASSERT_TRUE(store.put(7, make_doc("unmarked", 0)));
+  runtime::Document out;
+  ASSERT_EQ(store.get(7, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "unmarked");
+  EXPECT_EQ(out.mark.signature, crypto::BigUInt(0));
+}
+
+TEST(DiskStoreTest, OverwriteSupersedesOlderGeneration) {
+  TempDir dir("baps-store-overwrite");
+  DiskStore store(small_config(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  ASSERT_TRUE(store.put(5, make_doc("version one", 1)));
+  ASSERT_TRUE(store.put(5, make_doc("version two", 2)));
+  EXPECT_EQ(store.count(), 1u);
+
+  runtime::Document out;
+  ASSERT_EQ(store.get(5, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "version two");
+  // Both records are on disk; only the newest is live.
+  EXPECT_GT(store.total_bytes(), store.live_bytes());
+}
+
+TEST(DiskStoreTest, CleanReopenRebuildsIndexFromHeaders) {
+  TempDir dir("baps-store-reopen");
+  std::string error;
+  {
+    DiskStore store(small_config(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    for (std::uint64_t key = 1; key <= 10; ++key) {
+      ASSERT_TRUE(store.put(key, make_doc("body-" + std::to_string(key), key)));
+    }
+    ASSERT_TRUE(store.put(3, make_doc("body-3-updated", 33)));
+    store.close();
+  }
+
+  DiskStore store(small_config(dir));
+  ASSERT_TRUE(store.open(&error)) << error;
+  EXPECT_EQ(store.count(), 10u);
+  EXPECT_EQ(store.stats().truncated_tails, 0u);
+  EXPECT_EQ(store.stats().integrity_failures, 0u);
+
+  const std::vector<DiskStore::Key> expected = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(store.keys(), expected);
+
+  runtime::Document out;
+  ASSERT_EQ(store.get(3, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "body-3-updated");  // newest generation won the rebuild
+  EXPECT_EQ(out.mark.signature, crypto::BigUInt(33));
+  for (std::uint64_t key = 1; key <= 10; ++key) {
+    if (key == 3) continue;
+    ASSERT_EQ(store.get(key, &out), DiskStore::Load::kHit) << key;
+    EXPECT_EQ(out.body, "body-" + std::to_string(key));
+  }
+}
+
+TEST(DiskStoreTest, CrashReopenKeepsAcceptedRecords) {
+  TempDir dir("baps-store-crash");
+  DiskStore store(small_config(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+  for (std::uint64_t key = 0; key < 6; ++key) {
+    ASSERT_TRUE(store.put(key, make_doc(std::string(100, 'a'), key + 1)));
+  }
+
+  // reopen() drops every in-RAM structure without a clean sync and rebuilds
+  // purely from the files — the crash-restart path.
+  ASSERT_TRUE(store.reopen(&error)) << error;
+  EXPECT_EQ(store.count(), 6u);
+  runtime::Document out;
+  for (std::uint64_t key = 0; key < 6; ++key) {
+    EXPECT_EQ(store.get(key, &out), DiskStore::Load::kHit) << key;
+  }
+}
+
+TEST(DiskStoreTest, ShortGarbageTailTruncatedOnOpen) {
+  TempDir dir("baps-store-shorttail");
+  std::string error;
+  std::uintmax_t clean_size = 0;
+  {
+    DiskStore store(small_config(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    ASSERT_TRUE(store.put(1, make_doc("first", 1)));
+    ASSERT_TRUE(store.put(2, make_doc("second", 2)));
+    store.close();
+    clean_size = std::filesystem::file_size(segment_files(dir.path()).front());
+  }
+  {
+    // A torn append: fewer bytes than a record header landed on disk.
+    std::ofstream f(segment_files(dir.path()).front(),
+                    std::ios::binary | std::ios::app);
+    f.write("torn-tail!", 10);
+  }
+
+  DiskStore store(small_config(dir));
+  ASSERT_TRUE(store.open(&error)) << error;
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.stats().truncated_tails, 1u);
+  EXPECT_EQ(store.stats().integrity_failures, 0u);  // torn, not damaged
+  EXPECT_EQ(std::filesystem::file_size(segment_files(dir.path()).front()),
+            clean_size);
+  runtime::Document out;
+  EXPECT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(store.get(2, &out), DiskStore::Load::kHit);
+}
+
+TEST(DiskStoreTest, GarbageHeaderTailCountsAsIntegrityFailure) {
+  TempDir dir("baps-store-garbagetail");
+  std::string error;
+  {
+    DiskStore store(small_config(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    ASSERT_TRUE(store.put(1, make_doc("kept", 1)));
+    store.close();
+  }
+  {
+    // A full header's worth of bytes that is not a header: damage, not a
+    // torn append.
+    std::ofstream f(segment_files(dir.path()).front(),
+                    std::ios::binary | std::ios::app);
+    const std::string junk(kRecordHeaderSize + 8, '\xff');
+    f.write(junk.data(), static_cast<std::streamsize>(junk.size()));
+  }
+
+  DiskStore store(small_config(dir));
+  ASSERT_TRUE(store.open(&error)) << error;
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(store.stats().truncated_tails, 1u);
+  EXPECT_EQ(store.stats().integrity_failures, 1u);
+  runtime::Document out;
+  EXPECT_EQ(store.get(1, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(out.body, "kept");
+}
+
+TEST(DiskStoreTest, FifoReclamationEvictsOldestSegmentsFirst) {
+  TempDir dir("baps-store-fifo");
+  // ~949-byte records, two per 2 KiB segment, four segments of capacity.
+  DiskStore store(small_config(dir, /*capacity=*/8 << 10, /*segment=*/2 << 10));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  const std::uint64_t total = 40;
+  for (std::uint64_t key = 1; key <= total; ++key) {
+    ASSERT_TRUE(store.put(key, make_doc(std::string(900, 'x'), key)));
+    EXPECT_LE(store.total_bytes(), store.capacity_bytes());
+  }
+
+  EXPECT_GT(store.stats().segments_reclaimed, 0u);
+  EXPECT_GT(store.stats().reclaimed_records, 0u);
+  EXPECT_LT(store.count(), total);
+
+  // FIFO at slab granularity: the newest keys survive, the oldest are gone.
+  runtime::Document out;
+  EXPECT_EQ(store.get(total, &out), DiskStore::Load::kHit);
+  EXPECT_EQ(store.get(1, &out), DiskStore::Load::kMiss);
+  const auto keys = store.keys();
+  ASSERT_FALSE(keys.empty());
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_LT(keys[i - 1], keys[i]);  // keys() is sorted
+  }
+  EXPECT_EQ(keys.back(), total);
+}
+
+TEST(DiskStoreTest, RecordLargerThanSegmentRejected) {
+  TempDir dir("baps-store-oversize");
+  DiskStore store(small_config(dir, /*capacity=*/4 << 10, /*segment=*/1 << 10));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  EXPECT_FALSE(store.put(1, make_doc(std::string(2000, 'x'), 1)));
+  EXPECT_EQ(store.stats().rejected_too_large, 1u);
+  EXPECT_EQ(store.count(), 0u);
+  EXPECT_FALSE(store.contains(1));
+}
+
+TEST(DiskStoreTest, EraseDropsIndexEntryNotBytes) {
+  TempDir dir("baps-store-erase");
+  DiskStore store(small_config(dir));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  ASSERT_TRUE(store.put(1, make_doc("one", 1)));
+  ASSERT_TRUE(store.put(2, make_doc("two", 2)));
+  EXPECT_TRUE(store.erase(1));
+  EXPECT_FALSE(store.erase(1));
+  EXPECT_FALSE(store.contains(1));
+  runtime::Document out;
+  EXPECT_EQ(store.get(1, &out), DiskStore::Load::kMiss);
+  EXPECT_EQ(store.get(2, &out), DiskStore::Load::kHit);
+  // The record's bytes stay until its segment is reclaimed.
+  EXPECT_GT(store.total_bytes(), store.live_bytes());
+}
+
+TEST(DiskStoreTest, EmptySegmentFilesDoNotAccumulateAcrossReopens) {
+  TempDir dir("baps-store-empty");
+  std::string error;
+  {
+    DiskStore store(small_config(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    ASSERT_TRUE(store.put(1, make_doc("data", 1)));
+    store.close();
+  }
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    DiskStore store(small_config(dir));
+    ASSERT_TRUE(store.open(&error)) << error;
+    EXPECT_EQ(store.count(), 1u);
+    store.close();
+  }
+  // One data segment plus at most the freshly created (empty) active one.
+  EXPECT_LE(segment_files(dir.path()).size(), 2u);
+}
+
+}  // namespace
+}  // namespace baps::store

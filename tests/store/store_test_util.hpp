@@ -1,0 +1,89 @@
+// Shared fixtures for the durable-store tests: a self-cleaning scratch
+// directory, document builders, and on-disk segment inspection helpers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "crypto/biguint.hpp"
+#include "runtime/doc_store.hpp"
+
+namespace baps::store_test {
+
+/// Scratch directory under the system temp dir, removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    std::random_device rd;
+    const auto base = std::filesystem::temp_directory_path();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::filesystem::path candidate =
+          base / (tag + "-" + std::to_string(rd()));
+      std::error_code ec;
+      if (std::filesystem::create_directory(candidate, ec)) {
+        path_ = std::move(candidate);
+        return;
+      }
+    }
+    throw std::runtime_error("cannot create scratch dir for " + tag);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string str() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// A document with the given body and watermark signature value.
+inline runtime::Document make_doc(std::string body, std::uint64_t sig) {
+  runtime::Document doc;
+  doc.body = std::move(body);
+  doc.mark.signature = crypto::BigUInt(sig);
+  return doc;
+}
+
+/// Big-endian byte footprint of a signature value as stored on disk.
+inline std::uint64_t mark_bytes_of(std::uint64_t sig) {
+  return crypto::BigUInt(sig).to_bytes().size();
+}
+
+/// Segment files currently in `dir`, sorted by name (equivalently, by id).
+inline std::vector<std::filesystem::path> segment_files(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".baps") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// XORs one byte of a file in place (the bit-flip corruption primitive).
+/// Returns false on I/O failure so tests can ASSERT on it.
+inline bool flip_file_byte(const std::filesystem::path& path,
+                           std::uint64_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return false;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  if (!f.read(&byte, 1)) return false;
+  byte = static_cast<char>(byte ^ 0x01);
+  f.seekp(static_cast<std::streamoff>(offset));
+  return static_cast<bool>(f.write(&byte, 1));
+}
+
+}  // namespace baps::store_test

@@ -1,0 +1,249 @@
+// TieredObjectStore tier-movement policy: demotion on RAM eviction,
+// promotion on disk hit, straight-to-disk for oversized documents, warm
+// restart from the disk tier — and the store-off mode leaving the metrics
+// registry untouched so a RAM-only run stays bit-identical.
+#include "store/tiered_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "store_test_util.hpp"
+
+namespace baps::store {
+namespace {
+
+using store_test::TempDir;
+using store_test::make_doc;
+
+TieredObjectStore::Params params_for(const TempDir& dir,
+                                     std::uint64_t ram_bytes) {
+  TieredObjectStore::Params params;
+  params.ram_bytes = ram_bytes;
+  params.disk.dir = dir.str();
+  params.disk.capacity_bytes = 1 << 20;
+  params.disk.segment_bytes = 64 << 10;
+  return params;
+}
+
+/// Every store_* counter instance (name + labels) and the total number of
+/// store_stage_seconds observations — the full metrics surface of the store.
+struct StoreMetrics {
+  std::map<std::string, std::uint64_t> counters;
+  std::uint64_t stage_observations = 0;
+
+  static StoreMetrics capture() {
+    StoreMetrics out;
+    const auto snapshot = obs::Registry::global().snapshot();
+    for (const auto& c : snapshot.counters) {
+      if (c.name.rfind("store_", 0) != 0) continue;
+      std::string key = c.name;
+      for (const auto& [label, value] : c.labels) {
+        key += "|" + label + "=" + value;
+      }
+      out.counters[key] = c.value;
+    }
+    for (const auto& h : snapshot.histograms) {
+      if (h.name == "store_stage_seconds") out.stage_observations += h.count;
+    }
+    return out;
+  }
+
+  std::uint64_t counter(const std::string& key) const {
+    const auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+TEST(TieredStoreTest, StoreOffModeTouchesNoMetrics) {
+  const StoreMetrics before = StoreMetrics::capture();
+
+  TieredObjectStore store(TieredObjectStore::Params{2048, DiskStoreConfig{}});
+  EXPECT_FALSE(store.disk_enabled());
+  EXPECT_EQ(store.disk(), nullptr);
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  // Work the cache hard enough to force evictions, hits, and misses.
+  for (std::uint64_t key = 1; key <= 6; ++key) {
+    ASSERT_TRUE(store.put(key, make_doc(std::string(900, 'r'), key)));
+  }
+  EXPECT_TRUE(store.get(6).has_value());
+  EXPECT_FALSE(store.get(1).has_value());  // evicted, and nowhere to demote
+  EXPECT_TRUE(store.contains(6));
+  EXPECT_TRUE(store.erase(6));
+  store.sync();
+  ASSERT_TRUE(store.restart(&error)) << error;
+
+  // Bit-identity contract: not one store_* instrument moved (or appeared).
+  const StoreMetrics after = StoreMetrics::capture();
+  EXPECT_EQ(after.counters, before.counters);
+  EXPECT_EQ(after.stage_observations, before.stage_observations);
+}
+
+TEST(TieredStoreTest, RamEvictionDemotesToDisk) {
+  TempDir dir("baps-tiered-demote");
+  const StoreMetrics before = StoreMetrics::capture();
+  TieredObjectStore store(params_for(dir, /*ram_bytes=*/2048));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  // Two 900-byte documents fit in RAM; the third evicts (and demotes) the
+  // least recently used.
+  ASSERT_TRUE(store.put(1, make_doc(std::string(900, 'a'), 1)));
+  ASSERT_TRUE(store.put(2, make_doc(std::string(900, 'b'), 2)));
+  ASSERT_TRUE(store.put(3, make_doc(std::string(900, 'c'), 3)));
+
+  EXPECT_FALSE(store.ram().contains(1));
+  ASSERT_NE(store.disk(), nullptr);
+  EXPECT_TRUE(store.disk()->contains(1));
+  EXPECT_TRUE(store.contains(1));
+
+  const StoreMetrics after = StoreMetrics::capture();
+  EXPECT_GE(after.counter("store_demotions_total") -
+                before.counter("store_demotions_total"),
+            1u);
+  EXPECT_GE(after.counter("store_bytes_total|dir=written") -
+                before.counter("store_bytes_total|dir=written"),
+            900u);
+}
+
+TEST(TieredStoreTest, DiskHitPromotesBackIntoRam) {
+  TempDir dir("baps-tiered-promote");
+  TieredObjectStore store(params_for(dir, /*ram_bytes=*/2048));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  ASSERT_TRUE(store.put(1, make_doc(std::string(900, 'a'), 1)));
+  ASSERT_TRUE(store.put(2, make_doc(std::string(900, 'b'), 2)));
+  ASSERT_TRUE(store.put(3, make_doc(std::string(900, 'c'), 3)));
+  ASSERT_FALSE(store.ram().contains(1));
+
+  const StoreMetrics before = StoreMetrics::capture();
+  const auto doc = store.get(1);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->body, std::string(900, 'a'));
+  EXPECT_TRUE(store.ram().contains(1));  // promoted
+  EXPECT_EQ(store.disk()->stats().hits, 1u);
+
+  // The second read is a pure RAM hit: the disk tier is not probed again.
+  EXPECT_TRUE(store.get(1).has_value());
+  EXPECT_EQ(store.disk()->stats().hits, 1u);
+
+  const StoreMetrics after = StoreMetrics::capture();
+  EXPECT_EQ(after.counter("store_probes_total") -
+                before.counter("store_probes_total"),
+            1u);
+  EXPECT_EQ(after.counter("store_hits_total") -
+                before.counter("store_hits_total"),
+            1u);
+  EXPECT_EQ(after.counter("store_promotions_total") -
+                before.counter("store_promotions_total"),
+            1u);
+  EXPECT_EQ(after.counter("store_bytes_total|dir=read") -
+                before.counter("store_bytes_total|dir=read"),
+            900u);
+}
+
+TEST(TieredStoreTest, FullMissCountsAgainstProbes) {
+  TempDir dir("baps-tiered-miss");
+  TieredObjectStore store(params_for(dir, 2048));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  const StoreMetrics before = StoreMetrics::capture();
+  EXPECT_FALSE(store.get(12345).has_value());
+  const StoreMetrics after = StoreMetrics::capture();
+  EXPECT_EQ(after.counter("store_probes_total") -
+                before.counter("store_probes_total"),
+            1u);
+  EXPECT_EQ(after.counter("store_misses_total") -
+                before.counter("store_misses_total"),
+            1u);
+  // Family invariant the report checker enforces: hits + misses == probes.
+  EXPECT_EQ(after.counter("store_hits_total") + after.counter(
+                "store_misses_total"),
+            after.counter("store_probes_total"));
+}
+
+TEST(TieredStoreTest, OversizedDocumentGoesStraightToDisk) {
+  TempDir dir("baps-tiered-oversize");
+  TieredObjectStore store(params_for(dir, /*ram_bytes=*/512));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  // 2000 bytes can never fit the 512-byte RAM tier.
+  ASSERT_TRUE(store.put(7, make_doc(std::string(2000, 'z'), 7)));
+  EXPECT_FALSE(store.ram().contains(7));
+  EXPECT_TRUE(store.disk()->contains(7));
+
+  // A hit still serves it; promotion silently fails (still too large) and
+  // the document keeps living on disk.
+  const auto doc = store.get(7);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->body.size(), 2000u);
+  EXPECT_FALSE(store.ram().contains(7));
+  EXPECT_TRUE(store.disk()->contains(7));
+}
+
+TEST(TieredStoreTest, EraseRemovesFromBothTiers) {
+  TempDir dir("baps-tiered-erase");
+  TieredObjectStore store(params_for(dir, 2048));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  ASSERT_TRUE(store.put(1, make_doc(std::string(900, 'a'), 1)));
+  ASSERT_TRUE(store.put(2, make_doc(std::string(900, 'b'), 2)));
+  ASSERT_TRUE(store.put(3, make_doc(std::string(900, 'c'), 3)));  // 1 demoted
+
+  EXPECT_TRUE(store.erase(1));  // disk-resident
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_TRUE(store.erase(3));  // RAM-resident
+  EXPECT_FALSE(store.contains(3));
+  EXPECT_FALSE(store.erase(99));
+}
+
+TEST(TieredStoreTest, RestartWarmStartsFromDiskTier) {
+  TempDir dir("baps-tiered-restart");
+  TieredObjectStore store(params_for(dir, /*ram_bytes=*/2048));
+  std::string error;
+  ASSERT_TRUE(store.open(&error)) << error;
+
+  // Keys 1..4 get demoted to disk as 5 and 6 displace them; 5 and 6 are
+  // RAM-only when the "crash" hits.
+  for (std::uint64_t key = 1; key <= 6; ++key) {
+    ASSERT_TRUE(
+        store.put(key, make_doc("body-" + std::to_string(key) +
+                                    std::string(890, 'd'),
+                                key)));
+  }
+  store.sync();
+  const std::uint64_t failures_before = obs::Registry::global()
+                                            .counter(
+                                                "store_integrity_failures_total")
+                                            .value();
+
+  ASSERT_TRUE(store.restart(&error)) << error;
+  EXPECT_EQ(store.ram().count(), 0u);
+
+  // The disk survivors warm-start; the RAM-only tail of the LRU is lost.
+  for (std::uint64_t key = 1; key <= 4; ++key) {
+    const auto doc = store.get(key);
+    ASSERT_TRUE(doc.has_value()) << key;
+    EXPECT_EQ(doc->body.substr(0, 6), "body-" + std::to_string(key));
+  }
+  EXPECT_FALSE(store.get(5).has_value());
+  EXPECT_FALSE(store.get(6).has_value());
+
+  // Nothing on disk was corrupt: the crash lost data, it never invented any.
+  EXPECT_EQ(obs::Registry::global()
+                .counter("store_integrity_failures_total")
+                .value(),
+            failures_before);
+}
+
+}  // namespace
+}  // namespace baps::store

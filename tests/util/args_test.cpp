@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,59 @@ TEST(ParseNumberTest, Uint64RejectsSignsAndJunk) {
   EXPECT_FALSE(parse_number("+1", &v));
   EXPECT_FALSE(parse_number("", &v));
   EXPECT_FALSE(parse_number("12a", &v));
+}
+
+TEST(ParseByteSizeTest, AcceptsSuffixesCaseInsensitively) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_byte_size("4096", &v));
+  EXPECT_EQ(v, 4096u);
+  EXPECT_TRUE(parse_byte_size("512k", &v));
+  EXPECT_EQ(v, 512u << 10);
+  EXPECT_TRUE(parse_byte_size("512K", &v));
+  EXPECT_EQ(v, 512u << 10);
+  EXPECT_TRUE(parse_byte_size("64m", &v));
+  EXPECT_EQ(v, 64ull << 20);
+  EXPECT_TRUE(parse_byte_size("2G", &v));
+  EXPECT_EQ(v, 2ull << 30);
+  EXPECT_TRUE(parse_byte_size("0k", &v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(ParseByteSizeTest, RejectsJunkAndBareSuffixes) {
+  std::uint64_t v = 7;
+  EXPECT_FALSE(parse_byte_size("", &v));
+  EXPECT_FALSE(parse_byte_size("k", &v));
+  EXPECT_FALSE(parse_byte_size("12kb", &v));
+  EXPECT_FALSE(parse_byte_size("1.5m", &v));
+  EXPECT_FALSE(parse_byte_size("-1k", &v));
+  EXPECT_FALSE(parse_byte_size("12x", &v));
+  EXPECT_EQ(v, 7u);  // failed parses leave the output untouched
+}
+
+TEST(ParseByteSizeTest, RejectsOverflowInsteadOfWrapping) {
+  std::uint64_t v = 0;
+  // 2^64 / 2^30 = 2^34; one above it must overflow with the g suffix.
+  EXPECT_TRUE(parse_byte_size("17179869183g", &v));  // 2^34 - 1 fits
+  EXPECT_FALSE(parse_byte_size("17179869185g", &v));
+  EXPECT_FALSE(parse_byte_size("18446744073709551616", &v));  // 2^64 itself
+  // The largest representable value still parses unsuffixed.
+  EXPECT_TRUE(parse_byte_size("18446744073709551615", &v));
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ArgParserTest, BytesOptionParsesSuffixedCapacities) {
+  std::uint64_t cap = 0;
+  ArgParser parser("prog");
+  parser.bytes("--store-capacity", &cap, "BYTES", "disk tier capacity");
+
+  Argv argv({"--store-capacity", "512m"});
+  std::string error;
+  ASSERT_TRUE(parser.parse(argv.argc(), argv.argv(), &error)) << error;
+  EXPECT_EQ(cap, 512ull << 20);
+
+  Argv bad({"--store-capacity", "512q"});
+  EXPECT_FALSE(parser.parse(bad.argc(), bad.argv(), &error));
+  EXPECT_NE(error.find("--store-capacity"), std::string::npos);
 }
 
 TEST(ArgParserTest, ParsesFlagsOptionsAndCustoms) {

@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
   std::uint64_t browser_cache = 64 << 10;
   std::uint64_t proxy_cache = 256 << 10;
   std::uint32_t rsa_bits = 256;
+  std::string store_dir;
+  std::uint64_t store_capacity = 64 << 20;
   std::string url;
   std::uint32_t client = 0;
   std::string preset_name;
@@ -90,6 +92,11 @@ int main(int argc, char** argv) {
               "embedded proxy cache capacity, loopback only (default 262144)")
       .option("--rsa-bits", &rsa_bits, "B",
               "embedded proxy RSA bits, loopback only (default 256)")
+      .option("--store-dir", &store_dir, "DIR",
+              "embedded proxy durable cache tier, loopback only (default: no "
+              "disk tier); proxy-restart faults warm-start from it")
+      .bytes("--store-capacity", &store_capacity, "BYTES",
+              "disk tier capacity, k/m/g suffixes ok (default 64m)")
       .option("--url", &url, "URL", "fetch one URL and exit")
       .option("--client", &client, "C", "client id for --url (default 0)")
       .option("--preset", &preset_name, "NAME",
@@ -176,12 +183,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (use_tcp && !store_dir.empty()) {
+    std::cerr << "--store-dir is loopback-only (the daemon owns its store; "
+                 "pass --store-dir to baps_proxyd instead)\n";
+    return 2;
+  }
+
   runtime::BapsSystem::Params params;
   params.num_clients = clients;
   params.browser_cache_bytes = browser_cache;
   params.proxy_cache_bytes = proxy_cache;
   params.seed = seed;
   params.rsa_modulus_bits = rsa_bits;
+  params.store.dir = store_dir;
+  params.store.capacity_bytes = store_capacity;
 
   // Declared before the transport/system so it outlives them: channels keep
   // a raw tracer pointer until they are torn down.

@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   std::uint32_t rsa_bits = 256;
   std::uint64_t workers = 0;
   std::uint64_t max_seconds = 0;
+  std::string store_dir;
+  std::uint64_t store_capacity = 64 << 20;
   std::string metrics_out;
   double trace_sample = 0.0;
   std::string trace_out;
@@ -65,6 +67,11 @@ int main(int argc, char** argv) {
               "for transient observer sessions)")
       .option("--max-seconds", &max_seconds, "S",
               "exit after S seconds (default 0: run until signalled)")
+      .option("--store-dir", &store_dir, "DIR",
+              "durable cache tier directory (default: no disk tier); a "
+              "restarted daemon pointed at the same DIR warm-starts from it")
+      .bytes("--store-capacity", &store_capacity, "BYTES",
+              "disk tier capacity, k/m/g suffixes ok (default 64m)")
       .option("--metrics-out", &metrics_out, "FILE",
               "write a baps.report.v1 JSON report on shutdown")
       .option("--trace-sample", &trace_sample, "RATE",
@@ -90,6 +97,8 @@ int main(int argc, char** argv) {
   params.core.proxy_cache_bytes = proxy_cache;
   params.core.seed = seed;
   params.core.rsa_modulus_bits = rsa_bits;
+  params.core.store.dir = store_dir;
+  params.core.store.capacity_bytes = store_capacity;
   params.net.port = port;
   params.net.worker_threads = workers != 0 ? workers : clients + 2;
 

@@ -10,10 +10,14 @@
 // trace_stage_seconds a stage label), and the derived latency gauges
 // (latency_quantile_seconds / replay_latency_quantile_seconds need a
 // q label in {p50,p95,p99,p999} plus a stage/org scope label, finite
-// non-negative values, and per-scope monotone quantiles).
+// non-negative values, and per-scope monotone quantiles), and the durable
+// store family (store_* counters non-negative, store_bytes_total carries a
+// read/written dir label, store_stage_seconds carries an op label, and
+// store_hits_total + store_misses_total == store_probes_total).
 // Given several files, they are treated as successive
-// snapshots of one process and every shared wire_*/netio_* counter must be
-// monotone non-decreasing in argument order. Exit 0 when valid, 1 when not
+// snapshots of one process and every shared wire_*/netio_*/store_* counter
+// must be monotone non-decreasing in argument order. Exit 0 when valid, 1
+// when not
 // (with the first violation on stderr). Used by scripts/check.sh to gate
 // the bench artifacts.
 #include <fstream>
