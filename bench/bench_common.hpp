@@ -6,7 +6,13 @@
 //                  the full paper-scale runs; use e.g. 0.1 for a quick look)
 //   --metrics-out <file>  write a baps.report.v1 JSON report of the runs
 //   --progress     print sweep progress to stderr
-//   --threads <n>  sweep worker threads (default 0 = hardware_concurrency)
+//   --threads <n>  sweep worker threads (default 0 = hardware_concurrency).
+//                  These parallelize ACROSS independent simulations — one
+//                  (organization, cache size) point per task. Parallelism
+//                  INSIDE a single replay is a different axis: bench_replay's
+//                  --shards N splits one replay over N shared-nothing shards
+//                  (see sim/sharded_replay.hpp). The two do not compose;
+//                  bench_replay rejects --threads with a pointer to --shards.
 #pragma once
 
 #include <cstdlib>
@@ -24,7 +30,9 @@ struct BenchArgs {
   double scale = 1.0;
   std::string metrics_out;
   bool progress = false;
-  /// Sweep worker threads; 0 lets ThreadPool pick hardware_concurrency.
+  /// Sweep worker threads — parallelism ACROSS independent simulations; 0
+  /// lets ThreadPool pick hardware_concurrency. Not to be confused with
+  /// bench_replay's --shards, which parallelizes INSIDE one replay.
   std::uint64_t threads = 0;
   /// Client churn (§5 spirit): per-request churn probability and its seed.
   double churn_rate = 0.0;
@@ -45,7 +53,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
               "write a baps.report.v1 JSON report of the runs")
       .flag("--progress", &args.progress, "print sweep progress to stderr")
       .option("--threads", &args.threads, "N",
-              "sweep worker threads (0 = hardware_concurrency)")
+              "sweep worker threads across independent simulations "
+              "(0 = hardware_concurrency); intra-replay parallelism is "
+              "bench_replay --shards")
       .option("--churn-rate", &args.churn_rate, "P",
               "per-request client churn probability in [0,1] (default 0)")
       .option("--churn-seed", &args.churn_seed, "S",

@@ -90,7 +90,14 @@ class BrowserIndex {
     // Order within the holder list is not meaningful: swap-erase.
     *pos = holders->back();
     holders->pop_back();
-    if (holders->empty() && doc >= by_doc_.size()) sparse_.erase(doc);
+    if (holders->empty()) {
+      if (doc < by_doc_.size()) {
+        if (doc < rr_by_doc_.size()) rr_by_doc_[doc] = 0;
+      } else {
+        sparse_.erase(doc);
+        sparse_rr_.erase(doc);
+      }
+    }
     --entries_;
   }
 
@@ -100,17 +107,22 @@ class BrowserIndex {
   }
 
   /// Some client (≠ requester) the index believes holds `doc`. Holders are
-  /// chosen round-robin so repeated lookups spread load across peers.
+  /// chosen round-robin *per document* so repeated lookups of the same doc
+  /// spread load across its peers. The cursor is per-doc state on purpose:
+  /// holder choice is then a pure function of the doc's own lookup history,
+  /// so a doc-sharded index (sim/sharded_replay) picks the same holders as
+  /// the unsharded one no matter how lookups of other docs interleave.
   std::optional<ClientId> find_holder(DocId doc, ClientId requester) const {
     const HolderList* holders =
         doc < by_doc_.size() ? &by_doc_[doc] : sparse_.find(doc);
     if (holders == nullptr) return std::nullopt;
     const std::size_t n = holders->size();
     if (n == 0) return std::nullopt;
+    std::uint32_t& rr = cursor_for(doc);
     for (std::size_t i = 0; i < n; ++i) {
-      const ClientId candidate = (*holders)[(rr_ + i) % n];
+      const ClientId candidate = (*holders)[(rr + i) % n];
       if (candidate != requester) {
-        rr_ = (rr_ + i + 1) % n;
+        rr = static_cast<std::uint32_t>((rr + i + 1) % n);
         return candidate;
       }
     }
@@ -138,7 +150,23 @@ class BrowserIndex {
   util::FlatMap<HolderList> sparse_;  // out-of-universe docs (runtime keys)
   std::vector<util::FlatSet> per_client_;
   std::uint64_t entries_ = 0;
-  mutable std::uint64_t rr_ = 0;  // round-robin cursor
+
+  // Per-doc round-robin cursors, parallel to the two holder views. Mutable
+  // because find_holder is logically const (index contents are unchanged)
+  // yet advances the queried doc's cursor. A cursor is reset when its
+  // holder list empties, so cursor state lives and dies with the entry.
+  mutable std::vector<std::uint32_t> rr_by_doc_;
+  mutable util::FlatMap<std::uint32_t> sparse_rr_;
+
+  std::uint32_t& cursor_for(DocId doc) const {
+    if (doc < rr_by_doc_.size()) return rr_by_doc_[doc];
+    std::uint32_t* cursor = sparse_rr_.find(doc);
+    if (cursor == nullptr) {
+      sparse_rr_.insert(doc, 0);
+      cursor = sparse_rr_.find(doc);
+    }
+    return *cursor;
+  }
 };
 
 }  // namespace baps::index

@@ -315,6 +315,7 @@ bool validate_report(const JsonValue& report, std::string* error) {
   if (!validate_trace_metrics(report, error)) return false;
   if (!validate_latency_metrics(report, error)) return false;
   if (!validate_store_metrics(report, error)) return false;
+  if (!validate_shard_metrics(report, error)) return false;
   if (const JsonValue* registry = report.find("registry")) {
     if (!registry->is_object() || !registry->find("counters") ||
         !registry->find("gauges") || !registry->find("histograms")) {
@@ -708,6 +709,76 @@ bool validate_store_metrics(const JsonValue& report, std::string* error) {
         return fail(error, "store_stage_seconds{op=" + op->as_string() +
                                "}: count must be a non-negative number");
       }
+    }
+  }
+  return true;
+}
+
+bool validate_shard_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+  const JsonValue* counters = registry->find("counters");
+  if (counters == nullptr || !counters->is_array()) return true;
+
+  // Per organization: sum of shard_requests_total{org,shard=*} on one side,
+  // shard_merged_requests_total{org} on the other. Counts are cumulative
+  // across sharded runs, but every run adds the same total to both sides,
+  // so the invariant must hold on any snapshot.
+  std::map<std::string, double> shard_sums, merged_totals;
+  for (const auto& inst : counters->as_array()) {
+    if (!inst.is_object()) continue;
+    const JsonValue* name = inst.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const std::string& n = name->as_string();
+    const bool is_shard = n == "shard_requests_total";
+    const bool is_merged = n == "shard_merged_requests_total";
+    if (!is_shard && !is_merged) continue;
+    const JsonValue* value = inst.find("value");
+    if (value == nullptr || !value->is_number() ||
+        value->as_double() < 0.0) {
+      return fail(error, n + ": counter needs a non-negative numeric value");
+    }
+    const JsonValue* labels = inst.find("labels");
+    const JsonValue* org = labels != nullptr ? labels->find("org") : nullptr;
+    if (org == nullptr || !org->is_string() || org->as_string().empty()) {
+      // The eagerly registered family members carry no labels and stay at
+      // zero; any instance holding real counts must name its organization.
+      if (value->as_double() != 0.0) {
+        return fail(error, n + ": non-zero instance needs an org label");
+      }
+      continue;
+    }
+    if (is_shard) {
+      const JsonValue* shard = labels->find("shard");
+      if (shard == nullptr || !shard->is_string() ||
+          shard->as_string().empty()) {
+        return fail(error, "shard_requests_total{org=" + org->as_string() +
+                               "}: needs a non-empty shard label");
+      }
+      shard_sums[org->as_string()] += value->as_double();
+    } else {
+      merged_totals[org->as_string()] += value->as_double();
+    }
+  }
+  for (const auto& [org, sum] : shard_sums) {
+    const auto it = merged_totals.find(org);
+    if (it == merged_totals.end()) {
+      return fail(error, "shard_requests_total{org=" + org +
+                             "}: missing shard_merged_requests_total");
+    }
+    if (sum != it->second) {
+      return fail(error, "shard_requests_total{org=" + org +
+                             "}: shard counters sum to " +
+                             std::to_string(sum) +
+                             " but shard_merged_requests_total is " +
+                             std::to_string(it->second));
+    }
+  }
+  for (const auto& [org, total] : merged_totals) {
+    if (total != 0.0 && shard_sums.find(org) == shard_sums.end()) {
+      return fail(error, "shard_merged_requests_total{org=" + org +
+                             "}: no per-shard counters to account for it");
     }
   }
   return true;

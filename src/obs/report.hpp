@@ -135,6 +135,17 @@ bool validate_latency_metrics(const JsonValue& report,
 bool validate_store_metrics(const JsonValue& report,
                             std::string* error = nullptr);
 
+/// Family checks for the sharded-replay counters: every labeled
+/// `shard_requests_total` instance needs non-empty `org` and `shard`
+/// labels, every labeled `shard_merged_requests_total` a non-empty `org`,
+/// all values non-negative, and per organization the shard counters must
+/// sum EXACTLY to the merged total — the counter half of the sharded
+/// engine's merge contract (sim/sharded_replay.hpp). Unlabeled zero-valued
+/// instances (eager family registration) pass; reports without a registry
+/// or without shard counters pass trivially.
+bool validate_shard_metrics(const JsonValue& report,
+                            std::string* error = nullptr);
+
 /// Checks that every `wire_*` / `netio_*` / `store_*` counter present in
 /// both reports (matched by name + labels) is monotone non-decreasing from
 /// `earlier` to `later` — the cross-file invariant for successive snapshots

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 
 #include "util/stats.hpp"
 
@@ -71,6 +72,37 @@ struct Metrics {
     return std::pow(10.0, log_latency.quantile(q));
   }
 
+  /// Folds another shard's order-independent state into this one: ratio
+  /// counters, integer counters, and histogram bucket counts — all exact
+  /// under reordering. Deliberately does NOT touch the double accumulators
+  /// (total_service_time_s, total_hit_latency_s, remote_transfer_time_s,
+  /// remote_contention_time_s): double addition is order-dependent, so the
+  /// sharded engine replays those in global trace order from the ReplayLogs
+  /// instead (see sim/sharded_replay).
+  void accumulate_counters(const Metrics& other) {
+    hits.merge_from(other.hits);
+    byte_hits.merge_from(other.byte_hits);
+    local_browser_hits += other.local_browser_hits;
+    proxy_hits += other.proxy_hits;
+    remote_browser_hits += other.remote_browser_hits;
+    misses += other.misses;
+    local_browser_hit_bytes += other.local_browser_hit_bytes;
+    proxy_hit_bytes += other.proxy_hit_bytes;
+    remote_browser_hit_bytes += other.remote_browser_hit_bytes;
+    miss_bytes += other.miss_bytes;
+    memory_hit_bytes += other.memory_hit_bytes;
+    disk_hit_bytes += other.disk_hit_bytes;
+    size_change_misses += other.size_change_misses;
+    remote_transfer_bytes += other.remote_transfer_bytes;
+    index_messages += other.index_messages;
+    false_forwards += other.false_forwards;
+    stale_remote_probes += other.stale_remote_probes;
+    churn_departures += other.churn_departures;
+    churn_rejoins += other.churn_rejoins;
+    churn_wiped_docs += other.churn_wiped_docs;
+    log_latency.merge_from(other.log_latency);
+  }
+
   // Derived helpers ---------------------------------------------------------
   double hit_ratio() const { return hits.ratio(); }
   double byte_hit_ratio() const { return byte_hits.ratio(); }
@@ -96,5 +128,45 @@ struct Metrics {
     return comm > 0.0 ? remote_contention_time_s / comm : 0.0;
   }
 };
+
+/// Exact comparison down to the floating-point bit patterns (`==` would
+/// conflate +0.0/-0.0 and choke on NaN; the sharded-vs-unsharded contract
+/// is about the bits). This is the check behind the differential tests and
+/// the check.sh sharded smoke.
+inline bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+inline bool bit_identical(const Metrics& a, const Metrics& b) {
+  return a.hits.hits() == b.hits.hits() && a.hits.total() == b.hits.total() &&
+         a.byte_hits.hits() == b.byte_hits.hits() &&
+         a.byte_hits.total() == b.byte_hits.total() &&
+         a.local_browser_hits == b.local_browser_hits &&
+         a.proxy_hits == b.proxy_hits &&
+         a.remote_browser_hits == b.remote_browser_hits &&
+         a.misses == b.misses &&
+         a.local_browser_hit_bytes == b.local_browser_hit_bytes &&
+         a.proxy_hit_bytes == b.proxy_hit_bytes &&
+         a.remote_browser_hit_bytes == b.remote_browser_hit_bytes &&
+         a.miss_bytes == b.miss_bytes &&
+         a.memory_hit_bytes == b.memory_hit_bytes &&
+         a.disk_hit_bytes == b.disk_hit_bytes &&
+         a.size_change_misses == b.size_change_misses &&
+         a.remote_transfer_bytes == b.remote_transfer_bytes &&
+         a.index_messages == b.index_messages &&
+         a.false_forwards == b.false_forwards &&
+         a.stale_remote_probes == b.stale_remote_probes &&
+         a.churn_departures == b.churn_departures &&
+         a.churn_rejoins == b.churn_rejoins &&
+         a.churn_wiped_docs == b.churn_wiped_docs &&
+         same_bits(a.remote_transfer_time_s, b.remote_transfer_time_s) &&
+         same_bits(a.remote_contention_time_s, b.remote_contention_time_s) &&
+         same_bits(a.total_service_time_s, b.total_service_time_s) &&
+         same_bits(a.total_hit_latency_s, b.total_hit_latency_s) &&
+         a.log_latency.buckets() == b.log_latency.buckets() &&
+         a.log_latency.underflow() == b.log_latency.underflow() &&
+         a.log_latency.overflow() == b.log_latency.overflow() &&
+         a.log_latency.count() == b.log_latency.count();
+}
 
 }  // namespace baps::sim

@@ -279,7 +279,7 @@ void BrowsersAwareOrg::process(const trace::Request& r) {
       // otherwise a departed client's stale entries cost a false forward on
       // every future lookup. Gated on churn so the zero-churn replay stays
       // bit-identical (immediate mode never reaches here without churn).
-      if (churn_ && exact_index_) exact_index_->remove(*holder, r.doc);
+      if (churn_active() && exact_index_) exact_index_->remove(*holder, r.doc);
     } else if (probe.outcome == cache::LookupOutcome::kHit) {
       const int hops = config_.relay_via_proxy ? 2 : 1;
       record_remote_browser_hit(r, probe.tier, hops);

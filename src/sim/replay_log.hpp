@@ -1,0 +1,50 @@
+// Deferred-accounting log for the sharded replay engine (sim/sharded_replay).
+//
+// Two pieces of the per-request accounting are order-dependent across the
+// whole trace and therefore cannot be computed inside an isolated shard:
+//
+//   1. the floating-point accumulators (total_service_time_s,
+//      total_hit_latency_s, remote_transfer_time_s,
+//      remote_contention_time_s) — double addition is not associative, so
+//      summing per-shard partials would drift from the unsharded run's
+//      bit pattern even though the math is "the same";
+//   2. the shared-LAN bus (net::LanModel) — a remote-browser transfer's
+//      wait time depends on when every *earlier* transfer, from any shard,
+//      released the bus.
+//
+// When a ReplayLog is attached to an Organization, the record_* helpers
+// keep all order-independent accounting (integer counters, histogram
+// bucket counts for latencies that are pure functions of the request) in
+// the shard's own Metrics, and append one Entry per request carrying the
+// order-dependent remainder. The merge pass walks the logs in global trace
+// order, replays the bus and the double additions in exactly the unsharded
+// sequence, and lands on bit-identical merged metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace baps::sim {
+
+struct ReplayLog {
+  /// How the request was served; decides what the merge pass replays.
+  enum class Kind : std::uint8_t { kLocal, kProxy, kRemote, kMiss };
+
+  struct Entry {
+    /// Full service latency for kLocal/kProxy/kMiss (a pure function of the
+    /// request, computed in-shard); for kRemote only the cache-read base —
+    /// the bus hops are replayed at merge time.
+    double latency_s = 0.0;
+    double timestamp = 0.0;   ///< request arrival (kRemote: drives the bus)
+    std::uint64_t size = 0;   ///< document bytes (kRemote: transfer size)
+    std::uint32_t index = 0;  ///< global trace position (merge-order check)
+    Kind kind = Kind::kMiss;
+    std::uint8_t hops = 0;    ///< kRemote: 1 direct, 2 via proxy relay
+  };
+
+  std::vector<Entry> entries;
+
+  void reserve(std::size_t n) { entries.reserve(n); }
+};
+
+}  // namespace baps::sim

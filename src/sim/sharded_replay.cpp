@@ -1,0 +1,347 @@
+#include "sim/sharded_replay.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "fault/churn.hpp"
+#include "net/lan_model.hpp"
+#include "obs/registry.hpp"
+#include "obs/timer.hpp"
+#include "sim/orgs.hpp"
+#include "sim/replay_log.hpp"
+#include "util/assert.hpp"
+#include "util/shard_router.hpp"
+
+namespace baps::sim {
+
+namespace {
+
+/// The churn event stream is a pure function of (seed, rate, requester-id
+/// sequence) — nothing the organizations do feeds back into it — so the
+/// whole schedule precomputes in one cheap pass. Shards then interleave the
+/// departures with their own requests at the right global positions; the
+/// rejoin/departure totals are counted here, once, not per shard.
+struct ChurnSchedule {
+  struct Departure {
+    std::uint32_t index = 0;  ///< applies before the request at this index
+    trace::ClientId client = 0;
+  };
+  std::vector<Departure> departures;
+  std::uint64_t total_departures = 0;
+  std::uint64_t total_rejoins = 0;
+};
+
+ChurnSchedule precompute_churn(const SimConfig& config,
+                               const trace::Trace& trace) {
+  ChurnSchedule s;
+  fault::ChurnModel churn(config.churn_seed, config.churn_rate,
+                          trace.num_clients());
+  const auto& requests = trace.requests();
+  for (std::uint32_t i = 0; i < requests.size(); ++i) {
+    const trace::ClientId requester = requests[i].client;
+    if (churn.ensure_present(requester)) ++s.total_rejoins;
+    if (const auto ev = churn.tick(requester)) {
+      if (ev->kind == fault::ChurnModel::Event::Kind::kDepart) {
+        ++s.total_departures;
+        s.departures.push_back({i, ev->client});
+      } else {
+        ++s.total_rejoins;
+      }
+    }
+  }
+  return s;
+}
+
+/// Builds shard `shard`'s view of the whole-organization config. Doc-routed
+/// organizations split every byte budget into slices that sum back to the
+/// original (shard 0 of 1 gets the budget untouched); the client-routed
+/// organization keeps whole budgets, because whole browsers move with their
+/// owning shard. Churn is stripped — the engine drives the precomputed
+/// schedule externally.
+SimConfig shard_config(const SimConfig& config, bool by_client,
+                       std::uint32_t shard, std::uint32_t shards) {
+  SimConfig cfg = config;
+  cfg.churn_rate = 0.0;
+  if (!by_client) {
+    cfg.proxy_cache_bytes =
+        util::slice_bytes(config.proxy_cache_bytes, shard, shards);
+    for (auto& bytes : cfg.browser_cache_bytes) {
+      bytes = util::slice_bytes(bytes, shard, shards);
+    }
+    if (shards > 1) {
+      // Reservation hints only (never behavior): a shard sees ~1/N of the
+      // distinct docs.
+      cfg.distinct_docs = cfg.distinct_docs / shards + 1;
+      for (auto& docs : cfg.client_distinct_docs) {
+        docs = docs / shards + 1;
+      }
+    }
+  }
+  return cfg;
+}
+
+/// One shard's replay: a private organization instance over the shard's
+/// request stream, with order-dependent accounting deferred into `log`.
+/// Runs on its own thread in parallel mode; touches nothing shared beyond
+/// the read-only trace and schedule.
+template <typename Org>
+void replay_shard(const SimConfig& cfg, const trace::Trace& trace,
+                  const std::vector<std::uint32_t>& indices, bool churning,
+                  const ChurnSchedule& churn, ReplayLog& log, Metrics& out,
+                  double& seconds) {
+  Org org(cfg, trace.num_clients());
+  org.set_replay_log(&log);
+  org.set_external_churn(churning);
+  log.reserve(indices.size());
+  const auto& requests = trace.requests();
+  const double start = obs::monotonic_seconds();
+  std::size_t next_departure = 0;
+  for (const std::uint32_t idx : indices) {
+    // Departures scheduled at or before this global position wipe first —
+    // the unsharded driver churns before it processes.
+    while (churning && next_departure < churn.departures.size() &&
+           churn.departures[next_departure].index <= idx) {
+      org.apply_churn_wipe(churn.departures[next_departure].client);
+      ++next_departure;
+    }
+    org.set_log_index(idx);
+    org.process(requests[idx]);
+  }
+  // Departures after this shard's last request still wipe its slice (the
+  // unsharded run applies every event; wiped-doc counts must match).
+  while (churning && next_departure < churn.departures.size()) {
+    org.apply_churn_wipe(churn.departures[next_departure].client);
+    ++next_departure;
+  }
+  org.finish();
+  seconds = obs::monotonic_seconds() - start;
+  out = org.metrics();
+}
+
+using ShardFn = void (*)(const SimConfig&, const trace::Trace&,
+                         const std::vector<std::uint32_t>&, bool,
+                         const ChurnSchedule&, ReplayLog&, Metrics&, double&);
+
+/// Concrete (final-type) shard function per organization, mirroring
+/// run_organization's one-dispatch-per-trace pattern: the per-request loop
+/// inlines the concrete process().
+ShardFn shard_fn(OrgKind kind) {
+  switch (kind) {
+    case OrgKind::kProxyOnly:
+      return &replay_shard<ProxyOnlyOrg>;
+    case OrgKind::kLocalBrowserOnly:
+      return &replay_shard<LocalBrowserOnlyOrg>;
+    case OrgKind::kGlobalBrowsersOnly:
+      return &replay_shard<GlobalBrowsersOnlyOrg>;
+    case OrgKind::kProxyAndLocalBrowser:
+      return &replay_shard<ProxyAndLocalBrowserOrg>;
+    case OrgKind::kBrowsersAware:
+      return &replay_shard<BrowsersAwareOrg>;
+  }
+  BAPS_REQUIRE(false, "unknown organization kind");
+  return nullptr;
+}
+
+void publish_shard_metrics(OrgKind kind, const ShardedReplayResult& result) {
+  auto& reg = obs::Registry::global();
+  const std::string org = org_name(kind);
+  std::uint64_t merged_total = 0;
+  for (std::uint32_t s = 0; s < result.shards; ++s) {
+    reg.counter("shard_requests_total",
+                {{"org", org}, {"shard", std::to_string(s)}})
+        .inc(result.shard_requests[s]);
+    reg.gauge("shard_replay_seconds",
+              {{"org", org}, {"shard", std::to_string(s)}})
+        .set(result.shard_seconds[s]);
+    merged_total += result.shard_requests[s];
+  }
+  reg.counter("shard_merged_requests_total", {{"org", org}})
+      .inc(merged_total);
+  reg.gauge("shard_merge_seconds", {{"org", org}}).set(result.merge_seconds);
+  reg.gauge("shard_count", {{"org", org}})
+      .set(static_cast<double>(result.shards));
+}
+
+}  // namespace
+
+void register_shard_metric_families() {
+  // Zero-valued unlabeled members so the families appear in every export —
+  // the same always-present contract store_integrity_failures_total keeps —
+  // and report_check can validate the sum(shard) == merged invariant even
+  // on reports from runs that never sharded.
+  auto& reg = obs::Registry::global();
+  reg.counter("shard_requests_total");
+  reg.counter("shard_merged_requests_total");
+  reg.gauge("shard_merge_seconds");
+  reg.gauge("shard_replay_seconds");
+  reg.gauge("shard_count");
+}
+
+bool routes_by_client(OrgKind kind) {
+  return kind == OrgKind::kLocalBrowserOnly;
+}
+
+double ShardedReplayResult::critical_path_seconds() const {
+  const double slowest =
+      shard_seconds.empty()
+          ? 0.0
+          : *std::max_element(shard_seconds.begin(), shard_seconds.end());
+  return route_seconds + slowest + merge_seconds;
+}
+
+double ShardedReplayResult::critical_path_requests_per_second() const {
+  const double seconds = critical_path_seconds();
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : shard_requests) total += n;
+  return seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
+}
+
+ShardedReplayResult run_organization_sharded(OrgKind kind,
+                                             const SimConfig& config,
+                                             const trace::Trace& trace,
+                                             const ShardedReplayOptions& opts) {
+  const std::uint32_t n = opts.shards;
+  BAPS_REQUIRE(n >= 1, "need at least one shard");
+  BAPS_REQUIRE(n <= 1024, "shard count is implausibly large");
+  register_shard_metric_families();
+
+  const auto& requests = trace.requests();
+  const bool by_client = routes_by_client(kind);
+  const bool churning = config.churn_rate > 0.0;
+
+  ShardedReplayResult result;
+  result.shards = n;
+
+  // --- route: split the trace into per-shard streams, precompute churn ---
+  const double route_start = obs::monotonic_seconds();
+  std::vector<std::uint32_t> owner(requests.size());
+  std::vector<std::vector<std::uint32_t>> streams(n);
+  {
+    std::vector<std::uint64_t> counts(n, 0);
+    for (std::uint32_t i = 0; i < requests.size(); ++i) {
+      const std::uint64_t key =
+          by_client ? requests[i].client : requests[i].doc;
+      const std::uint32_t s = util::shard_of(key, n);
+      owner[i] = s;
+      ++counts[s];
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      streams[s].reserve(counts[s]);
+    }
+    for (std::uint32_t i = 0; i < requests.size(); ++i) {
+      streams[owner[i]].push_back(i);
+    }
+  }
+  ChurnSchedule churn;
+  if (churning) churn = precompute_churn(config, trace);
+  result.route_seconds = obs::monotonic_seconds() - route_start;
+
+  // --- replay: every shard on its own thread, nothing shared mutable ----
+  std::vector<SimConfig> configs;
+  configs.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    configs.push_back(shard_config(config, by_client, s, n));
+  }
+  std::vector<ReplayLog> logs(n);
+  result.per_shard.resize(n);
+  result.shard_seconds.assign(n, 0.0);
+  result.shard_requests.resize(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    result.shard_requests[s] = streams[s].size();
+  }
+
+  const ShardFn fn = shard_fn(kind);
+  const double replay_start = obs::monotonic_seconds();
+  if (opts.parallel && n > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::uint32_t s = 0; s < n; ++s) {
+      workers.emplace_back([&, s] {
+        fn(configs[s], trace, streams[s], churning, churn, logs[s],
+           result.per_shard[s], result.shard_seconds[s]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  } else {
+    for (std::uint32_t s = 0; s < n; ++s) {
+      fn(configs[s], trace, streams[s], churning, churn, logs[s],
+         result.per_shard[s], result.shard_seconds[s]);
+    }
+  }
+  result.replay_seconds = obs::monotonic_seconds() - replay_start;
+
+  // --- merge: order-independent sums, then the ordered double replay ----
+  const double merge_start = obs::monotonic_seconds();
+  Metrics& merged = result.merged;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    merged.accumulate_counters(result.per_shard[s]);
+  }
+  if (churning) {
+    // Counted once from the schedule — shards only counted the docs their
+    // slice lost (churn_wiped_docs, already summed above).
+    merged.churn_departures += churn.total_departures;
+    merged.churn_rejoins += churn.total_rejoins;
+  }
+
+  // The shared LAN bus and the double accumulators replay in global trace
+  // order: each addition happens in exactly the sequence the unsharded run
+  // would have used, so the sums match bit for bit. The same entries also
+  // complete each shard's own Metrics (its doubles use its own sub-order).
+  net::LanModel lan(config.lan);
+  std::vector<std::size_t> cursor(n, 0);
+  for (std::uint32_t i = 0; i < requests.size(); ++i) {
+    const std::uint32_t s = owner[i];
+    BAPS_ENSURE(cursor[s] < logs[s].entries.size(),
+                "shard log shorter than its request stream");
+    const ReplayLog::Entry& e = logs[s].entries[cursor[s]++];
+    BAPS_ENSURE(e.index == i, "shard log out of order");
+    Metrics& shard = result.per_shard[s];
+    switch (e.kind) {
+      case ReplayLog::Kind::kLocal:
+      case ReplayLog::Kind::kProxy:
+        merged.total_service_time_s += e.latency_s;
+        merged.total_hit_latency_s += e.latency_s;
+        shard.total_service_time_s += e.latency_s;
+        shard.total_hit_latency_s += e.latency_s;
+        break;
+      case ReplayLog::Kind::kMiss:
+        merged.total_service_time_s += e.latency_s;
+        shard.total_service_time_s += e.latency_s;
+        break;
+      case ReplayLog::Kind::kRemote: {
+        double t = e.latency_s;
+        double shard_transfer = 0.0;
+        double shard_wait = 0.0;
+        for (std::uint8_t h = 0; h < e.hops; ++h) {
+          const net::TransferResult x = lan.transfer(e.timestamp, e.size);
+          merged.remote_transfer_time_s += x.transfer_s;
+          merged.remote_contention_time_s += x.wait_s;
+          shard_transfer += x.transfer_s;
+          shard_wait += x.wait_s;
+          t += x.transfer_s + x.wait_s;
+        }
+        merged.total_service_time_s += t;
+        merged.total_hit_latency_s += t;
+        merged.observe_latency(t);
+        shard.remote_transfer_time_s += shard_transfer;
+        shard.remote_contention_time_s += shard_wait;
+        shard.total_service_time_s += t;
+        shard.total_hit_latency_s += t;
+        shard.observe_latency(t);
+        break;
+      }
+    }
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    BAPS_ENSURE(cursor[s] == logs[s].entries.size(),
+                "shard log longer than its request stream");
+  }
+  result.merge_seconds = obs::monotonic_seconds() - merge_start;
+
+  publish_shard_metrics(kind, result);
+  return result;
+}
+
+}  // namespace baps::sim

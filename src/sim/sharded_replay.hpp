@@ -1,0 +1,97 @@
+// Shared-nothing sharded replay engine: the multi-core hot path.
+//
+// The flat-memory rewrite made one organization fast on one core; this
+// engine partitions a replay across N shards, each owning a disjoint slice
+// of the document space — its own slab-backed LRU caches, FlatMap tables,
+// and BrowserIndex holder lists — and replays its requests on a dedicated
+// worker thread with no cross-shard locks, no shared mutable state, and no
+// atomics on the request path. This is the cooperative-caching partition
+// the literature uses (each node owns a hash range of the key space),
+// applied inside one process.
+//
+// Routing: documents hash to shards via util::shard_of (splitmix64), so
+// every structure keyed by doc — cache entries, holder lists, per-client
+// browser-set slices — lives with exactly one shard. The exception is the
+// local-browser-only organization, which has no cross-client structures at
+// all: it routes by CLIENT, each browser living whole in one shard, which
+// keeps even its eviction behavior exactly decomposable.
+//
+// Determinism contract (enforced by tests/sim/sharded_replay_test.cpp and
+// the check.sh smoke):
+//   * one shard  == the unsharded replay, bit-identical, on ANY config —
+//     routing degenerates to the identity and the merge replays the double
+//     additions in exactly the original order;
+//   * parallel   == sequential shard execution, bit-identical, for any N —
+//     shards share nothing, so scheduling cannot change any outcome;
+//   * N shards   == unsharded, bit-identical, for any N, on configs where
+//     per-request outcomes are per-doc decomposable: caches large enough
+//     that nothing evicts, one memory tier, and the immediate exact index.
+//     (Under capacity pressure a global LRU's evictions depend on the
+//     *interleaving* of all documents, which no doc partition can
+//     reproduce — then N>1 models an N-node cooperative cache instead, and
+//     the sum(shard) == merged counter invariants still hold exactly.)
+//
+// Merge semantics: integer counters and histogram buckets are summed
+// (order-independent); the double accumulators and the shared LAN bus are
+// replayed from per-shard ReplayLogs in global trace order, reproducing the
+// unsharded addition sequence bit for bit (see sim/replay_log.hpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "trace/record.hpp"
+
+namespace baps::sim {
+
+struct ShardedReplayOptions {
+  std::uint32_t shards = 1;
+  /// false runs the shard loops back-to-back on the calling thread — the
+  /// reference schedule the parallel execution must be bit-identical to
+  /// (and the useful mode under instrumented builds).
+  bool parallel = true;
+};
+
+struct ShardedReplayResult {
+  Metrics merged;                   ///< bit-identical contract holder
+  std::vector<Metrics> per_shard;   ///< each shard's own view
+  std::vector<std::uint64_t> shard_requests;  ///< requests routed per shard
+  std::vector<double> shard_seconds;  ///< per-shard replay time (no setup)
+  double route_seconds = 0.0;   ///< trace split + churn schedule precompute
+  double replay_seconds = 0.0;  ///< wall time of the whole replay section
+  double merge_seconds = 0.0;   ///< counter sums + ordered double replay
+  std::uint32_t shards = 1;
+
+  /// Aggregate throughput over the critical path — route once, shards run
+  /// concurrently (bounded by the slowest), merge once. On a machine whose
+  /// affinity mask actually spans N cores this is what replay_seconds
+  /// converges to; reported separately so a core-restricted CI box still
+  /// measures the shard-parallel speedup honestly.
+  double critical_path_seconds() const;
+  double critical_path_requests_per_second() const;
+};
+
+/// True for organizations routed by client id instead of document id (no
+/// cross-client state, so whole browsers move to their owning shard and
+/// the partition is exact in every configuration).
+bool routes_by_client(OrgKind kind);
+
+/// Replays `trace` through `kind` split over opts.shards shards. The
+/// config describes the WHOLE organization; doc-routed shards get 1/N
+/// capacity slices (util::slice_bytes — they sum to the original budget).
+/// Publishes shard_requests_total / shard_replay_seconds /
+/// shard_merge_seconds to the global registry.
+ShardedReplayResult run_organization_sharded(OrgKind kind,
+                                             const SimConfig& config,
+                                             const trace::Trace& trace,
+                                             const ShardedReplayOptions& opts);
+
+/// Eagerly materializes the shard_* metric families (zero-valued) so every
+/// baps.report.v1 export carries them and report_check can always validate
+/// the sum(shard) == merged invariant. Called by the engine itself and by
+/// bench mains before their first export.
+void register_shard_metric_families();
+
+}  // namespace baps::sim

@@ -1,0 +1,36 @@
+// Shard routing for the shared-nothing replay engine (sim/sharded_replay)
+// and any future multi-core/multi-proxy partitioning: a key (document id,
+// client id, digest prefix) maps to one of N shards by splitmix64 hash, and
+// a byte budget splits across shards with no rounding loss.
+//
+// The hash is util::mix_u64 — the same finalizer the flat tables probe
+// with — so dense sequential ids spread evenly instead of striping.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/flat_map.hpp"
+
+namespace baps::util {
+
+/// Owning shard of `key` among `shards` equal partitions. One shard is the
+/// degenerate case: everything routes to shard 0 without hashing, so an
+/// N=1 sharded run touches exactly the state an unsharded run would.
+inline std::uint32_t shard_of(std::uint64_t key, std::uint32_t shards) {
+  BAPS_REQUIRE(shards > 0, "need at least one shard");
+  if (shards == 1) return 0;
+  return static_cast<std::uint32_t>(mix_u64(key) % shards);
+}
+
+/// `shard`'s slice of a `total`-byte budget: total/shards, with the
+/// remainder spread one byte each over the first (total % shards) shards,
+/// so the slices always sum to exactly `total` and the N=1 slice IS the
+/// total.
+inline std::uint64_t slice_bytes(std::uint64_t total, std::uint32_t shard,
+                                 std::uint32_t shards) {
+  BAPS_REQUIRE(shard < shards, "shard id out of range");
+  return total / shards + (shard < total % shards ? 1 : 0);
+}
+
+}  // namespace baps::util

@@ -69,6 +69,56 @@ TEST(BrowserIndexTest, RoundRobinSpreadsAcrossHolders) {
   EXPECT_EQ(seen.size(), 3u);  // all three holders get picked
 }
 
+// The round-robin cursor is per-document: interleaving lookups of other
+// docs must not perturb a doc's own holder rotation. This is what makes
+// holder choice a pure function of that doc's lookup history, which the
+// sharded replay engine (sim/sharded_replay) relies on for doc
+// decomposability.
+TEST(BrowserIndexTest, RoundRobinIsPerDocument) {
+  const auto sequence = [](bool interleave) {
+    BrowserIndex idx(8, /*doc_universe=*/0);  // sparse path
+    for (ClientId c = 1; c <= 3; ++c) idx.add(c, 100);
+    for (ClientId c = 4; c <= 6; ++c) idx.add(c, 200);
+    std::vector<ClientId> picks;
+    for (int i = 0; i < 9; ++i) {
+      if (interleave) idx.find_holder(200, 0);
+      picks.push_back(*idx.find_holder(100, 0));
+    }
+    return picks;
+  };
+  EXPECT_EQ(sequence(false), sequence(true));
+
+  // Same property on the dense (in-universe) path.
+  const auto dense_sequence = [](bool interleave) {
+    BrowserIndex idx(8, /*doc_universe=*/512);
+    for (ClientId c = 1; c <= 3; ++c) idx.add(c, 100);
+    for (ClientId c = 4; c <= 6; ++c) idx.add(c, 200);
+    std::vector<ClientId> picks;
+    for (int i = 0; i < 9; ++i) {
+      if (interleave) idx.find_holder(200, 0);
+      picks.push_back(*idx.find_holder(100, 0));
+    }
+    return picks;
+  };
+  EXPECT_EQ(dense_sequence(false), dense_sequence(true));
+}
+
+// When a doc's holder list empties its cursor resets, so a re-populated
+// doc starts its rotation from scratch — the index behaves as if the doc
+// entry were brand new (same on dense and sparse paths).
+TEST(BrowserIndexTest, CursorResetsWhenDocEmpties) {
+  BrowserIndex idx(8, /*doc_universe=*/512);
+  idx.add(1, 100);
+  idx.add(2, 100);
+  const ClientId first = *idx.find_holder(100, 0);
+  idx.find_holder(100, 0);  // advance the cursor
+  idx.remove(1, 100);
+  idx.remove(2, 100);
+  idx.add(1, 100);
+  idx.add(2, 100);
+  EXPECT_EQ(*idx.find_holder(100, 0), first);
+}
+
 TEST(BrowserIndexTest, MultiDocMultiClientBookkeeping) {
   BrowserIndex idx(3);
   idx.add(0, 1);

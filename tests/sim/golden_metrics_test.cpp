@@ -40,10 +40,13 @@ const Golden kGolden[] = {
     {OrgKind::kLocalBrowserOnly, 1806, 5694, 3245285, 1806, 0, 0, 3245285, 0,
      0, 191176048, 560123, 2685162, 0, 0, 0, 0, 0, 8765.1075080001283,
      12.290739999999785, 0.0, 0.0},
-    {OrgKind::kGlobalBrowsersOnly, 3117, 4383, 4213384, 1283, 0, 1834,
-     3023853, 0, 1189531, 190207949, 1014436, 3198948, 0, 0, 0, 16, 1189531,
-     7637.88480163451, 211.55761763440356, 184.35162479999804,
-     13.027764834401424},
+    // Re-captured when BrowserIndex round-robin became per-doc (the global
+    // cursor coupled holder choice across documents, which blocked doc
+    // sharding); only this organization leans on multi-holder rotation.
+    {OrgKind::kGlobalBrowsersOnly, 3126, 4374, 4213960, 1280, 0, 1846,
+     3023661, 0, 1190299, 190207373, 1015076, 3198884, 0, 0, 0, 7, 1190299,
+     7630.1183249329715, 212.80035693286547, 185.55223919999798,
+     13.079809732863296},
     {OrgKind::kProxyAndLocalBrowser, 4967, 2533, 16665490, 1806, 3161, 0,
      3245285, 13420205, 0, 177755843, 8014636, 8650854, 6, 0, 0, 0, 0,
      5743.4933400001119, 366.39985199999154, 0.0, 0.0},

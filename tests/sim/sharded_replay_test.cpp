@@ -1,0 +1,235 @@
+// Differential tests for the shared-nothing sharded replay engine: the
+// layered determinism contract from sim/sharded_replay.hpp, checked with
+// bit-exact comparisons (sim::bit_identical — doubles by bit pattern,
+// histograms bucket by bucket).
+//
+//   1. one shard == unsharded, on any config (including capacity pressure
+//      and evictions): routing degenerates and the merge replays the
+//      original addition order.
+//   2. parallel == sequential shard execution, any N, any config: shards
+//      share nothing, so the schedule cannot change an outcome.
+//   3. N shards == unsharded for N in {1,2,3,7,8} across all five
+//      organizations on a decoupled config (caches sized so nothing ever
+//      evicts, one memory tier, immediate exact index) — per-request
+//      outcomes are then per-doc decomposable, which is the regime where
+//      exact equivalence is even well-defined under doc partitioning.
+//   4. the client-routed organization (local-browser-only) is exact under
+//      ANY config — whole browsers move with their shard.
+//   5. churn: the externally driven schedule reproduces the unsharded
+//      churn replay on the decoupled config.
+//   6. under capacity pressure (no exact equivalence), the sum(shard) ==
+//      merged counter invariants still hold.
+#include "sim/sharded_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "sim/orgs.hpp"
+#include "trace/generator.hpp"
+#include "trace/presets.hpp"
+#include "trace/stats.hpp"
+
+namespace baps::sim {
+namespace {
+
+const std::vector<OrgKind> kAllOrgs = {
+    OrgKind::kProxyOnly, OrgKind::kLocalBrowserOnly,
+    OrgKind::kGlobalBrowsersOnly, OrgKind::kProxyAndLocalBrowser,
+    OrgKind::kBrowsersAware};
+
+/// Down-scaled BU-95 — the same workload the golden pins replay.
+const trace::Trace& bu95_small() {
+  static const trace::Trace t =
+      trace::load_preset_scaled(trace::Preset::kBu95, 0.05);
+  return t;
+}
+
+/// Default RunSpec config: 10% relative sizing → real capacity pressure,
+/// evictions, disk tiers. Exact sharding equivalence is NOT expected here
+/// (except N=1 and the client-routed org); determinism contracts are.
+SimConfig pressured_config(const trace::Trace& t) {
+  return core::build_config(trace::compute_stats(t), core::RunSpec{});
+}
+
+/// Decoupled config: every cache slice larger than the whole trace (16x
+/// the infinite-cache size covers any slice at N <= 8 twice over), one
+/// memory tier, immediate exact index. No evictions anywhere → per-request
+/// outcomes are per-doc decomposable and sharding must be EXACT.
+SimConfig decoupled_config(const trace::Trace& t, double churn_rate = 0.0,
+                           std::uint64_t churn_seed = 0) {
+  const trace::TraceStats stats = trace::compute_stats(t);
+  core::RunSpec spec;
+  spec.memory_fraction = 1.0;
+  spec.churn_rate = churn_rate;
+  spec.churn_seed = churn_seed;
+  SimConfig cfg = core::build_config(stats, spec);
+  const std::uint64_t huge = stats.infinite_cache_bytes * 16;
+  cfg.proxy_cache_bytes = huge;
+  for (auto& bytes : cfg.browser_cache_bytes) bytes = huge;
+  return cfg;
+}
+
+ShardedReplayResult run_sharded(OrgKind kind, const SimConfig& cfg,
+                                const trace::Trace& t, std::uint32_t shards,
+                                bool parallel = true) {
+  ShardedReplayOptions opts;
+  opts.shards = shards;
+  opts.parallel = parallel;
+  return run_organization_sharded(kind, cfg, t, opts);
+}
+
+TEST(ShardedReplayTest, OneShardBitIdenticalToUnshardedUnderPressure) {
+  const trace::Trace& t = bu95_small();
+  const SimConfig cfg = pressured_config(t);
+  for (const OrgKind kind : kAllOrgs) {
+    SCOPED_TRACE(org_name(kind));
+    const Metrics unsharded = run_organization(kind, cfg, t);
+    const ShardedReplayResult r = run_sharded(kind, cfg, t, 1);
+    EXPECT_TRUE(bit_identical(r.merged, unsharded));
+    ASSERT_EQ(r.per_shard.size(), 1u);
+    EXPECT_TRUE(bit_identical(r.per_shard[0], unsharded));
+  }
+}
+
+TEST(ShardedReplayTest, ParallelBitIdenticalToSequentialUnderPressure) {
+  const trace::Trace& t = bu95_small();
+  const SimConfig cfg = pressured_config(t);
+  for (const OrgKind kind : kAllOrgs) {
+    SCOPED_TRACE(org_name(kind));
+    const ShardedReplayResult par =
+        run_sharded(kind, cfg, t, 4, /*parallel=*/true);
+    const ShardedReplayResult seq =
+        run_sharded(kind, cfg, t, 4, /*parallel=*/false);
+    EXPECT_TRUE(bit_identical(par.merged, seq.merged));
+    for (std::uint32_t s = 0; s < 4; ++s) {
+      EXPECT_TRUE(bit_identical(par.per_shard[s], seq.per_shard[s]))
+          << "shard " << s;
+    }
+  }
+}
+
+TEST(ShardedReplayTest, DecoupledConfigExactForAllShardCounts) {
+  const trace::Trace& t = bu95_small();
+  const SimConfig cfg = decoupled_config(t);
+  for (const OrgKind kind : kAllOrgs) {
+    SCOPED_TRACE(org_name(kind));
+    const Metrics unsharded = run_organization(kind, cfg, t);
+    for (const std::uint32_t n : {1u, 2u, 3u, 7u, 8u}) {
+      SCOPED_TRACE(n);
+      const ShardedReplayResult r = run_sharded(kind, cfg, t, n);
+      EXPECT_TRUE(bit_identical(r.merged, unsharded)) << n << " shards";
+    }
+  }
+}
+
+TEST(ShardedReplayTest, ClientRoutedOrgExactUnderAnyConfig) {
+  // Local-browser-only routes by client: whole browsers (capacity included)
+  // live in one shard, so even eviction behavior decomposes exactly — no
+  // decoupling needed.
+  const trace::Trace& t = bu95_small();
+  const SimConfig cfg = pressured_config(t);
+  const Metrics unsharded =
+      run_organization(OrgKind::kLocalBrowserOnly, cfg, t);
+  for (const std::uint32_t n : {2u, 5u, 8u}) {
+    SCOPED_TRACE(n);
+    const ShardedReplayResult r =
+        run_sharded(OrgKind::kLocalBrowserOnly, cfg, t, n);
+    EXPECT_TRUE(bit_identical(r.merged, unsharded)) << n << " shards";
+  }
+}
+
+TEST(ShardedReplayTest, ChurnScheduleReproducesUnshardedChurn) {
+  const trace::Trace& t = bu95_small();
+  const SimConfig cfg = decoupled_config(t, /*churn_rate=*/0.01,
+                                         /*churn_seed=*/1234);
+  for (const OrgKind kind : kAllOrgs) {
+    SCOPED_TRACE(org_name(kind));
+    const Metrics unsharded = run_organization(kind, cfg, t);
+    EXPECT_GT(unsharded.churn_departures, 0u);  // churn actually happened
+    for (const std::uint32_t n : {1u, 3u}) {
+      SCOPED_TRACE(n);
+      const ShardedReplayResult r = run_sharded(kind, cfg, t, n);
+      EXPECT_TRUE(bit_identical(r.merged, unsharded)) << n << " shards";
+    }
+  }
+}
+
+TEST(ShardedReplayTest, RandomizedTracesExactOnDecoupledConfig) {
+  // Fresh seeded workloads (different popularity draws, session shapes,
+  // mutation points) — the decomposability argument must not depend on
+  // anything BU-95-specific.
+  trace::GeneratorParams params;
+  params.num_requests = 4000;
+  params.num_clients = 24;
+  params.shared_docs = 1200;
+  params.private_docs_per_client = 120;
+  for (const std::uint64_t seed : {7ULL, 99ULL, 2026ULL}) {
+    const trace::Trace t = trace::generate_trace("rand", params, seed);
+    const SimConfig cfg = decoupled_config(t);
+    for (const OrgKind kind : kAllOrgs) {
+      SCOPED_TRACE(org_name(kind));
+      const Metrics unsharded = run_organization(kind, cfg, t);
+      for (const std::uint32_t n : {2u, 7u}) {
+        const ShardedReplayResult r = run_sharded(kind, cfg, t, n);
+        EXPECT_TRUE(bit_identical(r.merged, unsharded))
+            << "seed " << seed << ", " << n << " shards";
+      }
+    }
+  }
+}
+
+TEST(ShardedReplayTest, ShardCountersSumToMergedUnderPressure) {
+  // Under capacity pressure N>1 models an N-node cooperative cache — not
+  // the unsharded single cache — but the merged metrics must still be
+  // exactly the sum of the shard parts.
+  const trace::Trace& t = bu95_small();
+  const SimConfig cfg = pressured_config(t);
+  for (const OrgKind kind : kAllOrgs) {
+    SCOPED_TRACE(org_name(kind));
+    const ShardedReplayResult r = run_sharded(kind, cfg, t, 4);
+    std::uint64_t requests = 0, hits = 0, misses = 0, remote_bytes = 0;
+    std::uint64_t hist_count = 0;
+    for (const Metrics& m : r.per_shard) {
+      requests += m.hits.total();
+      hits += m.hits.hits();
+      misses += m.misses;
+      remote_bytes += m.remote_transfer_bytes;
+      hist_count += m.log_latency.count();
+    }
+    EXPECT_EQ(requests, r.merged.hits.total());
+    EXPECT_EQ(requests, t.requests().size());
+    EXPECT_EQ(hits, r.merged.hits.hits());
+    EXPECT_EQ(misses, r.merged.misses);
+    EXPECT_EQ(remote_bytes, r.merged.remote_transfer_bytes);
+    EXPECT_EQ(hist_count, r.merged.log_latency.count());
+    std::uint64_t routed = 0;
+    for (const std::uint64_t n : r.shard_requests) routed += n;
+    EXPECT_EQ(routed, t.requests().size());
+  }
+}
+
+TEST(ShardedReplayTest, TimingFieldsArePopulated) {
+  const trace::Trace& t = bu95_small();
+  const ShardedReplayResult r =
+      run_sharded(OrgKind::kBrowsersAware, pressured_config(t), t, 2);
+  EXPECT_EQ(r.shards, 2u);
+  EXPECT_GT(r.replay_seconds, 0.0);
+  EXPECT_GT(r.merge_seconds, 0.0);
+  EXPECT_GT(r.critical_path_seconds(), 0.0);
+  EXPECT_GT(r.critical_path_requests_per_second(), 0.0);
+  for (const double s : r.shard_seconds) EXPECT_GT(s, 0.0);
+}
+
+TEST(ShardedReplayTest, RoutesByClientOnlyForLocalBrowserOnly) {
+  EXPECT_TRUE(routes_by_client(OrgKind::kLocalBrowserOnly));
+  EXPECT_FALSE(routes_by_client(OrgKind::kProxyOnly));
+  EXPECT_FALSE(routes_by_client(OrgKind::kGlobalBrowsersOnly));
+  EXPECT_FALSE(routes_by_client(OrgKind::kProxyAndLocalBrowser));
+  EXPECT_FALSE(routes_by_client(OrgKind::kBrowsersAware));
+}
+
+}  // namespace
+}  // namespace baps::sim

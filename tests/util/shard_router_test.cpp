@@ -1,0 +1,64 @@
+#include "util/shard_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace baps::util {
+namespace {
+
+TEST(ShardRouterTest, OneShardIsIdentity) {
+  for (std::uint64_t key : {0ULL, 1ULL, 12345ULL, ~0ULL}) {
+    EXPECT_EQ(shard_of(key, 1), 0u);
+  }
+}
+
+TEST(ShardRouterTest, ZeroShardsThrows) {
+  EXPECT_THROW(shard_of(7, 0), baps::InvariantError);
+}
+
+TEST(ShardRouterTest, StableAndInRange) {
+  for (std::uint32_t n : {2u, 3u, 7u, 8u, 64u}) {
+    for (std::uint64_t key = 0; key < 1000; ++key) {
+      const std::uint32_t s = shard_of(key, n);
+      EXPECT_LT(s, n);
+      EXPECT_EQ(s, shard_of(key, n));  // pure function
+    }
+  }
+}
+
+TEST(ShardRouterTest, DenseKeysSpreadAcrossShards) {
+  // Sequential ids must not stripe into one shard — that is the whole point
+  // of hashing with the splitmix64 finalizer instead of key % n.
+  const std::uint32_t n = 8;
+  std::vector<std::uint64_t> counts(n, 0);
+  const std::uint64_t keys = 10000;
+  for (std::uint64_t key = 0; key < keys; ++key) ++counts[shard_of(key, n)];
+  for (std::uint32_t s = 0; s < n; ++s) {
+    EXPECT_GT(counts[s], keys / n / 2) << "shard " << s << " underloaded";
+    EXPECT_LT(counts[s], keys / n * 2) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardRouterTest, SliceBytesSumToTotal) {
+  for (std::uint64_t total : {0ULL, 1ULL, 7ULL, 1000ULL, 0xDEADBEEFULL}) {
+    for (std::uint32_t n : {1u, 2u, 3u, 7u, 8u}) {
+      std::uint64_t sum = 0;
+      for (std::uint32_t s = 0; s < n; ++s) sum += slice_bytes(total, s, n);
+      EXPECT_EQ(sum, total) << total << " over " << n;
+    }
+  }
+  // The N=1 slice IS the budget — the degenerate shard sees exactly the
+  // unsharded capacity.
+  EXPECT_EQ(slice_bytes(12345, 0, 1), 12345u);
+}
+
+TEST(ShardRouterTest, SliceBytesRejectsOutOfRangeShard) {
+  EXPECT_THROW(slice_bytes(100, 2, 2), baps::InvariantError);
+}
+
+}  // namespace
+}  // namespace baps::util

@@ -13,7 +13,10 @@
 // non-negative values, and per-scope monotone quantiles), and the durable
 // store family (store_* counters non-negative, store_bytes_total carries a
 // read/written dir label, store_stage_seconds carries an op label, and
-// store_hits_total + store_misses_total == store_probes_total).
+// store_hits_total + store_misses_total == store_probes_total), and the
+// sharded-replay family (per organization, shard_requests_total{org,shard}
+// summed over shards must equal shard_merged_requests_total{org} exactly —
+// the counter half of the sharded engine's merge contract).
 // Given several files, they are treated as successive
 // snapshots of one process and every shared wire_*/netio_*/store_* counter
 // must be monotone non-decreasing in argument order. Exit 0 when valid, 1
