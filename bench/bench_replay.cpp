@@ -17,6 +17,13 @@
 // tracer adds to the runtime engine — and fails unless the simulated
 // metrics stay bit-identical and the throughput regression stays under
 // PCT percent. CI runs this to keep tracing free when it is off.
+// --ts-interval/--ts-out run the continuous TimeSeriesSampler over the whole
+// bench and export its baps.timeseries.v1 JSONL; --ts-overhead-guard PCT is
+// the matching budget check — it A/B-times the hot organization with the
+// sampler running against a sampler-free baseline and fails unless the
+// simulated metrics stay bit-identical and the throughput cost stays under
+// PCT percent. CI runs this to keep continuous telemetry within its 2%
+// budget (and provably zero when off).
 // --store-dir DIR adds a disk-tier replay phase: the same trace pushed
 // through the runtime two-tier object store (RAM DocStore + durable slab
 // segments under DIR), publishing the store_* metric family and a
@@ -39,10 +46,14 @@
 // independent simulations in the figure benches, while this harness times
 // single replays — use --shards for parallelism inside a replay.
 #include <algorithm>
+#include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/sharded_replay.hpp"
 #include "store/tiered_store.hpp"
 
@@ -89,6 +100,9 @@ int main(int argc, char** argv) {
   std::string store_dir;
   std::uint64_t store_capacity = 16 << 20;
   std::uint64_t store_ram = 256 << 10;
+  double ts_interval = 0.0;
+  std::string ts_out;
+  double ts_overhead_guard = 0.0;
   util::ArgParser parser(argv[0]);
   parser.flag("--csv", &args.csv, "emit CSV instead of an aligned table")
       .option("--overhead-guard", &overhead_guard, "PCT",
@@ -116,7 +130,17 @@ int main(int argc, char** argv) {
       .bytes("--store-capacity", &store_capacity, "BYTES",
               "disk tier capacity for --store-dir, k/m/g ok (default 16m)")
       .bytes("--store-ram", &store_ram, "BYTES",
-              "RAM tier in front of --store-dir, k/m/g ok (default 256k)");
+              "RAM tier in front of --store-dir, k/m/g ok (default 256k)")
+      .duration("--ts-interval", &ts_interval, "DUR",
+                "run the continuous time-series sampler over the bench, "
+                "e.g. 1s / 250ms (default 0: sampler off)")
+      .option("--ts-out", &ts_out, "FILE",
+              "write baps.timeseries.v1 interval records as JSONL "
+              "(requires --ts-interval)")
+      .option("--ts-overhead-guard", &ts_overhead_guard, "PCT",
+              "fail if a running time-series sampler costs more than PCT "
+              "percent throughput or perturbs the simulated metrics "
+              "(default 0: guard off)");
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
     std::cerr << error << "\n" << parser.usage();
@@ -156,10 +180,38 @@ int main(int argc, char** argv) {
                  "guard and the shard sweep as separate invocations.\n";
     return 2;
   }
+  if (!ts_out.empty() && ts_interval <= 0.0) {
+    std::cerr << "--ts-out requires --ts-interval > 0\n";
+    return 2;
+  }
   // Eager: the shard_* families appear (zero-valued) in every report this
   // harness writes, sharded run or not, so report_check can always apply
   // the sum(shards) == merged invariant.
   sim::register_shard_metric_families();
+
+  // Continuous telemetry over the bench. Families are pre-registered so the
+  // seq-0 baseline already carries the full schema.
+  std::unique_ptr<obs::TimeSeriesSampler> ts_sampler;
+  std::ofstream ts_stream;
+  if (ts_interval > 0.0 || ts_overhead_guard > 0.0) {
+    store::register_store_metric_families();
+    fault::register_fault_metric_families();
+    obs::register_trace_metric_families();
+  }
+  if (ts_interval > 0.0) {
+    obs::TimeSeriesSampler::Params sp;
+    sp.interval_seconds = ts_interval;
+    ts_sampler = std::make_unique<obs::TimeSeriesSampler>(sp);
+    if (!ts_out.empty()) {
+      ts_stream.open(ts_out);
+      if (!ts_stream) {
+        std::cerr << "cannot open " << ts_out << "\n";
+        return 1;
+      }
+      ts_sampler->set_sink(&ts_stream);
+    }
+    ts_sampler->start();
+  }
 
   obs::PhaseTimers phases;
   trace::Trace t;
@@ -435,6 +487,84 @@ int main(int argc, char** argv) {
     if (regression_pct > overhead_guard) {
       std::cerr << "overhead-guard: regression " << regression_pct
                 << "% exceeds budget " << overhead_guard << "%\n";
+      return 1;
+    }
+  }
+
+  // The export sampler has covered every bench phase by now. Stop it before
+  // the ts guard so the guard's sampler-free baseline is actually
+  // sampler-free, and before write_report so the final interval record is
+  // flushed ahead of the report.
+  if (ts_sampler != nullptr) {
+    ts_sampler->stop();
+    if (!ts_out.empty()) std::cerr << "wrote " << ts_out << "\n";
+  }
+
+  if (ts_overhead_guard > 0.0) {
+    // A/B on the hot organization: a plain replay against the same replay
+    // with a TimeSeriesSampler ticking on its own thread. The sampler never
+    // touches the simulation, so the simulated metrics must stay
+    // bit-identical; the throughput cost is whatever its periodic registry
+    // snapshots steal from the replay core, and that must stay under the
+    // budget. Same batching discipline as --overhead-guard: each timing
+    // sample is sized to ~100ms so the tight percentage budget is measured
+    // above clock/scheduler noise.
+    const auto scope = phases.scope("ts_overhead_guard");
+    const core::OrgKind kind = core::OrgKind::kBrowsersAware;
+    double start = obs::monotonic_seconds();
+    const sim::Metrics off_metrics = sim::run_organization(kind, cfg, t);
+    const double calib_secs = obs::monotonic_seconds() - start;
+    std::uint64_t iters = 1;
+    if (calib_secs > 0.0 && calib_secs < 0.1) {
+      iters = static_cast<std::uint64_t>(0.1 / calib_secs) + 1;
+    }
+    const std::uint64_t guard_reps = reps < 5 ? 5 : reps;
+    double best_off = 0.0;
+    for (std::uint64_t rep = 0; rep < guard_reps; ++rep) {
+      start = obs::monotonic_seconds();
+      for (std::uint64_t it = 0; it < iters; ++it) {
+        sim::run_organization(kind, cfg, t);
+      }
+      const double off_secs = obs::monotonic_seconds() - start;
+      if (rep == 0 || off_secs < best_off) best_off = off_secs;
+    }
+    obs::TimeSeriesSampler::Params gp;
+    gp.interval_seconds = ts_interval > 0.0 ? ts_interval : 0.05;
+    obs::TimeSeriesSampler guard_sampler(gp);
+    guard_sampler.start();
+    const sim::Metrics on_metrics = sim::run_organization(kind, cfg, t);
+    double best_on = 0.0;
+    for (std::uint64_t rep = 0; rep < guard_reps; ++rep) {
+      start = obs::monotonic_seconds();
+      for (std::uint64_t it = 0; it < iters; ++it) {
+        sim::run_organization(kind, cfg, t);
+      }
+      const double on_secs = obs::monotonic_seconds() - start;
+      if (rep == 0 || on_secs < best_on) best_on = on_secs;
+    }
+    guard_sampler.stop();
+    // Bit-identical first: a running sampler must not perturb a single
+    // simulated counter, histogram bucket, or derived ratio.
+    const std::string off_json = obs::metrics_to_json(off_metrics).dump();
+    const std::string on_json = obs::metrics_to_json(on_metrics).dump();
+    if (off_json != on_json) {
+      std::cerr << "ts-overhead-guard: simulated metrics differ with the "
+                   "sampler running\n";
+      return 1;
+    }
+    const double regression_pct =
+        best_off > 0.0 ? (best_on - best_off) / best_off * 100.0 : 0.0;
+    obs::Registry::global()
+        .gauge("replay_timeseries_overhead_pct",
+               {{"org", sim::org_name(kind)}})
+        .set(regression_pct);
+    std::cout << "ts-overhead-guard: sampler at " << gp.interval_seconds
+              << "s costs " << regression_pct << "% (budget "
+              << ts_overhead_guard << "%, " << guard_sampler.intervals_captured()
+              << " intervals captured)\n";
+    if (regression_pct > ts_overhead_guard) {
+      std::cerr << "ts-overhead-guard: regression " << regression_pct
+                << "% exceeds budget " << ts_overhead_guard << "%\n";
       return 1;
     }
   }

@@ -137,4 +137,53 @@ SHARD_REPORT="$BUILD_DIR/check_shard_report.json"
 "$BUILD_DIR/tools/report_check" "$SHARD_REPORT"
 echo "check.sh: sharded replay (N=4) bit-identical to unsharded, shard sums validated"
 
+# Time-series smoke: a daemon sampling at 250ms streams baps.timeseries.v1
+# JSONL while serving traffic; baps_top polls a live window over the wire
+# (TimeSeriesRequest frame) and must render per-interval rates; after
+# shutdown the exported stream must pass the cross-record validator
+# (validated only once the daemon is dead — the last line is whole then).
+TS_LOG="$BUILD_DIR/check_ts_proxyd.log"
+TS_OUT="$BUILD_DIR/check_ts.jsonl"
+"$BUILD_DIR/tools/baps_proxyd" --port 0 --clients 8 --seed 11 \
+  --ts-interval 250ms --ts-out "$TS_OUT" \
+  --max-seconds 120 > "$TS_LOG" 2>&1 &
+PROXYD_PID=$!
+trap 'kill "$PROXYD_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+  PROXY_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+    "$TS_LOG")
+  [ -n "$PROXY_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PROXY_PORT" ] || { echo "ts proxyd never came up"; cat "$TS_LOG"; exit 1; }
+"$BUILD_DIR/tools/baps_fetch" --transport tcp --port "$PROXY_PORT" \
+  --clients 8 --seed 11 --preset bu95 --requests 500 > /dev/null 2>&1
+sleep 0.6  # let at least two post-traffic intervals land in the ring
+TOP=$("$BUILD_DIR/tools/baps_top" --port "$PROXY_PORT" --plain --iterations 1)
+echo "$TOP" | grep -q 'requests .*\/s' \
+  || { echo "baps_top rendered no request rate"; echo "$TOP"; exit 1; }
+echo "$TOP" | grep -q 'hit ratio' \
+  || { echo "baps_top rendered no hit ratio"; echo "$TOP"; exit 1; }
+kill "$PROXYD_PID" 2>/dev/null || true
+wait "$PROXYD_PID" 2>/dev/null || true
+trap - EXIT
+"$BUILD_DIR/tools/report_check" --timeseries "$TS_OUT"
+echo "check.sh: live baps_top frame rendered, time-series stream validated"
+
+# Perf-gate smoke: report_diff must pass a report against itself and against
+# the committed hotpath history, and — the self-test that makes its green
+# trustworthy — must FAIL when a 75% regression is seeded into the
+# comparison.
+DIFF_REPORT="$BUILD_DIR/check_diff_report.json"
+"$BUILD_DIR/bench/bench_replay" --scale 0.05 --reps 1 \
+  --metrics-out "$DIFF_REPORT" > /dev/null
+"$BUILD_DIR/tools/report_diff" "$DIFF_REPORT" "$DIFF_REPORT" > /dev/null
+"$BUILD_DIR/tools/report_diff" BENCH_hotpath.json "$DIFF_REPORT" \
+  --tolerance 60 > /dev/null
+if "$BUILD_DIR/tools/report_diff" BENCH_hotpath.json "$DIFF_REPORT" \
+  --tolerance 60 --inject-regression 75 > /dev/null 2>&1; then
+  echo "report_diff failed to fail on a seeded 75% regression"; exit 1
+fi
+echo "check.sh: report_diff gate passes clean and trips on a seeded regression"
+
 echo "check.sh: all good"

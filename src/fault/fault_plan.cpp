@@ -37,6 +37,16 @@ obs::Counter& fault_counter(const char* family, FaultKind kind) {
 
 }  // namespace
 
+void register_fault_metric_families() {
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    fault_counter("fault_injected_total", static_cast<FaultKind>(k));
+    fault_counter("fault_recovered_total", static_cast<FaultKind>(k));
+  }
+  // The churn-visible staleness counter the proxy bumps; registered here so
+  // fault-free runs export it as an explicit zero.
+  obs::Registry::global().counter("stale_index_hits_total");
+}
+
 const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
     case FaultKind::kPeerDisconnect: return "peer_disconnect";

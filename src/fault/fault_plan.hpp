@@ -40,6 +40,13 @@ inline constexpr std::size_t kNumFaultKinds = 7;
 
 const char* fault_kind_name(FaultKind kind);
 
+/// Eagerly materializes fault_injected_total{kind} and
+/// fault_recovered_total{kind} for every kind (plus the proxy's
+/// stale_index_hits_total) in the global registry, zero-valued, so
+/// first-interval time-series deltas and fault-free reports still carry the
+/// full labeled families.
+void register_fault_metric_families();
+
 /// Recoverable kinds must leave the affected request served correctly from
 /// another source; depart/join are membership events whose staleness effects
 /// are accounted separately.

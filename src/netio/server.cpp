@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include "obs/proc_stats.hpp"
 #include "obs/registry.hpp"
 #include "util/assert.hpp"
 
@@ -56,6 +57,9 @@ void FrameServer::stop() {
 }
 
 void FrameServer::accept_loop() {
+  // Registered so the time-series sampler exports per-thread CPU for the
+  // daemon's serving threads; the scope unregisters before thread exit.
+  const obs::ScopedThreadCpu cpu("netio_accept");
   while (!stop_.load()) {
     NetError err;
     auto conn = listener_.accept(params_.accept_poll_ms, &err);
@@ -77,6 +81,7 @@ void FrameServer::accept_loop() {
 }
 
 void FrameServer::worker_loop() {
+  const obs::ScopedThreadCpu cpu("netio_worker");
   for (;;) {
     TcpConnection conn;
     {

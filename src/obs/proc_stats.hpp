@@ -1,0 +1,91 @@
+// Process self-profiling for the time-series sampler: resident set size,
+// process CPU time, and per-thread CPU time for threads that register
+// themselves with the ThreadCpuTracker. All readings come straight from the
+// OS (`/proc/self/statm`, `clock_gettime`) with no caching, so a sampler
+// tick sees the process as it is at that instant. On platforms without the
+// needed interfaces every reader degrades to "absent" (valid == false or an
+// empty vector) rather than to a lie.
+//
+// Allocation counters ride behind a hook: the sampler calls the installed
+// AllocSampler (if any) once per tick, so a build that wires its allocator
+// (or a test double) gets alloc_count/alloc_bytes in the export and every
+// other build pays nothing — not even an atomic on the allocation path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace baps::obs {
+
+/// One point-in-time reading of the process.
+struct ProcessSample {
+  bool valid = false;
+  std::uint64_t rss_bytes = 0;   ///< resident set size
+  double cpu_seconds = 0.0;      ///< CLOCK_PROCESS_CPUTIME_ID
+};
+
+/// Reads RSS + process CPU. valid == false when the platform offers neither.
+ProcessSample sample_process();
+
+/// CPU seconds consumed by the calling thread
+/// (clock_gettime(CLOCK_THREAD_CPUTIME_ID)); 0.0 when unsupported.
+double current_thread_cpu_seconds();
+
+/// Registry of named threads whose CPU time the sampler reads cross-thread
+/// (pthread_getcpuclockid). Threads MUST unregister before exiting — reading
+/// the clock of a dead thread is undefined — so use ScopedThreadCpu, whose
+/// destructor unregisters, rather than the raw calls.
+class ThreadCpuTracker {
+ public:
+  struct ThreadCpu {
+    std::string name;
+    double cpu_seconds = 0.0;
+  };
+
+  /// Registers the calling thread under `name`; returns a token for
+  /// unregister(). Names need not be unique (e.g. "netio_worker" x4).
+  std::uint64_t register_current_thread(std::string name);
+  void unregister(std::uint64_t token);
+
+  /// CPU seconds of every registered thread, registration order. Threads
+  /// whose clock cannot be read (or on platforms without per-thread clocks)
+  /// are omitted.
+  std::vector<ThreadCpu> sample() const;
+
+  std::size_t size() const;
+
+  /// The process-wide tracker the sampler reads.
+  static ThreadCpuTracker& global();
+
+ private:
+  struct Impl;
+};
+
+/// RAII registration with the global tracker.
+class ScopedThreadCpu {
+ public:
+  explicit ScopedThreadCpu(std::string name)
+      : token_(ThreadCpuTracker::global().register_current_thread(
+            std::move(name))) {}
+  ScopedThreadCpu(const ScopedThreadCpu&) = delete;
+  ScopedThreadCpu& operator=(const ScopedThreadCpu&) = delete;
+  ~ScopedThreadCpu() { ThreadCpuTracker::global().unregister(token_); }
+
+ private:
+  std::uint64_t token_;
+};
+
+/// Allocation totals supplied by the installed hook.
+struct AllocStats {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+using AllocSampler = AllocStats (*)();
+
+/// Installs (or with nullptr removes) the allocation hook the sampler polls.
+void set_alloc_sampler(AllocSampler sampler);
+AllocSampler alloc_sampler();
+
+}  // namespace baps::obs

@@ -16,7 +16,7 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets,
 }
 
 void Histogram::observe(double x) {
-  sum_.fetch_add(x, std::memory_order_relaxed);
+  atomic_add_double(sum_, x);
   count_.fetch_add(1, std::memory_order_relaxed);
   double t = x;
   if (scale_ == HistScale::kLog10) {

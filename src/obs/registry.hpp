@@ -28,6 +28,32 @@ namespace baps::obs {
 /// set always names the same instrument.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+namespace detail {
+
+/// CAS loop for atomically adding to a double. The exposed fallback for
+/// toolchains without native atomic<double> fetch_add (a C++20 library
+/// feature, advertised via __cpp_lib_atomic_float); also unit-tested
+/// directly so the rarely-compiled path stays correct everywhere.
+inline void add_double_cas(std::atomic<double>& v, double dx) {
+  double cur = v.load(std::memory_order_relaxed);
+  while (!v.compare_exchange_weak(cur, cur + dx, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+/// Atomic v += dx: native fetch_add where the standard library provides the
+/// floating-point overload, CAS loop otherwise. Relaxed ordering either way —
+/// instruments are independent cells, not synchronization points.
+inline void atomic_add_double(std::atomic<double>& v, double dx) {
+#if defined(__cpp_lib_atomic_float)
+  v.fetch_add(dx, std::memory_order_relaxed);
+#else
+  detail::add_double_cas(v, dx);
+#endif
+}
+
 /// Monotonic event count.
 class Counter {
  public:
@@ -43,8 +69,8 @@ class Counter {
 class Gauge {
  public:
   void set(double x) { v_.store(x, std::memory_order_relaxed); }
-  void add(double dx) { v_.fetch_add(dx, std::memory_order_relaxed); }
-  void sub(double dx) { v_.fetch_sub(dx, std::memory_order_relaxed); }
+  void add(double dx) { atomic_add_double(v_, dx); }
+  void sub(double dx) { atomic_add_double(v_, -dx); }
   double value() const { return v_.load(std::memory_order_relaxed); }
   void reset() { v_.store(0.0, std::memory_order_relaxed); }
 

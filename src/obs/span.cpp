@@ -38,6 +38,19 @@ std::string span_kind_name(SpanKind kind) {
   return "unknown";
 }
 
+void register_trace_metric_families(Registry* registry) {
+  static constexpr SpanKind kAllKinds[] = {
+      SpanKind::kClientFetch, SpanKind::kIndexLookup, SpanKind::kCacheProbe,
+      SpanKind::kPeerTransfer, SpanKind::kOriginFetch, SpanKind::kFrameSend,
+      SpanKind::kFrameRecv};
+  for (SpanKind kind : kAllKinds) {
+    const std::string name = span_kind_name(kind);
+    registry->counter("trace_spans_total", {{"kind", name}});
+    registry->histogram(kStageHistName, kStageLo, kStageHi, kStageBuckets,
+                        HistScale::kLog10, {{"stage", name}});
+  }
+}
+
 bool trace_sampled(std::uint64_t seed, double rate, std::uint64_t trace_id) {
   if (rate <= 0.0) return false;
   if (rate >= 1.0) return true;

@@ -216,4 +216,12 @@ class Tracer {
 /// untouched, so report writers can call this unconditionally.
 Snapshot with_latency_quantiles(Snapshot snap);
 
+/// Eagerly materializes every trace_* instrument — trace_spans_total{kind}
+/// and trace_stage_seconds{stage} for all span kinds, zero-valued — so a
+/// first time-series interval (and any report) sees the full family even
+/// before a single span finishes. Labels are always present, matching the
+/// report_check requirement that every trace instrument carries its
+/// kind/stage label.
+void register_trace_metric_families(Registry* registry = &Registry::global());
+
 }  // namespace baps::obs

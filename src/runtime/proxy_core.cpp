@@ -18,6 +18,22 @@ std::vector<std::string> derive_client_mac_keys(std::uint64_t seed,
   return keys;
 }
 
+ProxyCore::RequestCounters::RequestCounters()
+    : requests(obs::Registry::global().counter("proxy_fetch_requests_total")),
+      served_proxy(obs::Registry::global().counter(
+          "proxy_fetch_served_total", {{"source", "proxy-cache"}})),
+      served_peer(obs::Registry::global().counter(
+          "proxy_fetch_served_total", {{"source", "remote-browser"}})),
+      served_origin(obs::Registry::global().counter(
+          "proxy_fetch_served_total", {{"source", "origin-server"}})),
+      false_forwards(
+          obs::Registry::global().counter("proxy_false_forwards_total")) {
+  // Resolving the handles above eagerly registers the whole family (zeros
+  // included), so the sampler's first interval and fetch-free reports still
+  // carry every proxy_* instrument; same contract for the staleness counter.
+  obs::Registry::global().counter("stale_index_hits_total");
+}
+
 ProxyCore::ProxyCore(const Params& params)
     : origin_(params.seed),
       keys_(crypto::generate_rsa_keypair(params.rsa_modulus_bits,
@@ -83,6 +99,7 @@ ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
                                          const obs::TraceContext& trace) {
   BAPS_REQUIRE(requester < mac_keys_.size(), "client id out of range");
   const DocStore::Key key = url_key(url);
+  counters_.requests.inc();
   bool false_forward = false;
   // One branch on the unsampled path: `traced` is false and every stage()
   // call below hands back an inert span.
@@ -96,6 +113,7 @@ ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
     const obs::Span probe = stage(obs::SpanKind::kCacheProbe);
     if (auto doc = proxy_cache_.get(key)) {
       ++stats_.proxy_hits;
+      counters_.served_proxy.inc();
       return {std::move(*doc), FetchOutcome::Source::kProxy, false};
     }
   }
@@ -119,10 +137,12 @@ ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
       if (doc.has_value()) {
         record(MsgKind::kPeerDeliver, client_name(*holder), "proxy", key);
         ++stats_.peer_hits;
+        counters_.served_peer.inc();
         return {std::move(*doc), FetchOutcome::Source::kRemoteBrowser, false};
       }
       // Stale index entry (or dead peer): no delivery came back.
       ++stats_.false_forwards;
+      counters_.false_forwards.inc();
       false_forward = true;
       obs::Registry::global().counter("stale_index_hits_total").inc();
       if (drop_failed_holders_) {
@@ -140,6 +160,7 @@ ProxyCore::Reply ProxyCore::handle_fetch(ClientId requester, const Url& url,
   std::string body = origin_.fetch(url);
   record(MsgKind::kOriginResponse, "origin", "proxy", key);
   ++stats_.origin_fetches;
+  counters_.served_origin.inc();
   Document doc{std::move(body), crypto::Watermark{}};
   doc.mark = crypto::issue_watermark(doc.body, keys_.priv);
   proxy_cache_.put(key, doc);

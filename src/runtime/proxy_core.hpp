@@ -117,6 +117,20 @@ class ProxyCore {
   void record(MsgKind kind, std::string from, std::string to,
               DocStore::Key key);
 
+  /// Registry mirrors of the ProxyStats protocol counters, resolved once at
+  /// construction so the per-request cost is one relaxed atomic increment.
+  /// These are what makes the live time-series useful: request rate, hit
+  /// ratio, and false-forward rate become per-interval deltas instead of
+  /// being visible only through the one-shot StatsRequest frame.
+  struct RequestCounters {
+    obs::Counter& requests;
+    obs::Counter& served_proxy;
+    obs::Counter& served_peer;
+    obs::Counter& served_origin;
+    obs::Counter& false_forwards;
+    RequestCounters();
+  };
+
   OriginServer origin_;
   crypto::RsaKeyPair keys_;
   store::TieredObjectStore proxy_cache_;
@@ -126,6 +140,7 @@ class ProxyCore {
   MessageTrace* trace_ = nullptr;   ///< optional, not owned
   obs::Tracer* tracer_ = nullptr;   ///< optional, not owned
   ProxyStats stats_;
+  RequestCounters counters_;
   bool drop_failed_holders_ = false;
 };
 

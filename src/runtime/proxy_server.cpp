@@ -43,6 +43,10 @@ void ProxyServer::set_tracer(obs::Tracer* tracer) {
   core_.set_tracer(tracer);
 }
 
+void ProxyServer::set_sampler(obs::TimeSeriesSampler* sampler) {
+  sampler_ = sampler;
+}
+
 void ProxyServer::capture_window_snapshot() {
   window_.capture(obs::Registry::global().snapshot(),
                   obs::monotonic_seconds());
@@ -202,6 +206,27 @@ void ProxyServer::session(netio::FrameChannel& channel,
         // introspection never stalls behind a slow fetch.
         wire::TraceStatsResponse response;
         response.json = trace_stats_json(request.max_spans).dump();
+        if (!channel.send_msg(response, &err)) return;
+        break;
+      }
+      case wire::FrameKind::kTimeSeriesRequest: {
+        wire::TimeSeriesRequest request;
+        if (!wire::decode(frame->payload, &request)) {
+          channel.send_msg(wire::ErrorMsg{"bad time series request"}, &err);
+          return;
+        }
+        // The sampler has its own lock — like trace stats, live telemetry
+        // never queues behind core_mu_.
+        wire::TimeSeriesResponse response;
+        if (sampler_ != nullptr) {
+          response.json = sampler_->window_json(request.max_intervals).dump();
+        } else {
+          obs::JsonValue empty = obs::json_object({});
+          empty.set("schema", obs::JsonValue(obs::kTimeSeriesWindowSchema));
+          empty.set("interval_seconds", obs::JsonValue(0.0));
+          empty.set("intervals", obs::JsonValue(obs::JsonArray{}));
+          response.json = empty.dump();
+        }
         if (!channel.send_msg(response, &err)) return;
         break;
       }

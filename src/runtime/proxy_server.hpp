@@ -20,6 +20,7 @@
 #include "netio/server.hpp"
 #include "obs/snapshot_window.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/proxy_core.hpp"
 
 namespace baps::runtime {
@@ -56,6 +57,12 @@ class ProxyServer {
   /// spans. Attach before start(); nullptr detaches; not owned.
   void set_tracer(obs::Tracer* tracer);
 
+  /// Attaches the daemon's time-series sampler so TimeSeriesRequest frames
+  /// serve its live interval ring. Attach before start(); nullptr detaches;
+  /// not owned. Without a sampler the proxy answers with an empty window —
+  /// still a valid baps.timeseries_window.v1 document.
+  void set_sampler(obs::TimeSeriesSampler* sampler);
+
   /// Captures one timestamped registry snapshot into the rolling window
   /// (the daemon's poll loop calls this ~once a second).
   void capture_window_snapshot();
@@ -75,6 +82,7 @@ class ProxyServer {
   ProxyCore core_;
   std::mutex core_mu_;
   obs::Tracer* tracer_ = nullptr;  ///< optional, not owned
+  obs::TimeSeriesSampler* sampler_ = nullptr;  ///< optional, not owned
   obs::SnapshotWindow window_;
 
   std::mutex ports_mu_;

@@ -295,4 +295,21 @@ std::string TcpTransport::trace_stats(std::uint32_t max_spans) {
   return json;
 }
 
+std::string TcpTransport::time_series(std::uint32_t max_intervals) {
+  std::string json;
+  const bool ok = observer_session(
+      [&](netio::FrameChannel& channel, wire::HelloAck&) {
+        NetError err;
+        wire::TimeSeriesRequest request;
+        request.max_intervals = max_intervals;
+        if (!channel.send_msg(request, &err)) return false;
+        const auto response = channel.recv_msg<wire::TimeSeriesResponse>(&err);
+        if (!response.has_value()) return false;
+        json = std::move(response->json);
+        return true;
+      });
+  BAPS_REQUIRE(ok, "cannot fetch proxy time series");
+  return json;
+}
+
 }  // namespace baps::runtime

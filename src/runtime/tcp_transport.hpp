@@ -57,6 +57,11 @@ class TcpTransport final : public Transport {
   /// JSON (baps.trace_stats.v1), `max_spans` most recent spans included.
   std::string trace_stats(std::uint32_t max_spans);
 
+  /// One-shot observer TimeSeriesRequest: the proxy's live interval window
+  /// JSON (baps.timeseries_window.v1), up to `max_intervals` most recent
+  /// interval records (0 = everything in the sampler's ring).
+  std::string time_series(std::uint32_t max_intervals);
+
   // --- fault injection ----------------------------------------------------
   /// Kills `client`'s peer listener without telling the proxy: its index
   /// registration stays, so the next peer fetch routed there finds a dead

@@ -117,4 +117,19 @@ bool TieredObjectStore::restart(std::string* error) {
   return disk_->reopen(error);
 }
 
+void register_store_metric_families() {
+  auto& reg = obs::Registry::global();
+  reg.counter("store_probes_total");
+  reg.counter("store_hits_total");
+  reg.counter("store_misses_total");
+  reg.counter("store_demotions_total");
+  reg.counter("store_promotions_total");
+  reg.counter("store_bytes_total", {{"dir", "read"}});
+  reg.counter("store_bytes_total", {{"dir", "written"}});
+  reg.counter("store_integrity_failures_total");
+  stage_hist("probe");
+  stage_hist("demote");
+  stage_hist("promote");
+}
+
 }  // namespace baps::store

@@ -85,4 +85,12 @@ class TieredObjectStore {
   std::unique_ptr<DiskStore> disk_;
 };
 
+/// Eagerly materializes every store_* instrument — probes/hits/misses/
+/// demotions/promotions, store_bytes_total{dir=read|written},
+/// store_integrity_failures_total, and the store_stage_seconds{op}
+/// histograms — zero-valued in the global registry. Keeps the report_check
+/// hits + misses == probes and dir-label invariants intact (zeros satisfy
+/// both) while making first-interval time-series deltas complete.
+void register_store_metric_families();
+
 }  // namespace baps::store

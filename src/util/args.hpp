@@ -77,6 +77,29 @@ inline bool parse_byte_size(const std::string& s, std::uint64_t* out) {
   return true;
 }
 
+/// Durations with optional unit suffix: "1s", "250ms", "2m" (minutes), or a
+/// bare number meaning seconds ("0.5"). Result is seconds; negative values
+/// are rejected.
+inline bool parse_duration_seconds(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  double scale = 1.0;
+  std::size_t digits = s.size();
+  if (s.size() >= 2 && s.compare(s.size() - 2, 2, "ms") == 0) {
+    scale = 1e-3;
+    digits = s.size() - 2;
+  } else if (s.back() == 's') {
+    digits = s.size() - 1;
+  } else if (s.back() == 'm') {
+    scale = 60.0;
+    digits = s.size() - 1;
+  }
+  double v = 0.0;
+  if (!parse_number(s.substr(0, digits), &v)) return false;
+  if (v < 0.0) return false;
+  *out = v * scale;
+  return true;
+}
+
 class ArgParser {
  public:
   explicit ArgParser(std::string program, std::string summary = {})
@@ -122,6 +145,17 @@ class ArgParser {
                    const std::string& value_name, const std::string& help) {
     add(name, value_name, help, [out](const std::string& v) {
       return parse_byte_size(v, out);
+    }, /*takes_value=*/true);
+    return *this;
+  }
+
+  /// Duration in seconds accepting the s/ms/m suffixes of
+  /// parse_duration_seconds ("--ts-interval 250ms"). Bare numbers parse as
+  /// seconds, identically to option(double*).
+  ArgParser& duration(const std::string& name, double* out,
+                      const std::string& value_name, const std::string& help) {
+    add(name, value_name, help, [out](const std::string& v) {
+      return parse_duration_seconds(v, out);
     }, /*takes_value=*/true);
     return *this;
   }

@@ -26,6 +26,8 @@ std::string frame_kind_name(FrameKind kind) {
     case FrameKind::kBye: return "bye";
     case FrameKind::kTraceStatsRequest: return "trace-stats-request";
     case FrameKind::kTraceStatsResponse: return "trace-stats-response";
+    case FrameKind::kTimeSeriesRequest: return "time-series-request";
+    case FrameKind::kTimeSeriesResponse: return "time-series-response";
   }
   BAPS_REQUIRE(false, "unknown frame kind");
   return {};

@@ -67,10 +67,12 @@ enum class FrameKind : std::uint8_t {
   kBye = 12,           ///< orderly close
   kTraceStatsRequest = 13,   ///< observer → proxy: live snapshot + spans
   kTraceStatsResponse = 14,  ///< proxy → observer: introspection JSON
+  kTimeSeriesRequest = 15,   ///< observer → proxy: recent interval records
+  kTimeSeriesResponse = 16,  ///< proxy → observer: time-series window JSON
 };
 
 inline constexpr std::uint8_t kMinFrameKind = 1;
-inline constexpr std::uint8_t kMaxFrameKind = 14;
+inline constexpr std::uint8_t kMaxFrameKind = 16;
 
 /// Bytes of the trace-context block this version reads and writes:
 /// u64 trace_id, u64 span_id, u8 flags (bit 0 = sampled).

@@ -212,4 +212,30 @@ bool decode(std::string_view payload, TraceStatsResponse* out) {
   return r.str(&out->json, kMaxBodyLen) && r.at_end();
 }
 
+// --- TimeSeriesRequest ----------------------------------------------------
+
+std::string encode(const TimeSeriesRequest& m) {
+  Writer w;
+  w.u32(m.max_intervals);
+  return w.take();
+}
+
+bool decode(std::string_view payload, TimeSeriesRequest* out) {
+  Reader r(payload);
+  return r.u32(&out->max_intervals) && r.at_end();
+}
+
+// --- TimeSeriesResponse ---------------------------------------------------
+
+std::string encode(const TimeSeriesResponse& m) {
+  Writer w;
+  w.str(m.json);
+  return w.take();
+}
+
+bool decode(std::string_view payload, TimeSeriesResponse* out) {
+  Reader r(payload);
+  return r.str(&out->json, kMaxBodyLen) && r.at_end();
+}
+
 }  // namespace baps::wire

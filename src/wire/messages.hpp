@@ -129,6 +129,25 @@ struct TraceStatsResponse {
   std::string json;
 };
 
+/// Live time-series request: the proxy answers with the most recent interval
+/// records from its TimeSeriesSampler ring — per-interval counter rates,
+/// gauge levels, and windowed histogram quantiles — without interrupting
+/// service. `baps_top` polls this frame.
+struct TimeSeriesRequest {
+  static constexpr FrameKind kKind = FrameKind::kTimeSeriesRequest;
+  /// 0 = everything in the ring.
+  std::uint32_t max_intervals = 0;
+};
+
+/// Time-series payload: one JSON document (schema baps.timeseries_window.v1,
+/// an envelope of baps.timeseries.v1 interval records). JSON rather than a
+/// fixed struct so records can grow fields without a wire rev — the same
+/// choice TraceStatsResponse made.
+struct TimeSeriesResponse {
+  static constexpr FrameKind kKind = FrameKind::kTimeSeriesResponse;
+  std::string json;
+};
+
 struct Bye {
   static constexpr FrameKind kKind = FrameKind::kBye;
 };
@@ -147,6 +166,8 @@ std::string encode(const ErrorMsg& m);
 std::string encode(const Bye& m);
 std::string encode(const TraceStatsRequest& m);
 std::string encode(const TraceStatsResponse& m);
+std::string encode(const TimeSeriesRequest& m);
+std::string encode(const TimeSeriesResponse& m);
 
 bool decode(std::string_view payload, Hello* out);
 bool decode(std::string_view payload, HelloAck* out);
@@ -162,5 +183,7 @@ bool decode(std::string_view payload, ErrorMsg* out);
 bool decode(std::string_view payload, Bye* out);
 bool decode(std::string_view payload, TraceStatsRequest* out);
 bool decode(std::string_view payload, TraceStatsResponse* out);
+bool decode(std::string_view payload, TimeSeriesRequest* out);
+bool decode(std::string_view payload, TimeSeriesResponse* out);
 
 }  // namespace baps::wire

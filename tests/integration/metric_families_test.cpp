@@ -1,0 +1,104 @@
+// Every documented metric family must exist in a registry snapshot taken
+// right after the eager registration calls — BEFORE any traffic. A family
+// that only appears once traffic touches it makes time-series streams and
+// dashboards grow columns mid-run and makes fault-free reports silently
+// omit the fault counters; eager registration pins the full schema from
+// interval #0. Registry::global() is shared across tests in this binary, so
+// these are presence assertions, not value assertions.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+#include "sim/sharded_replay.hpp"
+#include "store/tiered_store.hpp"
+
+namespace baps {
+namespace {
+
+bool has_counter(const obs::Snapshot& snap, const std::string& name,
+                 const obs::Labels& labels = {}) {
+  return snap.counter(name, labels) != nullptr;
+}
+
+bool has_histogram(const obs::Snapshot& snap, const std::string& name,
+                   const obs::Labels& labels) {
+  for (const obs::HistogramSample& h : snap.histograms) {
+    if (h.name == name && h.labels == labels) return true;
+  }
+  return false;
+}
+
+TEST(MetricFamiliesTest, EagerRegistrationCoversEveryDocumentedFamily) {
+  store::register_store_metric_families();
+  fault::register_fault_metric_families();
+  obs::register_trace_metric_families();
+  sim::register_shard_metric_families();
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+
+  // Durable store family (report_check's store validator needs probes,
+  // hits, misses present together and both bytes directions).
+  for (const char* name :
+       {"store_probes_total", "store_hits_total", "store_misses_total",
+        "store_demotions_total", "store_promotions_total",
+        "store_integrity_failures_total"}) {
+    EXPECT_TRUE(has_counter(snap, name)) << name;
+  }
+  EXPECT_TRUE(has_counter(snap, "store_bytes_total", {{"dir", "read"}}));
+  EXPECT_TRUE(has_counter(snap, "store_bytes_total", {{"dir", "written"}}));
+  for (const char* op : {"probe", "demote", "promote"}) {
+    EXPECT_TRUE(has_histogram(snap, "store_stage_seconds", {{"op", op}}))
+        << op;
+  }
+
+  // Fault-injection family: every kind, both directions, always labeled
+  // (report_check rejects unlabeled fault counters).
+  for (const char* kind :
+       {"peer_disconnect", "peer_depart", "peer_join", "slow_peer",
+        "drop_frame", "corrupt_frame", "proxy_restart"}) {
+    EXPECT_TRUE(has_counter(snap, "fault_injected_total", {{"kind", kind}}))
+        << kind;
+    EXPECT_TRUE(has_counter(snap, "fault_recovered_total", {{"kind", kind}}))
+        << kind;
+  }
+  EXPECT_TRUE(has_counter(snap, "stale_index_hits_total"));
+
+  // Tracing family: every span kind as a labeled counter and a labeled
+  // stage histogram.
+  for (const char* kind :
+       {"client_fetch", "index_lookup", "cache_probe", "peer_transfer",
+        "origin_fetch", "frame_send", "frame_recv"}) {
+    EXPECT_TRUE(has_counter(snap, "trace_spans_total", {{"kind", kind}}))
+        << kind;
+    EXPECT_TRUE(has_histogram(snap, "trace_stage_seconds", {{"stage", kind}}))
+        << kind;
+  }
+
+  // Sharded-replay merge-contract counters.
+  EXPECT_TRUE(has_counter(snap, "shard_requests_total"));
+  EXPECT_TRUE(has_counter(snap, "shard_merged_requests_total"));
+}
+
+TEST(MetricFamiliesTest, EagerRegistrationIsIdempotent) {
+  store::register_store_metric_families();
+  fault::register_fault_metric_families();
+  obs::register_trace_metric_families();
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  store::register_store_metric_families();
+  fault::register_fault_metric_families();
+  obs::register_trace_metric_families();
+  const obs::Snapshot after = obs::Registry::global().snapshot();
+  // Re-registering resolves the same instruments; no duplicates appear.
+  EXPECT_EQ(before.counters.size(), after.counters.size());
+  EXPECT_EQ(before.histograms.size(), after.histograms.size());
+  std::size_t store_probes = 0;
+  for (const obs::CounterSample& c : after.counters) {
+    if (c.name == "store_probes_total") ++store_probes;
+  }
+  EXPECT_EQ(store_probes, 1u);
+}
+
+}  // namespace
+}  // namespace baps

@@ -125,5 +125,52 @@ TEST(RegistryTest, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }
 
+TEST(RegistryTest, ConcurrentGaugeAddSubLandsExactly) {
+  // Gauge::add/sub must be a single atomic RMW (native fetch_add or the CAS
+  // fallback): with adders and subtractors racing, a torn read-modify-write
+  // would lose updates and the final value would drift off zero.
+  Registry reg;
+  Gauge& g = reg.gauge("contended");
+  constexpr std::size_t kThreads = 8;  // half add, half sub
+  constexpr std::size_t kOpsPerThread = 20000;
+  {
+    ThreadPool pool(kThreads);
+    pool.parallel_for(kThreads, [&](std::size_t t) {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        if (t % 2 == 0) {
+          g.add(1.5);
+        } else {
+          g.sub(1.5);
+        }
+      }
+    });
+  }
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(RegistryTest, AddDoubleCasFallbackMatchesNativePath) {
+  // The CAS loop is the portability fallback for toolchains without
+  // __cpp_lib_atomic_float; exercise it directly so the rarely-compiled
+  // path stays correct on toolchains that never select it.
+  std::atomic<double> v{1.25};
+  detail::add_double_cas(v, 2.5);
+  detail::add_double_cas(v, -0.75);
+  EXPECT_DOUBLE_EQ(v.load(), 3.0);
+
+  std::atomic<double> contended{0.0};
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kOpsPerThread = 20000;
+  {
+    ThreadPool pool(kThreads);
+    pool.parallel_for(kThreads, [&](std::size_t) {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        detail::add_double_cas(contended, 0.5);
+      }
+    });
+  }
+  EXPECT_DOUBLE_EQ(contended.load(),
+                   0.5 * static_cast<double>(kThreads * kOpsPerThread));
+}
+
 }  // namespace
 }  // namespace baps::obs

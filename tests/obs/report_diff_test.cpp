@@ -1,0 +1,160 @@
+#include "obs/report_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace baps::obs {
+namespace {
+
+using OrgRps = std::vector<std::pair<std::string, double>>;
+
+JsonValue make_report(const OrgRps& org_rps) {
+  JsonArray gauges;
+  for (const auto& [org, v] : org_rps) {
+    gauges.push_back(json_object(
+        {{"name", JsonValue("replay_requests_per_second")},
+         {"labels", json_object({{"org", JsonValue(org)}})},
+         {"value", JsonValue(v)}}));
+  }
+  JsonValue registry = json_object({});
+  registry.set("gauges", JsonValue(std::move(gauges)));
+  JsonValue doc = json_object({});
+  doc.set("schema", JsonValue("baps.report.v1"));
+  doc.set("registry", std::move(registry));
+  return doc;
+}
+
+JsonValue make_hotpath(const OrgRps& org_rps) {
+  JsonObject rps;
+  for (const auto& [org, v] : org_rps) rps.emplace_back(org, JsonValue(v));
+  JsonArray entries;
+  entries.push_back(
+      json_object({{"requests_per_second", JsonValue(std::move(rps))}}));
+  JsonValue doc = json_object({});
+  doc.set("schema", JsonValue("baps.bench_hotpath.v1"));
+  doc.set("entries", JsonValue(std::move(entries)));
+  return doc;
+}
+
+TEST(ReportDiffTest, ReportVsReportWithinToleranceOk) {
+  const JsonValue base = make_report({{"proxy-cache-only", 100.0}});
+  const JsonValue cur = make_report({{"proxy-cache-only", 95.0}});
+  const ReportDiffResult r = diff_reports(base, cur);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.compared, 1u);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(ReportDiffTest, ReportVsReportRegressionBeyondToleranceFails) {
+  const JsonValue base = make_report({{"proxy-cache-only", 100.0}});
+  const JsonValue cur = make_report({{"proxy-cache-only", 70.0}});
+  const ReportDiffResult r = diff_reports(base, cur);  // default 20%
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_NE(r.findings[0].find("regressed"), std::string::npos);
+}
+
+TEST(ReportDiffTest, ToleranceOptionsWidenTheBand) {
+  const JsonValue base = make_report({{"proxy-cache-only", 100.0}});
+  const JsonValue cur = make_report({{"proxy-cache-only", 70.0}});
+  ReportDiffOptions wide;
+  wide.tolerance_pct = 40.0;
+  EXPECT_TRUE(diff_reports(base, cur, wide).ok);
+  ReportDiffOptions per_metric;
+  per_metric.metric_tolerances["replay_requests_per_second"] = 40.0;
+  EXPECT_TRUE(diff_reports(base, cur, per_metric).ok);
+  // The per-metric override wins over a tighter global tolerance.
+  per_metric.tolerance_pct = 5.0;
+  EXPECT_TRUE(diff_reports(base, cur, per_metric).ok);
+}
+
+TEST(ReportDiffTest, ReportVsReportInjectedRegressionTripsTheGate) {
+  const JsonValue doc = make_report(
+      {{"proxy-cache-only", 100.0}, {"browsers-aware-proxy-server", 400.0}});
+  EXPECT_TRUE(diff_reports(doc, doc).ok);  // self-diff passes
+  ReportDiffOptions inject;
+  inject.inject_regression_pct = 75.0;
+  const ReportDiffResult r = diff_reports(doc, doc, inject);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.findings.size(), 2u);
+}
+
+TEST(ReportDiffTest, InstancesMissingFromOneSideAreNotedNotCompared) {
+  const JsonValue base =
+      make_report({{"proxy-cache-only", 100.0}, {"base-only", 50.0}});
+  const JsonValue cur =
+      make_report({{"proxy-cache-only", 100.0}, {"cur-only", 60.0}});
+  const ReportDiffResult r = diff_reports(base, cur);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.compared, 1u);
+  EXPECT_EQ(r.notes.size(), 2u);
+}
+
+TEST(ReportDiffTest, HotpathUniformSlowdownCancelsOut) {
+  const JsonValue base = make_hotpath(
+      {{"alpha", 100.0}, {"beta", 200.0}, {"gamma", 400.0}});
+  // A 4x slower machine with the same relative shape must pass: the gate
+  // compares geomean-normalized values, not absolute req/s.
+  const JsonValue cur =
+      make_report({{"alpha", 25.0}, {"beta", 50.0}, {"gamma", 100.0}});
+  const ReportDiffResult r = diff_reports(base, cur);
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings[0]);
+  EXPECT_EQ(r.compared, 3u);
+}
+
+TEST(ReportDiffTest, HotpathLopsidedSlowdownFails) {
+  const JsonValue base = make_hotpath(
+      {{"alpha", 100.0}, {"beta", 200.0}, {"gamma", 400.0}});
+  // gamma collapsed relative to its peers — exactly the regression shape
+  // the normalized gate exists to catch.
+  const JsonValue cur =
+      make_report({{"alpha", 50.0}, {"beta", 100.0}, {"gamma", 20.0}});
+  const ReportDiffResult r = diff_reports(base, cur);
+  EXPECT_FALSE(r.ok);
+  ASSERT_FALSE(r.findings.empty());
+  EXPECT_NE(r.findings[0].find("gamma"), std::string::npos);
+}
+
+TEST(ReportDiffTest, HotpathInjectedRegressionTripsTheGate) {
+  const JsonValue base = make_hotpath({{"alpha", 100.0}, {"beta", 200.0}});
+  const JsonValue cur = make_report({{"alpha", 100.0}, {"beta", 200.0}});
+  EXPECT_TRUE(diff_reports(base, cur).ok);
+  // Injected AFTER normalization: even a uniform seeded drop must fail,
+  // proving the self-test cannot cancel out of the shape comparison.
+  ReportDiffOptions inject;
+  inject.inject_regression_pct = 75.0;
+  const ReportDiffResult r = diff_reports(base, cur, inject);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ReportDiffTest, HotpathRestrictsToSharedOrgs) {
+  const JsonValue base = make_hotpath(
+      {{"alpha", 100.0}, {"beta", 200.0}, {"hotpath-only", 999.0}});
+  const JsonValue cur =
+      make_report({{"alpha", 100.0}, {"beta", 200.0}, {"report-only", 1.0}});
+  const ReportDiffResult r = diff_reports(base, cur);
+  EXPECT_TRUE(r.ok) << (r.findings.empty() ? "" : r.findings[0]);
+  EXPECT_EQ(r.compared, 2u);
+}
+
+TEST(ReportDiffTest, NothingSharedOrUnknownSchemaFails) {
+  const JsonValue base = make_hotpath({{"alpha", 100.0}});
+  const JsonValue cur = make_report({{"omega", 100.0}});
+  EXPECT_FALSE(diff_reports(base, cur).ok);
+
+  JsonValue bogus = json_object({{"schema", JsonValue("something.else")}});
+  EXPECT_FALSE(diff_reports(bogus, cur).ok);
+}
+
+TEST(ReportDiffTest, EmptyReportsCompareNothing) {
+  const JsonValue a = make_report({});
+  const ReportDiffResult r = diff_reports(a, a);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.compared, 0u);  // the CLI treats this as a failure
+}
+
+}  // namespace
+}  // namespace baps::obs

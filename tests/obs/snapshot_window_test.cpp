@@ -1,0 +1,93 @@
+#include "obs/snapshot_window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace baps::obs {
+namespace {
+
+Snapshot snap_with(const std::string& name, std::uint64_t value) {
+  Snapshot s;
+  s.counters.push_back({name, {}, value});
+  return s;
+}
+
+double rate_of(const JsonValue& window, const std::string& name) {
+  for (const JsonValue& r : window.at("rates").as_array()) {
+    if (r.at("name").as_string() == name) {
+      return r.at("per_second").as_double();
+    }
+  }
+  ADD_FAILURE() << "no rate entry for " << name;
+  return -1.0;
+}
+
+TEST(SnapshotWindowTest, WraparoundRatesOverTheRetainedSpanOnly) {
+  SnapshotWindow window(3);
+  // Five captures, one per second, counter climbing by 10 each: after
+  // wraparound only t=3..5 remain, so the rate is over that 2s span.
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    window.capture(snap_with("requests_total", 10 * i),
+                   static_cast<double>(i));
+  }
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_DOUBLE_EQ(window.span_seconds(), 2.0);
+  const JsonValue w = window.window_json();
+  EXPECT_DOUBLE_EQ(w.at("window_seconds").as_double(), 2.0);
+  EXPECT_EQ(w.at("captures").as_uint(), 3u);
+  EXPECT_DOUBLE_EQ(rate_of(w, "requests_total"), 10.0);  // (50-30)/2
+}
+
+TEST(SnapshotWindowTest, IntervalShorterThanUpdateCadenceReadsZeroRate) {
+  SnapshotWindow window(8);
+  // The counter updates slower than the capture cadence: consecutive
+  // captures see the same value and the rate honestly reads 0.
+  window.capture(snap_with("slow_total", 7), 1.0);
+  window.capture(snap_with("slow_total", 7), 1.01);
+  window.capture(snap_with("slow_total", 7), 1.02);
+  const JsonValue w = window.window_json();
+  EXPECT_DOUBLE_EQ(rate_of(w, "slow_total"), 0.0);
+}
+
+TEST(SnapshotWindowTest, ZeroSpanReportsNoRates) {
+  SnapshotWindow window(4);
+  window.capture(snap_with("x_total", 1), 2.0);
+  window.capture(snap_with("x_total", 5), 2.0);  // same timestamp
+  const JsonValue w = window.window_json();
+  EXPECT_DOUBLE_EQ(w.at("window_seconds").as_double(), 0.0);
+  EXPECT_TRUE(w.at("rates").as_array().empty());
+}
+
+TEST(SnapshotWindowTest, CounterResetMidWindowClampsInsteadOfGoingNegative) {
+  SnapshotWindow window(4);
+  window.capture(snap_with("resetting_total", 100), 1.0);
+  window.capture(snap_with("resetting_total", 150), 2.0);
+  // Reset between captures: newest < oldest. The window clamps the delta to
+  // zero; the next wraparound re-baselines.
+  window.capture(snap_with("resetting_total", 3), 3.0);
+  EXPECT_DOUBLE_EQ(rate_of(window.window_json(), "resetting_total"), 0.0);
+  // Once the pre-reset capture ages out, rates resume from the new baseline.
+  window.capture(snap_with("resetting_total", 23), 4.0);
+  window.capture(snap_with("resetting_total", 43), 5.0);
+  window.capture(snap_with("resetting_total", 63), 6.0);
+  window.capture(snap_with("resetting_total", 83), 7.0);
+  EXPECT_DOUBLE_EQ(rate_of(window.window_json(), "resetting_total"), 20.0);
+}
+
+TEST(SnapshotWindowTest, InstrumentAppearingMidWindowDeltasAgainstZero) {
+  SnapshotWindow window(4);
+  window.capture(snap_with("old_total", 5), 1.0);
+  Snapshot both = snap_with("new_total", 12);
+  both.counters.push_back({"old_total", {}, 5});
+  sort_snapshot(both);
+  window.capture(std::move(both), 3.0);
+  // new_total was absent from the oldest capture: its whole value is the
+  // window delta.
+  EXPECT_DOUBLE_EQ(rate_of(window.window_json(), "new_total"), 6.0);
+}
+
+}  // namespace
+}  // namespace baps::obs

@@ -227,6 +227,41 @@ TEST(ArgParserTest, HelpShortCircuitsRemainingArgs) {
   EXPECT_TRUE(short_form.help_requested());
 }
 
+TEST(ParseDurationTest, UnitsSuffixesAndRejections) {
+  double s = -1.0;
+  EXPECT_TRUE(parse_duration_seconds("1s", &s));
+  EXPECT_DOUBLE_EQ(s, 1.0);
+  EXPECT_TRUE(parse_duration_seconds("250ms", &s));
+  EXPECT_DOUBLE_EQ(s, 0.25);
+  EXPECT_TRUE(parse_duration_seconds("2m", &s));
+  EXPECT_DOUBLE_EQ(s, 120.0);
+  EXPECT_TRUE(parse_duration_seconds("0.5", &s));  // bare number = seconds
+  EXPECT_DOUBLE_EQ(s, 0.5);
+  EXPECT_TRUE(parse_duration_seconds("0s", &s));
+  EXPECT_DOUBLE_EQ(s, 0.0);
+
+  EXPECT_FALSE(parse_duration_seconds("", &s));
+  EXPECT_FALSE(parse_duration_seconds("s", &s));
+  EXPECT_FALSE(parse_duration_seconds("ms", &s));
+  EXPECT_FALSE(parse_duration_seconds("-1s", &s));
+  EXPECT_FALSE(parse_duration_seconds("1h", &s));  // no hours unit
+  EXPECT_FALSE(parse_duration_seconds("1.5xs", &s));
+}
+
+TEST(ArgParserTest, DurationOptionParsesSuffixedValues) {
+  double interval = 0.0;
+  ArgParser parser("prog");
+  parser.duration("--ts-interval", &interval, "DUR", "");
+  Argv ok({"--ts-interval", "250ms"});
+  std::string error;
+  ASSERT_TRUE(parser.parse(ok.argc(), ok.argv(), &error)) << error;
+  EXPECT_DOUBLE_EQ(interval, 0.25);
+
+  Argv bad({"--ts-interval", "-2s"});
+  EXPECT_FALSE(parser.parse(bad.argc(), bad.argv(), &error));
+  EXPECT_NE(error.find("--ts-interval"), std::string::npos);
+}
+
 TEST(ArgParserTest, UsageListsEveryOptionAndHelp) {
   bool b = false;
   std::string s;

@@ -86,7 +86,7 @@ TEST(FrameTest, RejectsTraceContextLongerThanPayload) {
 }
 
 TEST(FrameTest, RejectsUnknownKinds) {
-  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{15}, std::uint8_t{255}}) {
+  for (std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{17}, std::uint8_t{255}}) {
     std::string bytes = encode_frame(FrameKind::kBye, "");
     bytes[5] = static_cast<char>(bad);
     EXPECT_EQ(decode_frame(bytes).status, DecodeStatus::kBadKind)

@@ -209,6 +209,27 @@ TEST(MessagesTest, TraceStatsRoundTrip) {
   EXPECT_TRUE(empty.json.empty());
 }
 
+TEST(MessagesTest, TimeSeriesRoundTrip) {
+  TimeSeriesRequest req;
+  req.max_intervals = 16;
+  TimeSeriesRequest req_out;
+  ASSERT_TRUE(decode(encode(req), &req_out));
+  EXPECT_EQ(req_out.max_intervals, 16u);
+  expect_strict<TimeSeriesRequest>(encode(req));
+
+  TimeSeriesResponse in;
+  in.json =
+      "{\"schema\":\"baps.timeseries_window.v1\",\"intervals\":[]}";
+  TimeSeriesResponse out;
+  ASSERT_TRUE(decode(encode(in), &out));
+  EXPECT_EQ(out.json, in.json);
+  expect_strict<TimeSeriesResponse>(encode(in));
+
+  TimeSeriesResponse empty;
+  ASSERT_TRUE(decode(encode(TimeSeriesResponse{}), &empty));
+  EXPECT_TRUE(empty.json.empty());
+}
+
 TEST(MessagesTest, ErrorAndByeRoundTrip) {
   ErrorMsg in{"client id out of range"};
   ErrorMsg out;
@@ -237,6 +258,8 @@ TEST(MessagesTest, MessageKindsMatchFrameKinds) {
   EXPECT_EQ(Bye::kKind, FrameKind::kBye);
   EXPECT_EQ(TraceStatsRequest::kKind, FrameKind::kTraceStatsRequest);
   EXPECT_EQ(TraceStatsResponse::kKind, FrameKind::kTraceStatsResponse);
+  EXPECT_EQ(TimeSeriesRequest::kKind, FrameKind::kTimeSeriesRequest);
+  EXPECT_EQ(TimeSeriesResponse::kKind, FrameKind::kTimeSeriesResponse);
 }
 
 }  // namespace

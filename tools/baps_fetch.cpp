@@ -31,7 +31,9 @@
 #include "fault/fault_plan.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/system.hpp"
+#include "store/tiered_store.hpp"
 #include "runtime/tcp_transport.hpp"
 #include "trace/presets.hpp"
 #include "util/args.hpp"
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
   std::uint32_t stats_spans = 32;
   double trace_sample = 0.0;
   std::string trace_out;
+  double ts_interval = 0.0;
+  std::string ts_out;
 
   util::ArgParser parser("baps_fetch",
                          "Fetch documents through a BAPS proxy.");
@@ -120,7 +124,13 @@ int main(int argc, char** argv) {
       .option("--trace-sample", &trace_sample, "RATE",
               "trace sampling rate in [0,1] (default 0: tracing off)")
       .option("--trace-out", &trace_out, "FILE",
-              "write sampled spans as JSONL (requires --trace-sample)");
+              "write sampled spans as JSONL (requires --trace-sample)")
+      .duration("--ts-interval", &ts_interval, "DUR",
+                "continuous time-series sampling interval, e.g. 1s / 250ms "
+                "(default 0: sampler off)")
+      .option("--ts-out", &ts_out, "FILE",
+              "write baps.timeseries.v1 interval records as JSONL "
+              "(requires --ts-interval)");
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -146,6 +156,10 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty() && trace_sample <= 0.0) {
     std::cerr << "--trace-out requires --trace-sample > 0\n";
+    return 2;
+  }
+  if (!ts_out.empty() && ts_interval <= 0.0) {
+    std::cerr << "--ts-out requires --ts-interval > 0\n";
     return 2;
   }
   if (stats) {
@@ -247,6 +261,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Continuous telemetry over the workload: pre-register the documented
+  // families so interval #0 carries the full schema, then sample on a
+  // dedicated thread until the run finishes.
+  std::unique_ptr<obs::TimeSeriesSampler> ts_sampler;
+  std::ofstream ts_stream;
+  if (ts_interval > 0.0) {
+    store::register_store_metric_families();
+    fault::register_fault_metric_families();
+    obs::register_trace_metric_families();
+    obs::TimeSeriesSampler::Params sp;
+    sp.interval_seconds = ts_interval;
+    ts_sampler = std::make_unique<obs::TimeSeriesSampler>(sp);
+    if (!ts_out.empty()) {
+      ts_stream.open(ts_out);
+      if (!ts_stream) {
+        std::cerr << "cannot open " << ts_out << "\n";
+        return 1;
+      }
+      ts_sampler->set_sink(&ts_stream);
+    }
+    ts_sampler->start();
+  }
+
   obs::PhaseTimers phases;
   std::uint64_t done = 0, verified = 0, tampered = 0;
   const auto run_one = [&](runtime::ClientId c, const std::string& u) {
@@ -283,6 +320,11 @@ int main(int argc, char** argv) {
       run_one(static_cast<runtime::ClientId>(req.client % clients),
               t.url_of(req.doc));
     }
+  }
+
+  if (ts_sampler != nullptr) {
+    ts_sampler->stop();  // final tick captures the end-of-run state
+    if (!ts_out.empty()) std::cerr << "wrote " << ts_out << "\n";
   }
 
   std::cout << "requests=" << done << " verified=" << verified

@@ -22,9 +22,12 @@
 #include <string>
 #include <thread>
 
+#include "fault/fault_plan.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "runtime/proxy_server.hpp"
+#include "store/tiered_store.hpp"
 #include "util/args.hpp"
 
 namespace {
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   double trace_sample = 0.0;
   std::string trace_out;
+  double ts_interval = 0.0;
+  std::string ts_out;
 
   util::ArgParser parser("baps_proxyd",
                          "Serve the BAPS proxy over TCP on 127.0.0.1.");
@@ -77,7 +82,13 @@ int main(int argc, char** argv) {
       .option("--trace-sample", &trace_sample, "RATE",
               "trace sampling rate in [0,1] (default 0: tracing off)")
       .option("--trace-out", &trace_out, "FILE",
-              "write sampled spans as JSONL (requires --trace-sample)");
+              "write sampled spans as JSONL (requires --trace-sample)")
+      .duration("--ts-interval", &ts_interval, "DUR",
+                "continuous time-series sampling interval, e.g. 1s / 250ms "
+                "(default 0: sampler off)")
+      .option("--ts-out", &ts_out, "FILE",
+              "write baps.timeseries.v1 interval records as JSONL "
+              "(requires --ts-interval)");
 
   std::string error;
   if (!parser.parse(argc, argv, &error)) {
@@ -137,6 +148,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Continuous telemetry: pre-register every documented metric family so the
+  // very first interval already carries the full schema (instead of families
+  // popping into existence as traffic touches them), then start the sampler
+  // before serving so interval #0 is a clean pre-traffic baseline.
+  std::unique_ptr<obs::TimeSeriesSampler> sampler;
+  std::ofstream ts_stream;
+  if (ts_interval > 0.0) {
+    store::register_store_metric_families();
+    fault::register_fault_metric_families();
+    obs::register_trace_metric_families();
+    obs::TimeSeriesSampler::Params sp;
+    sp.interval_seconds = ts_interval;
+    sampler = std::make_unique<obs::TimeSeriesSampler>(sp);
+    if (!ts_out.empty()) {
+      ts_stream.open(ts_out);
+      if (!ts_stream) {
+        std::cerr << "cannot open " << ts_out << "\n";
+        return 1;
+      }
+      sampler->set_sink(&ts_stream);
+    }
+    server.set_sampler(sampler.get());
+  } else if (!ts_out.empty()) {
+    std::cerr << "--ts-out requires --ts-interval > 0\n";
+    return 2;
+  }
+
+  if (sampler != nullptr) sampler->start();
   if (!server.start(&error)) {
     std::cerr << "cannot start proxy: " << error << "\n";
     return 1;
@@ -165,6 +204,9 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   server.stop();
+  // Stopped after the server so no session can touch a dead sampler and the
+  // final flush tick captures the post-shutdown counter state.
+  if (sampler != nullptr) sampler->stop();
   if (span_sink != nullptr) span_sink->flush();
 
   const runtime::ProxyStats stats = server.core().stats();

@@ -23,6 +23,10 @@
 // when not
 // (with the first violation on stderr). Used by scripts/check.sh to gate
 // the bench artifacts.
+//
+// --timeseries FILE validates a baps.timeseries.v1 JSONL export instead
+// (per-line schema plus the cross-record delta/rate/quantile invariants);
+// the flag may repeat and mix with report files.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -31,6 +35,7 @@
 #include <vector>
 
 #include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 
 namespace {
 
@@ -55,11 +60,27 @@ std::optional<baps::obs::JsonValue> load_report(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: report_check <report.json> [<later.json> ...]\n";
+    std::cerr << "usage: report_check [--timeseries <stream.jsonl>]... "
+                 "[<report.json> ...]\n";
     return 2;
   }
   std::vector<baps::obs::JsonValue> reports;
+  std::vector<std::string> report_names;
   for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--timeseries") {
+      if (i + 1 >= argc) {
+        std::cerr << "--timeseries needs a file\n";
+        return 2;
+      }
+      const std::string path = argv[++i];
+      std::string error;
+      if (!baps::obs::validate_timeseries_file(path, &error)) {
+        std::cerr << path << ": invalid time series: " << error << "\n";
+        return 1;
+      }
+      std::cout << path << ": valid " << baps::obs::kTimeSeriesSchema << "\n";
+      continue;
+    }
     auto doc = load_report(argv[i]);
     if (!doc.has_value()) return 1;
     std::string error;
@@ -68,13 +89,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     reports.push_back(std::move(*doc));
+    report_names.push_back(argv[i]);
     std::cout << argv[i] << ": valid " << baps::obs::kReportSchema << "\n";
   }
   for (std::size_t i = 1; i < reports.size(); ++i) {
     std::string error;
     if (!baps::obs::validate_transport_monotonicity(reports[i - 1],
                                                     reports[i], &error)) {
-      std::cerr << argv[i] << " vs " << argv[i + 1] << ": " << error << "\n";
+      std::cerr << report_names[i - 1] << " vs " << report_names[i] << ": "
+                << error << "\n";
       return 1;
     }
   }

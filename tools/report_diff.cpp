@@ -1,0 +1,107 @@
+// report_diff — the CI perf-regression gate. Compares a current
+// baps.report.v1 report against a committed baseline (another report, or the
+// BENCH_hotpath.json history file) on the replay-throughput gauges and exits
+// nonzero when the current side regressed beyond tolerance.
+//
+//   report_diff BASELINE CURRENT [--tolerance PCT] [--metric-tolerance
+//   NAME=PCT]... [--inject-regression PCT]
+//
+// Mode is auto-detected from the schemas (see src/obs/report_diff.hpp):
+// report-vs-report compares absolute values (same-machine A/B, default
+// tolerance 20%); a BENCH_hotpath.json baseline switches to the
+// geomean-normalized shape comparison (cross-machine, default 50%).
+// --inject-regression is the gate's self-test: it scales the current side
+// down so CI can prove the gate actually fails on a real throughput drop.
+//
+// Exit codes: 0 no regression, 1 regression (or unusable inputs),
+// 2 usage error.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/report_diff.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+std::optional<baps::obs::JsonValue> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = baps::obs::json_parse(buf.str(), &error);
+  if (!doc) {
+    std::cerr << path << ": parse error: " << error << "\n";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  baps::obs::ReportDiffOptions options;
+  baps::util::ArgParser parser(
+      "report_diff",
+      "compare two baps.report.v1 / baps.bench_hotpath.v1 files and fail on "
+      "throughput regressions");
+  parser.allow_positionals("baseline.json current.json");
+  parser.option("--tolerance", &options.tolerance_pct, "PCT",
+                "allowed relative drop in percent (default: 20 for "
+                "report-vs-report, 50 for hotpath shape mode)");
+  parser.custom("--metric-tolerance", "NAME=PCT",
+                "per-metric tolerance override (repeatable)",
+                [&options](const std::string& v) {
+                  const auto eq = v.find('=');
+                  if (eq == std::string::npos || eq == 0) return false;
+                  double pct = 0.0;
+                  if (!baps::util::parse_number(v.substr(eq + 1), &pct)) {
+                    return false;
+                  }
+                  options.metric_tolerances[v.substr(0, eq)] = pct;
+                  return true;
+                });
+  parser.option("--inject-regression", &options.inject_regression_pct, "PCT",
+                "self-test: scale current values down by PCT percent before "
+                "comparing (the gate must then fail)");
+  std::string error;
+  if (!parser.parse(argc, argv, &error)) {
+    std::cerr << error << "\n" << parser.usage();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.usage();
+    return 0;
+  }
+  if (parser.positionals().size() != 2) {
+    std::cerr << "need exactly two files\n" << parser.usage();
+    return 2;
+  }
+
+  const auto baseline = load_json(parser.positionals()[0]);
+  const auto current = load_json(parser.positionals()[1]);
+  if (!baseline.has_value() || !current.has_value()) return 2;
+
+  const baps::obs::ReportDiffResult result =
+      baps::obs::diff_reports(*baseline, *current, options);
+  for (const std::string& note : result.notes) {
+    std::cout << "note: " << note << "\n";
+  }
+  for (const std::string& finding : result.findings) {
+    std::cerr << "FAIL: " << finding << "\n";
+  }
+  if (!result.ok) return 1;
+  if (result.compared == 0) {
+    std::cerr << "FAIL: nothing to compare (no shared throughput metrics)\n";
+    return 1;
+  }
+  std::cout << "ok: " << result.compared
+            << " comparisons within tolerance\n";
+  return 0;
+}
