@@ -3,34 +3,11 @@
 #include <algorithm>
 #include <chrono>
 
+#include "netio/netio_metrics.hpp"
 #include "obs/registry.hpp"
 #include "wire/codec.hpp"
 
 namespace baps::netio {
-
-namespace {
-
-void count_frame(wire::FrameKind kind, const char* dir, std::size_t bytes) {
-  auto& reg = obs::Registry::global();
-  reg.counter("wire_frames_total",
-              {{"kind", wire::frame_kind_name(kind)}, {"dir", dir}})
-      .inc();
-  reg.counter("wire_bytes_total", {{"dir", dir}}).inc(bytes);
-}
-
-void count_timeout(const char* op) {
-  obs::Registry::global()
-      .counter("netio_timeouts_total", {{"op", op}})
-      .inc();
-}
-
-void count_decode_error(const std::string& reason) {
-  obs::Registry::global()
-      .counter("wire_decode_errors_total", {{"reason", reason}})
-      .inc();
-}
-
-}  // namespace
 
 bool FrameChannel::send(wire::FrameKind kind, std::string_view payload,
                         NetError* err) {
@@ -49,13 +26,17 @@ bool FrameChannel::send(wire::FrameKind kind, std::string_view payload,
       (trace.valid() && trace.sampled)
           ? wire::encode_frame(kind, payload, trace)
           : wire::encode_frame(kind, payload);
+  // Count BEFORE the bytes go out: once the peer can observe this frame the
+  // counter must already include it, or a snapshot taken downstream of the
+  // peer's reply races with the increment. A frame whose write then fails is
+  // still counted — tx means "committed to the channel", on both transports.
+  count_wire_frame(kind, "tx", frame.size());
   NetError local;
   NetError* e = (err != nullptr) ? err : &local;
   if (!conn_.write_all(frame.data(), frame.size(), deadlines_.write_ms, e)) {
-    if (e->status == NetStatus::kTimeout) count_timeout("write");
+    if (e->status == NetStatus::kTimeout) count_netio_timeout("write");
     return false;
   }
-  count_frame(kind, "tx", frame.size());
   if (traced) {
     tracer_->record_span(obs::SpanKind::kFrameSend, trace, t0,
                          obs::monotonic_ns());
@@ -81,7 +62,7 @@ std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
   const std::uint64_t t0 = may_trace ? obs::monotonic_ns() : 0;
   std::string buf(wire::kHeaderSize, '\0');
   if (!conn_.read_exact(buf.data(), buf.size(), timeout_ms, e)) {
-    if (e->status == NetStatus::kTimeout) count_timeout("read");
+    if (e->status == NetStatus::kTimeout) count_netio_timeout("read");
     return std::nullopt;
   }
   // Validate the header before committing to the payload read; a bad header
@@ -122,7 +103,7 @@ std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
   if (payload_len > 0 &&
       !conn_.read_exact(buf.data() + wire::kHeaderSize, payload_len,
                         payload_timeout_ms, e)) {
-    if (e->status == NetStatus::kTimeout) count_timeout("read");
+    if (e->status == NetStatus::kTimeout) count_netio_timeout("read");
     return std::nullopt;
   }
   wire::DecodeResult full = wire::decode_frame(buf, max_payload_);
@@ -133,7 +114,7 @@ std::optional<wire::Frame> FrameChannel::recv(int timeout_ms, NetError* err) {
     e->message = "frame rejected: " + reason;
     return std::nullopt;
   }
-  count_frame(full.frame.kind, "rx", buf.size());
+  count_wire_frame(full.frame.kind, "rx", buf.size());
   if (may_trace && full.frame.trace.sampled) {
     tracer_->record_span(obs::SpanKind::kFrameRecv, full.frame.trace, t0,
                          obs::monotonic_ns());

@@ -2,6 +2,9 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/proc_stats.hpp"
 #include "obs/registry.hpp"
 #include "util/assert.hpp"
@@ -60,18 +63,31 @@ void FrameServer::accept_loop() {
   // Registered so the time-series sampler exports per-thread CPU for the
   // daemon's serving threads; the scope unregisters before thread exit.
   const obs::ScopedThreadCpu cpu("netio_accept");
+  auto& accept_errors =
+      obs::Registry::global().counter("netio_accept_errors_total");
+  // Persistent accept errors (EMFILE keeps the listener readable) must not
+  // pin a core: back off exponentially, reset on any successful poll cycle.
+  constexpr int kBackoffStartMs = 1;
+  constexpr int kBackoffCapMs = 100;
+  int backoff_ms = kBackoffStartMs;
   while (!stop_.load()) {
     NetError err;
     auto conn = listener_.accept(params_.accept_poll_ms, &err);
     if (!conn.has_value()) {
-      if (err.status == NetStatus::kTimeout) continue;
+      if (err.status == NetStatus::kTimeout) {
+        backoff_ms = kBackoffStartMs;
+        continue;
+      }
       if (stop_.load()) break;
-      // Transient accept failure (e.g. EMFILE); keep serving.
-      obs::Registry::global()
-          .counter("netio_accept_errors_total")
-          .inc();
+      accept_errors.inc();
+      for (int slept = 0; slept < backoff_ms && !stop_.load(); slept += 10) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(10, backoff_ms - slept)));
+      }
+      backoff_ms = std::min(backoff_ms * 2, kBackoffCapMs);
       continue;
     }
+    backoff_ms = kBackoffStartMs;
     {
       std::scoped_lock lock(mu_);
       pending_.push_back(std::move(*conn));
@@ -97,8 +113,10 @@ void FrameServer::worker_loop() {
       FrameChannel channel(std::move(conn), params_.deadlines,
                            params_.max_frame_payload);
       handler_(channel, stop_);
-    }
-    {
+      // Unregister BEFORE ~FrameChannel returns the fd number to the
+      // kernel: a concurrently accepted connection may reuse it, and a
+      // late erase would unregister — or stop() would shutdown() — the
+      // wrong session.
       std::scoped_lock lock(mu_);
       active_fds_.erase(fd);
     }

@@ -5,9 +5,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -62,7 +64,7 @@ bool parse_addr(const std::string& host, std::uint16_t port,
 }
 
 /// Waits for `events` on fd against a deadline; remaining_ms < 0 waits
-/// forever. Returns kOk / kTimeout / kError.
+/// forever. Returns kOk / kTimeout / kClosed / kError.
 NetStatus poll_wait(int fd, short events, Clock::time_point deadline,
                     bool infinite) {
   for (;;) {
@@ -70,15 +72,18 @@ NetStatus poll_wait(int fd, short events, Clock::time_point deadline,
     if (!infinite) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - Clock::now());
-      wait_ms = static_cast<int>(left.count());
-      if (wait_ms < 0) return NetStatus::kTimeout;
+      if (left.count() < 0) return NetStatus::kTimeout;
+      // Clamp before narrowing: a huge remaining wait must poll again later,
+      // not overflow into a negative (= infinite) poll timeout.
+      constexpr long long kMaxPollMs = 60'000;
+      wait_ms = static_cast<int>(std::min<long long>(left.count(), kMaxPollMs));
     }
-    pollfd p{fd, events, 0};
-    const int rc = ::poll(&p, 1, wait_ms);
-    if (rc > 0) return NetStatus::kOk;
-    if (rc == 0) return NetStatus::kTimeout;
-    if (errno == EINTR) continue;
-    return NetStatus::kError;
+    const NetStatus polled = poll_fd(fd, events, wait_ms);
+    if (polled == NetStatus::kTimeout && !infinite &&
+        Clock::now() < deadline) {
+      continue;  // clamped slice expired, deadline has budget left
+    }
+    return polled;
   }
 }
 
@@ -88,6 +93,43 @@ Clock::time_point deadline_from(int timeout_ms) {
 }
 
 }  // namespace
+
+NetStatus poll_fd(int fd, short events, int wait_ms) {
+  for (;;) {
+    pollfd p{fd, events, 0};
+    const int rc = ::poll(&p, 1, wait_ms);
+    if (rc == 0) return NetStatus::kTimeout;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return NetStatus::kError;
+    }
+    // Requested readiness wins even when error bits ride along: the next
+    // recv/send harvests the real errno (ECONNRESET, …), which is more
+    // precise than anything revents can say.
+    if ((p.revents & events) != 0) return NetStatus::kOk;
+    if ((p.revents & POLLNVAL) != 0) return NetStatus::kError;
+    if ((p.revents & POLLERR) != 0) return NetStatus::kError;
+    if ((p.revents & POLLHUP) != 0) return NetStatus::kClosed;
+    return NetStatus::kOk;
+  }
+}
+
+std::size_t raise_fd_limit(std::size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur != RLIM_INFINITY &&
+      static_cast<std::size_t>(lim.rlim_cur) < want) {
+    rlimit raised = lim;
+    raised.rlim_cur =
+        lim.rlim_max == RLIM_INFINITY
+            ? static_cast<rlim_t>(want)
+            : std::min<rlim_t>(static_cast<rlim_t>(want), lim.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur == RLIM_INFINITY
+             ? static_cast<std::size_t>(-1)
+             : static_cast<std::size_t>(lim.rlim_cur);
+}
 
 std::string net_status_name(NetStatus status) {
   switch (status) {
@@ -153,16 +195,23 @@ std::optional<TcpConnection> TcpConnection::connect(const std::string& host,
   if (rc != 0) {
     const NetStatus waited = poll_wait(fd, POLLOUT, deadline_from(timeout_ms),
                                        timeout_ms < 0);
-    if (waited != NetStatus::kOk) {
+    if (waited == NetStatus::kTimeout) {
       fill_error(err, waited, "connect: " + net_status_name(waited));
       return std::nullopt;
     }
+    // Even an error/closed wakeup goes through SO_ERROR: the pending errno
+    // (ECONNREFUSED, …) is more precise than the revents mapping, and retry
+    // policy keys on that distinction.
     int so_error = 0;
     socklen_t len = sizeof(so_error);
     if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
         so_error != 0) {
       fill_error(err, status_of_errno(so_error),
                  "connect: " + errno_text(so_error));
+      return std::nullopt;
+    }
+    if (waited != NetStatus::kOk) {
+      fill_error(err, waited, "connect: " + net_status_name(waited));
       return std::nullopt;
     }
   }

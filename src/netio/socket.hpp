@@ -9,6 +9,7 @@
 // dependencies.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -44,6 +45,19 @@ struct Deadlines {
   int read_ms = 5000;
   int write_ms = 5000;
 };
+
+/// One bounded poll() on `fd` for `events` (wait_ms < 0 waits forever,
+/// oversized waits are clamped). Unlike a raw poll(), the returned status
+/// reflects `revents`: readiness of the requested events wins, but a wakeup
+/// carrying only error bits maps POLLNVAL/POLLERR to kError and a lone
+/// POLLHUP to kClosed instead of reporting the fd as ready.
+NetStatus poll_fd(int fd, short events, int wait_ms);
+
+/// Best-effort RLIMIT_NOFILE raise to at least `want` fds (clamped to the
+/// hard limit). Returns the resulting soft limit. The 10k-connection paths
+/// (epoll server, bench_connload) call this so default 1024-fd shells don't
+/// masquerade as EMFILE backpressure.
+std::size_t raise_fd_limit(std::size_t want);
 
 /// A connected TCP stream. Move-only RAII over the fd.
 class TcpConnection {
@@ -97,6 +111,7 @@ class TcpListener {
                                            NetError* err);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
   /// The actually bound port (resolves ephemeral binds).
   std::uint16_t port() const { return port_; }
 

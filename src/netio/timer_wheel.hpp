@@ -1,0 +1,98 @@
+// A hashed timing wheel for connection idle/deadline timers: O(1) arm and
+// cancel, O(slots-passed) advance. Timers are keyed by caller-chosen ids
+// (the epoll server uses monotonic session ids) and fire with one-tick
+// granularity — precise enough for idle timeouts, cheap enough to re-arm
+// on every inbound frame of 10k+ connections.
+//
+// Cancellation is lazy: cancel()/re-arm() just update the id's authoritative
+// deadline; stale slot entries are skipped when their slot comes around.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace baps::netio {
+
+class TimerWheel {
+ public:
+  /// `tick_ms` is the firing granularity; `slots` the wheel size. One full
+  /// revolution spans tick_ms * slots; longer delays simply survive a pass
+  /// (entries carry their absolute deadline and re-check on expiry).
+  explicit TimerWheel(std::uint64_t tick_ms = 100, std::size_t slots = 128)
+      : tick_ms_(tick_ms), slots_(slots) {
+    BAPS_REQUIRE(tick_ms > 0, "TimerWheel tick must be positive");
+    BAPS_REQUIRE(slots > 0, "TimerWheel needs at least one slot");
+  }
+
+  /// Arms (or re-arms) timer `id` to fire `delay_ms` after `now_ms`.
+  void arm(std::uint64_t id, std::uint64_t now_ms, std::uint64_t delay_ms) {
+    const std::uint64_t deadline = now_ms + delay_ms;
+    deadlines_[id] = deadline;
+    slots_[slot_of(deadline)].push_back(Entry{id, deadline});
+  }
+
+  /// Disarms `id`; a no-op when not armed. Slot entries are reaped lazily.
+  void cancel(std::uint64_t id) { deadlines_.erase(id); }
+
+  bool armed(std::uint64_t id) const { return deadlines_.count(id) != 0; }
+  std::size_t armed_count() const { return deadlines_.size(); }
+
+  /// Advances the wheel to `now_ms`, appending every id whose deadline has
+  /// passed to `*expired` (each id at most once; expired timers disarm).
+  void advance(std::uint64_t now_ms, std::vector<std::uint64_t>* expired) {
+    const std::uint64_t now_tick = now_ms / tick_ms_;
+    if (now_tick < cursor_tick_) return;
+    // Bound the walk to one revolution: beyond that every slot has been
+    // visited once and re-walking them would only re-scan survivors.
+    const std::uint64_t steps =
+        std::min<std::uint64_t>(now_tick - cursor_tick_ + 1, slots_.size());
+    const std::uint64_t first = now_tick + 1 - steps;
+    for (std::uint64_t t = first; t <= now_tick; ++t) {
+      auto& slot = slots_[t % slots_.size()];
+      std::size_t kept = 0;
+      for (Entry& e : slot) {
+        const auto it = deadlines_.find(e.id);
+        // Stale entry: cancelled, or re-armed under a different deadline.
+        if (it == deadlines_.end() || it->second != e.deadline) continue;
+        if (e.deadline <= now_ms) {
+          expired->push_back(e.id);
+          deadlines_.erase(it);
+        } else {
+          slot[kept++] = e;  // future revolution of this slot
+        }
+      }
+      slot.resize(kept);
+    }
+    cursor_tick_ = now_tick;
+  }
+
+  /// Milliseconds until the next advance() could fire something: one tick
+  /// when any timer is armed, -1 (wait forever) when none. Used as the
+  /// epoll_wait timeout so an idle server with no timers sleeps fully.
+  int poll_budget_ms() const {
+    return deadlines_.empty() ? -1 : static_cast<int>(tick_ms_);
+  }
+
+  std::uint64_t tick_ms() const { return tick_ms_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::uint64_t deadline;
+  };
+
+  std::size_t slot_of(std::uint64_t deadline_ms) const {
+    return static_cast<std::size_t>((deadline_ms / tick_ms_) % slots_.size());
+  }
+
+  std::uint64_t tick_ms_;
+  std::vector<std::vector<Entry>> slots_;
+  std::uint64_t cursor_tick_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> deadlines_;
+};
+
+}  // namespace baps::netio

@@ -316,6 +316,7 @@ bool validate_report(const JsonValue& report, std::string* error) {
   if (!validate_latency_metrics(report, error)) return false;
   if (!validate_store_metrics(report, error)) return false;
   if (!validate_shard_metrics(report, error)) return false;
+  if (!validate_netio_metrics(report, error)) return false;
   if (const JsonValue* registry = report.find("registry")) {
     if (!registry->is_object() || !registry->find("counters") ||
         !registry->find("gauges") || !registry->find("histograms")) {
@@ -780,6 +781,96 @@ bool validate_shard_metrics(const JsonValue& report, std::string* error) {
       return fail(error, "shard_merged_requests_total{org=" + org +
                              "}: no per-shard counters to account for it");
     }
+  }
+  return true;
+}
+
+bool validate_netio_metrics(const JsonValue& report, std::string* error) {
+  if (error) error->clear();
+  const JsonValue* registry = report.find("registry");
+  if (registry == nullptr || !registry->is_object()) return true;
+
+  // Counters: every netio_* instance must be a non-negative number.
+  if (const JsonValue* counters = registry->find("counters");
+      counters != nullptr && counters->is_array()) {
+    for (const auto& inst : counters->as_array()) {
+      if (!inst.is_object()) continue;
+      const JsonValue* name = inst.find("name");
+      if (name == nullptr || !name->is_string()) continue;
+      const std::string& n = name->as_string();
+      if (n.rfind("netio_", 0) != 0 && n.rfind("connload_", 0) != 0) {
+        continue;
+      }
+      const JsonValue* value = inst.find("value");
+      if (value == nullptr || !value->is_number() ||
+          value->as_double() < 0.0) {
+        return fail(error, n + ": counter needs a non-negative numeric value");
+      }
+    }
+  }
+
+  const JsonValue* gauges = registry->find("gauges");
+  if (gauges == nullptr || !gauges->is_array()) return true;
+  std::map<std::string, double> quantiles;
+  double peak = -1.0;
+  double established = -1.0;
+  for (const auto& inst : gauges->as_array()) {
+    if (!inst.is_object()) continue;
+    const JsonValue* name = inst.find("name");
+    if (name == nullptr || !name->is_string()) continue;
+    const std::string& n = name->as_string();
+    if (n.rfind("netio_", 0) != 0 && n.rfind("connload_", 0) != 0) continue;
+    const JsonValue* value = inst.find("value");
+    if (value == nullptr || !value->is_number() || value->as_double() < 0.0) {
+      return fail(error, n + ": gauge needs a non-negative numeric value");
+    }
+    if (n == "connload_roundtrip_quantile_seconds") {
+      const JsonValue* labels = inst.find("labels");
+      const JsonValue* q = labels != nullptr ? labels->find("q") : nullptr;
+      if (q == nullptr || !q->is_string() ||
+          (q->as_string() != "p50" && q->as_string() != "p99" &&
+           q->as_string() != "p999")) {
+        return fail(error, "connload_roundtrip_quantile_seconds: needs a q "
+                           "label of p50, p99, or p999");
+      }
+      quantiles[q->as_string()] = value->as_double();
+    } else if (n == "connload_connections_peak") {
+      peak = value->as_double();
+    }
+  }
+  if (const JsonValue* counters = registry->find("counters");
+      counters != nullptr && counters->is_array()) {
+    for (const auto& inst : counters->as_array()) {
+      if (!inst.is_object()) continue;
+      const JsonValue* name = inst.find("name");
+      const JsonValue* value = inst.find("value");
+      if (name != nullptr && name->is_string() && value != nullptr &&
+          value->is_number() &&
+          name->as_string() == "connload_established_total") {
+        established = value->as_double();
+      }
+    }
+  }
+  if (!quantiles.empty()) {
+    // The bench always emits all three together; a lone quantile means the
+    // report was stitched by hand or the bench died mid-emit.
+    for (const char* q : {"p50", "p99", "p999"}) {
+      if (quantiles.count(q) == 0) {
+        return fail(error, std::string("connload_roundtrip_quantile_seconds"
+                                       ": missing q=") + q);
+      }
+    }
+    if (quantiles["p50"] > quantiles["p99"] ||
+        quantiles["p99"] > quantiles["p999"]) {
+      return fail(error, "connload_roundtrip_quantile_seconds: quantiles "
+                         "must be monotone (p50 <= p99 <= p999)");
+    }
+  }
+  // Peak concurrency can never exceed the number of connections that ever
+  // completed a connect.
+  if (peak >= 0.0 && established >= 0.0 && peak > established) {
+    return fail(error, "connload_connections_peak exceeds "
+                       "connload_established_total");
   }
   return true;
 }

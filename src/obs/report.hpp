@@ -146,6 +146,16 @@ bool validate_store_metrics(const JsonValue& report,
 bool validate_shard_metrics(const JsonValue& report,
                             std::string* error = nullptr);
 
+/// Family checks for the event-loop and connection-load instruments: every
+/// `netio_*` / `connload_*` counter and gauge must be a non-negative number,
+/// every `connload_roundtrip_quantile_seconds` instance needs a `q` label of
+/// p50/p99/p999 with all three present together and monotone non-decreasing
+/// in q, and `connload_connections_peak` can never exceed
+/// `connload_established_total`. Reports without a registry or without these
+/// instruments pass trivially.
+bool validate_netio_metrics(const JsonValue& report,
+                            std::string* error = nullptr);
+
 /// Checks that every `wire_*` / `netio_*` / `store_*` counter present in
 /// both reports (matched by name + labels) is monotone non-decreasing from
 /// `earlier` to `later` — the cross-file invariant for successive snapshots

@@ -23,9 +23,9 @@ obs::Histogram& request_hist(const std::string& op) {
 ProxyServer::ProxyServer(const Params& params)
     : params_(params),
       core_(params.core),
-      server_(params.net,
-              [this](netio::FrameChannel& channel,
-                     const std::atomic<bool>& stop) { session(channel, stop); }) {
+      peer_pool_(netio::ChannelPool::Params{
+          params.peer_deadlines, params.net.max_frame_payload,
+          params.peer_pool_idle}) {
   core_.set_peer_fetch([this](ClientId holder, DocStore::Key key,
                               const obs::TraceContext& trace) {
     return peer_fetch(holder, key, trace);
@@ -34,9 +34,53 @@ ProxyServer::ProxyServer(const Params& params)
 
 ProxyServer::~ProxyServer() { stop(); }
 
-bool ProxyServer::start(std::string* error) { return server_.start(error); }
+bool ProxyServer::start(std::string* error) {
+  if (params_.event_driven) {
+    netio::EpollFrameServer::Params ep = params_.epoll;
+    ep.host = params_.net.host;
+    ep.port = params_.net.port;
+    ep.max_frame_payload = params_.net.max_frame_payload;
+    ep.tracer = tracer_;
+    epoll_server_ = std::make_unique<netio::EpollFrameServer>(
+        ep, [this](netio::EpollFrameServer::Connection& conn,
+                   wire::Frame&& frame) {
+          auto state = std::static_pointer_cast<Session>(conn.state());
+          if (state == nullptr) {
+            state = std::make_shared<Session>();
+            conn.state() = state;
+          }
+          const SessionSender send =
+              [&conn](wire::FrameKind kind, std::string_view payload,
+                      const obs::TraceContext& trace) {
+                return conn.send(kind, payload, trace);
+              };
+          return on_session_frame(*state, frame, send);
+        });
+    return epoll_server_->start(error);
+  }
+  blocking_server_ = std::make_unique<netio::FrameServer>(
+      params_.net, [this](netio::FrameChannel& channel,
+                          const std::atomic<bool>& stop) {
+        session(channel, stop);
+      });
+  return blocking_server_->start(error);
+}
 
-void ProxyServer::stop() { server_.stop(); }
+void ProxyServer::stop() {
+  if (epoll_server_ != nullptr) epoll_server_->stop();
+  if (blocking_server_ != nullptr) blocking_server_->stop();
+  peer_pool_.clear();
+}
+
+bool ProxyServer::running() const {
+  if (epoll_server_ != nullptr) return epoll_server_->running();
+  return blocking_server_ != nullptr && blocking_server_->running();
+}
+
+std::uint16_t ProxyServer::port() const {
+  if (epoll_server_ != nullptr) return epoll_server_->port();
+  return blocking_server_ != nullptr ? blocking_server_->port() : 0;
+}
 
 void ProxyServer::set_tracer(obs::Tracer* tracer) {
   tracer_ = tracer;
@@ -80,165 +124,197 @@ std::optional<Document> ProxyServer::peer_fetch(
     if (it == peer_ports_.end()) return std::nullopt;
     port = it->second;
   }
-  // A fresh connection per peer fetch: any failure — refused (holder died),
-  // timeout (holder wedged), tampered framing — collapses to "no delivery",
-  // which handle_fetch treats as a false forward and recovers from origin.
-  NetError err;
-  auto conn = netio::TcpConnection::connect(
-      params_.net.host, port, params_.peer_deadlines.connect_ms, &err);
-  if (!conn.has_value()) return std::nullopt;
-  netio::FrameChannel channel(std::move(*conn), params_.peer_deadlines,
-                              params_.net.max_frame_payload);
-  channel.set_tracer(tracer_);
   wire::PeerFetch request;
   request.key = key;
-  // The context rides the frame so the holder's serve span stitches in; it
-  // carries span ids only, never the requester (§6.2 still holds).
-  if (!channel.send_msg(request, trace, &err)) return std::nullopt;
-  auto deliver = channel.recv_msg<wire::PeerDeliver>(&err);
-  if (!deliver.has_value() || !deliver->found) return std::nullopt;
-  return Document{std::move(deliver->body),
-                  watermark_from_bytes(deliver->watermark)};
+  // A pooled connection per peer fetch: reuse a warm socket when one is
+  // parked, dial otherwise. Any failure — refused (holder died), timeout
+  // (holder wedged), tampered framing — collapses to "no delivery", which
+  // handle_fetch treats as a false forward and recovers from origin. A
+  // failed exchange on a REUSED socket retries once on a fresh dial: the
+  // holder may simply have closed the parked connection.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    NetError err;
+    auto acquired = peer_pool_.acquire(params_.net.host, port, &err);
+    if (acquired.channel == nullptr) return std::nullopt;
+    acquired.channel->set_tracer(tracer_);
+    // The context rides the frame so the holder's serve span stitches in;
+    // it carries span ids only, never the requester (§6.2 still holds).
+    if (acquired.channel->send_msg(request, trace, &err)) {
+      auto deliver = acquired.channel->recv_msg<wire::PeerDeliver>(&err);
+      if (deliver.has_value()) {
+        peer_pool_.release(params_.net.host, port,
+                           std::move(acquired.channel));
+        if (!deliver->found) return std::nullopt;
+        return Document{std::move(deliver->body),
+                        watermark_from_bytes(deliver->watermark)};
+      }
+    }
+    if (!acquired.reused) break;  // fresh dial failed: the holder is gone
+  }
+  return std::nullopt;
+}
+
+bool ProxyServer::on_session_frame(Session& s, const wire::Frame& frame,
+                                   const SessionSender& send) {
+  const auto send_msg = [&send](const auto& m, const obs::TraceContext& trace =
+                                                   obs::TraceContext{}) {
+    using Msg = std::decay_t<decltype(m)>;
+    return send(Msg::kKind, wire::encode(m), trace);
+  };
+
+  if (!s.hello_done) {
+    // The first frame of every session must be a well-formed Hello; anything
+    // else drops the connection without a reply (matching the original
+    // recv_msg<Hello> behaviour).
+    if (frame.kind != wire::Hello::kKind) return false;
+    wire::Hello hello;
+    if (!wire::decode(frame.payload, &hello)) return false;
+    wire::HelloAck ack;
+    {
+      std::lock_guard<std::mutex> lock(core_mu_);
+      ack.rsa_n = core_.public_key().n.to_bytes();
+      ack.rsa_e = core_.public_key().e.to_bytes();
+      ack.max_clients = core_.num_clients();
+    }
+    s.observer = hello.client_id == wire::kObserverClientId;
+    s.client_id = hello.client_id;
+    if (!s.observer && hello.client_id >= ack.max_clients) {
+      send_msg(wire::ErrorMsg{"client id out of range"});
+      return false;
+    }
+    if (!send_msg(ack)) return false;
+    if (!s.observer && hello.peer_port != 0) {
+      std::lock_guard<std::mutex> lock(ports_mu_);
+      peer_ports_[hello.client_id] = hello.peer_port;
+    }
+    s.hello_done = true;
+    return true;
+  }
+
+  switch (frame.kind) {
+    case wire::FrameKind::kFetchRequest: {
+      wire::FetchRequest request;
+      if (s.observer || !wire::decode(frame.payload, &request)) {
+        send_msg(wire::ErrorMsg{"bad fetch request"});
+        return false;
+      }
+      const double start = obs::monotonic_seconds();
+      ProxyCore::Reply reply;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        // The frame's context (the client's root span) parents the core's
+        // stage spans — this is where cross-process stitching happens on
+        // the proxy side.
+        reply = core_.handle_fetch(s.client_id, request.url,
+                                   request.avoid_peers, frame.trace);
+      }
+      request_hist("fetch").observe(obs::monotonic_seconds() - start);
+      wire::FetchResponse response;
+      response.source = to_wire_source(reply.source);
+      response.false_forward = reply.false_forward;
+      response.body = std::move(reply.doc.body);
+      response.watermark = watermark_to_bytes(reply.doc.mark);
+      return send_msg(response, frame.trace);
+    }
+    case wire::FrameKind::kIndexUpdate: {
+      wire::IndexUpdate update;
+      if (s.observer || !wire::decode(frame.payload, &update)) {
+        send_msg(wire::ErrorMsg{"bad index update"});
+        return false;
+      }
+      const double start = obs::monotonic_seconds();
+      bool accepted = false;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        // The wire says who the update claims to be from — the session's
+        // own id. Spoofing tests impersonate here and the MAC rejects it.
+        accepted = core_.apply_index_update(s.client_id, update.is_add,
+                                            update.key,
+                                            mac_from_wire(update.mac));
+      }
+      request_hist("index_update").observe(obs::monotonic_seconds() - start);
+      wire::IndexAck ack_msg;
+      ack_msg.accepted = accepted;
+      return send_msg(ack_msg);
+    }
+    case wire::FrameKind::kStatsRequest: {
+      wire::StatsResponse response;
+      {
+        std::lock_guard<std::mutex> lock(core_mu_);
+        const ProxyStats& st = core_.stats();
+        response.proxy_hits = st.proxy_hits;
+        response.peer_hits = st.peer_hits;
+        response.origin_fetches = st.origin_fetches;
+        response.false_forwards = st.false_forwards;
+        response.rejected_index_updates = st.rejected_index_updates;
+      }
+      return send_msg(response);
+    }
+    case wire::FrameKind::kTraceStatsRequest: {
+      wire::TraceStatsRequest request;
+      if (!wire::decode(frame.payload, &request)) {
+        send_msg(wire::ErrorMsg{"bad trace stats request"});
+        return false;
+      }
+      // Registry and tracer have their own locks — no core_mu_ needed, so
+      // introspection never stalls behind a slow fetch.
+      wire::TraceStatsResponse response;
+      response.json = trace_stats_json(request.max_spans).dump();
+      return send_msg(response);
+    }
+    case wire::FrameKind::kTimeSeriesRequest: {
+      wire::TimeSeriesRequest request;
+      if (!wire::decode(frame.payload, &request)) {
+        send_msg(wire::ErrorMsg{"bad time series request"});
+        return false;
+      }
+      // The sampler has its own lock — like trace stats, live telemetry
+      // never queues behind core_mu_.
+      wire::TimeSeriesResponse response;
+      if (sampler_ != nullptr) {
+        response.json = sampler_->window_json(request.max_intervals).dump();
+      } else {
+        obs::JsonValue empty = obs::json_object({});
+        empty.set("schema", obs::JsonValue(obs::kTimeSeriesWindowSchema));
+        empty.set("interval_seconds", obs::JsonValue(0.0));
+        empty.set("intervals", obs::JsonValue(obs::JsonArray{}));
+        response.json = empty.dump();
+      }
+      return send_msg(response);
+    }
+    case wire::FrameKind::kBye:
+      return false;
+    default:
+      send_msg(wire::ErrorMsg{"unexpected frame kind " +
+                              wire::frame_kind_name(frame.kind)});
+      return false;
+  }
 }
 
 void ProxyServer::session(netio::FrameChannel& channel,
                           const std::atomic<bool>& stop) {
-  NetError err;
   channel.set_tracer(tracer_);
-  const auto hello = channel.recv_msg<wire::Hello>(&err);
-  if (!hello.has_value()) return;
-
-  wire::HelloAck ack;
-  {
-    std::lock_guard<std::mutex> lock(core_mu_);
-    ack.rsa_n = core_.public_key().n.to_bytes();
-    ack.rsa_e = core_.public_key().e.to_bytes();
-    ack.max_clients = core_.num_clients();
-  }
-  const bool observer = hello->client_id == wire::kObserverClientId;
-  if (!observer && hello->client_id >= ack.max_clients) {
-    channel.send_msg(wire::ErrorMsg{"client id out of range"}, &err);
-    return;
-  }
-  if (!channel.send_msg(ack, &err)) return;
-  if (!observer && hello->peer_port != 0) {
-    std::lock_guard<std::mutex> lock(ports_mu_);
-    peer_ports_[hello->client_id] = hello->peer_port;
-  }
-
+  Session s;
+  const SessionSender send = [&channel](wire::FrameKind kind,
+                                        std::string_view payload,
+                                        const obs::TraceContext& trace) {
+    NetError err;
+    return channel.send(kind, payload, trace, &err);
+  };
   while (!stop.load()) {
     NetError recv_err;
     const auto frame = channel.recv(&recv_err);
     if (!frame.has_value()) {
-      // Read deadline without traffic: check the stop flag, keep waiting.
-      if (recv_err.status == netio::NetStatus::kTimeout) continue;
+      if (recv_err.status == netio::NetStatus::kTimeout) {
+        // Pre-Hello silence is a dead dial — drop it (the original
+        // recv_msg<Hello> deadline). Established sessions just check the
+        // stop flag and keep waiting.
+        if (!s.hello_done) return;
+        continue;
+      }
       return;  // closed, reset, or rejected frame — drop the connection
     }
-    switch (frame->kind) {
-      case wire::FrameKind::kFetchRequest: {
-        wire::FetchRequest request;
-        if (observer || !wire::decode(frame->payload, &request)) {
-          channel.send_msg(wire::ErrorMsg{"bad fetch request"}, &err);
-          return;
-        }
-        const double start = obs::monotonic_seconds();
-        ProxyCore::Reply reply;
-        {
-          std::lock_guard<std::mutex> lock(core_mu_);
-          // The frame's context (the client's root span) parents the
-          // core's stage spans — this is where cross-process stitching
-          // happens on the proxy side.
-          reply = core_.handle_fetch(hello->client_id, request.url,
-                                     request.avoid_peers, frame->trace);
-        }
-        request_hist("fetch").observe(obs::monotonic_seconds() - start);
-        wire::FetchResponse response;
-        response.source = to_wire_source(reply.source);
-        response.false_forward = reply.false_forward;
-        response.body = std::move(reply.doc.body);
-        response.watermark = watermark_to_bytes(reply.doc.mark);
-        if (!channel.send_msg(response, frame->trace, &err)) return;
-        break;
-      }
-      case wire::FrameKind::kIndexUpdate: {
-        wire::IndexUpdate update;
-        if (observer || !wire::decode(frame->payload, &update)) {
-          channel.send_msg(wire::ErrorMsg{"bad index update"}, &err);
-          return;
-        }
-        const double start = obs::monotonic_seconds();
-        bool accepted = false;
-        {
-          std::lock_guard<std::mutex> lock(core_mu_);
-          // The wire says who the update claims to be from — the session's
-          // own id. Spoofing tests impersonate here and the MAC rejects it.
-          accepted = core_.apply_index_update(hello->client_id, update.is_add,
-                                              update.key,
-                                              mac_from_wire(update.mac));
-        }
-        request_hist("index_update").observe(obs::monotonic_seconds() - start);
-        wire::IndexAck ack_msg;
-        ack_msg.accepted = accepted;
-        if (!channel.send_msg(ack_msg, &err)) return;
-        break;
-      }
-      case wire::FrameKind::kStatsRequest: {
-        wire::StatsResponse response;
-        {
-          std::lock_guard<std::mutex> lock(core_mu_);
-          const ProxyStats& s = core_.stats();
-          response.proxy_hits = s.proxy_hits;
-          response.peer_hits = s.peer_hits;
-          response.origin_fetches = s.origin_fetches;
-          response.false_forwards = s.false_forwards;
-          response.rejected_index_updates = s.rejected_index_updates;
-        }
-        if (!channel.send_msg(response, &err)) return;
-        break;
-      }
-      case wire::FrameKind::kTraceStatsRequest: {
-        wire::TraceStatsRequest request;
-        if (!wire::decode(frame->payload, &request)) {
-          channel.send_msg(wire::ErrorMsg{"bad trace stats request"}, &err);
-          return;
-        }
-        // Registry and tracer have their own locks — no core_mu_ needed, so
-        // introspection never stalls behind a slow fetch.
-        wire::TraceStatsResponse response;
-        response.json = trace_stats_json(request.max_spans).dump();
-        if (!channel.send_msg(response, &err)) return;
-        break;
-      }
-      case wire::FrameKind::kTimeSeriesRequest: {
-        wire::TimeSeriesRequest request;
-        if (!wire::decode(frame->payload, &request)) {
-          channel.send_msg(wire::ErrorMsg{"bad time series request"}, &err);
-          return;
-        }
-        // The sampler has its own lock — like trace stats, live telemetry
-        // never queues behind core_mu_.
-        wire::TimeSeriesResponse response;
-        if (sampler_ != nullptr) {
-          response.json = sampler_->window_json(request.max_intervals).dump();
-        } else {
-          obs::JsonValue empty = obs::json_object({});
-          empty.set("schema", obs::JsonValue(obs::kTimeSeriesWindowSchema));
-          empty.set("interval_seconds", obs::JsonValue(0.0));
-          empty.set("intervals", obs::JsonValue(obs::JsonArray{}));
-          response.json = empty.dump();
-        }
-        if (!channel.send_msg(response, &err)) return;
-        break;
-      }
-      case wire::FrameKind::kBye:
-        return;
-      default:
-        channel.send_msg(
-            wire::ErrorMsg{"unexpected frame kind " +
-                           wire::frame_kind_name(frame->kind)},
-            &err);
-        return;
-    }
+    if (!on_session_frame(s, *frame, send)) return;
   }
 }
 

@@ -20,6 +20,11 @@ TcpTransport::~TcpTransport() {
       channel->close();
     }
   }
+  if (observer_channel_ != nullptr && observer_channel_->valid()) {
+    NetError err;
+    observer_channel_->send_msg(wire::Bye{}, &err);
+    observer_channel_->close();
+  }
   for (auto& server : peer_servers_) {
     if (server != nullptr) server->stop();
   }
@@ -83,12 +88,12 @@ void TcpTransport::bind_peer_host(PeerHost* host) {
               if (plan_->should_inject(fault::FaultKind::kCorruptFrame)) {
                 // Flip one payload byte after encoding so the frame CRC no
                 // longer matches: the proxy rejects it at the wire layer.
-                std::string frame = wire::encode_frame(
+                std::string raw = wire::encode_frame(
                     wire::PeerDeliver::kKind, wire::encode(deliver));
-                frame.back() = static_cast<char>(frame.back() ^ 0x01);
+                raw.back() = static_cast<char>(raw.back() ^ 0x01);
                 NetError raw_err;
                 if (!channel.connection().write_all(
-                        frame.data(), frame.size(),
+                        raw.data(), raw.size(),
                         channel.deadlines().write_ms, &raw_err)) {
                   return;
                 }
@@ -228,20 +233,29 @@ bool TcpTransport::observer_session(
   return netio::retry_with_backoff(
       params_.retry, "observer",
       [&](NetError* e) {
-        auto conn = netio::TcpConnection::connect(params_.proxy_host,
-                                                  params_.proxy_port,
-                                                  params_.deadlines.connect_ms,
-                                                  e);
-        if (!conn.has_value()) return false;
-        netio::FrameChannel channel(std::move(*conn), params_.deadlines,
-                                    params_.max_frame_payload);
-        wire::Hello hello;
-        hello.client_id = wire::kObserverClientId;
-        if (!channel.send_msg(hello, e)) return false;
-        auto ack = channel.recv_msg<wire::HelloAck>(e);
-        if (!ack.has_value()) return false;
-        const bool done = op(channel, *ack);
-        channel.send_msg(wire::Bye{}, e);
+        if (observer_channel_ == nullptr || !observer_channel_->valid()) {
+          auto conn = netio::TcpConnection::connect(
+              params_.proxy_host, params_.proxy_port,
+              params_.deadlines.connect_ms, e);
+          if (!conn.has_value()) return false;
+          auto channel = std::make_unique<netio::FrameChannel>(
+              std::move(*conn), params_.deadlines, params_.max_frame_payload);
+          wire::Hello hello;
+          hello.client_id = wire::kObserverClientId;
+          if (!channel->send_msg(hello, e)) return false;
+          auto ack = channel->recv_msg<wire::HelloAck>(e);
+          if (!ack.has_value()) return false;
+          observer_ack_ = *ack;
+          observer_channel_ = std::move(channel);
+        }
+        wire::HelloAck ack = observer_ack_;
+        const bool done = op(*observer_channel_, ack);
+        if (!done) {
+          // Failed exchange: the pooled socket may be mid-frame or dead —
+          // never reuse it. The retry (or the next poll) re-dials.
+          observer_channel_->close();
+          observer_channel_.reset();
+        }
         return done;
       },
       &err);

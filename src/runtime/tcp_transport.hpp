@@ -2,8 +2,9 @@
 // ProxyServer over TCP. Each client id gets one persistent proxy connection
 // (established lazily with Hello/HelloAck) and one peer listener — a tiny
 // FrameServer that answers PeerFetch frames out of the client host's browser
-// stores. Observer connections (stats, public key) are transient and
-// identify as kObserverClientId, registering nothing.
+// stores. Observer traffic (stats, public key, live telemetry) identifies
+// as kObserverClientId, registers nothing, and reuses one pooled
+// connection across polls.
 //
 // Failure policy: refused/reset proxy connections are retried with bounded
 // backoff (the daemon may still be starting); timeouts are not retried.
@@ -76,7 +77,8 @@ class TcpTransport final : public Transport {
   /// The proxy connection for `client`, dialing + Hello on first use.
   netio::FrameChannel* channel_for(ClientId client);
   void drop_channel(ClientId client);
-  /// One-shot observer session: connect, Hello(kObserverClientId), run `op`.
+  /// Observer exchange over the pooled observer connection (dialed +
+  /// Hello(kObserverClientId) on first use, re-dialed after failures).
   bool observer_session(
       const std::function<bool(netio::FrameChannel&, wire::HelloAck&)>& op);
 
@@ -89,6 +91,12 @@ class TcpTransport final : public Transport {
   std::vector<std::uint16_t> peer_ports_;
   /// Persistent proxy connections, one per client id.
   std::vector<std::unique_ptr<netio::FrameChannel>> channels_;
+  /// The pooled observer connection: Hello'd once as kObserverClientId and
+  /// reused across stats/trace/time-series polls (a dashboard polling every
+  /// second used to dial a fresh socket per poll). Dropped on any failed
+  /// exchange; the next poll re-dials.
+  std::unique_ptr<netio::FrameChannel> observer_channel_;
+  wire::HelloAck observer_ack_;
 };
 
 }  // namespace baps::runtime

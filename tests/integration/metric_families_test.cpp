@@ -10,6 +10,7 @@
 #include <string>
 
 #include "fault/fault_plan.hpp"
+#include "netio/netio_metrics.hpp"
 #include "obs/registry.hpp"
 #include "obs/span.hpp"
 #include "sim/sharded_replay.hpp"
@@ -27,6 +28,13 @@ bool has_histogram(const obs::Snapshot& snap, const std::string& name,
                    const obs::Labels& labels) {
   for (const obs::HistogramSample& h : snap.histograms) {
     if (h.name == name && h.labels == labels) return true;
+  }
+  return false;
+}
+
+bool has_gauge(const obs::Snapshot& snap, const std::string& name) {
+  for (const obs::GaugeSample& g : snap.gauges) {
+    if (g.name == name) return true;
   }
   return false;
 }
@@ -79,6 +87,27 @@ TEST(MetricFamiliesTest, EagerRegistrationCoversEveryDocumentedFamily) {
   // Sharded-replay merge-contract counters.
   EXPECT_TRUE(has_counter(snap, "shard_requests_total"));
   EXPECT_TRUE(has_counter(snap, "shard_merged_requests_total"));
+}
+
+TEST(MetricFamiliesTest, NetioFamiliesRegisterEagerly) {
+  netio::register_netio_metric_families();
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  EXPECT_TRUE(has_gauge(snap, "netio_connections_active"));
+  for (const char* name :
+       {"netio_connections_total", "netio_accept_errors_total",
+        "netio_epoll_wakeups_total", "netio_epoll_accept_backpressure_total",
+        "netio_epoll_writeq_stall_total", "netio_epoll_idle_closes_total",
+        "netio_epoll_drained_total", "netio_pool_reuse_total",
+        "netio_pool_dial_total", "netio_pool_discard_total"}) {
+    EXPECT_TRUE(has_counter(snap, name)) << name;
+  }
+
+  // Idempotent like the other families: re-registering resolves the same
+  // instruments instead of duplicating them.
+  netio::register_netio_metric_families();
+  const obs::Snapshot again = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.size(), again.counters.size());
+  EXPECT_EQ(snap.gauges.size(), again.gauges.size());
 }
 
 TEST(MetricFamiliesTest, EagerRegistrationIsIdempotent) {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "netio/frame_channel.hpp"
 #include "obs/registry.hpp"
@@ -135,6 +136,48 @@ TEST(FrameServerTest, MalformedFramesDropTheConnection) {
   EXPECT_NE(err.status, NetStatus::kTimeout) << "connection should be closed";
   server.stop();
   EXPECT_GT(decode_errors_before(), before);
+}
+
+TEST(FrameServerTest, RapidSessionChurnDoesNotShutDownRecycledFds) {
+  // Regression for an fd-reuse race: the worker used to close a session's
+  // fd (returning the number to the kernel) BEFORE erasing it from the
+  // active-fd set. A new connection could be handed the recycled number in
+  // that window, and a concurrent stop() — which shutdowns every fd still
+  // in the set — would tear down the wrong session. Churn short sessions
+  // from several threads while stop() fires mid-flight; TSan (the CI job
+  // runs this binary under it) sees the lock-ordering, and any cross-kill
+  // shows up as a hung or failed exchange.
+  FrameServer server(fast_params(), echo_handler());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> halt{false};
+  std::atomic<int> exchanges{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      while (!halt.load()) {
+        auto channel = dial(port);
+        if (!channel.has_value()) continue;  // accept backlog under churn
+        NetError err;
+        if (!channel->send(wire::FrameKind::kHello, "churn", &err)) continue;
+        if (channel->recv(&err).has_value()) exchanges.fetch_add(1);
+        channel->close();  // next dial immediately recycles this fd number
+      }
+    });
+  }
+  // Let the churn run, then stop the server while dials are still in
+  // flight — the window the race lived in.
+  const auto deadline = Clock::now() + std::chrono::seconds(2);
+  while (exchanges.load() < 50 && Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  server.stop();
+  halt.store(true);
+  for (auto& c : clients) c.join();
+  EXPECT_GT(exchanges.load(), 0);
+  EXPECT_FALSE(server.running());
 }
 
 TEST(FrameServerTest, StartFailsOnUnbindablePort) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <poll.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <string>
 #include <thread>
@@ -141,6 +144,102 @@ TEST(TcpConnectionTest, ShutdownUnblocksABlockedReader) {
   server->shutdown_both();
   reader.join();
   EXPECT_LT(elapsed_ms(start), 5000);
+}
+
+TEST(PollFdTest, WritableSocketIsOkImmediately) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  const auto start = Clock::now();
+  EXPECT_EQ(poll_fd(client->fd(), POLLOUT, 5000), NetStatus::kOk);
+  EXPECT_LT(elapsed_ms(start), 1000);
+}
+
+TEST(PollFdTest, InvalidFdMapsToErrorNotReadiness) {
+  // Regression: POLLNVAL (and POLLERR) arrive in revents without the
+  // requested bit; treating "poll returned 1" as readiness made callers
+  // loop on a dead descriptor. The mapping must say kError.
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  const int fd = client->fd();
+  client->close();
+  EXPECT_EQ(poll_fd(fd, POLLIN, 100), NetStatus::kError);
+}
+
+TEST(PollFdTest, LoneHangupMapsToClosed) {
+  // A pipe whose writer is gone raises POLLHUP with no POLLIN: that is an
+  // orderly end of stream, not an error and not a timeout.
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[1]);
+  EXPECT_EQ(poll_fd(fds[0], POLLIN, 1000), NetStatus::kClosed);
+  ::close(fds[0]);
+}
+
+TEST(PollFdTest, RequestedReadinessWinsOverHangup) {
+  // Peer sent a byte then closed: revents carries POLLIN|POLLHUP together.
+  // The requested bit must win (kOk) so the caller's recv can harvest the
+  // buffered byte; mapping HUP first would drop delivered data.
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener->accept(1000, &err);
+  ASSERT_TRUE(server.has_value());
+  const char byte = 'x';
+  ASSERT_TRUE(client->write_all(&byte, 1, 1000, &err));
+  client->close();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(poll_fd(server->fd(), POLLIN, 1000), NetStatus::kOk);
+  char got = 0;
+  EXPECT_TRUE(server->read_exact(&got, 1, 1000, &err));
+  EXPECT_EQ(got, 'x');
+}
+
+TEST(PollFdTest, QuietSocketTimesOut) {
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  auto server = listener->accept(1000, &err);
+  ASSERT_TRUE(server.has_value());
+  const auto start = Clock::now();
+  EXPECT_EQ(poll_fd(server->fd(), POLLIN, 50), NetStatus::kTimeout);
+  EXPECT_LT(elapsed_ms(start), 2000);
+}
+
+TEST(PollFdTest, HugeWaitOnReadyFdReturnsImmediately) {
+  // Regression companion to the deadline clamp: a wait_ms near INT_MAX must
+  // neither overflow nor round to "poll forever with no data ever".
+  NetError err;
+  auto listener = TcpListener::listen("127.0.0.1", 0, 8, &err);
+  ASSERT_TRUE(listener.has_value());
+  auto client =
+      TcpConnection::connect("127.0.0.1", listener->port(), 1000, &err);
+  ASSERT_TRUE(client.has_value());
+  const auto start = Clock::now();
+  EXPECT_EQ(poll_fd(client->fd(), POLLOUT, 2000000000), NetStatus::kOk);
+  EXPECT_LT(elapsed_ms(start), 1000);
+}
+
+TEST(RaiseFdLimitTest, ReturnsAUsableLimitAtLeastTheSoftDefault) {
+  // Best-effort: asking for more fds never lowers the limit and never
+  // reports more than what was actually achieved.
+  const std::size_t got = raise_fd_limit(4096);
+  EXPECT_GE(got, 1024u);
+  const std::size_t again = raise_fd_limit(got);
+  EXPECT_GE(again, got);
 }
 
 TEST(RetryTest, RetriesTransientFailuresWithBoundedAttempts) {

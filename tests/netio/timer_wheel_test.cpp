@@ -1,0 +1,105 @@
+#include "netio/timer_wheel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace baps::netio {
+namespace {
+
+std::vector<std::uint64_t> advance(TimerWheel& wheel, std::uint64_t now_ms) {
+  std::vector<std::uint64_t> expired;
+  wheel.advance(now_ms, &expired);
+  return expired;
+}
+
+TEST(TimerWheelTest, FiresAtTheDeadlineAndDisarms) {
+  TimerWheel wheel(10, 16);
+  wheel.arm(7, 0, 50);
+  EXPECT_TRUE(wheel.armed(7));
+  EXPECT_TRUE(advance(wheel, 40).empty());
+  const auto fired = advance(wheel, 50);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 7u);
+  EXPECT_FALSE(wheel.armed(7));
+  EXPECT_TRUE(advance(wheel, 200).empty()) << "a timer fires at most once";
+}
+
+TEST(TimerWheelTest, CancelledTimersNeverFire) {
+  TimerWheel wheel(10, 16);
+  wheel.arm(1, 0, 30);
+  wheel.arm(2, 0, 30);
+  wheel.cancel(1);
+  EXPECT_FALSE(wheel.armed(1));
+  const auto fired = advance(wheel, 100);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 2u);
+}
+
+TEST(TimerWheelTest, RearmMovesTheDeadline) {
+  TimerWheel wheel(10, 16);
+  wheel.arm(3, 0, 30);
+  wheel.arm(3, 20, 100);  // activity at t=20 pushes the deadline to 120
+  EXPECT_TRUE(advance(wheel, 60).empty())
+      << "the stale t=30 slot entry must not fire";
+  const auto fired = advance(wheel, 120);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3u);
+  EXPECT_EQ(wheel.armed_count(), 0u);
+}
+
+TEST(TimerWheelTest, DelaysBeyondOneRevolutionSurviveThePass) {
+  // One revolution spans 10 * 8 = 80 ms; a 250 ms delay maps to a slot the
+  // cursor crosses three times before the deadline actually passes.
+  TimerWheel wheel(10, 8);
+  wheel.arm(9, 0, 250);
+  EXPECT_TRUE(advance(wheel, 80).empty());
+  EXPECT_TRUE(advance(wheel, 160).empty());
+  EXPECT_TRUE(advance(wheel, 240).empty());
+  const auto fired = advance(wheel, 250);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 9u);
+}
+
+TEST(TimerWheelTest, ManyTimersExpireTogetherExactlyOnce) {
+  TimerWheel wheel(10, 32);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    wheel.arm(id, 0, 10 + (id % 7) * 10);
+  }
+  EXPECT_EQ(wheel.armed_count(), 100u);
+  std::vector<std::uint64_t> all;
+  // Advance in uneven hops, including one far beyond a full revolution.
+  for (const std::uint64_t now : {15u, 35u, 36u, 1000u}) {
+    const auto fired = advance(wheel, now);
+    all.insert(all.end(), fired.begin(), fired.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), 100u);
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end())
+      << "an id fired twice";
+  EXPECT_EQ(wheel.armed_count(), 0u);
+}
+
+TEST(TimerWheelTest, PollBudgetReflectsArmedTimers) {
+  TimerWheel wheel(25, 8);
+  EXPECT_EQ(wheel.poll_budget_ms(), -1) << "no timers: sleep forever";
+  wheel.arm(1, 0, 1000);
+  EXPECT_EQ(wheel.poll_budget_ms(), 25);
+  wheel.cancel(1);
+  EXPECT_EQ(wheel.poll_budget_ms(), -1);
+}
+
+TEST(TimerWheelTest, TimeMovingBackwardIsANoOp) {
+  TimerWheel wheel(10, 8);
+  wheel.arm(1, 100, 50);
+  EXPECT_TRUE(advance(wheel, 140).empty());
+  EXPECT_TRUE(advance(wheel, 90).empty()) << "cursor never rewinds";
+  const auto fired = advance(wheel, 150);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1u);
+}
+
+}  // namespace
+}  // namespace baps::netio

@@ -491,5 +491,117 @@ TEST(StoreMetricsTest, ReportsWithoutStoreInstrumentsPassTrivially) {
   EXPECT_TRUE(validate_store_metrics(report, &error)) << error;
 }
 
+JsonValue gauge_json(const std::string& name, JsonObject labels,
+                     double value) {
+  return json_object({{"name", JsonValue(name)},
+                      {"labels", JsonValue(std::move(labels))},
+                      {"value", JsonValue(value)}});
+}
+
+JsonValue report_with_netio_registry(JsonArray counters, JsonArray gauges) {
+  JsonValue registry;
+  registry.set("counters", JsonValue(std::move(counters)));
+  registry.set("gauges", JsonValue(std::move(gauges)));
+  registry.set("histograms", JsonValue(JsonArray{}));
+  JsonValue report;
+  report.set("schema", JsonValue(kReportSchema));
+  report.set("tool", JsonValue("netio_test"));
+  report.set("registry", std::move(registry));
+  return report;
+}
+
+TEST(NetioMetricsTest, AcceptsConsistentConnloadFamily) {
+  const JsonValue report = report_with_netio_registry(
+      {
+          counter_json("netio_connections_total", {}, 10000),
+          counter_json("netio_epoll_wakeups_total", {}, 123456),
+          counter_json("connload_established_total", {}, 10000),
+          counter_json("connload_roundtrips_total", {}, 10000),
+      },
+      {
+          gauge_json("netio_connections_active", {}, 0),
+          gauge_json("connload_connections_peak", {}, 10000),
+          gauge_json("connload_accept_rate_per_second", {}, 9360.4),
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p50"}},
+                     0.016),
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p99"}},
+                     0.048),
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p999"}},
+                     0.058),
+      });
+  std::string error;
+  EXPECT_TRUE(validate_netio_metrics(report, &error)) << error;
+  EXPECT_TRUE(validate_report(report, &error)) << error;
+}
+
+TEST(NetioMetricsTest, RejectsNonMonotoneQuantiles) {
+  const JsonValue report = report_with_netio_registry(
+      {},
+      {
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p50"}},
+                     0.050),
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p99"}},
+                     0.048),
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p999"}},
+                     0.058),
+      });
+  std::string error;
+  EXPECT_FALSE(validate_netio_metrics(report, &error));
+  EXPECT_NE(error.find("monotone"), std::string::npos) << error;
+}
+
+TEST(NetioMetricsTest, RejectsALoneQuantileInstance) {
+  const JsonValue report = report_with_netio_registry(
+      {},
+      {
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p50"}},
+                     0.016),
+      });
+  std::string error;
+  EXPECT_FALSE(validate_netio_metrics(report, &error));
+  EXPECT_NE(error.find("missing q="), std::string::npos) << error;
+}
+
+TEST(NetioMetricsTest, RejectsBadQuantileLabel) {
+  const JsonValue report = report_with_netio_registry(
+      {},
+      {
+          gauge_json("connload_roundtrip_quantile_seconds", {{"q", "p42"}},
+                     0.016),
+      });
+  std::string error;
+  EXPECT_FALSE(validate_netio_metrics(report, &error));
+}
+
+TEST(NetioMetricsTest, RejectsPeakAboveEstablished) {
+  const JsonValue report = report_with_netio_registry(
+      {
+          counter_json("connload_established_total", {}, 100),
+      },
+      {
+          gauge_json("connload_connections_peak", {}, 101),
+      });
+  std::string error;
+  EXPECT_FALSE(validate_netio_metrics(report, &error));
+  EXPECT_NE(error.find("peak"), std::string::npos) << error;
+}
+
+TEST(NetioMetricsTest, RejectsNegativeNetioGauge) {
+  const JsonValue report = report_with_netio_registry(
+      {},
+      {
+          gauge_json("netio_connections_active", {}, -1),
+      });
+  std::string error;
+  EXPECT_FALSE(validate_netio_metrics(report, &error));
+}
+
+TEST(NetioMetricsTest, ReportsWithoutNetioInstrumentsPassTrivially) {
+  const JsonValue report =
+      ReportBuilder("report_test").add_sweep(shared_sweep()).build();
+  std::string error;
+  EXPECT_TRUE(validate_netio_metrics(report, &error)) << error;
+}
+
 }  // namespace
 }  // namespace baps::obs

@@ -48,6 +48,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 7;
   std::uint32_t rsa_bits = 256;
   std::uint64_t workers = 0;
+  bool event_driven = false;
+  std::uint64_t max_connections = 0;
+  double idle_timeout = 0.0;
   std::uint64_t max_seconds = 0;
   std::string store_dir;
   std::uint64_t store_capacity = 64 << 20;
@@ -70,6 +73,16 @@ int main(int argc, char** argv) {
               "session worker threads (default 0: clients + 2, so every "
               "persistent client session gets a worker with spare capacity "
               "for transient observer sessions)")
+      .flag("--event-driven", &event_driven,
+            "serve with the edge-triggered epoll event loop (one thread, "
+            "10k+ concurrent connections) instead of the blocking worker "
+            "pool; --workers is ignored in this mode")
+      .option("--max-connections", &max_connections, "N",
+              "epoll mode: accept at most N concurrent connections "
+              "(default 0: bounded only by fds)")
+      .duration("--idle-timeout", &idle_timeout, "DUR",
+                "epoll mode: close connections silent for DUR, e.g. 30s "
+                "(default 0: never)")
       .option("--max-seconds", &max_seconds, "S",
               "exit after S seconds (default 0: run until signalled)")
       .option("--store-dir", &store_dir, "DIR",
@@ -112,6 +125,15 @@ int main(int argc, char** argv) {
   params.core.store.capacity_bytes = store_capacity;
   params.net.port = port;
   params.net.worker_threads = workers != 0 ? workers : clients + 2;
+  params.event_driven = event_driven;
+  params.epoll.max_connections = max_connections;
+  params.epoll.idle_timeout_ms = static_cast<int>(idle_timeout * 1000.0);
+  if (event_driven) {
+    // The 10k-connection path needs fds; default shells cap at 1024 and the
+    // loop would misreport the cap as EMFILE backpressure.
+    netio::raise_fd_limit(max_connections != 0 ? max_connections + 64
+                                               : 20000);
+  }
 
   if (trace_sample < 0.0 || trace_sample > 1.0) {
     std::cerr << "--trace-sample must be in [0, 1]\n";

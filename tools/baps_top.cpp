@@ -147,6 +147,26 @@ void render(const JsonValue& window, bool plain) {
   std::cout << "wire       tx " << fmt_rate(tx) << " B/s   rx "
             << fmt_rate(rx) << " B/s\n";
 
+  // Connection load: live count from the event loop's gauge, accept rate
+  // from the accepted-connections counter. Absent (all zeros) on daemons
+  // running the blocking transport, which predates these instruments.
+  const JsonValue* active_g =
+      find_entry(rec, "gauges", "netio_connections_active");
+  const JsonValue* active_v =
+      active_g != nullptr ? active_g->find("value") : nullptr;
+  const double conns_active =
+      active_v != nullptr && active_v->is_number() ? active_v->as_double()
+                                                   : 0.0;
+  const double accept_rate =
+      counter_field(rec, "netio_connections_total", "per_second");
+  const double idle_closes =
+      counter_field(rec, "netio_epoll_idle_closes_total", "delta");
+  if (active_g != nullptr || accept_rate > 0.0) {
+    std::cout << "conns      active " << conns_active << "   accept "
+              << fmt_rate(accept_rate) << "/s   idle closes "
+              << idle_closes << " this interval\n";
+  }
+
   const double demote =
       counter_field(rec, "store_demotions_total", "per_second");
   const double promote =
